@@ -1,0 +1,27 @@
+//! Prints the Table 1(b)-style phase summary straight from the
+//! baseline crate — handy when iterating on workload shapes without
+//! building the full experiment harness.
+//!
+//! ```sh
+//! cargo run --release -p opd-baseline --example t1b
+//! ```
+
+use opd_baseline::CallLoopForest;
+use opd_microvm::workloads::Workload;
+
+fn main() {
+    println!(
+        "{:<10} {:>9}  (#phases, % in phase) per MPL 1K 5K 10K 25K 50K 100K",
+        "bench", "branches"
+    );
+    for w in Workload::ALL {
+        let t = w.trace(1);
+        let f = CallLoopForest::build(&t).expect("workload traces are well nested");
+        print!("{:<10} {:>9} ", w.name(), t.branches().len());
+        for mpl in [1_000u64, 5_000, 10_000, 25_000, 50_000, 100_000] {
+            let s = f.solve(mpl);
+            print!(" ({}, {:.0}%)", s.phase_count(), s.percent_in_phase());
+        }
+        println!();
+    }
+}

@@ -1,0 +1,416 @@
+//! Building the dynamic call-loop forest from a call-loop trace.
+
+use core::fmt;
+use std::collections::HashMap;
+
+use opd_trace::{CallLoopEventKind, CallLoopTrace, ExecutionTrace, LoopId, MethodId};
+
+use crate::select;
+use crate::solution::BaselineSolution;
+
+/// The static identity of a repetition construct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Construct {
+    /// A source loop.
+    Loop(LoopId),
+    /// A method.
+    Method(MethodId),
+}
+
+impl fmt::Display for Construct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Construct::Loop(id) => write!(f, "{id}"),
+            Construct::Method(id) => write!(f, "{id}"),
+        }
+    }
+}
+
+/// One dynamic execution of a repetition construct: a whole loop
+/// execution (all iterations) or a whole method execution, spanning
+/// profile-element offsets `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepNode {
+    pub(crate) construct: Construct,
+    pub(crate) start: u64,
+    pub(crate) end: u64,
+    pub(crate) recursion_root: bool,
+    pub(crate) children: Vec<RepNode>,
+}
+
+impl RepNode {
+    /// The construct this node is an execution of.
+    #[must_use]
+    pub fn construct(&self) -> Construct {
+        self.construct
+    }
+
+    /// Offset of the first profile element inside the execution.
+    #[must_use]
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// Offset one past the last profile element inside the execution.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Number of profile elements spanned.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// `true` if the execution spans no profile elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// `true` if this is a method execution that is the root of a
+    /// recursive execution (Section 3.1 of the paper).
+    #[must_use]
+    pub fn is_recursion_root(&self) -> bool {
+        self.recursion_root
+    }
+
+    /// Child executions nested directly inside this one.
+    #[must_use]
+    pub fn children(&self) -> &[RepNode] {
+        &self.children
+    }
+
+    /// Total number of nodes in this subtree (including `self`).
+    #[must_use]
+    pub fn subtree_size(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(RepNode::subtree_size)
+            .sum::<usize>()
+    }
+}
+
+/// Error produced when a call-loop trace is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ForestError {
+    /// An exit event did not match the innermost open construct.
+    MismatchedExit {
+        /// What the exit event named.
+        found: Construct,
+        /// What was open (if anything).
+        expected: Option<Construct>,
+        /// The branch offset of the offending event.
+        offset: u64,
+    },
+}
+
+impl fmt::Display for ForestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForestError::MismatchedExit {
+                found,
+                expected,
+                offset,
+            } => match expected {
+                Some(e) => write!(f, "exit of {found} at offset {offset} while {e} is open"),
+                None => write!(f, "exit of {found} at offset {offset} with nothing open"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for ForestError {}
+
+/// The dynamic call-loop forest of one execution, built once and then
+/// solvable for any number of MPL values.
+///
+/// # Examples
+///
+/// ```
+/// use opd_baseline::CallLoopForest;
+/// use opd_microvm::workloads::Workload;
+///
+/// let trace = Workload::Querydb.trace(1);
+/// let forest = CallLoopForest::build(&trace)?;
+/// let coarse = forest.solve(100_000);
+/// let fine = forest.solve(1_000);
+/// assert!(fine.phase_count() >= coarse.phase_count());
+/// # Ok::<(), opd_baseline::ForestError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CallLoopForest {
+    roots: Vec<RepNode>,
+    total_branches: u64,
+}
+
+impl CallLoopForest {
+    /// Builds the forest from a recorded execution trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForestError::MismatchedExit`] if enter/exit events are
+    /// improperly nested. Constructs still open at the end of the trace
+    /// (e.g. a truncated recording) are closed at the trace end.
+    pub fn build(trace: &ExecutionTrace) -> Result<Self, ForestError> {
+        Self::from_events(trace.events(), trace.branches().len() as u64)
+    }
+
+    /// Builds the forest from a call-loop trace and the total number of
+    /// profile elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForestError::MismatchedExit`] on improper nesting.
+    pub fn from_events(events: &CallLoopTrace, total_branches: u64) -> Result<Self, ForestError> {
+        struct Frame {
+            node: RepNode,
+        }
+
+        let mut stack: Vec<Frame> = Vec::new();
+        let mut roots: Vec<RepNode> = Vec::new();
+        // For recursion-root marking: stack indices of each method's
+        // open frames.
+        let mut method_frames: HashMap<MethodId, Vec<usize>> = HashMap::new();
+
+        let close = |stack: &mut Vec<Frame>,
+                     roots: &mut Vec<RepNode>,
+                     method_frames: &mut HashMap<MethodId, Vec<usize>>,
+                     end: u64| {
+            let mut frame = stack.pop().expect("caller checks non-empty");
+            frame.node.end = end;
+            if let Construct::Method(m) = frame.node.construct {
+                if let Some(v) = method_frames.get_mut(&m) {
+                    v.pop();
+                }
+            }
+            match stack.last_mut() {
+                Some(parent) => parent.node.children.push(frame.node),
+                None => roots.push(frame.node),
+            }
+        };
+
+        for ev in events {
+            let offset = ev.offset();
+            match ev.kind() {
+                CallLoopEventKind::LoopEnter(id) => {
+                    stack.push(Frame {
+                        node: RepNode {
+                            construct: Construct::Loop(id),
+                            start: offset,
+                            end: offset,
+                            recursion_root: false,
+                            children: Vec::new(),
+                        },
+                    });
+                }
+                CallLoopEventKind::MethodEnter(m) => {
+                    let frames = method_frames.entry(m).or_default();
+                    if let Some(&root_idx) = frames.first() {
+                        stack[root_idx].node.recursion_root = true;
+                    }
+                    frames.push(stack.len());
+                    stack.push(Frame {
+                        node: RepNode {
+                            construct: Construct::Method(m),
+                            start: offset,
+                            end: offset,
+                            recursion_root: false,
+                            children: Vec::new(),
+                        },
+                    });
+                }
+                CallLoopEventKind::LoopExit(id) => {
+                    let expected = stack.last().map(|f| f.node.construct);
+                    if expected != Some(Construct::Loop(id)) {
+                        return Err(ForestError::MismatchedExit {
+                            found: Construct::Loop(id),
+                            expected,
+                            offset,
+                        });
+                    }
+                    close(&mut stack, &mut roots, &mut method_frames, offset);
+                }
+                CallLoopEventKind::MethodExit(m) => {
+                    let expected = stack.last().map(|f| f.node.construct);
+                    if expected != Some(Construct::Method(m)) {
+                        return Err(ForestError::MismatchedExit {
+                            found: Construct::Method(m),
+                            expected,
+                            offset,
+                        });
+                    }
+                    close(&mut stack, &mut roots, &mut method_frames, offset);
+                }
+            }
+        }
+
+        // Close anything still open at the end of the trace.
+        while !stack.is_empty() {
+            close(&mut stack, &mut roots, &mut method_frames, total_branches);
+        }
+
+        Ok(CallLoopForest {
+            roots,
+            total_branches,
+        })
+    }
+
+    /// The top-level construct executions.
+    #[must_use]
+    pub fn roots(&self) -> &[RepNode] {
+        &self.roots
+    }
+
+    /// Total number of profile elements in the underlying trace.
+    #[must_use]
+    pub fn total_branches(&self) -> u64 {
+        self.total_branches
+    }
+
+    /// Total number of construct executions recorded.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.roots.iter().map(RepNode::subtree_size).sum()
+    }
+
+    /// Runs the MPL-driven phase selection of Section 3.1, producing
+    /// the baseline solution for one minimum phase length.
+    #[must_use]
+    pub fn solve(&self, mpl: u64) -> BaselineSolution {
+        let phases = select::select_phases(&self.roots, mpl);
+        BaselineSolution::from_parts(mpl, self.total_branches, phases)
+    }
+
+    /// Like [`solve`](CallLoopForest::solve), but exposing phases at
+    /// *every* qualifying nesting level rather than only the innermost
+    /// (the hierarchy Section 2 of the paper describes). The flat
+    /// solution equals this tree's leaves.
+    #[must_use]
+    pub fn solve_hierarchy(&self, mpl: u64) -> crate::PhaseHierarchy {
+        crate::hierarchy::build_hierarchy(&self.roots, mpl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opd_trace::{ExecutionTrace, ProfileElement, TraceSink};
+
+    fn m(i: u32) -> MethodId {
+        MethodId::new(i)
+    }
+
+    fn l(i: u32) -> LoopId {
+        LoopId::new(i)
+    }
+
+    fn branch(t: &mut ExecutionTrace, n: u32) {
+        for i in 0..n {
+            t.record_branch(ProfileElement::new(m(0), i % 7, true));
+        }
+    }
+
+    #[test]
+    fn nested_loops_build_a_tree() {
+        let mut t = ExecutionTrace::new();
+        t.record_loop_enter(l(0));
+        branch(&mut t, 2);
+        t.record_loop_enter(l(1));
+        branch(&mut t, 5);
+        t.record_loop_exit(l(1));
+        branch(&mut t, 3);
+        t.record_loop_exit(l(0));
+        let f = CallLoopForest::build(&t).unwrap();
+        assert_eq!(f.roots().len(), 1);
+        let outer = &f.roots()[0];
+        assert_eq!(outer.construct(), Construct::Loop(l(0)));
+        assert_eq!((outer.start(), outer.end()), (0, 10));
+        assert_eq!(outer.len(), 10);
+        assert_eq!(outer.children().len(), 1);
+        let inner = &outer.children()[0];
+        assert_eq!((inner.start(), inner.end()), (2, 7));
+        assert_eq!(f.node_count(), 2);
+    }
+
+    #[test]
+    fn recursion_root_marked() {
+        let mut t = ExecutionTrace::new();
+        t.record_method_enter(m(1));
+        branch(&mut t, 1);
+        t.record_method_enter(m(2));
+        t.record_method_enter(m(1)); // recursion on m1
+        branch(&mut t, 1);
+        t.record_method_exit(m(1));
+        t.record_method_exit(m(2));
+        t.record_method_exit(m(1));
+        let f = CallLoopForest::build(&t).unwrap();
+        let root = &f.roots()[0];
+        assert!(root.is_recursion_root());
+        let mid = &root.children()[0];
+        assert!(!mid.is_recursion_root());
+        let leaf = &mid.children()[0];
+        assert!(!leaf.is_recursion_root());
+    }
+
+    #[test]
+    fn mismatched_exit_rejected() {
+        let mut t = ExecutionTrace::new();
+        t.record_loop_enter(l(0));
+        t.record_loop_exit(l(9));
+        let err = CallLoopForest::build(&t).unwrap_err();
+        assert!(matches!(err, ForestError::MismatchedExit { .. }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn exit_with_empty_stack_rejected() {
+        let mut t = ExecutionTrace::new();
+        t.record_method_exit(m(0));
+        assert!(CallLoopForest::build(&t).is_err());
+    }
+
+    #[test]
+    fn truncated_trace_closes_open_constructs() {
+        let mut t = ExecutionTrace::new();
+        t.record_loop_enter(l(0));
+        branch(&mut t, 4);
+        // No exit: simulate a truncated recording.
+        let f = CallLoopForest::build(&t).unwrap();
+        assert_eq!(f.roots()[0].end(), 4);
+    }
+
+    #[test]
+    fn empty_trace_is_empty_forest() {
+        let f = CallLoopForest::build(&ExecutionTrace::new()).unwrap();
+        assert!(f.roots().is_empty());
+        assert_eq!(f.node_count(), 0);
+        assert_eq!(f.total_branches(), 0);
+    }
+
+    #[test]
+    fn siblings_in_temporal_order() {
+        let mut t = ExecutionTrace::new();
+        for _ in 0..3 {
+            t.record_loop_enter(l(0));
+            branch(&mut t, 2);
+            t.record_loop_exit(l(0));
+            branch(&mut t, 1);
+        }
+        let f = CallLoopForest::build(&t).unwrap();
+        assert_eq!(f.roots().len(), 3);
+        assert!(f.roots().windows(2).all(|w| w[0].end() <= w[1].start()));
+    }
+
+    #[test]
+    fn workload_forest_builds() {
+        let trace = opd_microvm::workloads::Workload::Audiodec.trace(1);
+        let f = CallLoopForest::build(&trace).unwrap();
+        assert!(f.node_count() > 10_000);
+        assert_eq!(f.total_branches(), trace.branches().len() as u64);
+    }
+}

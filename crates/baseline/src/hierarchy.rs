@@ -1,0 +1,259 @@
+//! Hierarchical phase structure.
+//!
+//! Section 2 of the paper observes that "in practice, the profile
+//! elements may form a hierarchy of phases, such as what one might
+//! expect from a nested-loop structure. Ideally, an online phase
+//! detector will find this hierarchy so that the detector's client can
+//! exploit it" — and then presents flat detectors only, because extant
+//! clients do not consume nesting. The baseline's call-loop forest,
+//! however, carries the hierarchy for free; this module exposes it.
+//!
+//! [`CallLoopForest::solve_hierarchy`](crate::CallLoopForest::solve_hierarchy)
+//! returns every qualifying phase at *every* nesting level; the flat
+//! solution of Section 3.1 is exactly the set of leaves of this tree
+//! (which the tests assert).
+
+use opd_trace::PhaseInterval;
+
+use crate::forest::RepNode;
+use crate::select::{for_each_run, items_of, Item};
+
+/// One node of the hierarchical phase structure: a phase whose span
+/// may contain nested, smaller phases that also satisfy the MPL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierPhase {
+    interval: PhaseInterval,
+    children: Vec<HierPhase>,
+}
+
+impl HierPhase {
+    /// The phase's extent.
+    #[must_use]
+    pub fn interval(&self) -> PhaseInterval {
+        self.interval
+    }
+
+    /// Qualifying phases nested directly inside this one.
+    #[must_use]
+    pub fn children(&self) -> &[HierPhase] {
+        &self.children
+    }
+
+    /// `true` if no smaller phase nests inside this one.
+    #[must_use]
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Depth of the subtree rooted here (a leaf has depth 1).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(HierPhase::depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total number of phases in this subtree.
+    #[must_use]
+    pub fn subtree_size(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(HierPhase::subtree_size)
+            .sum::<usize>()
+    }
+
+    /// The intervals of the subtree's leaves, left to right.
+    pub(crate) fn collect_leaves(&self, out: &mut Vec<PhaseInterval>) {
+        if self.is_leaf() {
+            out.push(self.interval);
+        } else {
+            for c in &self.children {
+                c.collect_leaves(out);
+            }
+        }
+    }
+}
+
+/// The hierarchical phases of one execution for one MPL.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PhaseHierarchy {
+    roots: Vec<HierPhase>,
+}
+
+impl PhaseHierarchy {
+    /// Top-level phases (not themselves nested in a qualifying phase).
+    #[must_use]
+    pub fn roots(&self) -> &[HierPhase] {
+        &self.roots
+    }
+
+    /// Total number of phases at all levels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.roots.iter().map(HierPhase::subtree_size).sum()
+    }
+
+    /// `true` if no phase qualifies.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Deepest nesting level present (0 when empty).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.roots.iter().map(HierPhase::depth).max().unwrap_or(0)
+    }
+
+    /// The innermost qualifying phases — identical to the flat
+    /// baseline solution of Section 3.1.
+    #[must_use]
+    pub fn leaves(&self) -> Vec<PhaseInterval> {
+        let mut out = Vec::new();
+        for r in &self.roots {
+            r.collect_leaves(&mut out);
+        }
+        out
+    }
+}
+
+/// Builds the hierarchy for a forest (used by
+/// [`CallLoopForest::solve_hierarchy`](crate::CallLoopForest::solve_hierarchy)).
+pub(crate) fn build_hierarchy(roots: &[RepNode], mpl: u64) -> PhaseHierarchy {
+    PhaseHierarchy {
+        roots: hier_items(&items_of(roots), mpl),
+    }
+}
+
+fn hier_items(items: &[Item<'_>], mpl: u64) -> Vec<HierPhase> {
+    let mut out = Vec::new();
+    for_each_run(items, |run| {
+        let mut inner = Vec::new();
+        for item in run {
+            inner.extend(hier_items(&items_of(item.node.children()), mpl));
+        }
+        let start = run[0].start;
+        let end = run[run.len() - 1].end;
+        if start < end && end - start >= mpl {
+            out.push(HierPhase {
+                interval: PhaseInterval::new(start, end),
+                children: inner,
+            });
+        } else {
+            // The run itself does not qualify; qualifying descendants
+            // float up to the enclosing level.
+            out.extend(inner);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::CallLoopForest;
+    use opd_trace::{ExecutionTrace, LoopId, MethodId, ProfileElement, TraceSink};
+
+    fn branches(t: &mut ExecutionTrace, n: u32) {
+        for i in 0..n {
+            t.record_branch(ProfileElement::new(MethodId::new(0), i % 5, true));
+        }
+    }
+
+    /// outer loop [0, 130) with two inner executions of 50.
+    fn nested_trace() -> ExecutionTrace {
+        let mut t = ExecutionTrace::new();
+        t.record_loop_enter(LoopId::new(0));
+        branches(&mut t, 5);
+        for _ in 0..2 {
+            t.record_loop_enter(LoopId::new(1));
+            branches(&mut t, 50);
+            t.record_loop_exit(LoopId::new(1));
+            branches(&mut t, 10);
+        }
+        t.record_loop_exit(LoopId::new(0));
+        t
+    }
+
+    #[test]
+    fn nesting_is_exposed() {
+        let forest = CallLoopForest::build(&nested_trace()).unwrap();
+        let h = forest.solve_hierarchy(40);
+        // The outer loop qualifies AND both inner executions qualify:
+        // one root with two children.
+        assert_eq!(h.roots().len(), 1);
+        let outer = &h.roots()[0];
+        assert_eq!(outer.interval(), PhaseInterval::new(0, 125));
+        assert_eq!(outer.children().len(), 2);
+        assert_eq!(outer.depth(), 2);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.depth(), 2);
+        assert!(!h.is_empty());
+        assert!(outer.children().iter().all(HierPhase::is_leaf));
+    }
+
+    #[test]
+    fn leaves_equal_flat_solution_on_synthetic() {
+        let forest = CallLoopForest::build(&nested_trace()).unwrap();
+        for mpl in [10, 40, 60, 100, 200] {
+            let flat = forest.solve(mpl);
+            let hier = forest.solve_hierarchy(mpl);
+            assert_eq!(hier.leaves(), flat.phases(), "mpl {mpl}");
+        }
+    }
+
+    #[test]
+    fn leaves_equal_flat_solution_on_workloads() {
+        for w in [
+            opd_microvm::workloads::Workload::Audiodec,
+            opd_microvm::workloads::Workload::Srccomp,
+        ] {
+            let trace = w.trace(1);
+            let forest = CallLoopForest::build(&trace).unwrap();
+            for mpl in [1_000u64, 10_000, 100_000] {
+                let flat = forest.solve(mpl);
+                let hier = forest.solve_hierarchy(mpl);
+                assert_eq!(hier.leaves(), flat.phases(), "{w} mpl {mpl}");
+                assert!(hier.len() >= flat.phase_count(), "{w} mpl {mpl}");
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchy_nests_properly() {
+        let trace = opd_microvm::workloads::Workload::Tracer.trace(1);
+        let forest = CallLoopForest::build(&trace).unwrap();
+        let h = forest.solve_hierarchy(1_000);
+        fn check(node: &HierPhase) {
+            for c in node.children() {
+                assert!(
+                    node.interval().start() <= c.interval().start()
+                        && c.interval().end() <= node.interval().end(),
+                    "child {c:?} escapes parent {:?}",
+                    node.interval()
+                );
+                check(c);
+            }
+            for pair in node.children().windows(2) {
+                assert!(pair[0].interval().end() <= pair[1].interval().start());
+            }
+        }
+        assert!(h.depth() >= 2, "tracer has bands within frames");
+        for r in h.roots() {
+            check(r);
+        }
+    }
+
+    #[test]
+    fn empty_forest_gives_empty_hierarchy() {
+        let forest = CallLoopForest::build(&ExecutionTrace::new()).unwrap();
+        let h = forest.solve_hierarchy(100);
+        assert!(h.is_empty());
+        assert_eq!(h.depth(), 0);
+        assert!(h.leaves().is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! The offline baseline ("oracle") solution of Section 3.1 of *Online
+//! Phase Detection Algorithms* (CGO 2006).
+//!
+//! The baseline is **not** an online detector: it takes a global view
+//! of one execution's call-loop trace, identifies *complete repetitive
+//! instances* (CRIs) — whole loop executions and recursive method
+//! executions — and selects phases among them subject to a
+//! client-supplied *minimum phase length* (MPL). Its per-element `P`/`T`
+//! labels are the ground truth online detectors are scored against.
+//!
+//! The pipeline is:
+//!
+//! 1. [`CallLoopForest::build`] — parse the call-loop trace into a
+//!    forest of repetition-construct executions, marking recursion
+//!    roots;
+//! 2. [`CallLoopForest::solve`] — for a given MPL, select phases:
+//!    innermost qualifying constructs win, temporally adjacent CRIs
+//!    with the same static identifier (distance ≤ 1 profile element)
+//!    merge, and too-small constructs defer to their enclosing nest;
+//! 3. [`BaselineSolution`] — the resulting phase intervals, labels, and
+//!    summary statistics (Table 1(b) of the paper).
+//!
+//! # Examples
+//!
+//! ```
+//! use opd_baseline::BaselineSolution;
+//! use opd_microvm::workloads::Workload;
+//!
+//! let trace = Workload::Lexgen.trace(1);
+//! let oracle = BaselineSolution::compute(&trace, 1_000)?;
+//! assert!(oracle.phase_count() > 0);
+//! assert!(oracle.percent_in_phase() > 50.0);
+//! # Ok::<(), opd_baseline::ForestError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod forest;
+mod hierarchy;
+mod select;
+mod solution;
+
+pub use forest::{CallLoopForest, Construct, ForestError, RepNode};
+pub use hierarchy::{HierPhase, PhaseHierarchy};
+pub use solution::BaselineSolution;

@@ -1,0 +1,305 @@
+//! MPL-driven phase selection over the call-loop forest (Section 3.1).
+//!
+//! Complete repetitive instances (CRIs) are whole loop executions,
+//! recursive method executions (recursion roots), and temporally
+//! adjacent repeated invocations of one method. Selection is
+//! innermost-first: a construct's executions are phases only if no
+//! construct nested inside them qualifies; runs of same-identifier CRIs
+//! at distance ≤ 1 profile element merge into a single candidate (this
+//! both combines repeated method invocations and collapses perfect
+//! loop nests onto their enclosing extent); and a candidate qualifies
+//! when its span reaches the minimum phase length.
+
+use opd_trace::PhaseInterval;
+
+use crate::forest::{Construct, RepNode};
+
+/// A CRI candidate at one nesting level.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Item<'a> {
+    pub(crate) id: Construct,
+    pub(crate) start: u64,
+    pub(crate) end: u64,
+    pub(crate) node: &'a RepNode,
+}
+
+/// Splits a sibling item list into maximal runs of same-identifier
+/// CRIs at distance ≤ 1, invoking `f` on each run.
+pub(crate) fn for_each_run<'a>(items: &[Item<'a>], mut f: impl FnMut(&[Item<'a>])) {
+    let mut i = 0;
+    while i < items.len() {
+        let mut j = i + 1;
+        while j < items.len()
+            && items[j].id == items[i].id
+            && items[j].start.saturating_sub(items[j - 1].end) <= 1
+        {
+            j += 1;
+        }
+        f(&items[i..j]);
+        i = j;
+    }
+}
+
+/// Computes the baseline phases for one MPL value.
+pub(crate) fn select_phases(roots: &[RepNode], mpl: u64) -> Vec<PhaseInterval> {
+    let items = items_of(roots);
+    let mut out = Vec::new();
+    select_items(&items, mpl, &mut out);
+    out
+}
+
+/// Lifts a sibling list into CRI candidates: loop executions and
+/// recursion roots are CRIs; a method execution is a CRI if a raw
+/// neighbour is an invocation of the same method at distance ≤ 1
+/// (a repeated-invocation run); any other method execution is
+/// *transparent* — its children are spliced in its place so the loops
+/// inside it stay visible at this level.
+pub(crate) fn items_of(children: &[RepNode]) -> Vec<Item<'_>> {
+    let mut out = Vec::with_capacity(children.len());
+    for (idx, c) in children.iter().enumerate() {
+        let is_cri = match c.construct() {
+            Construct::Loop(_) => true,
+            Construct::Method(_) => c.is_recursion_root() || in_method_run(children, idx),
+        };
+        if is_cri {
+            out.push(Item {
+                id: c.construct(),
+                start: c.start(),
+                end: c.end(),
+                node: c,
+            });
+        } else {
+            out.extend(items_of(c.children()));
+        }
+    }
+    out
+}
+
+/// `true` if `children[idx]` is a method execution immediately adjacent
+/// (distance ≤ 1) to a sibling execution of the same method.
+fn in_method_run(children: &[RepNode], idx: usize) -> bool {
+    let c = &children[idx];
+    let before = idx
+        .checked_sub(1)
+        .map(|p| &children[p])
+        .filter(|p| p.construct() == c.construct() && c.start().saturating_sub(p.end()) <= 1);
+    let after = children
+        .get(idx + 1)
+        .filter(|n| n.construct() == c.construct() && n.start().saturating_sub(c.end()) <= 1);
+    before.is_some() || after.is_some()
+}
+
+/// Innermost-first selection over a sibling item list.
+fn select_items(items: &[Item<'_>], mpl: u64, out: &mut Vec<PhaseInterval>) {
+    for_each_run(items, |run| {
+        // Innermost constructs win: if anything nested inside the run
+        // qualifies, those are the phases for this span.
+        let before = out.len();
+        for item in run {
+            let inner = items_of(item.node.children());
+            select_items(&inner, mpl, out);
+        }
+        if out.len() == before {
+            let start = run[0].start;
+            let end = run[run.len() - 1].end;
+            if end - start >= mpl && start < end {
+                out.push(PhaseInterval::new(start, end));
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::CallLoopForest;
+    use opd_trace::{ExecutionTrace, LoopId, MethodId, ProfileElement, TraceSink};
+
+    fn l(i: u32) -> LoopId {
+        LoopId::new(i)
+    }
+
+    fn m(i: u32) -> MethodId {
+        MethodId::new(i)
+    }
+
+    fn branches(t: &mut ExecutionTrace, n: u32) {
+        for i in 0..n {
+            t.record_branch(ProfileElement::new(m(0), i % 5, true));
+        }
+    }
+
+    fn phases_of(t: &ExecutionTrace, mpl: u64) -> Vec<PhaseInterval> {
+        select_phases(CallLoopForest::build(t).unwrap().roots(), mpl)
+    }
+
+    #[test]
+    fn big_loop_is_a_phase() {
+        let mut t = ExecutionTrace::new();
+        t.record_loop_enter(l(0));
+        branches(&mut t, 100);
+        t.record_loop_exit(l(0));
+        assert_eq!(phases_of(&t, 50), vec![PhaseInterval::new(0, 100)]);
+    }
+
+    #[test]
+    fn small_loop_is_not_a_phase() {
+        let mut t = ExecutionTrace::new();
+        t.record_loop_enter(l(0));
+        branches(&mut t, 30);
+        t.record_loop_exit(l(0));
+        assert!(phases_of(&t, 50).is_empty());
+    }
+
+    #[test]
+    fn innermost_qualifying_loop_wins() {
+        // outer [0, 120) containing two inner executions of 50,
+        // separated by more than one element.
+        let mut t = ExecutionTrace::new();
+        t.record_loop_enter(l(0));
+        branches(&mut t, 5);
+        t.record_loop_enter(l(1));
+        branches(&mut t, 50);
+        t.record_loop_exit(l(1));
+        branches(&mut t, 10);
+        t.record_loop_enter(l(1));
+        branches(&mut t, 50);
+        t.record_loop_exit(l(1));
+        branches(&mut t, 5);
+        t.record_loop_exit(l(0));
+        let phases = phases_of(&t, 40);
+        assert_eq!(
+            phases,
+            vec![PhaseInterval::new(5, 55), PhaseInterval::new(65, 115)]
+        );
+    }
+
+    #[test]
+    fn small_inner_defers_to_outer() {
+        // Same structure, but inner executions are below MPL: the
+        // outer loop is selected instead.
+        let mut t = ExecutionTrace::new();
+        t.record_loop_enter(l(0));
+        branches(&mut t, 5);
+        for _ in 0..2 {
+            t.record_loop_enter(l(1));
+            branches(&mut t, 20);
+            t.record_loop_exit(l(1));
+            branches(&mut t, 10);
+        }
+        t.record_loop_exit(l(0));
+        let phases = phases_of(&t, 40);
+        assert_eq!(phases, vec![PhaseInterval::new(0, 65)]);
+    }
+
+    #[test]
+    fn perfect_nest_merges_inner_executions() {
+        // Inner executions separated by exactly one element (the outer
+        // loop's back-edge branch) merge into one candidate covering
+        // nearly the whole outer loop.
+        let mut t = ExecutionTrace::new();
+        t.record_loop_enter(l(0));
+        for _ in 0..4 {
+            t.record_loop_enter(l(1));
+            branches(&mut t, 20);
+            t.record_loop_exit(l(1));
+            branches(&mut t, 1); // back edge
+        }
+        t.record_loop_exit(l(0));
+        let phases = phases_of(&t, 40);
+        assert_eq!(phases, vec![PhaseInterval::new(0, 83)]);
+    }
+
+    #[test]
+    fn adjacent_method_invocations_merge() {
+        let mut t = ExecutionTrace::new();
+        for _ in 0..3 {
+            t.record_method_enter(m(7));
+            branches(&mut t, 30);
+            t.record_method_exit(m(7));
+        }
+        // 3 adjacent invocations of m7 merge into one 90-element phase.
+        assert_eq!(phases_of(&t, 80), vec![PhaseInterval::new(0, 90)]);
+    }
+
+    #[test]
+    fn separated_method_invocations_do_not_merge() {
+        let mut t = ExecutionTrace::new();
+        for _ in 0..3 {
+            t.record_method_enter(m(7));
+            branches(&mut t, 30);
+            t.record_method_exit(m(7));
+            branches(&mut t, 10);
+        }
+        // Isolated single invocations are not CRIs (only recursive
+        // executions and temporally adjacent runs are), so nothing
+        // qualifies at any MPL.
+        assert!(phases_of(&t, 80).is_empty());
+        assert!(phases_of(&t, 25).is_empty());
+    }
+
+    #[test]
+    fn single_plain_method_is_transparent() {
+        // main() { f() { loop of 100 } }: the loop inside the
+        // non-repeated method must still be found.
+        let mut t = ExecutionTrace::new();
+        t.record_method_enter(m(0));
+        t.record_method_enter(m(1));
+        t.record_loop_enter(l(0));
+        branches(&mut t, 100);
+        t.record_loop_exit(l(0));
+        t.record_method_exit(m(1));
+        t.record_method_exit(m(0));
+        assert_eq!(phases_of(&t, 50), vec![PhaseInterval::new(0, 100)]);
+    }
+
+    #[test]
+    fn recursion_root_is_a_cri() {
+        let mut t = ExecutionTrace::new();
+        t.record_method_enter(m(1));
+        branches(&mut t, 10);
+        t.record_method_enter(m(1));
+        branches(&mut t, 40);
+        t.record_method_exit(m(1));
+        branches(&mut t, 10);
+        t.record_method_exit(m(1));
+        // Root spans [0, 60). The nested invocation is not separately
+        // selected (it is below the root and the root is the CRI that
+        // qualifies once nothing inner does).
+        assert_eq!(phases_of(&t, 50), vec![PhaseInterval::new(0, 60)]);
+    }
+
+    #[test]
+    fn loop_inside_recursion_wins_when_big_enough() {
+        let mut t = ExecutionTrace::new();
+        t.record_method_enter(m(1));
+        t.record_loop_enter(l(0));
+        branches(&mut t, 60);
+        t.record_loop_exit(l(0));
+        t.record_method_enter(m(1));
+        branches(&mut t, 5);
+        t.record_method_exit(m(1));
+        t.record_method_exit(m(1));
+        assert_eq!(phases_of(&t, 50), vec![PhaseInterval::new(0, 60)]);
+    }
+
+    #[test]
+    fn phases_are_sorted_and_disjoint() {
+        let trace = opd_microvm::workloads::Workload::Ruleng.trace(1);
+        let forest = CallLoopForest::build(&trace).unwrap();
+        for mpl in [1_000, 10_000, 100_000] {
+            let phases = select_phases(forest.roots(), mpl);
+            for w in phases.windows(2) {
+                assert!(w[0].end() <= w[1].start(), "mpl {mpl}: {w:?}");
+            }
+            for p in &phases {
+                assert!(p.len() >= mpl, "mpl {mpl}: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_forest_has_no_phases() {
+        assert!(phases_of(&ExecutionTrace::new(), 10).is_empty());
+    }
+}

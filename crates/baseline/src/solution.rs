@@ -1,0 +1,203 @@
+//! The baseline solution: oracle phases, labels, and statistics.
+
+use core::fmt;
+
+use opd_trace::{
+    boundaries_of, states_from_intervals, Boundary, ExecutionTrace, PhaseInterval, PhaseState,
+    StateSeq,
+};
+
+use crate::forest::{CallLoopForest, ForestError};
+
+/// The baseline (oracle) phases of one execution for one minimum phase
+/// length, used as ground truth when scoring online detectors.
+///
+/// # Examples
+///
+/// ```
+/// use opd_baseline::BaselineSolution;
+/// use opd_microvm::workloads::Workload;
+///
+/// let trace = Workload::Parsegen.trace(1);
+/// let oracle = BaselineSolution::compute(&trace, 10_000)?;
+/// for phase in oracle.phases() {
+///     assert!(phase.len() >= 10_000);
+/// }
+/// # Ok::<(), opd_baseline::ForestError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BaselineSolution {
+    mpl: u64,
+    total: u64,
+    phases: Vec<PhaseInterval>,
+}
+
+impl BaselineSolution {
+    /// Builds the call-loop forest of `trace` and solves it for `mpl`.
+    ///
+    /// When solving one trace for several MPL values, build a
+    /// [`CallLoopForest`] once and call
+    /// [`solve`](CallLoopForest::solve) per MPL instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ForestError`] if the call-loop trace is malformed.
+    pub fn compute(trace: &ExecutionTrace, mpl: u64) -> Result<Self, ForestError> {
+        Ok(CallLoopForest::build(trace)?.solve(mpl))
+    }
+
+    pub(crate) fn from_parts(mpl: u64, total: u64, phases: Vec<PhaseInterval>) -> Self {
+        debug_assert!(phases.windows(2).all(|w| w[0].end() <= w[1].start()));
+        BaselineSolution { mpl, total, phases }
+    }
+
+    /// The minimum phase length this solution was computed for.
+    #[must_use]
+    pub fn mpl(&self) -> u64 {
+        self.mpl
+    }
+
+    /// Total number of profile elements in the execution.
+    #[must_use]
+    pub fn total_elements(&self) -> u64 {
+        self.total
+    }
+
+    /// The oracle phases, sorted and disjoint.
+    #[must_use]
+    pub fn phases(&self) -> &[PhaseInterval] {
+        &self.phases
+    }
+
+    /// Number of oracle phases (Table 1(b), "# Phases").
+    #[must_use]
+    pub fn phase_count(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Number of profile elements inside some phase.
+    #[must_use]
+    pub fn in_phase_elements(&self) -> u64 {
+        self.phases.iter().map(|p| p.len()).sum()
+    }
+
+    /// Percentage of profile elements inside some phase
+    /// (Table 1(b), "% in Phase").
+    #[must_use]
+    pub fn percent_in_phase(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * self.in_phase_elements() as f64 / self.total as f64
+        }
+    }
+
+    /// The oracle phase boundaries, in offset order.
+    #[must_use]
+    pub fn boundaries(&self) -> Vec<Boundary> {
+        boundaries_of(&self.phases)
+    }
+
+    /// Materializes the per-element `P`/`T` labels.
+    #[must_use]
+    pub fn states(&self) -> StateSeq {
+        states_from_intervals(&self.phases, self.total)
+    }
+
+    /// The label of one profile element, by binary search (no
+    /// materialization).
+    #[must_use]
+    pub fn state_of(&self, offset: u64) -> PhaseState {
+        let idx = self.phases.partition_point(|p| p.end() <= offset);
+        match self.phases.get(idx) {
+            Some(p) if p.contains(offset) => PhaseState::Phase,
+            _ => PhaseState::Transition,
+        }
+    }
+}
+
+impl fmt::Display for BaselineSolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "baseline(mpl={}): {} phases, {:.2}% of {} elements in phase",
+            self.mpl,
+            self.phase_count(),
+            self.percent_in_phase(),
+            self.total
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opd_microvm::workloads::Workload;
+
+    fn solution(phases: &[(u64, u64)], total: u64) -> BaselineSolution {
+        BaselineSolution::from_parts(
+            100,
+            total,
+            phases
+                .iter()
+                .map(|&(s, e)| PhaseInterval::new(s, e))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn statistics() {
+        let s = solution(&[(10, 30), (50, 100)], 200);
+        assert_eq!(s.phase_count(), 2);
+        assert_eq!(s.in_phase_elements(), 70);
+        assert!((s.percent_in_phase() - 35.0).abs() < 1e-12);
+        assert_eq!(s.boundaries().len(), 4);
+        assert_eq!(s.mpl(), 100);
+        assert_eq!(s.total_elements(), 200);
+    }
+
+    #[test]
+    fn states_and_state_of_agree() {
+        let s = solution(&[(3, 6), (9, 12)], 15);
+        let states = s.states();
+        for off in 0..15 {
+            assert_eq!(states.get(off as usize).unwrap(), s.state_of(off), "{off}");
+        }
+        assert_eq!(s.state_of(999), PhaseState::Transition);
+    }
+
+    #[test]
+    fn empty_solution() {
+        let s = solution(&[], 0);
+        assert_eq!(s.percent_in_phase(), 0.0);
+        assert!(s.states().is_empty());
+        assert_eq!(s.state_of(0), PhaseState::Transition);
+    }
+
+    #[test]
+    fn end_to_end_on_workload() {
+        let trace = Workload::Lexgen.trace(1);
+        let s = BaselineSolution::compute(&trace, 5_000).unwrap();
+        assert!(s.phase_count() > 0);
+        assert!(s.percent_in_phase() > 50.0, "{}", s.percent_in_phase());
+        assert_eq!(s.states().len(), trace.branches().len());
+        let text = format!("{s}");
+        assert!(text.contains("baseline(mpl=5000)"), "{text}");
+    }
+
+    #[test]
+    fn phase_count_decreases_with_mpl() {
+        // The paper's Table 1(b) trend: larger MPL, fewer phases.
+        let trace = Workload::Audiodec.trace(1);
+        let forest = crate::CallLoopForest::build(&trace).unwrap();
+        let counts: Vec<usize> = [1_000u64, 10_000, 100_000]
+            .iter()
+            .map(|&mpl| forest.solve(mpl).phase_count())
+            .collect();
+        assert!(
+            counts[0] >= counts[1] && counts[1] >= counts[2],
+            "{counts:?}"
+        );
+    }
+}

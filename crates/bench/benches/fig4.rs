@@ -1,0 +1,27 @@
+//! Regenerates the paper's fig4 artifact on truncated traces — a
+//! benchmark of the full experiment pipeline (workload execution,
+//! oracle computation, detector sweep, scoring).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use opd_experiments::exp::{fig4, ExpOptions};
+use opd_microvm::workloads::Workload;
+
+fn bench_fig4(c: &mut Criterion) {
+    let opts = ExpOptions {
+        workloads: vec![Workload::Ruleng, Workload::Lexgen],
+        fuel: 20_000,
+        threads: 1,
+        ..ExpOptions::default()
+    };
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("fig4_truncated", |b| {
+        b.iter(|| black_box(fig4::run(&opts)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Benchmark crate: all content lives in `benches/`.
+//!
+//! See the workspace's `opd-bench/benches/` directory for one Criterion
+//! benchmark per paper table/figure plus component throughput
+//! benchmarks.

@@ -1,0 +1,149 @@
+//! Adapting the requested MPL online — the paper's Section 7 question
+//! "whether it is effective to adapt the MPL over time".
+
+use core::fmt;
+
+use crate::cost::{recommended_mpl, CostModel};
+
+/// An online controller that adjusts the MPL (and hence the CW size a
+/// client configures its detector with) based on the phase lengths
+/// actually observed.
+///
+/// Policy: start from the cost model's
+/// [`recommended_mpl`](crate::recommended_mpl); fold each completed
+/// phase's length into an exponential moving average; propose an MPL
+/// of half the average observed length, clamped to never dip below the
+/// cost model's break-even point — shorter phases than that can never
+/// pay for the client's action.
+///
+/// # Examples
+///
+/// ```
+/// use opd_client::{AdaptiveMplController, CostModel};
+///
+/// let model = CostModel::new(100, 2.0, 0)?; // break-even 200
+/// let mut ctl = AdaptiveMplController::new(&model);
+/// for _ in 0..20 {
+///     ctl.observe_phase(100_000); // phases are huge: raise the MPL
+/// }
+/// assert!(ctl.current_mpl() > 400);
+/// # Ok::<(), opd_client::CostModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveMplController {
+    floor: u64,
+    current: u64,
+    ema: f64,
+    observed: u64,
+    alpha: f64,
+}
+
+impl AdaptiveMplController {
+    /// Smoothing factor of the phase-length moving average.
+    pub const DEFAULT_ALPHA: f64 = 0.2;
+
+    /// Creates a controller seeded from the client's cost model.
+    #[must_use]
+    pub fn new(model: &CostModel) -> Self {
+        let start = recommended_mpl(model);
+        AdaptiveMplController {
+            floor: crate::cost::break_even_mpl(model).max(1),
+            current: start,
+            ema: start as f64,
+            observed: 0,
+            alpha: Self::DEFAULT_ALPHA,
+        }
+    }
+
+    /// The MPL the client should currently request.
+    #[must_use]
+    pub fn current_mpl(&self) -> u64 {
+        self.current
+    }
+
+    /// The CW size a detector should use for the current MPL (half of
+    /// it, per the paper's Section 4.2 conclusion).
+    #[must_use]
+    pub fn current_window(&self) -> usize {
+        ((self.current / 2).max(1)) as usize
+    }
+
+    /// Number of phases folded in so far.
+    #[must_use]
+    pub fn phases_observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Folds one completed phase's length (in elements) into the
+    /// controller, possibly changing [`current_mpl`](Self::current_mpl).
+    pub fn observe_phase(&mut self, length: u64) {
+        self.observed += 1;
+        self.ema = self.alpha * length as f64 + (1.0 - self.alpha) * self.ema;
+        // Target phases about twice the MPL: granular enough to find
+        // structure, long enough to amortize comfortably.
+        let proposal = (self.ema / 2.0) as u64;
+        self.current = proposal.max(self.floor);
+    }
+}
+
+impl fmt::Display for AdaptiveMplController {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mpl {} (ema phase length {:.0}, {} phases observed)",
+            self.current, self.ema, self.observed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::new(100, 2.0, 0).unwrap() // break-even 200, start 400
+    }
+
+    #[test]
+    fn starts_at_recommendation() {
+        let ctl = AdaptiveMplController::new(&model());
+        assert_eq!(ctl.current_mpl(), 400);
+        assert_eq!(ctl.current_window(), 200);
+        assert_eq!(ctl.phases_observed(), 0);
+    }
+
+    #[test]
+    fn grows_towards_long_phases() {
+        let mut ctl = AdaptiveMplController::new(&model());
+        for _ in 0..50 {
+            ctl.observe_phase(20_000);
+        }
+        // EMA converges to 20_000; MPL to ~10_000.
+        assert!((9_000..=10_000).contains(&ctl.current_mpl()), "{ctl}");
+    }
+
+    #[test]
+    fn never_dips_below_break_even() {
+        let mut ctl = AdaptiveMplController::new(&model());
+        for _ in 0..100 {
+            ctl.observe_phase(10); // absurdly short phases
+        }
+        assert_eq!(ctl.current_mpl(), 200); // clamped at break-even
+    }
+
+    #[test]
+    fn adapts_to_regime_change() {
+        let mut ctl = AdaptiveMplController::new(&model());
+        for _ in 0..30 {
+            ctl.observe_phase(50_000);
+        }
+        let coarse = ctl.current_mpl();
+        for _ in 0..30 {
+            ctl.observe_phase(2_000);
+        }
+        let fine = ctl.current_mpl();
+        assert!(fine < coarse, "{fine} vs {coarse}");
+        assert_eq!(ctl.phases_observed(), 60);
+        assert!(!ctl.to_string().is_empty());
+    }
+}

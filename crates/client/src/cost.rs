@@ -1,0 +1,223 @@
+//! The economics of a phase-based optimization.
+
+use core::fmt;
+
+/// Error produced for a meaningless cost model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CostModelError {
+    /// The speedup was not a finite number greater than 1.
+    BadSpeedup(f64),
+    /// The miss penalty was not a finite number of at least 1.
+    BadMissPenalty(f64),
+}
+
+impl fmt::Display for CostModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostModelError::BadSpeedup(s) => {
+                write!(f, "speedup {s} must be a finite number > 1")
+            }
+            CostModelError::BadMissPenalty(p) => {
+                write!(f, "miss penalty {p} must be a finite number >= 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CostModelError {}
+
+/// The cost model of one phase-based optimization, in units of
+/// profile elements (the paper's machine-independent "time").
+///
+/// * executing one element unoptimized costs 1;
+/// * applying the optimization at a detected phase start costs
+///   [`apply_cost`](CostModel::apply_cost) up front;
+/// * while the optimization is active, each element costs
+///   `1 / speedup`;
+/// * reverting at the phase end costs
+///   [`revert_cost`](CostModel::revert_cost).
+///
+/// # Examples
+///
+/// ```
+/// use opd_client::CostModel;
+///
+/// let m = CostModel::new(100_000, 1.25, 10_000)?;
+/// // Breaking even requires a phase long enough that the saved
+/// // fraction (1 - 1/1.25 = 20%) covers 110K elements of overhead.
+/// assert_eq!(opd_client::break_even_mpl(&m), 550_000);
+/// # Ok::<(), opd_client::CostModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CostModel {
+    apply_cost: u64,
+    speedup: f64,
+    revert_cost: u64,
+    miss_penalty: f64,
+}
+
+impl CostModel {
+    /// Default slowdown of specialized code running on behaviour it
+    /// was not specialized for (guard checks, misspeculation).
+    pub const DEFAULT_MISS_PENALTY: f64 = 1.1;
+
+    /// Creates a cost model with the default miss penalty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CostModelError::BadSpeedup`] unless `speedup` is a
+    /// finite number greater than 1.
+    pub fn new(apply_cost: u64, speedup: f64, revert_cost: u64) -> Result<Self, CostModelError> {
+        if !speedup.is_finite() || speedup <= 1.0 {
+            return Err(CostModelError::BadSpeedup(speedup));
+        }
+        Ok(CostModel {
+            apply_cost,
+            speedup,
+            revert_cost,
+            miss_penalty: Self::DEFAULT_MISS_PENALTY,
+        })
+    }
+
+    /// Overrides the miss penalty: the per-element cost multiplier
+    /// while the optimization is active but execution is *not* in the
+    /// phase it was specialized for.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CostModelError::BadMissPenalty`] unless the penalty
+    /// is a finite number of at least 1.
+    pub fn with_miss_penalty(mut self, penalty: f64) -> Result<Self, CostModelError> {
+        if !penalty.is_finite() || penalty < 1.0 {
+            return Err(CostModelError::BadMissPenalty(penalty));
+        }
+        self.miss_penalty = penalty;
+        Ok(self)
+    }
+
+    /// Per-element cost multiplier for optimized-but-unstable
+    /// elements.
+    #[must_use]
+    pub fn miss_penalty(&self) -> f64 {
+        self.miss_penalty
+    }
+
+    /// Elements of work to apply the optimization at a phase start.
+    #[must_use]
+    pub fn apply_cost(&self) -> u64 {
+        self.apply_cost
+    }
+
+    /// Execution speedup while the optimization is active.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.speedup
+    }
+
+    /// Elements of work to revert at a phase end.
+    #[must_use]
+    pub fn revert_cost(&self) -> u64 {
+        self.revert_cost
+    }
+
+    /// Per-element saving while optimized: `1 - 1/speedup`.
+    #[must_use]
+    pub fn saving_per_element(&self) -> f64 {
+        1.0 - 1.0 / self.speedup
+    }
+
+    /// Total one-time overhead per optimized phase.
+    #[must_use]
+    pub fn overhead_per_phase(&self) -> u64 {
+        self.apply_cost + self.revert_cost
+    }
+}
+
+impl Default for CostModel {
+    /// A mid-sized client: 10K elements to apply, 25% speedup, 1K to
+    /// revert — break-even phase length 55K, matching the MPL range
+    /// the paper studies.
+    fn default() -> Self {
+        CostModel {
+            apply_cost: 10_000,
+            speedup: 1.25,
+            revert_cost: 1_000,
+            miss_penalty: Self::DEFAULT_MISS_PENALTY,
+        }
+    }
+}
+
+impl fmt::Display for CostModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "apply {} + revert {} elements, {:.2}x while stable",
+            self.apply_cost, self.revert_cost, self.speedup
+        )
+    }
+}
+
+/// The phase length at which the optimization exactly pays for
+/// itself: `overhead / saving_per_element`, rounded up.
+///
+/// This is the quantity the paper's Section 3.1 example computes
+/// informally (100K-element action ⇒ a 50K phase is a net loss).
+#[must_use]
+pub fn break_even_mpl(model: &CostModel) -> u64 {
+    // overhead / (1 - 1/s) = overhead * s / (s - 1), the form with
+    // better floating-point behaviour for common speedups.
+    let s = model.speedup();
+    (model.overhead_per_phase() as f64 * s / (s - 1.0)).ceil() as u64
+}
+
+/// The MPL a client should request from the baseline (and the phase
+/// granularity its detector should target): the break-even length
+/// with a 2x amortization margin, so a minimum-length phase nets half
+/// its gross saving.
+#[must_use]
+pub fn recommended_mpl(model: &CostModel) -> u64 {
+    break_even_mpl(model).saturating_mul(2).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_is_a_net_loss() {
+        // Section 3.1: an action costing ~100K branches on a 50K-long
+        // phase is a net loss — for any plausible speedup the
+        // break-even length exceeds 50K.
+        let m = CostModel::new(100_000, 1.5, 0).unwrap();
+        assert!(break_even_mpl(&m) > 50_000);
+        assert_eq!(break_even_mpl(&m), 300_000);
+    }
+
+    #[test]
+    fn break_even_arithmetic() {
+        let m = CostModel::new(100, 2.0, 0).unwrap();
+        // Saving 0.5/element: 200 elements pay off 100.
+        assert_eq!(break_even_mpl(&m), 200);
+        assert_eq!(recommended_mpl(&m), 400);
+        assert_eq!(m.overhead_per_phase(), 100);
+        assert!((m.saving_per_element() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_speedups_rejected() {
+        for s in [1.0, 0.5, f64::NAN, f64::INFINITY] {
+            assert!(CostModel::new(1, s, 1).is_err(), "{s}");
+        }
+        assert!(!CostModelError::BadSpeedup(1.0).to_string().is_empty());
+    }
+
+    #[test]
+    fn default_is_in_the_papers_mpl_range() {
+        let m = CostModel::default();
+        let mpl = recommended_mpl(&m);
+        assert!((1_000..=200_000).contains(&mpl), "{mpl}");
+        assert!(!m.to_string().is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! Phase-aware optimization clients: what a phase detector is *for*.
+//!
+//! The paper motivates online phase detection with dynamic
+//! optimization systems that "apply specialized optimizations during a
+//! phase or reconsider optimization decisions between phases"
+//! (Section 1), anchors its MPL parameter in client economics ("if a
+//! client's phase-based optimization requires an approximate cost of
+//! 100,000 branches, then employing this action for a phase that is
+//! only 50,000 branches long will result in a net loss", Section 3.1),
+//! and closes by planning to "investigate phase-aware dynamic
+//! optimizations and how they are impacted by phase detector accuracy
+//! and overhead", including "how to set the MPL for a particular
+//! client and whether it is effective to adapt the MPL over time"
+//! (Section 7).
+//!
+//! This crate builds that client:
+//!
+//! * [`CostModel`] — the economics of one phase-based optimization
+//!   (apply cost, speedup while stable, revert cost);
+//! * [`simulate`] — replays a detector's per-element states under the
+//!   cost model, yielding a [`ClientOutcome`] (net benefit, wasted
+//!   optimizations, upper bounds via the oracle's states);
+//! * [`break_even_mpl`] / [`recommended_mpl`] — the MPL a client
+//!   should request, derived from the cost model;
+//! * [`AdaptiveMplController`] — an online controller that adapts the
+//!   requested MPL from the phase lengths actually observed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod adapt;
+mod cost;
+mod simulate;
+
+pub use adapt::AdaptiveMplController;
+pub use cost::{break_even_mpl, recommended_mpl, CostModel, CostModelError};
+pub use simulate::{simulate, simulate_intervals, ClientOutcome};

@@ -1,0 +1,270 @@
+//! Replaying detector output under a client cost model.
+
+use core::fmt;
+
+use opd_trace::{intervals_of, PhaseInterval, StateSeq};
+
+use crate::cost::CostModel;
+
+/// What a phase-aware optimization client experienced over one
+/// execution, in profile-element cost units.
+///
+/// The simulation distinguishes elements that were optimized *and*
+/// genuinely stable (they run at `1/speedup`) from elements that were
+/// optimized while execution was actually in transition (the
+/// specialization does not fit; they run at baseline speed). Ground
+/// truth comes from the baseline solution's phases, so detector
+/// accuracy directly determines client benefit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ClientOutcome {
+    /// Cost of running everything unoptimized (= the element count).
+    pub baseline_cost: f64,
+    /// Cost under phase-guided optimization: apply/revert overheads,
+    /// sped-up stable elements, full-price unstable elements.
+    pub optimized_cost: f64,
+    /// Phases the client optimized.
+    pub phases_optimized: usize,
+    /// Optimized phases whose saving did not cover their overhead —
+    /// the net-loss actions the paper's Section 3.1 warns about.
+    pub wasted_optimizations: usize,
+    /// Elements executed under the optimization while genuinely in
+    /// phase (these actually sped up).
+    pub useful_elements: u64,
+    /// Elements executed under the optimization while actually in
+    /// transition (no speedup; the detector over-covered).
+    pub futile_elements: u64,
+}
+
+impl ClientOutcome {
+    /// Net saving (positive is good).
+    #[must_use]
+    pub fn net_benefit(&self) -> f64 {
+        self.baseline_cost - self.optimized_cost
+    }
+
+    /// Net saving as a percentage of the baseline cost.
+    #[must_use]
+    pub fn net_benefit_pct(&self) -> f64 {
+        if self.baseline_cost == 0.0 {
+            0.0
+        } else {
+            100.0 * self.net_benefit() / self.baseline_cost
+        }
+    }
+}
+
+impl fmt::Display for ClientOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "net benefit {:+.1} ({:+.2}%), {} phases optimized ({} wasted, {} futile elements)",
+            self.net_benefit(),
+            self.net_benefit_pct(),
+            self.phases_optimized,
+            self.wasted_optimizations,
+            self.futile_elements,
+        )
+    }
+}
+
+/// Simulates a client that optimizes exactly the phases a detector
+/// reported (one state per element), judged against the ground-truth
+/// phases (normally the baseline solution's).
+#[must_use]
+pub fn simulate(states: &StateSeq, truth: &[PhaseInterval], model: &CostModel) -> ClientOutcome {
+    simulate_intervals(&intervals_of(states), truth, states.len() as u64, model)
+}
+
+/// Simulates a client over explicit detected phase intervals.
+///
+/// `truth` must be sorted and disjoint (as the baseline solution
+/// produces). Feeding the truth as its own detection yields the
+/// "oracle client" reference outcome.
+///
+/// # Panics
+///
+/// Panics if any detected interval extends past `total`.
+#[must_use]
+pub fn simulate_intervals(
+    detected: &[PhaseInterval],
+    truth: &[PhaseInterval],
+    total: u64,
+    model: &CostModel,
+) -> ClientOutcome {
+    let mut optimized_cost = 0.0;
+    let mut useful = 0u64;
+    let mut futile = 0u64;
+    let mut wasted = 0usize;
+    let per_element = 1.0 / model.speedup();
+    let miss_penalty = model.miss_penalty();
+    let overhead = model.overhead_per_phase() as f64;
+
+    let mut covered = 0u64;
+    for p in detected {
+        assert!(p.end() <= total, "phase {p} exceeds trace length {total}");
+        let len = p.len();
+        covered += len;
+        let hits = overlap_with(truth, *p);
+        let misses = len - hits;
+        useful += hits;
+        futile += misses;
+        let cost = overhead + hits as f64 * per_element + misses as f64 * miss_penalty;
+        optimized_cost += cost;
+        if cost >= len as f64 {
+            wasted += 1;
+        }
+    }
+    optimized_cost += (total - covered) as f64;
+
+    ClientOutcome {
+        baseline_cost: total as f64,
+        optimized_cost,
+        phases_optimized: detected.len(),
+        wasted_optimizations: wasted,
+        useful_elements: useful,
+        futile_elements: futile,
+    }
+}
+
+/// Elements of `p` covered by the sorted, disjoint `truth` intervals.
+fn overlap_with(truth: &[PhaseInterval], p: PhaseInterval) -> u64 {
+    let start_idx = truth.partition_point(|t| t.end() <= p.start());
+    truth[start_idx..]
+        .iter()
+        .take_while(|t| t.start() < p.end())
+        .map(|t| t.end().min(p.end()) - t.start().max(p.start()))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opd_trace::PhaseState;
+
+    fn model(apply: u64, speedup: f64) -> CostModel {
+        CostModel::new(apply, speedup, 0).unwrap()
+    }
+
+    fn states(pattern: &str) -> StateSeq {
+        pattern
+            .chars()
+            .map(|c| {
+                if c == 'P' {
+                    PhaseState::Phase
+                } else {
+                    PhaseState::Transition
+                }
+            })
+            .collect()
+    }
+
+    fn iv(s: u64, e: u64) -> PhaseInterval {
+        PhaseInterval::new(s, e)
+    }
+
+    #[test]
+    fn no_phases_costs_baseline() {
+        let out = simulate(&states("TTTTTTTT"), &[iv(0, 8)], &model(10, 2.0));
+        assert_eq!(out.baseline_cost, 8.0);
+        assert_eq!(out.optimized_cost, 8.0);
+        assert_eq!(out.net_benefit(), 0.0);
+        assert_eq!(out.phases_optimized, 0);
+    }
+
+    #[test]
+    fn accurate_long_phase_pays_off() {
+        // 100 truly-stable elements at 2x saves 50, minus 10 apply.
+        let seq: StateSeq = (0..110)
+            .map(|i| {
+                if i < 10 {
+                    PhaseState::Transition
+                } else {
+                    PhaseState::Phase
+                }
+            })
+            .collect();
+        let out = simulate(&seq, &[iv(10, 110)], &model(10, 2.0));
+        assert!((out.net_benefit() - 40.0).abs() < 1e-9, "{out}");
+        assert_eq!(out.useful_elements, 100);
+        assert_eq!(out.futile_elements, 0);
+        assert_eq!(out.wasted_optimizations, 0);
+    }
+
+    #[test]
+    fn over_detection_is_penalized() {
+        // The detector claims the whole trace; only half is truly
+        // stable. Futile elements run *slower* than baseline (the
+        // miss penalty), so over-detection strictly loses to accurate
+        // detection.
+        let all = states(&"P".repeat(100));
+        let truth = [iv(0, 50)];
+        let m = model(10, 2.0);
+        let greedy = simulate(&all, &truth, &m);
+        assert_eq!(greedy.useful_elements, 50);
+        assert_eq!(greedy.futile_elements, 50);
+        let accurate = simulate_intervals(&truth, &truth, 100, &m);
+        assert!(greedy.net_benefit() < accurate.net_benefit());
+        // The gap is exactly the miss penalty on 50 futile elements.
+        let expected = 50.0 * (m.miss_penalty() - 1.0);
+        assert!((accurate.net_benefit() - greedy.net_benefit() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oracle_detection_is_optimal_when_gaps_are_wide() {
+        // Two true phases separated by a gap wider than the apply
+        // cost's worth of savings: optimizing them separately (the
+        // oracle client) beats merging across the gap.
+        let truth = [iv(0, 100), iv(200, 300)];
+        let m = model(5, 2.0);
+        let oracle = simulate_intervals(&truth, &truth, 300, &m);
+        let merged = simulate_intervals(&[iv(0, 300)], &truth, 300, &m);
+        assert!(oracle.net_benefit() > merged.net_benefit());
+        assert_eq!(merged.futile_elements, 100);
+    }
+
+    #[test]
+    fn merging_across_tiny_gaps_can_win() {
+        // ... but when the gap is shorter than the apply cost is
+        // worth, a client is better off keeping the optimization
+        // alive across it — real economics the metric allows.
+        let truth = [iv(0, 100), iv(102, 200)];
+        let m = model(50, 2.0);
+        let oracle = simulate_intervals(&truth, &truth, 200, &m);
+        let merged = simulate_intervals(&[iv(0, 200)], &truth, 200, &m);
+        assert!(merged.net_benefit() > oracle.net_benefit());
+    }
+
+    #[test]
+    fn short_phase_is_a_net_loss() {
+        let out = simulate(&states("PPPPPPPPPP"), &[iv(0, 10)], &model(10, 2.0));
+        assert!(out.net_benefit() < 0.0);
+        assert_eq!(out.wasted_optimizations, 1);
+    }
+
+    #[test]
+    fn overlap_arithmetic() {
+        let truth = [iv(10, 20), iv(30, 40), iv(50, 60)];
+        assert_eq!(overlap_with(&truth, iv(0, 100)), 30);
+        assert_eq!(overlap_with(&truth, iv(15, 35)), 10);
+        assert_eq!(overlap_with(&truth, iv(20, 30)), 0);
+        assert_eq!(overlap_with(&truth, iv(55, 58)), 3);
+        assert_eq!(overlap_with(&[], iv(0, 10)), 0);
+    }
+
+    #[test]
+    fn percentages_and_display() {
+        let out = simulate(&states(""), &[], &model(1, 2.0));
+        assert_eq!(out.net_benefit_pct(), 0.0);
+        let seq = states(&"P".repeat(20));
+        let out = simulate(&seq, &[iv(0, 20)], &model(1, 2.0));
+        assert!(out.net_benefit_pct() > 0.0);
+        assert!(out.to_string().contains("net benefit"));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds trace length")]
+    fn intervals_beyond_total_rejected() {
+        let _ = simulate_intervals(&[iv(0, 10)], &[], 5, &model(1, 2.0));
+    }
+}

@@ -1,0 +1,127 @@
+//! Detected phases and their conversion to intervals — including the
+//! anchored (retroactive) phase starts used by Figure 8 of the paper.
+
+use opd_trace::PhaseInterval;
+
+/// One phase as recorded by the detector.
+///
+/// `start` is the offset of the first element labelled `P` (the
+/// detection point); `anchored_start` is where the anchoring policy
+/// places the *actual* beginning of the phase, at or before `start`
+/// (Section 5 of the paper). `end` is the offset of the first element
+/// after the phase, or `None` while the detector is still in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DetectedPhase {
+    /// First element labelled `P`.
+    pub start: u64,
+    /// Retroactive phase start per the anchor policy.
+    pub anchored_start: u64,
+    /// One past the last element of the phase.
+    pub end: Option<u64>,
+}
+
+impl DetectedPhase {
+    /// The phase interval using the detection-point start.
+    ///
+    /// Open phases are closed at `total` (the trace length).
+    #[must_use]
+    pub fn interval(&self, total: u64) -> Option<PhaseInterval> {
+        let end = self.end.unwrap_or(total);
+        (self.start < end).then(|| PhaseInterval::new(self.start, end))
+    }
+}
+
+/// Converts detected phases to intervals using detection-point starts.
+///
+/// Equivalent to extracting intervals from the state sequence.
+#[must_use]
+pub fn detected_intervals(phases: &[DetectedPhase], total: u64) -> Vec<PhaseInterval> {
+    phases.iter().filter_map(|p| p.interval(total)).collect()
+}
+
+/// Converts detected phases to intervals using the *anchored* starts —
+/// the "modified technique for finding the beginning of a phase"
+/// evaluated in Figure 8 of the paper.
+///
+/// Anchored starts are clamped so consecutive intervals never overlap;
+/// a degenerate anchor (at or past the phase end) falls back to the
+/// detection-point start.
+#[must_use]
+pub fn anchored_intervals(phases: &[DetectedPhase], total: u64) -> Vec<PhaseInterval> {
+    let mut out: Vec<PhaseInterval> = Vec::with_capacity(phases.len());
+    let mut prev_end = 0u64;
+    for p in phases {
+        let end = p.end.unwrap_or(total).min(total);
+        let mut start = p.anchored_start.max(prev_end);
+        if start >= end {
+            start = p.start.max(prev_end);
+        }
+        if start < end {
+            out.push(PhaseInterval::new(start, end));
+            prev_end = end;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(anchored: u64, start: u64, end: Option<u64>) -> DetectedPhase {
+        DetectedPhase {
+            start,
+            anchored_start: anchored,
+            end,
+        }
+    }
+
+    #[test]
+    fn detected_intervals_close_open_phase_at_total() {
+        let phases = vec![phase(0, 5, Some(10)), phase(12, 15, None)];
+        let iv = detected_intervals(&phases, 20);
+        assert_eq!(
+            iv,
+            vec![PhaseInterval::new(5, 10), PhaseInterval::new(15, 20)]
+        );
+    }
+
+    #[test]
+    fn anchored_intervals_use_anchor() {
+        let phases = vec![phase(2, 5, Some(10))];
+        let iv = anchored_intervals(&phases, 20);
+        assert_eq!(iv, vec![PhaseInterval::new(2, 10)]);
+    }
+
+    #[test]
+    fn anchored_intervals_never_overlap() {
+        let phases = vec![phase(0, 2, Some(10)), phase(8, 12, Some(20))];
+        let iv = anchored_intervals(&phases, 20);
+        assert_eq!(iv[0].end(), 10);
+        assert_eq!(iv[1].start(), 10);
+    }
+
+    #[test]
+    fn degenerate_anchor_falls_back_to_detection_start() {
+        // Anchor beyond the end (cannot normally happen, but the API
+        // must stay total): fall back to the detection start.
+        let phases = vec![phase(50, 5, Some(10))];
+        let iv = anchored_intervals(&phases, 20);
+        assert_eq!(iv, vec![PhaseInterval::new(5, 10)]);
+    }
+
+    #[test]
+    fn empty_phase_skipped() {
+        let phases = vec![phase(5, 5, Some(5))];
+        assert!(detected_intervals(&phases, 20).is_empty());
+        assert!(anchored_intervals(&phases, 20).is_empty());
+    }
+
+    #[test]
+    fn interval_accessor() {
+        let p = phase(1, 3, None);
+        assert_eq!(p.interval(9), Some(PhaseInterval::new(3, 9)));
+        assert_eq!(phase(0, 9, Some(9)).interval(9), None);
+    }
+}

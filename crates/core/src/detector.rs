@@ -1,0 +1,479 @@
+//! The online phase detector: the `processProfile` driver of Figure 3.
+
+use std::collections::HashMap;
+
+use opd_trace::{BranchTrace, PhaseState, ProfileElement, StateSeq};
+
+use crate::analyzer::Analyzer;
+use crate::boundary::DetectedPhase;
+use crate::config::DetectorConfig;
+use crate::intern::InternedTrace;
+use crate::window::{TwPolicy, Windows};
+
+/// An online phase detector: one instantiation of the framework.
+///
+/// The detector consumes `skip_factor` profile elements per step and
+/// produces one [`PhaseState`] per step. Until both windows have filled
+/// it reports `T`; once warm, the model similarity is computed and the
+/// analyzer decides `P` or `T`, with the phase start/end actions of
+/// Figure 3 (anchor the trailing window, reset analyzer statistics,
+/// flush windows) applied at state changes.
+///
+/// # Examples
+///
+/// ```
+/// use opd_core::{DetectorConfig, PhaseDetector};
+/// use opd_microvm::workloads::Workload;
+///
+/// let trace = Workload::Lexgen.trace(1);
+/// let config = DetectorConfig::builder().current_window(500).build()?;
+/// let mut detector = PhaseDetector::new(config);
+/// let states = detector.run(trace.branches());
+/// assert_eq!(states.len(), trace.branches().len());
+/// assert!(states.phase_count() > 0);
+/// # Ok::<(), opd_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhaseDetector {
+    config: DetectorConfig,
+    windows: Windows,
+    analyzer: Analyzer,
+    state: PhaseState,
+    interner: HashMap<u64, u32>,
+    consumed: u64,
+    last_similarity: Option<f64>,
+    phases: Vec<DetectedPhase>,
+}
+
+impl PhaseDetector {
+    /// Creates a detector for the given configuration.
+    #[must_use]
+    pub fn new(config: DetectorConfig) -> Self {
+        PhaseDetector {
+            windows: Windows::with_weighted_tracking(
+                config.current_window(),
+                config.trailing_window(),
+                config.model() == crate::ModelPolicy::WeightedSet,
+            ),
+            analyzer: Analyzer::new(config.analyzer()),
+            state: PhaseState::Transition,
+            interner: HashMap::new(),
+            consumed: 0,
+            last_similarity: None,
+            phases: Vec::new(),
+            config,
+        }
+    }
+
+    /// Returns the detector's configuration.
+    #[must_use]
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Returns the current output state.
+    #[must_use]
+    pub fn state(&self) -> PhaseState {
+        self.state
+    }
+
+    /// Returns the window state (for inspection and tests).
+    #[must_use]
+    pub fn windows(&self) -> &Windows {
+        &self.windows
+    }
+
+    /// The similarity value computed at the most recent warm step.
+    #[must_use]
+    pub fn last_similarity(&self) -> Option<f64> {
+        self.last_similarity
+    }
+
+    /// The detector's confidence in its current state, in `[0, 1]`:
+    /// how decisively the most recent similarity value cleared (or
+    /// missed) the analyzer's threshold. `None` until the windows have
+    /// filled for the first time.
+    #[must_use]
+    pub fn confidence(&self) -> Option<f64> {
+        self.last_similarity
+            .map(|sim| self.analyzer.confidence(sim))
+    }
+
+    /// Total profile elements consumed so far.
+    #[must_use]
+    pub fn elements_consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// The phases detected so far, in order. The last phase has
+    /// `end == None` while the detector is still in it.
+    #[must_use]
+    pub fn detected_phases(&self) -> &[DetectedPhase] {
+        &self.phases
+    }
+
+    /// `processProfile`: consumes one step of profile elements
+    /// (normally exactly `skip_factor` of them; the final step of a
+    /// trace may be shorter) and returns the state attributed to all of
+    /// them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elements` is empty.
+    pub fn process(&mut self, elements: &[ProfileElement]) -> PhaseState {
+        assert!(!elements.is_empty(), "a step needs at least one element");
+        let tw_grows = self.tw_grows();
+        for e in elements {
+            let next = self.interner.len() as u32;
+            let id = *self.interner.entry(e.raw()).or_insert(next);
+            self.windows.push(id, tw_grows);
+        }
+        self.finish_step(elements.len())
+    }
+
+    /// Runs the detector over a whole trace, returning one state per
+    /// profile element (step states are attributed to each of the
+    /// step's elements). Any phase still open at the end of the trace
+    /// is closed at the trace length.
+    pub fn run(&mut self, trace: &BranchTrace) -> StateSeq {
+        let mut seq = StateSeq::with_capacity(trace.len());
+        for chunk in trace.as_slice().chunks(self.config.skip_factor()) {
+            let state = self.process(chunk);
+            seq.push_n(state, chunk.len());
+        }
+        self.close_open_phase();
+        seq
+    }
+
+    /// Like [`run`](PhaseDetector::run), but over a pre-interned trace —
+    /// the fast path for parameter sweeps.
+    ///
+    /// Use a fresh detector per interned trace; mixing
+    /// [`process`](PhaseDetector::process) and `run_interned` on one
+    /// detector would conflate two id spaces.
+    pub fn run_interned(&mut self, trace: &InternedTrace) -> StateSeq {
+        self.windows.ensure_sites(trace.distinct_count() as usize);
+        let mut seq = StateSeq::with_capacity(trace.len());
+        for chunk in trace.ids().chunks(self.config.skip_factor()) {
+            let tw_grows = self.tw_grows();
+            for &id in chunk {
+                self.windows.push(id, tw_grows);
+            }
+            let state = self.finish_step(chunk.len());
+            seq.push_n(state, chunk.len());
+        }
+        self.close_open_phase();
+        seq
+    }
+
+    fn tw_grows(&self) -> bool {
+        self.config.tw_policy() == TwPolicy::Adaptive && self.state.is_phase()
+    }
+
+    fn finish_step(&mut self, step_len: usize) -> PhaseState {
+        let step_start = self.consumed;
+        self.consumed += step_len as u64;
+
+        let new_state = if self.windows.is_warm() {
+            let sim = self.config.model().similarity(&self.windows);
+            self.last_similarity = Some(sim);
+            self.analyzer.judge(sim)
+        } else {
+            PhaseState::Transition
+        };
+
+        match (self.state, new_state) {
+            (PhaseState::Transition, PhaseState::Phase) => {
+                // Start of a phase: place the anchor, optionally resize
+                // the windows (adaptive TW), and reset the analyzer's
+                // phase statistics.
+                let anchor_idx = self.windows.anchor_index(self.config.anchor());
+                let anchored_start = if self.config.tw_policy() == TwPolicy::Adaptive {
+                    self.windows
+                        .anchor_and_resize(anchor_idx, self.config.resize())
+                } else {
+                    self.windows.offset_of_index(anchor_idx)
+                };
+                self.analyzer.reset();
+                self.phases.push(DetectedPhase {
+                    start: step_start,
+                    anchored_start,
+                    end: None,
+                });
+            }
+            (PhaseState::Phase, PhaseState::Transition) => {
+                // End of a phase: flush the windows, re-seeding the CW
+                // with this step's elements.
+                self.windows.clear_keep_last(self.config.skip_factor());
+                if let Some(open) = self.phases.last_mut() {
+                    open.end = Some(step_start);
+                }
+            }
+            (PhaseState::Phase, PhaseState::Phase) => {
+                if let Some(sim) = self.last_similarity {
+                    self.analyzer.update(sim);
+                }
+            }
+            (PhaseState::Transition, PhaseState::Transition) => {}
+        }
+
+        self.state = new_state;
+        new_state
+    }
+
+    /// Closes a phase left open at end-of-trace, using the current
+    /// element count as its end.
+    pub fn close_open_phase(&mut self) {
+        let consumed = self.consumed;
+        if let Some(open) = self.phases.last_mut() {
+            if open.end.is_none() {
+                open.end = Some(consumed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AnalyzerPolicy, ModelPolicy, ResizePolicy};
+    use opd_trace::MethodId;
+
+    fn elem(offset: u32) -> ProfileElement {
+        ProfileElement::new(MethodId::new(0), offset, true)
+    }
+
+    fn config(cw: usize) -> DetectorConfig {
+        DetectorConfig::builder()
+            .current_window(cw)
+            .build()
+            .unwrap()
+    }
+
+    /// A trace of `blocks` blocks, each repeating `sites_per_block`
+    /// distinct sites for `block_len` elements; blocks use disjoint
+    /// sites so each block is one clear phase.
+    fn block_trace(blocks: u32, block_len: u32, sites_per_block: u32) -> BranchTrace {
+        let mut out = BranchTrace::new();
+        for b in 0..blocks {
+            for i in 0..block_len {
+                out.push(elem(b * sites_per_block + i % sites_per_block));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn uniform_stream_becomes_one_phase() {
+        let mut d = PhaseDetector::new(config(4));
+        let trace: BranchTrace = (0..40).map(|_| elem(0)).collect();
+        let states = d.run(&trace);
+        // Warm-up: the windows fill on the 8th element (cw + tw = 8),
+        // and that step already computes a similarity, so the first 7
+        // elements report T and everything after reports P.
+        assert!(states.as_slice()[..7].iter().all(|s| s.is_transition()));
+        assert!(states.as_slice()[7..].iter().all(|s| s.is_phase()));
+        assert_eq!(d.detected_phases().len(), 1);
+        assert_eq!(d.detected_phases()[0].end, Some(40));
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_states() {
+        let mut d = PhaseDetector::new(config(4));
+        let states = d.run(&BranchTrace::new());
+        assert!(states.is_empty());
+        assert!(d.detected_phases().is_empty());
+    }
+
+    #[test]
+    fn disjoint_blocks_produce_transitions() {
+        let mut d = PhaseDetector::new(config(8));
+        let trace = block_trace(3, 100, 4);
+        let states = d.run(&trace);
+        let intervals = opd_trace::intervals_of(&states);
+        assert_eq!(intervals.len(), 3, "one phase per block: {intervals:?}");
+        // Each phase ends near its block boundary.
+        assert!(intervals[0].end() <= 110);
+        assert!(intervals[1].start() >= 100);
+    }
+
+    #[test]
+    fn process_panics_on_empty_step() {
+        let mut d = PhaseDetector::new(config(4));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            d.process(&[]);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn run_and_run_interned_agree() {
+        for tw_policy in [TwPolicy::Constant, TwPolicy::Adaptive] {
+            for model in ModelPolicy::ALL {
+                let cfg = DetectorConfig::builder()
+                    .current_window(16)
+                    .tw_policy(tw_policy)
+                    .model(model)
+                    .analyzer(AnalyzerPolicy::Threshold(0.6))
+                    .build()
+                    .unwrap();
+                let trace = block_trace(4, 200, 5);
+                let states_a = PhaseDetector::new(cfg).run(&trace);
+                let interned = InternedTrace::from(&trace);
+                let states_b = PhaseDetector::new(cfg).run_interned(&interned);
+                assert_eq!(states_a, states_b, "{tw_policy} {model}");
+            }
+        }
+    }
+
+    #[test]
+    fn skip_factor_labels_whole_steps() {
+        let cfg = DetectorConfig::builder()
+            .current_window(10)
+            .skip_factor(7)
+            .build()
+            .unwrap();
+        let mut d = PhaseDetector::new(cfg);
+        let trace = block_trace(2, 100, 3);
+        let states = d.run(&trace);
+        assert_eq!(states.len(), 200);
+        // States are constant within each full step of 7.
+        for chunk in states.as_slice().chunks(7) {
+            assert!(chunk.iter().all(|s| *s == chunk[0]));
+        }
+    }
+
+    #[test]
+    fn fixed_interval_detector_runs() {
+        let cfg = DetectorConfig::fixed_interval(
+            25,
+            ModelPolicy::UnweightedSet,
+            AnalyzerPolicy::Threshold(0.5),
+        )
+        .unwrap();
+        let mut d = PhaseDetector::new(cfg);
+        let trace = block_trace(4, 100, 5);
+        let states = d.run(&trace);
+        assert_eq!(states.len(), 400);
+        // The first interval is pure warm-up; the second interval is
+        // the first comparable one (TW = interval 1, CW = interval 2).
+        assert!(states.as_slice()[..25].iter().all(|s| s.is_transition()));
+        assert!(states.phase_count() > 0);
+    }
+
+    #[test]
+    fn adaptive_tw_grows_during_phase() {
+        let cfg = DetectorConfig::builder()
+            .current_window(8)
+            .tw_policy(TwPolicy::Adaptive)
+            .build()
+            .unwrap();
+        let mut d = PhaseDetector::new(cfg);
+        for i in 0..200 {
+            d.process(&[elem(i % 4)]);
+        }
+        assert!(d.state().is_phase());
+        assert!(
+            d.windows().tw_len() > d.windows().tw_cap(),
+            "adaptive TW should have grown: {} <= {}",
+            d.windows().tw_len(),
+            d.windows().tw_cap()
+        );
+    }
+
+    #[test]
+    fn constant_tw_stays_at_capacity() {
+        let mut d = PhaseDetector::new(config(8));
+        for i in 0..200 {
+            d.process(&[elem(i % 4)]);
+        }
+        assert!(d.state().is_phase());
+        assert_eq!(d.windows().tw_len(), 8);
+    }
+
+    #[test]
+    fn anchored_start_precedes_detection_start() {
+        for resize in [ResizePolicy::Slide, ResizePolicy::Move] {
+            let cfg = DetectorConfig::builder()
+                .current_window(8)
+                .tw_policy(TwPolicy::Adaptive)
+                .resize(resize)
+                .build()
+                .unwrap();
+            let mut d = PhaseDetector::new(cfg);
+            let trace = block_trace(2, 300, 4);
+            let _ = d.run(&trace);
+            for p in d.detected_phases() {
+                assert!(p.anchored_start <= p.start, "{resize}: {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn windows_flushed_at_phase_end() {
+        let mut d = PhaseDetector::new(config(8));
+        let trace = block_trace(2, 100, 4);
+        let states = d.run(&trace);
+        // There was a phase end (P followed by T) somewhere.
+        let s = states.as_slice();
+        assert!(s
+            .windows(2)
+            .any(|w| w[0].is_phase() && w[1].is_transition()));
+        assert_eq!(d.detected_phases().len(), 2);
+        assert!(d.detected_phases()[0].end.is_some());
+    }
+
+    #[test]
+    fn average_analyzer_tolerates_drift() {
+        // Slow drift within a phase: the average analyzer with a loose
+        // delta keeps the phase alive longer than a tight threshold.
+        let mut trace = BranchTrace::new();
+        for i in 0..400u32 {
+            // Working set slowly rotates: sites i/40 .. i/40+3.
+            trace.push(elem(i / 40 + i % 4));
+        }
+        let loose = DetectorConfig::builder()
+            .current_window(16)
+            .analyzer(AnalyzerPolicy::Average { delta: 0.4 })
+            .build()
+            .unwrap();
+        let tight = DetectorConfig::builder()
+            .current_window(16)
+            .analyzer(AnalyzerPolicy::Threshold(0.95))
+            .build()
+            .unwrap();
+        let loose_p = PhaseDetector::new(loose).run(&trace).phase_count();
+        let tight_p = PhaseDetector::new(tight).run(&trace).phase_count();
+        assert!(loose_p >= tight_p, "loose {loose_p} vs tight {tight_p}");
+    }
+
+    #[test]
+    fn last_similarity_exposed_once_warm() {
+        let mut d = PhaseDetector::new(config(4));
+        for _ in 0..7 {
+            d.process(&[elem(0)]);
+            assert_eq!(d.last_similarity(), None);
+        }
+        d.process(&[elem(0)]);
+        assert_eq!(d.last_similarity(), Some(1.0));
+    }
+
+    #[test]
+    fn confidence_reported_once_warm() {
+        let mut d = PhaseDetector::new(config(4));
+        for _ in 0..7 {
+            d.process(&[elem(0)]);
+            assert_eq!(d.confidence(), None);
+        }
+        d.process(&[elem(0)]);
+        // Similarity 1.0 against threshold 0.5: fully confident.
+        assert_eq!(d.confidence(), Some(1.0));
+    }
+
+    #[test]
+    fn consumed_counter_tracks_elements() {
+        let mut d = PhaseDetector::new(config(4));
+        d.process(&[elem(0), elem(1), elem(2)]);
+        assert_eq!(d.elements_consumed(), 3);
+    }
+}

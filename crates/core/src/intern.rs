@@ -1,0 +1,120 @@
+//! Dense interning of profile elements, so sweeps can replay one trace
+//! through thousands of detector configurations without re-hashing.
+
+use std::collections::HashMap;
+
+use opd_trace::ProfileElement;
+
+/// A branch trace with every distinct profile element mapped to a dense
+/// id in `0..distinct_count`.
+///
+/// Building the interned form once and calling
+/// [`PhaseDetector::run_interned`](crate::PhaseDetector::run_interned)
+/// for each configuration is the fast path used by the experiment
+/// harness.
+///
+/// # Examples
+///
+/// ```
+/// use opd_core::InternedTrace;
+/// use opd_trace::{MethodId, ProfileElement};
+///
+/// let a = ProfileElement::new(MethodId::new(0), 0, true);
+/// let b = ProfileElement::new(MethodId::new(0), 0, false);
+/// let interned = InternedTrace::from_elements([a, b, a, a]);
+/// assert_eq!(interned.len(), 4);
+/// assert_eq!(interned.distinct_count(), 2);
+/// assert_eq!(interned.ids(), &[0, 1, 0, 0]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InternedTrace {
+    ids: Vec<u32>,
+    distinct: u32,
+}
+
+impl InternedTrace {
+    /// Interns a sequence of profile elements.
+    pub fn from_elements<I>(elements: I) -> Self
+    where
+        I: IntoIterator<Item = ProfileElement>,
+    {
+        let iter = elements.into_iter();
+        let mut map: HashMap<u64, u32> = HashMap::new();
+        let mut ids = Vec::with_capacity(iter.size_hint().0);
+        for e in iter {
+            let next = map.len() as u32;
+            let id = *map.entry(e.raw()).or_insert(next);
+            ids.push(id);
+        }
+        InternedTrace {
+            ids,
+            distinct: map.len() as u32,
+        }
+    }
+
+    /// Number of elements in the trace.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` if the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Number of distinct profile elements.
+    #[must_use]
+    pub fn distinct_count(&self) -> u32 {
+        self.distinct
+    }
+
+    /// The dense element ids, in trace order.
+    #[must_use]
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+}
+
+impl From<&opd_trace::BranchTrace> for InternedTrace {
+    fn from(trace: &opd_trace::BranchTrace) -> Self {
+        InternedTrace::from_elements(trace.iter().copied())
+    }
+}
+
+impl FromIterator<ProfileElement> for InternedTrace {
+    fn from_iter<I: IntoIterator<Item = ProfileElement>>(iter: I) -> Self {
+        InternedTrace::from_elements(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opd_trace::MethodId;
+
+    #[test]
+    fn empty_trace() {
+        let t = InternedTrace::from_elements([]);
+        assert!(t.is_empty());
+        assert_eq!(t.distinct_count(), 0);
+    }
+
+    #[test]
+    fn ids_are_first_seen_order() {
+        let e = |o| ProfileElement::new(MethodId::new(1), o, false);
+        let t = InternedTrace::from_elements([e(5), e(3), e(5), e(9)]);
+        assert_eq!(t.ids(), &[0, 1, 0, 2]);
+        assert_eq!(t.distinct_count(), 3);
+    }
+
+    #[test]
+    fn from_branch_trace() {
+        let e = |o| ProfileElement::new(MethodId::new(1), o, true);
+        let bt: opd_trace::BranchTrace = (0..10).map(|i| e(i % 3)).collect();
+        let t = InternedTrace::from(&bt);
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.distinct_count(), 3);
+    }
+}

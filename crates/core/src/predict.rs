@@ -1,0 +1,249 @@
+//! Phase prediction on top of recurring-phase detection.
+//!
+//! The paper positions itself against the prediction literature
+//! (Sherwood et al., Duesterwald et al. — Section 6) and notes that
+//! recognizing recurring phases "would allow a dynamic optimization
+//! system to record the efficacy of a phase-based optimization at the
+//! end of the phase and determine whether to employ the same
+//! optimization when the phase reoccurs" (Section 7). One step
+//! further — *predicting* which phase comes next — lets a client
+//! prepare its optimization before the phase begins.
+//!
+//! [`PhasePredictor`] learns online from the sequence of phase classes
+//! a [`RecurringPhaseDetector`](crate::RecurringPhaseDetector) emits:
+//! a first-order Markov table predicts the next class, and a
+//! per-class running average predicts its length. Accuracy is
+//! tracked so clients can gate on it (only pre-optimize when the
+//! predictor has been right often enough).
+
+use std::collections::HashMap;
+
+use crate::recur::PhaseId;
+
+/// A prediction for the next phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// The predicted phase class.
+    pub class: PhaseId,
+    /// The predicted length in profile elements (the class's running
+    /// average).
+    pub length: u64,
+    /// The predictor's empirical confidence: the historical frequency
+    /// of this transition out of the current class, in `[0, 1]`.
+    pub confidence: f64,
+}
+
+/// An online last-successor / first-order-Markov phase predictor.
+///
+/// # Examples
+///
+/// ```
+/// use opd_core::{PhaseId, PhasePredictor};
+///
+/// let mut p = PhasePredictor::new();
+/// // Feed an alternating history: A B A B A ...
+/// let ids: Vec<PhaseId> = Vec::new();
+/// # drop(ids);
+/// // (Classes come from a RecurringPhaseDetector in real use.)
+/// # let a = opd_core::PhaseRegistry::new(0.5).unwrap();
+/// # drop(a);
+/// assert_eq!(p.predictions_made(), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PhasePredictor {
+    /// transitions[(from, to)] = count.
+    transitions: HashMap<(PhaseId, PhaseId), u64>,
+    /// Total outgoing transitions per class.
+    outgoing: HashMap<PhaseId, u64>,
+    /// Per-class (total length, occurrences) for length prediction.
+    lengths: HashMap<PhaseId, (u64, u64)>,
+    last: Option<PhaseId>,
+    predictions: u64,
+    correct: u64,
+    pending: Option<PhaseId>,
+}
+
+impl PhasePredictor {
+    /// Creates an empty predictor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a completed phase occurrence (its class and length),
+    /// scoring any outstanding prediction and updating the model.
+    pub fn observe(&mut self, class: PhaseId, length: u64) {
+        if let Some(predicted) = self.pending.take() {
+            self.predictions += 1;
+            if predicted == class {
+                self.correct += 1;
+            }
+        }
+        if let Some(prev) = self.last {
+            *self.transitions.entry((prev, class)).or_insert(0) += 1;
+            *self.outgoing.entry(prev).or_insert(0) += 1;
+        }
+        let entry = self.lengths.entry(class).or_insert((0, 0));
+        entry.0 += length;
+        entry.1 += 1;
+        self.last = Some(class);
+    }
+
+    /// Predicts the phase that will follow the most recently observed
+    /// one, or `None` before any transition out of the current class
+    /// has been seen. The prediction is remembered and scored by the
+    /// next [`observe`](Self::observe).
+    pub fn predict_next(&mut self) -> Option<Prediction> {
+        let from = self.last?;
+        let (best_to, best_count) = self
+            .transitions
+            .iter()
+            .filter(|((f, _), _)| *f == from)
+            .map(|((_, t), &c)| (*t, c))
+            .max_by_key(|&(_, c)| c)?;
+        let total = self.outgoing.get(&from).copied().unwrap_or(0);
+        let confidence = if total == 0 {
+            0.0
+        } else {
+            best_count as f64 / total as f64
+        };
+        let length = self
+            .lengths
+            .get(&best_to)
+            .map_or(0, |&(sum, n)| if n == 0 { 0 } else { sum / n });
+        self.pending = Some(best_to);
+        Some(Prediction {
+            class: best_to,
+            length,
+            confidence,
+        })
+    }
+
+    /// Number of scored predictions.
+    #[must_use]
+    pub fn predictions_made(&self) -> u64 {
+        self.predictions
+    }
+
+    /// Fraction of scored predictions that were correct (0 before any
+    /// prediction was scored).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.predictions as f64
+        }
+    }
+
+    /// Number of distinct phase classes seen.
+    #[must_use]
+    pub fn classes_seen(&self) -> usize {
+        self.lengths.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recur::PhaseRegistry;
+    use opd_trace::{MethodId, ProfileElement};
+
+    /// Mint dense phase ids through the public registry API.
+    fn ids(n: u32) -> Vec<PhaseId> {
+        let mut reg = PhaseRegistry::new(0.99).unwrap();
+        (0..n)
+            .map(|i| {
+                let sig = (0..8)
+                    .map(|j| ProfileElement::new(MethodId::new(i), j, true))
+                    .collect();
+                reg.classify(sig).0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_alternation() {
+        let ab = ids(2);
+        let (a, b) = (ab[0], ab[1]);
+        let mut p = PhasePredictor::new();
+        for _ in 0..5 {
+            p.observe(a, 100);
+            p.observe(b, 900);
+        }
+        // After seeing A, predict B (and B's average length).
+        p.observe(a, 100);
+        let pred = p.predict_next().unwrap();
+        assert_eq!(pred.class, b);
+        assert_eq!(pred.length, 900);
+        assert!((pred.confidence - 1.0).abs() < 1e-12);
+        assert_eq!(p.classes_seen(), 2);
+    }
+
+    #[test]
+    fn accuracy_is_tracked() {
+        let ab = ids(2);
+        let (a, b) = (ab[0], ab[1]);
+        let mut p = PhasePredictor::new();
+        // Train on alternation.
+        for _ in 0..4 {
+            p.observe(a, 10);
+            p.observe(b, 10);
+        }
+        // Predict-observe loop: alternation continues, predictions hit.
+        for i in 0..6 {
+            let _ = p.predict_next().unwrap();
+            p.observe(if i % 2 == 0 { a } else { b }, 10);
+        }
+        assert_eq!(p.predictions_made(), 6);
+        assert!(p.accuracy() > 0.99, "{}", p.accuracy());
+        // Break the pattern: accuracy drops.
+        let _ = p.predict_next().unwrap();
+        p.observe(b, 10); // predictor expected a after b? (pattern broken)
+        assert!(p.accuracy() < 1.0);
+    }
+
+    #[test]
+    fn no_prediction_without_history() {
+        let mut p = PhasePredictor::new();
+        assert!(p.predict_next().is_none());
+        let a = ids(1)[0];
+        p.observe(a, 5);
+        // One class, no outgoing transition yet.
+        assert!(p.predict_next().is_none());
+        assert_eq!(p.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn majority_transition_wins() {
+        let abc = ids(3);
+        let (a, b, c) = (abc[0], abc[1], abc[2]);
+        let mut p = PhasePredictor::new();
+        // a -> b twice, a -> c once.
+        p.observe(a, 1);
+        p.observe(b, 1);
+        p.observe(a, 1);
+        p.observe(c, 1);
+        p.observe(a, 1);
+        p.observe(b, 1);
+        p.observe(a, 1);
+        let pred = p.predict_next().unwrap();
+        assert_eq!(pred.class, b);
+        assert!((pred.confidence - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_reflects_distribution() {
+        let ab = ids(2);
+        let (a, b) = (ab[0], ab[1]);
+        let mut p = PhasePredictor::new();
+        // a->a, a->b equally often: confidence 0.5 either way.
+        p.observe(a, 1);
+        p.observe(a, 1);
+        p.observe(a, 1);
+        p.observe(b, 1);
+        p.observe(a, 1);
+        let pred = p.predict_next().unwrap();
+        assert!((pred.confidence - 0.5).abs() < 0.34, "{pred:?}");
+    }
+}

@@ -1,0 +1,476 @@
+//! Recurring-phase detection: phase signatures and classification.
+//!
+//! The paper lists this as the framework's first planned extension
+//! (Section 7): "detect phases that repeat themselves", so that "a
+//! dynamic optimization system [can] record the efficacy of a
+//! phase-based optimization at the end of the phase and determine
+//! whether to employ the same optimization when the phase reoccurs".
+//! Section 2 likewise allows a detector to report "whether a detected
+//! phase is similar to a previously known phase".
+//!
+//! [`RecurringPhaseDetector`] wraps a [`PhaseDetector`]: while in
+//! phase it accumulates the phase's *signature* (its weighted working
+//! set); at the phase's end it classifies the signature against a
+//! registry of previously seen phases using the symmetric weighted
+//! similarity, assigning an existing [`PhaseId`] when the best match
+//! clears a threshold and a fresh one otherwise.
+
+use std::collections::HashMap;
+
+use opd_trace::{BranchTrace, PhaseState, ProfileElement, StateSeq};
+
+use crate::config::{ConfigError, DetectorConfig};
+use crate::detector::PhaseDetector;
+
+/// Identifier of a recurring phase class.
+///
+/// Ids are dense, assigned in first-appearance order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PhaseId(u32);
+
+impl PhaseId {
+    /// Returns the dense class index.
+    #[must_use]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for PhaseId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "phase#{}", self.0)
+    }
+}
+
+/// A phase's signature: the multiset of profile elements it executed.
+///
+/// # Examples
+///
+/// ```
+/// use opd_core::PhaseSignature;
+/// use opd_trace::{MethodId, ProfileElement};
+///
+/// let e = |o| ProfileElement::new(MethodId::new(0), o, true);
+/// let a: PhaseSignature = [e(1), e(1), e(2)].into_iter().collect();
+/// let b: PhaseSignature = [e(1), e(2), e(2)].into_iter().collect();
+/// let sim = a.similarity(&b);
+/// assert!(sim > 0.6 && sim < 0.7); // min(2/3,1/3) + min(1/3,2/3)
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseSignature {
+    counts: HashMap<ProfileElement, u64>,
+    total: u64,
+}
+
+impl PhaseSignature {
+    /// Creates an empty signature.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one executed element into the signature.
+    pub fn record(&mut self, element: ProfileElement) {
+        *self.counts.entry(element).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Number of elements recorded.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of distinct elements recorded.
+    #[must_use]
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Symmetric weighted similarity with another signature: the sum
+    /// over elements of the minimum relative frequency, in `[0, 1]` —
+    /// the same measure as the framework's weighted set model.
+    #[must_use]
+    pub fn similarity(&self, other: &PhaseSignature) -> f64 {
+        if self.total == 0 || other.total == 0 {
+            return 0.0;
+        }
+        let (small, large) = if self.counts.len() <= other.counts.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut sum = 0.0;
+        for (e, &c) in &small.counts {
+            let oc = large.counts.get(e).copied().unwrap_or(0);
+            let ws = c as f64 / small.total as f64;
+            let wl = oc as f64 / large.total as f64;
+            sum += ws.min(wl);
+        }
+        sum
+    }
+
+    /// Merges another signature into this one (used when a phase
+    /// recurrence refines its class's stored signature).
+    pub fn merge(&mut self, other: &PhaseSignature) {
+        for (&e, &c) in &other.counts {
+            *self.counts.entry(e).or_insert(0) += c;
+        }
+        self.total += other.total;
+    }
+}
+
+impl FromIterator<ProfileElement> for PhaseSignature {
+    fn from_iter<I: IntoIterator<Item = ProfileElement>>(iter: I) -> Self {
+        let mut sig = PhaseSignature::new();
+        for e in iter {
+            sig.record(e);
+        }
+        sig
+    }
+}
+
+/// A registry of phase classes keyed by signature similarity.
+#[derive(Debug, Clone)]
+pub struct PhaseRegistry {
+    classes: Vec<PhaseSignature>,
+    occurrences: Vec<u32>,
+    match_threshold: f64,
+}
+
+impl PhaseRegistry {
+    /// Creates a registry. `match_threshold` is the minimum signature
+    /// similarity for a phase to be considered a recurrence of a known
+    /// class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::BadThreshold`] if the threshold is not a
+    /// finite number in `[0, 1]`.
+    pub fn new(match_threshold: f64) -> Result<Self, ConfigError> {
+        if !(0.0..=1.0).contains(&match_threshold) {
+            return Err(ConfigError::BadThreshold(match_threshold));
+        }
+        Ok(PhaseRegistry {
+            classes: Vec::new(),
+            occurrences: Vec::new(),
+            match_threshold,
+        })
+    }
+
+    /// Number of distinct phase classes seen.
+    #[must_use]
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// How many times the given class has occurred.
+    #[must_use]
+    pub fn occurrences(&self, id: PhaseId) -> u32 {
+        self.occurrences.get(id.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// The stored signature of one class.
+    #[must_use]
+    pub fn signature(&self, id: PhaseId) -> Option<&PhaseSignature> {
+        self.classes.get(id.0 as usize)
+    }
+
+    /// Classifies a completed phase: returns its class id and whether
+    /// it is a recurrence of a previously seen class. Recurrences
+    /// merge their signature into the class's stored one.
+    pub fn classify(&mut self, signature: PhaseSignature) -> (PhaseId, bool) {
+        let best = self
+            .classes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.similarity(&signature)))
+            .max_by(|a, b| a.1.total_cmp(&b.1));
+        if let Some((idx, sim)) = best {
+            if sim >= self.match_threshold {
+                self.classes[idx].merge(&signature);
+                self.occurrences[idx] += 1;
+                return (PhaseId(idx as u32), true);
+            }
+        }
+        let id = PhaseId(self.classes.len() as u32);
+        self.classes.push(signature);
+        self.occurrences.push(1);
+        (id, false)
+    }
+}
+
+/// One phase occurrence, as reported by [`RecurringPhaseDetector`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecurringPhase {
+    /// Offset of the first element labelled `P`.
+    pub start: u64,
+    /// One past the last element of the phase.
+    pub end: u64,
+    /// The phase class.
+    pub class: PhaseId,
+    /// `true` if the class had been seen before this occurrence.
+    pub recurrence: bool,
+}
+
+/// An online detector that additionally recognizes when a detected
+/// phase is a recurrence of a previously seen one.
+///
+/// # Examples
+///
+/// ```
+/// use opd_core::{DetectorConfig, RecurringPhaseDetector};
+/// use opd_trace::{MethodId, ProfileElement};
+///
+/// let config = DetectorConfig::builder().current_window(8).build()?;
+/// let mut det = RecurringPhaseDetector::new(config, 0.5)?;
+/// // Alternate two long blocks with distinct working sets, twice.
+/// let block = |base: u32| (0..400).map(move |i| {
+///     ProfileElement::new(MethodId::new(0), base + i % 4, true)
+/// });
+/// for round in 0..2 {
+///     let _ = round;
+///     for e in block(0).chain(block(100)) {
+///         det.process(&[e]);
+///     }
+/// }
+/// det.finish();
+/// // Two classes, each seen twice.
+/// assert_eq!(det.registry().class_count(), 2);
+/// # Ok::<(), opd_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RecurringPhaseDetector {
+    inner: PhaseDetector,
+    registry: PhaseRegistry,
+    current: Option<(u64, PhaseSignature)>,
+    phases: Vec<RecurringPhase>,
+}
+
+impl RecurringPhaseDetector {
+    /// Creates a recurring-phase detector from a framework
+    /// configuration and a signature match threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::BadThreshold`] for an out-of-range match
+    /// threshold.
+    pub fn new(config: DetectorConfig, match_threshold: f64) -> Result<Self, ConfigError> {
+        Ok(RecurringPhaseDetector {
+            inner: PhaseDetector::new(config),
+            registry: PhaseRegistry::new(match_threshold)?,
+            current: None,
+            phases: Vec::new(),
+        })
+    }
+
+    /// The wrapped online detector.
+    #[must_use]
+    pub fn detector(&self) -> &PhaseDetector {
+        &self.inner
+    }
+
+    /// The phase-class registry.
+    #[must_use]
+    pub fn registry(&self) -> &PhaseRegistry {
+        &self.registry
+    }
+
+    /// The classified phase occurrences so far (completed phases
+    /// only; call [`finish`](RecurringPhaseDetector::finish) to close
+    /// a phase still open at end of input).
+    #[must_use]
+    pub fn phases(&self) -> &[RecurringPhase] {
+        &self.phases
+    }
+
+    /// Consumes one step of profile elements (see
+    /// [`PhaseDetector::process`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elements` is empty.
+    pub fn process(&mut self, elements: &[ProfileElement]) -> PhaseState {
+        let before = self.inner.state();
+        let step_start = self.inner.elements_consumed();
+        let state = self.inner.process(elements);
+        match (before, state) {
+            (PhaseState::Transition, PhaseState::Phase) => {
+                let mut sig = PhaseSignature::new();
+                for &e in elements {
+                    sig.record(e);
+                }
+                self.current = Some((step_start, sig));
+            }
+            (PhaseState::Phase, PhaseState::Phase) => {
+                if let Some((_, sig)) = &mut self.current {
+                    for &e in elements {
+                        sig.record(e);
+                    }
+                }
+            }
+            (PhaseState::Phase, PhaseState::Transition) => {
+                self.close_phase(step_start);
+            }
+            (PhaseState::Transition, PhaseState::Transition) => {}
+        }
+        state
+    }
+
+    /// Runs over a whole trace, returning the per-element states and
+    /// classifying every completed phase.
+    pub fn run(&mut self, trace: &BranchTrace) -> StateSeq {
+        let mut seq = StateSeq::with_capacity(trace.len());
+        let skip = self.inner.config().skip_factor();
+        for chunk in trace.as_slice().chunks(skip) {
+            let state = self.process(chunk);
+            seq.push_n(state, chunk.len());
+        }
+        self.finish();
+        seq
+    }
+
+    /// Closes and classifies a phase still open at end of input.
+    pub fn finish(&mut self) {
+        let end = self.inner.elements_consumed();
+        self.close_phase(end);
+        self.inner.close_open_phase();
+    }
+
+    fn close_phase(&mut self, end: u64) {
+        if let Some((start, sig)) = self.current.take() {
+            let (class, recurrence) = self.registry.classify(sig);
+            self.phases.push(RecurringPhase {
+                start,
+                end,
+                class,
+                recurrence,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opd_trace::MethodId;
+
+    fn elem(offset: u32) -> ProfileElement {
+        ProfileElement::new(MethodId::new(0), offset, true)
+    }
+
+    fn config(cw: usize) -> DetectorConfig {
+        DetectorConfig::builder()
+            .current_window(cw)
+            .build()
+            .unwrap()
+    }
+
+    /// blocks of `len` elements drawn from `sites_base..sites_base+k`.
+    fn block(base: u32, len: u32) -> impl Iterator<Item = ProfileElement> {
+        (0..len).map(move |i| elem(base + i % 4))
+    }
+
+    #[test]
+    fn signature_similarity_identical_and_disjoint() {
+        let a: PhaseSignature = block(0, 100).collect();
+        let b: PhaseSignature = block(0, 100).collect();
+        let c: PhaseSignature = block(50, 100).collect();
+        assert!((a.similarity(&b) - 1.0).abs() < 1e-12);
+        assert_eq!(a.similarity(&c), 0.0);
+        assert!(a.similarity(&PhaseSignature::new()) == 0.0);
+        assert_eq!(a.distinct(), 4);
+        assert_eq!(a.len(), 100);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn signature_similarity_is_symmetric() {
+        let a: PhaseSignature = block(0, 77).chain(block(2, 13)).collect();
+        let b: PhaseSignature = block(1, 200).collect();
+        assert!((a.similarity(&b) - b.similarity(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_assigns_and_recognizes_classes() {
+        let mut reg = PhaseRegistry::new(0.5).unwrap();
+        let (id_a, rec) = reg.classify(block(0, 100).collect());
+        assert!(!rec);
+        let (id_b, rec) = reg.classify(block(50, 100).collect());
+        assert!(!rec);
+        assert_ne!(id_a, id_b);
+        let (id_a2, rec) = reg.classify(block(0, 120).collect());
+        assert!(rec);
+        assert_eq!(id_a, id_a2);
+        assert_eq!(reg.class_count(), 2);
+        assert_eq!(reg.occurrences(id_a), 2);
+        assert_eq!(reg.occurrences(id_b), 1);
+        assert!(reg.signature(id_a).is_some());
+        assert!(reg.signature(PhaseId(9)).is_none());
+        assert_eq!(format!("{id_a}"), "phase#0");
+    }
+
+    #[test]
+    fn bad_threshold_rejected() {
+        assert!(PhaseRegistry::new(1.5).is_err());
+        assert!(RecurringPhaseDetector::new(config(8), -0.1).is_err());
+    }
+
+    #[test]
+    fn detector_classifies_recurring_blocks() {
+        let mut det = RecurringPhaseDetector::new(config(8), 0.5).unwrap();
+        let trace: BranchTrace = block(0, 500)
+            .chain(block(100, 500))
+            .chain(block(0, 500))
+            .chain(block(100, 500))
+            .collect();
+        let states = det.run(&trace);
+        assert_eq!(states.len(), 2000);
+        let phases = det.phases();
+        assert_eq!(phases.len(), 4, "{phases:?}");
+        assert_eq!(det.registry().class_count(), 2);
+        assert_eq!(phases[0].class, phases[2].class);
+        assert_eq!(phases[1].class, phases[3].class);
+        assert!(!phases[0].recurrence && !phases[1].recurrence);
+        assert!(phases[2].recurrence && phases[3].recurrence);
+    }
+
+    #[test]
+    fn uniform_stream_is_one_class() {
+        let mut det = RecurringPhaseDetector::new(config(8), 0.5).unwrap();
+        let trace: BranchTrace = block(0, 1000).collect();
+        let _ = det.run(&trace);
+        assert_eq!(det.registry().class_count(), 1);
+        assert_eq!(det.phases().len(), 1);
+        assert_eq!(det.phases()[0].end, 1000);
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let mut det = RecurringPhaseDetector::new(config(4), 0.5).unwrap();
+        for e in block(0, 100) {
+            det.process(&[e]);
+        }
+        det.finish();
+        det.finish();
+        assert_eq!(det.phases().len(), 1);
+    }
+
+    #[test]
+    fn states_match_inner_detector() {
+        let trace: BranchTrace = block(0, 300).chain(block(30, 300)).collect();
+        let mut plain = PhaseDetector::new(config(8));
+        let expected = plain.run(&trace);
+        let mut rec = RecurringPhaseDetector::new(config(8), 0.5).unwrap();
+        let got = rec.run(&trace);
+        assert_eq!(expected, got);
+        assert_eq!(rec.detector().elements_consumed(), 600);
+    }
+}

@@ -1,0 +1,322 @@
+//! Related-work detectors expressed against the same online interface,
+//! demonstrating the framework's claim (Section 6 of the paper) that
+//! extant approaches are instantiations or near-instantiations of it.
+//!
+//! * [`OnlineDetector`] — the object-safe interface every online
+//!   detector in this workspace implements;
+//! * [`PcRangeDetector`] — the detector of Lu et al. (*Design and
+//!   implementation of a lightweight dynamic optimization system*,
+//!   JILP 2004): the average sampled PC of the most recent window is
+//!   compared against mean ± k·stddev of the previous seven windows,
+//!   and two consecutive out-of-range windows end the phase;
+//! * Das et al.'s Pearson-coefficient model is available as
+//!   [`ModelPolicy::Pearson`](crate::ModelPolicy::Pearson) inside the
+//!   regular framework detector.
+
+use std::collections::VecDeque;
+
+use opd_trace::{BranchTrace, PhaseState, ProfileElement, StateSeq};
+
+use crate::config::ConfigError;
+use crate::detector::PhaseDetector;
+use crate::recur::RecurringPhaseDetector;
+
+/// Any online phase detector: consumes profile elements step by step
+/// and labels each step `P` or `T`.
+///
+/// The trait is object-safe, so heterogeneous detector collections
+/// (framework instantiations next to related-work detectors) can be
+/// driven uniformly; see [`run_online`].
+pub trait OnlineDetector {
+    /// Preferred number of elements per step (the skip factor).
+    fn step_len(&self) -> usize;
+
+    /// Consumes one step of elements, returning the state attributed
+    /// to all of them.
+    fn process_step(&mut self, elements: &[ProfileElement]) -> PhaseState;
+
+    /// Flushes end-of-stream bookkeeping (optional).
+    fn finish_stream(&mut self) {}
+}
+
+impl OnlineDetector for PhaseDetector {
+    fn step_len(&self) -> usize {
+        self.config().skip_factor()
+    }
+
+    fn process_step(&mut self, elements: &[ProfileElement]) -> PhaseState {
+        self.process(elements)
+    }
+
+    fn finish_stream(&mut self) {
+        self.close_open_phase();
+    }
+}
+
+impl OnlineDetector for RecurringPhaseDetector {
+    fn step_len(&self) -> usize {
+        self.detector().config().skip_factor()
+    }
+
+    fn process_step(&mut self, elements: &[ProfileElement]) -> PhaseState {
+        self.process(elements)
+    }
+
+    fn finish_stream(&mut self) {
+        self.finish();
+    }
+}
+
+/// Drives any online detector over a whole trace, producing one state
+/// per element.
+pub fn run_online(detector: &mut dyn OnlineDetector, trace: &BranchTrace) -> StateSeq {
+    let mut seq = StateSeq::with_capacity(trace.len());
+    let step = detector.step_len().max(1);
+    for chunk in trace.as_slice().chunks(step) {
+        let state = detector.process_step(chunk);
+        seq.push_n(state, chunk.len());
+    }
+    detector.finish_stream();
+    seq
+}
+
+/// The Lu et al. (JILP 2004) phase detector: compares the average
+/// "PC" of the most recent sample window against an interval derived
+/// from the previous windows' averages.
+///
+/// Here the packed profile-element value stands in for the sampled
+/// program counter; both identify the executing code region.
+///
+/// # Examples
+///
+/// ```
+/// use opd_core::{run_online, PcRangeDetector};
+/// use opd_trace::{BranchTrace, MethodId, ProfileElement};
+///
+/// let mut det = PcRangeDetector::new(64, 2.0)?;
+/// let trace: BranchTrace = (0..2_000u32)
+///     .map(|i| ProfileElement::new(MethodId::new(i / 1_000), i % 5, true))
+///     .collect();
+/// let states = run_online(&mut det, &trace);
+/// assert_eq!(states.len(), 2_000);
+/// # Ok::<(), opd_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PcRangeDetector {
+    window: usize,
+    history_cap: usize,
+    tolerance: f64,
+    consecutive_needed: u32,
+    acc_sum: f64,
+    acc_n: usize,
+    history: VecDeque<f64>,
+    out_count: u32,
+    state: PhaseState,
+}
+
+impl PcRangeDetector {
+    /// Lu et al.'s sample-window size (4K samples).
+    pub const DEFAULT_WINDOW: usize = 4_096;
+    /// Number of previous windows forming the range (seven).
+    pub const HISTORY: usize = 7;
+    /// Consecutive out-of-range windows that end a phase (two).
+    pub const CONSECUTIVE: u32 = 2;
+
+    /// Creates a detector with the given sample-window size and range
+    /// tolerance (the `k` in mean ± k·stddev).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroWindow`] for a zero window and
+    /// [`ConfigError::BadThreshold`] for a non-positive or non-finite
+    /// tolerance.
+    pub fn new(window: usize, tolerance: f64) -> Result<Self, ConfigError> {
+        if window == 0 {
+            return Err(ConfigError::ZeroWindow);
+        }
+        if !tolerance.is_finite() || tolerance <= 0.0 {
+            return Err(ConfigError::BadThreshold(tolerance));
+        }
+        Ok(PcRangeDetector {
+            window,
+            history_cap: Self::HISTORY,
+            tolerance,
+            consecutive_needed: Self::CONSECUTIVE,
+            acc_sum: 0.0,
+            acc_n: 0,
+            history: VecDeque::with_capacity(Self::HISTORY),
+            out_count: 0,
+            state: PhaseState::Transition,
+        })
+    }
+
+    /// The detector with the paper's parameters: 4K samples, 2σ range.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; the default parameters are valid.
+    #[must_use]
+    pub fn lu2004() -> Self {
+        Self::new(Self::DEFAULT_WINDOW, 2.0).expect("default parameters are valid")
+    }
+
+    /// Current output state.
+    #[must_use]
+    pub fn state(&self) -> PhaseState {
+        self.state
+    }
+
+    fn complete_window(&mut self) {
+        let avg = self.acc_sum / self.acc_n as f64;
+        self.acc_sum = 0.0;
+        self.acc_n = 0;
+
+        if self.history.len() < self.history_cap {
+            // Still learning the range for the current phase.
+            self.history.push_back(avg);
+            self.state = if self.history.len() == self.history_cap {
+                PhaseState::Phase
+            } else {
+                PhaseState::Transition
+            };
+            self.out_count = 0;
+            return;
+        }
+
+        let n = self.history.len() as f64;
+        let mean = self.history.iter().sum::<f64>() / n;
+        let var = self
+            .history
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / n;
+        let sd = var.sqrt().max(mean.abs() * 1e-9 + 1e-9);
+
+        if (avg - mean).abs() > self.tolerance * sd {
+            self.out_count += 1;
+        } else {
+            self.out_count = 0;
+            self.history.push_back(avg);
+            if self.history.len() > self.history_cap {
+                self.history.pop_front();
+            }
+        }
+
+        if self.out_count >= self.consecutive_needed {
+            // Phase ended: forget the range and relearn.
+            self.state = PhaseState::Transition;
+            self.history.clear();
+            self.out_count = 0;
+        } else {
+            self.state = PhaseState::Phase;
+        }
+    }
+}
+
+impl OnlineDetector for PcRangeDetector {
+    fn step_len(&self) -> usize {
+        1
+    }
+
+    fn process_step(&mut self, elements: &[ProfileElement]) -> PhaseState {
+        for e in elements {
+            // The paper samples PC addresses; the packed element value
+            // plays that role here.
+            self.acc_sum += e.raw() as f64;
+            self.acc_n += 1;
+            if self.acc_n == self.window {
+                self.complete_window();
+            }
+        }
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opd_trace::MethodId;
+
+    fn elem(method: u32, offset: u32) -> ProfileElement {
+        ProfileElement::new(MethodId::new(method), offset, true)
+    }
+
+    fn uniform(method: u32, len: usize) -> impl Iterator<Item = ProfileElement> {
+        (0..len).map(move |i| elem(method, (i % 5) as u32))
+    }
+
+    #[test]
+    fn stable_stream_reaches_phase_after_learning() {
+        let mut d = PcRangeDetector::new(16, 2.0).unwrap();
+        let trace: BranchTrace = uniform(1, 16 * 20).collect();
+        let states = run_online(&mut d, &trace);
+        // Learning: 7 windows of 16 = 112 elements of T (the last
+        // learning window flips to P when it completes).
+        assert!(states.as_slice()[..16 * 6]
+            .iter()
+            .all(|s| s.is_transition()));
+        assert!(states.as_slice()[16 * 7..].iter().all(|s| s.is_phase()));
+    }
+
+    #[test]
+    fn pc_jump_ends_the_phase() {
+        let mut d = PcRangeDetector::new(16, 2.0).unwrap();
+        let trace: BranchTrace = uniform(1, 16 * 12).chain(uniform(500, 16 * 12)).collect();
+        let states = run_online(&mut d, &trace);
+        // The detector was in phase before the jump and reports a
+        // transition within a few windows after it.
+        let before = &states.as_slice()[16 * 11..16 * 12];
+        assert!(before.iter().all(|s| s.is_phase()));
+        let after = &states.as_slice()[16 * 12..16 * 16];
+        assert!(after.iter().any(|s| s.is_transition()), "jump not detected");
+        // And relearns the new phase eventually: the flush costs seven
+        // learning windows (ending inside window 21), after which the
+        // new steady state is P.
+        let tail = &states.as_slice()[16 * 22..];
+        assert!(tail.iter().all(|s| s.is_phase()));
+    }
+
+    #[test]
+    fn single_outlier_window_is_tolerated() {
+        // One noisy window must not end the phase (two consecutive are
+        // required).
+        let mut d = PcRangeDetector::new(8, 2.0).unwrap();
+        let mut elems: Vec<ProfileElement> = uniform(1, 8 * 10).collect();
+        elems.extend(uniform(900, 8)); // one outlier window
+        elems.extend(uniform(1, 8 * 10));
+        let states = run_online(&mut d, &BranchTrace::from(elems));
+        // After the outlier window the state recovers to P without an
+        // intervening flush (flush would cost 7 windows of T).
+        let recovery = &states.as_slice()[8 * 11..8 * 13];
+        assert!(recovery.iter().all(|s| s.is_phase()), "{recovery:?}");
+    }
+
+    #[test]
+    fn parameters_validated() {
+        assert!(PcRangeDetector::new(0, 2.0).is_err());
+        assert!(PcRangeDetector::new(16, 0.0).is_err());
+        assert!(PcRangeDetector::new(16, f64::NAN).is_err());
+        let d = PcRangeDetector::lu2004();
+        assert_eq!(d.step_len(), 1);
+        assert!(d.state().is_transition());
+    }
+
+    #[test]
+    fn framework_detectors_share_the_interface() {
+        let trace: BranchTrace = uniform(1, 300).collect();
+        let config = crate::DetectorConfig::builder()
+            .current_window(8)
+            .build()
+            .unwrap();
+        let mut dets: Vec<Box<dyn OnlineDetector>> = vec![
+            Box::new(PhaseDetector::new(config)),
+            Box::new(RecurringPhaseDetector::new(config, 0.5).unwrap()),
+            Box::new(PcRangeDetector::new(16, 2.0).unwrap()),
+        ];
+        for d in &mut dets {
+            let states = run_online(d.as_mut(), &trace);
+            assert_eq!(states.len(), 300);
+        }
+    }
+}

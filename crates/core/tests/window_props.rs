@@ -1,0 +1,175 @@
+//! Property tests: the incrementally maintained [`Windows`] state
+//! against a brute-force reference model built from plain vectors.
+
+use proptest::prelude::*;
+
+use opd_core::{AnchorPolicy, ModelPolicy, Windows};
+
+/// The reference model: the same FIFO semantics, implemented naively.
+#[derive(Debug, Clone)]
+struct NaiveWindows {
+    tw: Vec<u32>,
+    cw: Vec<u32>,
+    cw_cap: usize,
+    tw_cap: usize,
+}
+
+impl NaiveWindows {
+    fn new(cw_cap: usize, tw_cap: usize) -> Self {
+        NaiveWindows {
+            tw: Vec::new(),
+            cw: Vec::new(),
+            cw_cap,
+            tw_cap,
+        }
+    }
+
+    fn push(&mut self, site: u32, tw_grows: bool) {
+        self.cw.push(site);
+        if self.cw.len() > self.cw_cap {
+            let moved = self.cw.remove(0);
+            self.tw.push(moved);
+        }
+        if !tw_grows {
+            while self.tw.len() > self.tw_cap {
+                self.tw.remove(0);
+            }
+        }
+    }
+
+    fn clear_keep_last(&mut self, keep: usize) {
+        let mut all = self.tw.clone();
+        all.extend(&self.cw);
+        let start = all.len().saturating_sub(keep);
+        self.cw = all[start..].to_vec();
+        self.tw.clear();
+    }
+
+    fn count(v: &[u32], site: u32) -> u32 {
+        v.iter().filter(|&&s| s == site).count() as u32
+    }
+
+    fn unweighted(&self) -> f64 {
+        let mut distinct: Vec<u32> = self.cw.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        if distinct.is_empty() {
+            return 0.0;
+        }
+        let shared = distinct
+            .iter()
+            .filter(|&&s| Self::count(&self.tw, s) > 0)
+            .count();
+        shared as f64 / distinct.len() as f64
+    }
+
+    fn weighted(&self) -> f64 {
+        if self.cw.is_empty() || self.tw.is_empty() {
+            return 0.0;
+        }
+        let mut distinct: Vec<u32> = self.cw.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        distinct
+            .iter()
+            .map(|&s| {
+                let wc = f64::from(Self::count(&self.cw, s)) / self.cw.len() as f64;
+                let wt = f64::from(Self::count(&self.tw, s)) / self.tw.len() as f64;
+                wc.min(wt)
+            })
+            .sum()
+    }
+
+    fn anchor_rn(&self) -> usize {
+        for j in (0..self.tw.len()).rev() {
+            if Self::count(&self.cw, self.tw[j]) == 0 {
+                return j + 1;
+            }
+        }
+        0
+    }
+
+    fn anchor_lnn(&self) -> usize {
+        for (j, &site) in self.tw.iter().enumerate() {
+            if Self::count(&self.cw, site) > 0 {
+                return j;
+            }
+        }
+        self.tw.len()
+    }
+}
+
+/// An operation on the window pair.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Push(u32, bool),
+    Clear(usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            8 => (0u32..12, any::<bool>()).prop_map(|(s, g)| Op::Push(s, g)),
+            1 => (0usize..6).prop_map(Op::Clear),
+        ],
+        1..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn windows_match_naive_model(
+        cw_cap in 1usize..12,
+        tw_cap in 1usize..12,
+        ops in arb_ops(),
+    ) {
+        let mut fast = Windows::new(cw_cap, tw_cap);
+        let mut slow = NaiveWindows::new(cw_cap, tw_cap);
+        for op in ops {
+            match op {
+                Op::Push(site, grows) => {
+                    fast.push(site, grows);
+                    slow.push(site, grows);
+                }
+                Op::Clear(keep) => {
+                    fast.clear_keep_last(keep);
+                    slow.clear_keep_last(keep);
+                }
+            }
+            prop_assert_eq!(fast.cw_len(), slow.cw.len());
+            prop_assert_eq!(fast.tw_len(), slow.tw.len());
+            for s in 0..12 {
+                prop_assert_eq!(fast.cw_count(s), NaiveWindows::count(&slow.cw, s), "cw {}", s);
+                prop_assert_eq!(fast.tw_count(s), NaiveWindows::count(&slow.tw, s), "tw {}", s);
+            }
+            let (fu, su) = (ModelPolicy::UnweightedSet.similarity(&fast), slow.unweighted());
+            prop_assert!((fu - su).abs() < 1e-9, "unweighted {fu} vs {su}");
+            let (fw, sw) = (ModelPolicy::WeightedSet.similarity(&fast), slow.weighted());
+            prop_assert!((fw - sw).abs() < 1e-9, "weighted {fw} vs {sw}");
+            prop_assert_eq!(
+                fast.anchor_index(AnchorPolicy::RightmostNoisy),
+                slow.anchor_rn()
+            );
+            prop_assert_eq!(
+                fast.anchor_index(AnchorPolicy::LeftmostNonNoisy),
+                slow.anchor_lnn()
+            );
+        }
+    }
+
+    #[test]
+    fn pearson_is_bounded_and_symmetric_in_support(
+        cw_cap in 1usize..10,
+        tw_cap in 1usize..10,
+        sites in prop::collection::vec(0u32..8, 1..120),
+    ) {
+        let mut w = Windows::new(cw_cap, tw_cap);
+        for s in sites {
+            w.push(s, false);
+            let p = ModelPolicy::Pearson.similarity(&w);
+            prop_assert!((0.0..=1.0).contains(&p), "{p}");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Runs every experiment in sequence and writes each artifact to a
+//! results directory — the one-command regeneration of the paper's
+//! evaluation plus this repository's extension studies.
+//!
+//! ```sh
+//! all [--scale N] [--threads N] [--out DIR]    # default DIR: results
+//! ```
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use opd_experiments::cli::{parse_args, CliOpts};
+use opd_experiments::exp::{
+    client, fig4, fig5, fig6, fig7, fig8, inputs, overhead, related, sampling, scaling, table1,
+    table2, ExpOptions,
+};
+
+fn main() -> std::process::ExitCode {
+    // Split off --out, hand the rest to the shared parser.
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir = PathBuf::from("results");
+    if let Some(i) = raw.iter().position(|a| a == "--out") {
+        if i + 1 >= raw.len() {
+            eprintln!("missing value for --out");
+            return std::process::ExitCode::from(2);
+        }
+        out_dir = PathBuf::from(raw.remove(i + 1));
+        raw.remove(i);
+    }
+    let cli: CliOpts = match parse_args(raw) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return std::process::ExitCode::from(2);
+        }
+    };
+    let opts = ExpOptions::from_cli(cli);
+
+    if let Err(e) = fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return std::process::ExitCode::FAILURE;
+    }
+
+    let mut summary = String::new();
+    let total = Instant::now();
+    macro_rules! run_exp {
+        ($name:literal, $module:ident) => {{
+            let started = Instant::now();
+            eprint!("{:>9} ... ", $name);
+            let result = $module::run(&opts);
+            let text = result.to_string();
+            let path = out_dir.join(concat!($name, ".txt"));
+            if let Err(e) = fs::write(&path, format!("{text}\n")) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return std::process::ExitCode::FAILURE;
+            }
+            let elapsed = started.elapsed();
+            eprintln!("{elapsed:.1?} -> {}", path.display());
+            summary.push_str(&format!("{}: {elapsed:.1?}\n", $name));
+        }};
+    }
+
+    run_exp!("table1", table1);
+    run_exp!("table2", table2);
+    run_exp!("fig4", fig4);
+    run_exp!("fig5", fig5);
+    run_exp!("fig6", fig6);
+    run_exp!("fig7", fig7);
+    run_exp!("fig8", fig8);
+    run_exp!("related", related);
+    run_exp!("overhead", overhead);
+    run_exp!("client", client);
+    run_exp!("scaling", scaling);
+    run_exp!("sampling", sampling);
+    run_exp!("inputs", inputs);
+
+    summary.push_str(&format!(
+        "total: {:.1?} at scale {}\n",
+        total.elapsed(),
+        opts.scale
+    ));
+    let path = out_dir.join("summary.txt");
+    match fs::File::create(&path).and_then(|mut f| f.write_all(summary.as_bytes())) {
+        Ok(()) => {
+            eprintln!("all experiments done in {:.1?}", total.elapsed());
+            std::process::ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::ExitCode::FAILURE
+        }
+    }
+}

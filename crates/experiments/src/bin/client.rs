@@ -1,0 +1,17 @@
+//! Runs the phase-aware optimization client study.
+//! Flags: --scale N --threads N.
+
+use opd_experiments::cli;
+use opd_experiments::exp::{client, ExpOptions};
+
+fn main() {
+    let opts = ExpOptions::from_cli(cli::parse_env());
+    let started = std::time::Instant::now();
+    let result = client::run(&opts);
+    println!("{result}");
+    eprintln!(
+        "(client completed in {:.1?} at scale {})",
+        started.elapsed(),
+        opts.scale
+    );
+}

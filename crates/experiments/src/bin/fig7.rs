@@ -1,0 +1,16 @@
+//! Regenerates the paper's fig7 artifact. Flags: --scale N --threads N.
+
+use opd_experiments::cli;
+use opd_experiments::exp::{fig7, ExpOptions};
+
+fn main() {
+    let opts = ExpOptions::from_cli(cli::parse_env());
+    let started = std::time::Instant::now();
+    let result = fig7::run(&opts);
+    println!("{result}");
+    eprintln!(
+        "(fig7 completed in {:.1?} at scale {})",
+        started.elapsed(),
+        opts.scale
+    );
+}

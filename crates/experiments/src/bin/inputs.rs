@@ -1,0 +1,17 @@
+//! Runs the input-generality study (branches vs sites vs methods).
+//! Flags: --scale N --threads N.
+
+use opd_experiments::cli;
+use opd_experiments::exp::{inputs, ExpOptions};
+
+fn main() {
+    let opts = ExpOptions::from_cli(cli::parse_env());
+    let started = std::time::Instant::now();
+    let result = inputs::run(&opts);
+    println!("{result}");
+    eprintln!(
+        "(inputs completed in {:.1?} at scale {})",
+        started.elapsed(),
+        opts.scale
+    );
+}

@@ -1,0 +1,11 @@
+//! Measures phase-detection overhead per configuration family.
+//! Flags: --scale N --threads N.
+
+use opd_experiments::cli;
+use opd_experiments::exp::{overhead, ExpOptions};
+
+fn main() {
+    let opts = ExpOptions::from_cli(cli::parse_env());
+    let result = overhead::run(&opts);
+    println!("{result}");
+}

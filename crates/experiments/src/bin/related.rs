@@ -1,0 +1,18 @@
+//! Runs the extension study: the framework versus related-work
+//! detectors (Dhodapkar-Smith, Das et al. Pearson, Lu et al.
+//! PC-range). Flags: --scale N --threads N.
+
+use opd_experiments::cli;
+use opd_experiments::exp::{related, ExpOptions};
+
+fn main() {
+    let opts = ExpOptions::from_cli(cli::parse_env());
+    let started = std::time::Instant::now();
+    let result = related::run(&opts);
+    println!("{result}");
+    eprintln!(
+        "(related completed in {:.1?} at scale {})",
+        started.elapsed(),
+        opts.scale
+    );
+}

@@ -1,0 +1,17 @@
+//! Runs the sampling study: profile-collection overhead vs accuracy.
+//! Flags: --scale N --threads N.
+
+use opd_experiments::cli;
+use opd_experiments::exp::{sampling, ExpOptions};
+
+fn main() {
+    let opts = ExpOptions::from_cli(cli::parse_env());
+    let started = std::time::Instant::now();
+    let result = sampling::run(&opts);
+    println!("{result}");
+    println!(
+        "largest stride retaining 90% of the unsampled score: 1/{}",
+        result.max_stride_retaining(0.9)
+    );
+    eprintln!("(sampling completed in {:.1?})", started.elapsed());
+}

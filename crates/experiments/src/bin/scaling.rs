@@ -1,0 +1,20 @@
+//! Runs the scale-sensitivity study of the large-MPL regime.
+//! Flags: --scale N --threads N (scales N, 2N, 3N are measured).
+
+use opd_experiments::cli;
+use opd_experiments::exp::{scaling, ExpOptions};
+
+fn main() {
+    let opts = ExpOptions::from_cli(cli::parse_env());
+    let started = std::time::Instant::now();
+    let result = scaling::run(&opts);
+    println!("{result}");
+    for mpl in scaling::SCALING_MPLS {
+        println!(
+            "gap closes with scale at MPL {}: {}",
+            mpl,
+            result.gap_closes_with_scale(mpl)
+        );
+    }
+    eprintln!("(scaling completed in {:.1?})", started.elapsed());
+}

@@ -1,0 +1,46 @@
+//! Sweeps the full >10,000-configuration grid over one workload and
+//! prints the ten most accurate detectors per MPL value.
+//!
+//! Flags: `--scale N --threads N` (the workload is fixed to `ruleng`,
+//! a mid-sized benchmark; edit here to sweep another).
+
+use opd_experiments::cli;
+use opd_experiments::grid::{full_grid, MPLS_TABLE1};
+use opd_experiments::report::{fmt_mpl, fmt_score, Table};
+use opd_experiments::runner::{sweep, PreparedWorkload};
+use opd_microvm::workloads::Workload;
+
+fn main() {
+    let opts = cli::parse_env();
+    let workload = Workload::Ruleng;
+    let started = std::time::Instant::now();
+
+    eprintln!("preparing {workload} at scale {} ...", opts.scale);
+    let prepared = PreparedWorkload::prepare(workload, opts.scale, &MPLS_TABLE1);
+    let configs = full_grid();
+    eprintln!(
+        "sweeping {} configurations over {} elements on {} threads ...",
+        configs.len(),
+        prepared.total_elements(),
+        opts.threads
+    );
+    let runs = sweep(&prepared, &configs, opts.threads);
+
+    for &mpl in &MPLS_TABLE1 {
+        let oracle = prepared.oracle(mpl);
+        let mut scored: Vec<(f64, String)> = runs
+            .iter()
+            .map(|r| (r.score(oracle).combined(), r.config.to_string()))
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let mut t = Table::new(
+            &format!("Top detectors for {workload}, MPL {}", fmt_mpl(mpl)),
+            &["Score", "Configuration"],
+        );
+        for (score, config) in scored.into_iter().take(10) {
+            t.row(vec![fmt_score(score), config]);
+        }
+        println!("{t}");
+    }
+    eprintln!("(sweep completed in {:.1?})", started.elapsed());
+}

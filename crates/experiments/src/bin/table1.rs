@@ -1,0 +1,16 @@
+//! Regenerates the paper's table1 artifact. Flags: --scale N --threads N.
+
+use opd_experiments::cli;
+use opd_experiments::exp::{table1, ExpOptions};
+
+fn main() {
+    let opts = ExpOptions::from_cli(cli::parse_env());
+    let started = std::time::Instant::now();
+    let result = table1::run(&opts);
+    println!("{result}");
+    eprintln!(
+        "(table1 completed in {:.1?} at scale {})",
+        started.elapsed(),
+        opts.scale
+    );
+}

@@ -1,0 +1,138 @@
+//! A small command-line tool over the trace container format:
+//!
+//! ```sh
+//! tracetool record <workload> <file> [--scale N]   # capture a trace
+//! tracetool info <file>                            # stats + site counts
+//! tracetool phases <file> --mpl N                  # oracle phases
+//! tracetool detect <file> --mpl N                  # run a detector, score it
+//! ```
+//!
+//! Workload names: blockcomp, ruleng, tracer, querydb, srccomp,
+//! audiodec, parsegen, lexgen.
+
+use std::fs;
+use std::process::ExitCode;
+
+use opd_baseline::CallLoopForest;
+use opd_core::{DetectorConfig, InternedTrace, PhaseDetector, TwPolicy};
+use opd_microvm::workloads::Workload;
+use opd_scoring::score_states;
+use opd_trace::{decode_trace, encode_trace, ExecutionTrace, TraceStats};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  tracetool record <workload> <file> [--scale N]\n  tracetool info <file>\n  tracetool phases <file> --mpl N\n  tracetool detect <file> --mpl N"
+    );
+    ExitCode::from(2)
+}
+
+fn find_workload(name: &str) -> Option<Workload> {
+    Workload::ALL.into_iter().find(|w| w.name() == name)
+}
+
+fn load(path: &str) -> Result<ExecutionTrace, String> {
+    let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    decode_trace(&bytes).map_err(|e| format!("cannot decode {path}: {e}"))
+}
+
+fn parse_mpl(args: &[String]) -> Result<u64, String> {
+    match args {
+        [flag, value] if flag == "--mpl" => value
+            .parse()
+            .map_err(|e| format!("bad --mpl value {value}: {e}")),
+        _ => Err("expected: --mpl N".to_owned()),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) if cmd == "record" => {
+            let (name, file, scale) = match rest {
+                [name, file] => (name, file, 1u32),
+                [name, file, flag, n] if flag == "--scale" => (
+                    name,
+                    file,
+                    n.parse().map_err(|e| format!("bad --scale: {e}"))?,
+                ),
+                _ => return Err("expected: record <workload> <file> [--scale N]".to_owned()),
+            };
+            let workload =
+                find_workload(name).ok_or_else(|| format!("unknown workload `{name}`"))?;
+            let trace = workload.trace(scale);
+            let bytes = encode_trace(&trace);
+            fs::write(file, &bytes).map_err(|e| format!("cannot write {file}: {e}"))?;
+            println!(
+                "recorded {workload} at scale {scale}: {} ({} bytes) -> {file}",
+                TraceStats::measure(&trace),
+                bytes.len()
+            );
+            Ok(())
+        }
+        Some((cmd, rest)) if cmd == "info" => {
+            let [file] = rest else {
+                return Err("expected: info <file>".to_owned());
+            };
+            let trace = load(file)?;
+            let stats = TraceStats::measure(&trace);
+            let interned = InternedTrace::from(trace.branches());
+            println!("{file}: {stats}");
+            println!("distinct profile elements: {}", interned.distinct_count());
+            println!("call-loop events: {}", trace.events().len());
+            Ok(())
+        }
+        Some((cmd, rest)) if cmd == "phases" => {
+            let (file, flags) = rest
+                .split_first()
+                .ok_or_else(|| "expected: phases <file> --mpl N".to_owned())?;
+            let mpl = parse_mpl(flags)?;
+            let trace = load(file)?;
+            let forest = CallLoopForest::build(&trace).map_err(|e| e.to_string())?;
+            let sol = forest.solve(mpl);
+            println!("{sol}");
+            for p in sol.phases().iter().take(40) {
+                println!("  {p} ({} elements)", p.len());
+            }
+            if sol.phase_count() > 40 {
+                println!("  ... and {} more", sol.phase_count() - 40);
+            }
+            Ok(())
+        }
+        Some((cmd, rest)) if cmd == "detect" => {
+            let (file, flags) = rest
+                .split_first()
+                .ok_or_else(|| "expected: detect <file> --mpl N".to_owned())?;
+            let mpl = parse_mpl(flags)?;
+            let trace = load(file)?;
+            let forest = CallLoopForest::build(&trace).map_err(|e| e.to_string())?;
+            let oracle = forest.solve(mpl);
+            let config = DetectorConfig::builder()
+                .current_window(((mpl / 2).max(1)) as usize)
+                .tw_policy(TwPolicy::Adaptive)
+                .build()
+                .map_err(|e| e.to_string())?;
+            let mut detector = PhaseDetector::new(config);
+            let states = detector.run(trace.branches());
+            println!("config: {}", detector.config());
+            println!("oracle: {oracle}");
+            println!("{}", score_states(&states, &oracle));
+            Ok(())
+        }
+        _ => {
+            usage();
+            Err(String::new())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Tiny command-line parsing shared by the experiment binaries.
+
+use core::fmt;
+
+use crate::runner::default_threads;
+
+/// Options every experiment binary accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CliOpts {
+    /// Workload scale factor (`--scale N`, default 1).
+    pub scale: u32,
+    /// Worker threads (`--threads N`, default: available parallelism).
+    pub threads: usize,
+}
+
+impl Default for CliOpts {
+    fn default() -> Self {
+        CliOpts {
+            scale: 1,
+            threads: default_threads(),
+        }
+    }
+}
+
+/// Error produced for malformed command lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (usage: --scale N --threads N)", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parses `--scale N` and `--threads N` from an argument list
+/// (excluding the program name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unknown flags or unparsable values.
+///
+/// # Examples
+///
+/// ```
+/// use opd_experiments::cli::parse_args;
+///
+/// let opts = parse_args(["--scale", "2"].iter().map(|s| s.to_string()))?;
+/// assert_eq!(opts.scale, 2);
+/// # Ok::<(), opd_experiments::cli::CliError>(())
+/// ```
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOpts, CliError> {
+    let mut opts = CliOpts::default();
+    let mut iter = args.into_iter();
+    while let Some(flag) = iter.next() {
+        let mut value_for = |name: &str| {
+            iter.next()
+                .ok_or_else(|| CliError(format!("missing value for {name}")))
+        };
+        match flag.as_str() {
+            "--scale" => {
+                opts.scale = value_for("--scale")?
+                    .parse()
+                    .map_err(|e| CliError(format!("bad --scale: {e}")))?;
+            }
+            "--threads" => {
+                opts.threads = value_for("--threads")?
+                    .parse()
+                    .map_err(|e| CliError(format!("bad --threads: {e}")))?;
+            }
+            other => return Err(CliError(format!("unknown flag `{other}`"))),
+        }
+    }
+    Ok(opts)
+}
+
+/// Parses the process's own arguments, exiting with a usage message on
+/// error — the entry point used by the experiment binaries.
+#[must_use]
+pub fn parse_env() -> CliOpts {
+    match parse_args(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliOpts, CliError> {
+        parse_args(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn defaults() {
+        let opts = parse(&[]).unwrap();
+        assert_eq!(opts.scale, 1);
+        assert!(opts.threads >= 1);
+    }
+
+    #[test]
+    fn both_flags() {
+        let opts = parse(&["--scale", "3", "--threads", "2"]).unwrap();
+        assert_eq!(
+            opts,
+            CliOpts {
+                scale: 3,
+                threads: 2
+            }
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--scale", "x"]).is_err());
+        assert!(parse(&["--wat"]).is_err());
+        assert!(!parse(&["--wat"]).unwrap_err().to_string().is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! Sampling study: profile-collection overhead versus detection
+//! accuracy.
+//!
+//! Profile collection is the first overhead source the paper's
+//! Section 7 lists. Sampling every k-th branch cuts that overhead by
+//! k×; this experiment measures what it costs in accuracy. The
+//! detector runs on the subsampled stream with its window scaled down
+//! by the same stride (so the windows still span ½·MPL *original*
+//! elements), its detected intervals are mapped back to full-trace
+//! offsets, and the usual score is computed against the unsampled
+//! oracle.
+
+use core::fmt;
+
+use opd_core::{DetectorConfig, InternedTrace, PhaseDetector};
+use opd_scoring::score_intervals;
+use opd_trace::{intervals_of, subsample, upsample_intervals};
+
+use crate::exp::{avg, ExpOptions};
+use crate::grid::{analyzer_grid, half_mpl_cw, TwKind};
+use crate::report::{fmt_score, Table};
+use crate::runner::prepare_all;
+
+/// The sampling strides studied.
+pub const STRIDES: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// The MPL the study is run at.
+pub const SAMPLING_MPL: u64 = 10_000;
+
+/// Accuracy at one sampling stride.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplingRow {
+    /// Keep every `stride`-th profile element.
+    pub stride: usize,
+    /// Average best score across workloads (Constant TW grid).
+    pub score: f64,
+    /// Score retained relative to the unsampled run.
+    pub retention: f64,
+}
+
+/// The sampling-study result.
+#[derive(Debug, Clone)]
+pub struct SamplingResult {
+    /// One row per stride, ascending.
+    pub rows: Vec<SamplingRow>,
+}
+
+impl SamplingResult {
+    /// The largest stride retaining at least `fraction` of the
+    /// unsampled score.
+    #[must_use]
+    pub fn max_stride_retaining(&self, fraction: f64) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.retention >= fraction)
+            .map(|r| r.stride)
+            .max()
+            .unwrap_or(1)
+    }
+}
+
+/// Runs the sampling study.
+#[must_use]
+pub fn run(opts: &ExpOptions) -> SamplingResult {
+    let prepared = prepare_all(&opts.workloads, opts.scale, &[SAMPLING_MPL], opts.fuel);
+    let cw_full = half_mpl_cw(SAMPLING_MPL);
+
+    let mut rows: Vec<SamplingRow> = STRIDES
+        .iter()
+        .map(|&stride| {
+            let score = avg(prepared.iter().map(|p| {
+                let oracle = p.oracle(SAMPLING_MPL);
+                let total = p.total_elements();
+                let sampled = subsample(p.branches(), stride);
+                let interned = InternedTrace::from(&sampled);
+                // Window sized in *sampled* elements so it still spans
+                // ~½·MPL original elements.
+                let cw = (cw_full / stride).max(1);
+                let configs: Vec<DetectorConfig> =
+                    analyzer_grid(TwKind::Constant, cw, opd_core::ModelPolicy::UnweightedSet);
+                configs
+                    .into_iter()
+                    .map(|config| {
+                        let mut d = PhaseDetector::new(config);
+                        let states = d.run_interned(&interned);
+                        let detected = upsample_intervals(&intervals_of(&states), stride, total);
+                        score_intervals(&detected, oracle).combined()
+                    })
+                    .fold(0.0f64, f64::max)
+            }));
+            SamplingRow {
+                stride,
+                score,
+                retention: 0.0,
+            }
+        })
+        .collect();
+
+    let full = rows.first().map_or(0.0, |r| r.score);
+    for r in &mut rows {
+        r.retention = if full > 0.0 { r.score / full } else { 0.0 };
+    }
+    SamplingResult { rows }
+}
+
+impl fmt::Display for SamplingResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = Table::new(
+            "Sampling study: accuracy vs profile-collection stride (MPL 10K)",
+            &["Stride", "Collection cost", "Avg best score", "Retention"],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                format!("1/{}", r.stride),
+                format!("{:.1}%", 100.0 / r.stride as f64),
+                fmt_score(r.score),
+                format!("{:.0}%", 100.0 * r.retention),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opd_microvm::workloads::Workload;
+
+    #[test]
+    fn small_run_shapes() {
+        let opts = ExpOptions {
+            workloads: vec![Workload::Querydb],
+            fuel: 60_000,
+            threads: 1,
+            ..ExpOptions::default()
+        };
+        let result = run(&opts);
+        assert_eq!(result.rows.len(), 5);
+        assert_eq!(result.rows[0].stride, 1);
+        assert!((result.rows[0].retention - 1.0).abs() < 1e-12);
+        for r in &result.rows {
+            assert!((0.0..=1.0).contains(&r.score), "{r:?}");
+        }
+        assert!(result.max_stride_retaining(0.0) >= 1);
+        assert!(result.to_string().contains("Retention"));
+    }
+}

@@ -1,0 +1,34 @@
+//! The evaluation harness: regenerates every table and figure of the
+//! CGO 2006 paper's evaluation (Sections 4 and 5).
+//!
+//! * [`grid`] — the detector parameter spaces (window sizes, skip
+//!   factors, models, analyzers) and the >10,000-configuration full
+//!   grid the paper's study enumerates;
+//! * [`runner`] — trace preparation (workload execution, interning,
+//!   oracle computation for all MPL values) and the parallel
+//!   configuration sweep;
+//! * [`report`] — fixed-width table rendering for experiment output;
+//! * [`exp`] — one module per paper artifact: Table 1, Table 2, and
+//!   Figures 4–8, each with a `run` entry point and a printable
+//!   result.
+//!
+//! Binaries (`table1`, `table2`, `fig4` … `fig8`, `sweep`) wrap these
+//! modules; all accept `--scale` and `--threads`.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use opd_experiments::exp::{table1, ExpOptions};
+//!
+//! let result = table1::run(&ExpOptions::default());
+//! println!("{result}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod cli;
+pub mod exp;
+pub mod grid;
+pub mod report;
+pub mod runner;

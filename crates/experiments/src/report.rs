@@ -1,0 +1,218 @@
+//! Minimal fixed-width table rendering for experiment output.
+
+use core::fmt;
+
+/// A text table: a title, a header row, and data rows. Columns are
+/// sized to their widest cell; the first column is left-aligned and
+/// the rest right-aligned (the usual layout for benchmark tables).
+///
+/// # Examples
+///
+/// ```
+/// use opd_experiments::report::Table;
+///
+/// let mut t = Table::new("Demo", &["bench", "score"]);
+/// t.row(vec!["lexgen".into(), "0.91".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("lexgen"));
+/// assert!(text.contains("score"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|&h| h.to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+
+        writeln!(f, "{}", self.title)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total.max(self.title.len())))?;
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    f.write_str("  ")?;
+                }
+                if i == 0 {
+                    write!(f, "{cell:<w$}")?;
+                } else {
+                    write!(f, "{cell:>w$}")?;
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders a set of phase intervals as a fixed-width ASCII track:
+/// `#` where the majority of the covered span is in phase, `.` where
+/// it is in transition, `-` for mixed cells. Useful for eyeballing how
+/// a detector's output lines up with the oracle's.
+///
+/// # Examples
+///
+/// ```
+/// use opd_experiments::report::timeline;
+/// use opd_trace::PhaseInterval;
+///
+/// let track = timeline(&[PhaseInterval::new(25, 75)], 100, 20);
+/// assert_eq!(track.len(), 20);
+/// assert_eq!(&track[..5], ".....");
+/// assert_eq!(&track[6..14], "########");
+/// ```
+#[must_use]
+pub fn timeline(phases: &[opd_trace::PhaseInterval], total: u64, width: usize) -> String {
+    if total == 0 || width == 0 {
+        return String::new();
+    }
+    let mut out = String::with_capacity(width);
+    for cell in 0..width as u64 {
+        let lo = cell * total / width as u64;
+        let hi = ((cell + 1) * total / width as u64).max(lo + 1);
+        let covered: u64 = phases
+            .iter()
+            .map(|p| p.end().min(hi).saturating_sub(p.start().max(lo)))
+            .sum();
+        let span = hi - lo;
+        out.push(if covered == 0 {
+            '.'
+        } else if covered * 10 >= span * 9 {
+            '#'
+        } else {
+            '-'
+        });
+    }
+    out
+}
+
+/// Formats a score with three decimals.
+#[must_use]
+pub fn fmt_score(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a percentage with two decimals.
+#[must_use]
+pub fn fmt_pct(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats an MPL value the way the paper abbreviates it (1K, 200K).
+#[must_use]
+pub fn fmt_mpl(mpl: u64) -> String {
+    if mpl % 1_000 == 0 {
+        format!("{}K", mpl / 1_000)
+    } else {
+        mpl.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("T", &["name", "x"]);
+        t.row(vec!["aaa".into(), "1".into()]);
+        t.row(vec!["b".into(), "22".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "T");
+        assert!(lines[2].starts_with("name"));
+        // Right-aligned numeric column.
+        assert!(lines[3].ends_with(" 1"));
+        assert!(lines[4].ends_with("22"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        Table::new("T", &["a", "b"]).row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn timeline_tracks() {
+        use opd_trace::PhaseInterval;
+        // Empty inputs.
+        assert_eq!(timeline(&[], 0, 10), "");
+        assert_eq!(timeline(&[], 100, 0), "");
+        assert_eq!(timeline(&[], 100, 10), "..........");
+        // Full coverage.
+        assert_eq!(
+            timeline(&[PhaseInterval::new(0, 100)], 100, 10),
+            "##########"
+        );
+        // Half coverage with a mixed boundary cell.
+        let t = timeline(&[PhaseInterval::new(0, 55)], 100, 10);
+        assert_eq!(&t[..5], "#####");
+        assert_eq!(&t[6..], "....");
+        assert_eq!(t.chars().nth(5), Some('-'));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_score(0.51234), "0.512");
+        assert_eq!(fmt_pct(12.345), "12.35");
+        assert_eq!(fmt_mpl(1_000), "1K");
+        assert_eq!(fmt_mpl(200_000), "200K");
+        assert_eq!(fmt_mpl(1_500), "1500");
+    }
+}

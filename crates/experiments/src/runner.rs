@@ -1,0 +1,322 @@
+//! Workload preparation and the parallel configuration sweep.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use opd_baseline::{BaselineSolution, CallLoopForest};
+use opd_core::{
+    anchored_intervals, detected_intervals, DetectorConfig, InternedTrace, PhaseDetector,
+};
+use opd_microvm::workloads::Workload;
+use opd_scoring::{score_intervals, AccuracyScore};
+use opd_trace::{BranchTrace, PhaseInterval, TraceStats};
+
+/// One workload executed, interned, and solved for a set of MPL
+/// values — everything a sweep needs, computed once.
+#[derive(Debug, Clone)]
+pub struct PreparedWorkload {
+    workload: Workload,
+    stats: TraceStats,
+    branches: BranchTrace,
+    interned: InternedTrace,
+    total: u64,
+    oracles: BTreeMap<u64, BaselineSolution>,
+}
+
+impl PreparedWorkload {
+    /// Executes `workload` at `scale`, interns its branch trace, and
+    /// computes the baseline solution for every MPL in `mpls`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload trace is malformed, which would be a bug
+    /// in the MicroVM (covered by its tests).
+    #[must_use]
+    pub fn prepare(workload: Workload, scale: u32, mpls: &[u64]) -> Self {
+        Self::prepare_with_fuel(workload, scale, mpls, u64::MAX)
+    }
+
+    /// Like [`prepare`](PreparedWorkload::prepare) but truncates the
+    /// execution after `fuel` branches — used by the benchmark suite to
+    /// keep iterations short.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload trace is malformed.
+    #[must_use]
+    pub fn prepare_with_fuel(workload: Workload, scale: u32, mpls: &[u64], fuel: u64) -> Self {
+        let program = workload.program(scale);
+        let mut trace = opd_trace::ExecutionTrace::new();
+        opd_microvm::Interpreter::new(&program, workload.default_seed())
+            .with_fuel(fuel)
+            .run(&mut trace)
+            .expect("workload programs terminate");
+        let stats = TraceStats::measure(&trace);
+        let forest = CallLoopForest::build(&trace).expect("workload traces are well nested");
+        let oracles = mpls.iter().map(|&mpl| (mpl, forest.solve(mpl))).collect();
+        let interned = InternedTrace::from(trace.branches());
+        let total = trace.branches().len() as u64;
+        let (branches, _) = trace.into_parts();
+        PreparedWorkload {
+            workload,
+            stats,
+            branches,
+            interned,
+            total,
+            oracles,
+        }
+    }
+
+    /// The workload this data came from.
+    #[must_use]
+    pub fn workload(&self) -> Workload {
+        self.workload
+    }
+
+    /// The trace's dynamic execution characteristics (Table 1(a)).
+    #[must_use]
+    pub fn stats(&self) -> &TraceStats {
+        &self.stats
+    }
+
+    /// The interned branch trace.
+    #[must_use]
+    pub fn interned(&self) -> &InternedTrace {
+        &self.interned
+    }
+
+    /// The raw branch trace (for detectors that need the packed
+    /// element values rather than interned ids).
+    #[must_use]
+    pub fn branches(&self) -> &BranchTrace {
+        &self.branches
+    }
+
+    /// Number of profile elements in the trace.
+    #[must_use]
+    pub fn total_elements(&self) -> u64 {
+        self.total
+    }
+
+    /// The baseline solution for one of the prepared MPL values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mpl` was not in the list passed to `prepare`.
+    #[must_use]
+    pub fn oracle(&self, mpl: u64) -> &BaselineSolution {
+        self.oracles
+            .get(&mpl)
+            .unwrap_or_else(|| panic!("MPL {mpl} was not prepared"))
+    }
+
+    /// All prepared MPL values, ascending.
+    #[must_use]
+    pub fn mpls(&self) -> Vec<u64> {
+        self.oracles.keys().copied().collect()
+    }
+}
+
+/// Prepares several workloads in parallel (one thread each). `fuel`
+/// caps every trace's length; pass `u64::MAX` for complete runs.
+#[must_use]
+pub fn prepare_all(
+    workloads: &[Workload],
+    scale: u32,
+    mpls: &[u64],
+    fuel: u64,
+) -> Vec<PreparedWorkload> {
+    let mut out: Vec<Option<PreparedWorkload>> = workloads.iter().map(|_| None).collect();
+    crossbeam::thread::scope(|s| {
+        for (slot, &w) in out.iter_mut().zip(workloads) {
+            s.spawn(move |_| {
+                *slot = Some(PreparedWorkload::prepare_with_fuel(w, scale, mpls, fuel));
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    out.into_iter().map(|o| o.expect("slot filled")).collect()
+}
+
+/// The MPL-independent outcome of running one detector configuration
+/// over one trace: the detected phase intervals, both as detected and
+/// with anchored (retroactive) starts.
+#[derive(Debug, Clone)]
+pub struct ConfigRun {
+    /// The configuration that produced this run.
+    pub config: DetectorConfig,
+    /// Phases with detection-point starts.
+    pub detected: Vec<PhaseInterval>,
+    /// Phases with anchored starts (Figure 8).
+    pub anchored: Vec<PhaseInterval>,
+}
+
+impl ConfigRun {
+    /// Scores this run against an oracle, using detection-point
+    /// boundaries.
+    #[must_use]
+    pub fn score(&self, oracle: &BaselineSolution) -> AccuracyScore {
+        score_intervals(&self.detected, oracle)
+    }
+
+    /// Scores this run using anchored phase-start boundaries.
+    #[must_use]
+    pub fn anchored_score(&self, oracle: &BaselineSolution) -> AccuracyScore {
+        score_intervals(&self.anchored, oracle)
+    }
+}
+
+/// Runs one detector over a prepared trace.
+#[must_use]
+pub fn run_detector(config: DetectorConfig, trace: &InternedTrace) -> ConfigRun {
+    let mut detector = PhaseDetector::new(config);
+    let _states = detector.run_interned(trace);
+    let total = trace.len() as u64;
+    ConfigRun {
+        config,
+        detected: detected_intervals(detector.detected_phases(), total),
+        anchored: anchored_intervals(detector.detected_phases(), total),
+    }
+}
+
+/// Runs many configurations over one prepared workload, spreading the
+/// work over `threads` threads. Results are in `configs` order.
+#[must_use]
+pub fn sweep(
+    prepared: &PreparedWorkload,
+    configs: &[DetectorConfig],
+    threads: usize,
+) -> Vec<ConfigRun> {
+    let threads = threads.max(1).min(configs.len().max(1));
+    if threads <= 1 || configs.len() <= 1 {
+        return configs
+            .iter()
+            .map(|&c| run_detector(c, prepared.interned()))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Vec<parking_lot::Mutex<Option<ConfigRun>>> = configs
+        .iter()
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= configs.len() {
+                    break;
+                }
+                let run = run_detector(configs[i], prepared.interned());
+                *results[i].lock() = Some(run);
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("every slot filled"))
+        .collect()
+}
+
+/// The best combined score among `runs` against one oracle.
+#[must_use]
+pub fn best_combined(runs: &[ConfigRun], oracle: &BaselineSolution) -> f64 {
+    runs.iter()
+        .map(|r| r.score(oracle).combined())
+        .fold(0.0, f64::max)
+}
+
+/// The best combined score using anchored boundaries.
+#[must_use]
+pub fn best_combined_anchored(runs: &[ConfigRun], oracle: &BaselineSolution) -> f64 {
+    runs.iter()
+        .map(|r| r.anchored_score(oracle).combined())
+        .fold(0.0, f64::max)
+}
+
+/// A sensible default worker count: the machine's available
+/// parallelism.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{policy_grid, TwKind};
+
+    fn small_prepared() -> PreparedWorkload {
+        PreparedWorkload::prepare_with_fuel(Workload::Lexgen, 1, &[1_000, 10_000], 60_000)
+    }
+
+    #[test]
+    fn prepare_computes_oracles_per_mpl() {
+        let p = small_prepared();
+        assert_eq!(p.mpls(), vec![1_000, 10_000]);
+        assert_eq!(p.total_elements(), 60_000);
+        assert!(p.oracle(1_000).phase_count() >= p.oracle(10_000).phase_count());
+        assert_eq!(p.stats().dynamic_branches, 60_000);
+        assert_eq!(p.workload(), Workload::Lexgen);
+    }
+
+    #[test]
+    #[should_panic(expected = "was not prepared")]
+    fn missing_mpl_panics() {
+        let p = small_prepared();
+        let _ = p.oracle(77);
+    }
+
+    #[test]
+    fn sweep_matches_sequential_runs() {
+        let p = small_prepared();
+        let configs = policy_grid(TwKind::Constant, 500);
+        let parallel = sweep(&p, &configs, 4);
+        let sequential: Vec<ConfigRun> = configs
+            .iter()
+            .map(|&c| run_detector(c, p.interned()))
+            .collect();
+        assert_eq!(parallel.len(), sequential.len());
+        for (a, b) in parallel.iter().zip(&sequential) {
+            assert_eq!(a.detected, b.detected);
+            assert_eq!(a.anchored, b.anchored);
+        }
+    }
+
+    #[test]
+    fn scores_are_in_range() {
+        let p = small_prepared();
+        let configs = policy_grid(TwKind::Adaptive, 500);
+        let runs = sweep(&p, &configs, 2);
+        let oracle = p.oracle(1_000);
+        for r in &runs {
+            let s = r.score(oracle).combined();
+            assert!((0.0..=1.0).contains(&s), "{s}");
+            let a = r.anchored_score(oracle).combined();
+            assert!((0.0..=1.0).contains(&a), "{a}");
+        }
+        assert!(best_combined(&runs, oracle) > 0.0);
+        assert!(best_combined_anchored(&runs, oracle) > 0.0);
+    }
+
+    #[test]
+    fn prepare_all_is_order_preserving() {
+        let ws = [Workload::Lexgen, Workload::Blockcomp];
+        let prepared = prepare_all(&ws, 1, &[10_000], 80_000);
+        assert_eq!(prepared[0].workload(), Workload::Lexgen);
+        assert_eq!(prepared[1].workload(), Workload::Blockcomp);
+    }
+
+    #[test]
+    fn detected_and_anchored_differ_for_adaptive() {
+        let p = small_prepared();
+        let cfg = policy_grid(TwKind::Adaptive, 500)[0];
+        let run = run_detector(cfg, p.interned());
+        if !run.detected.is_empty() {
+            // Anchored starts never come after detected starts.
+            for (d, a) in run.detected.iter().zip(&run.anchored) {
+                assert!(a.start() <= d.start());
+            }
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! Fluent, validated construction of MicroVM programs.
+
+use core::fmt;
+
+use opd_trace::LoopId;
+
+use crate::ir::{ArgExpr, BranchStmt, FuncId, Function, Program, Stmt, TakenDist, Trip};
+
+/// Error produced when a program fails validation at build time.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// No functions were declared.
+    Empty,
+    /// A declared function was never defined.
+    UndefinedFunction(String),
+    /// A function was defined twice.
+    Redefined(String),
+    /// A `Bernoulli` probability was not a finite number in `[0, 1]`.
+    BadProbability(f64),
+    /// A `Uniform` trip or `Draw` argument range was inverted.
+    InvertedRange(u32, u32),
+    /// A `Periodic` distribution had period zero.
+    ZeroPeriod,
+    /// A loop body was empty (it would emit no profile elements).
+    EmptyLoopBody,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Empty => f.write_str("program has no functions"),
+            BuildError::UndefinedFunction(name) => {
+                write!(f, "function `{name}` declared but never defined")
+            }
+            BuildError::Redefined(name) => write!(f, "function `{name}` defined twice"),
+            BuildError::BadProbability(p) => write!(f, "branch probability {p} not in [0, 1]"),
+            BuildError::InvertedRange(lo, hi) => write!(f, "inverted range [{lo}, {hi}]"),
+            BuildError::ZeroPeriod => f.write_str("periodic branch needs period >= 1"),
+            BuildError::EmptyLoopBody => f.write_str("loop body is empty"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[derive(Debug, Default)]
+struct Shared {
+    loop_counter: u32,
+    state_slots: u32,
+    errors: Vec<BuildError>,
+}
+
+/// Builder for a [`Program`].
+///
+/// Declare all functions first (so they can call each other), then
+/// define each body, then [`build`](ProgramBuilder::build).
+///
+/// # Examples
+///
+/// ```
+/// use opd_microvm::{ArgExpr, ProgramBuilder, TakenDist, Trip};
+///
+/// let mut b = ProgramBuilder::new();
+/// let helper = b.declare("helper");
+/// let main = b.declare("main");
+/// b.define(helper, |f| {
+///     f.branch(TakenDist::Always);
+/// });
+/// b.define(main, |f| {
+///     f.repeat(Trip::Fixed(3), |body| {
+///         body.call(helper, ArgExpr::Const(0));
+///     });
+/// });
+/// let program = b.entry(main).build()?;
+/// assert_eq!(program.functions().len(), 2);
+/// # Ok::<(), opd_microvm::BuildError>(())
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    names: Vec<String>,
+    bodies: Vec<Option<Vec<Stmt>>>,
+    site_counters: Vec<u32>,
+    entry: Option<FuncId>,
+    entry_arg: u32,
+    shared: Shared,
+}
+
+impl Default for ProgramBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        ProgramBuilder {
+            names: Vec::new(),
+            bodies: Vec::new(),
+            site_counters: Vec::new(),
+            entry: None,
+            entry_arg: 0,
+            shared: Shared::default(),
+        }
+    }
+
+    /// Declares a function, returning its id. Bodies are supplied later
+    /// with [`define`](ProgramBuilder::define).
+    pub fn declare(&mut self, name: &str) -> FuncId {
+        let id = FuncId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.bodies.push(None);
+        self.site_counters.push(0);
+        id
+    }
+
+    /// Defines the body of a previously declared function.
+    ///
+    /// Definition errors (empty loops, bad probabilities, …) are
+    /// collected and reported by [`build`](ProgramBuilder::build).
+    pub fn define(&mut self, id: FuncId, f: impl FnOnce(&mut FuncBuilder<'_>)) -> &mut Self {
+        if self.bodies[id.0 as usize].is_some() {
+            self.shared
+                .errors
+                .push(BuildError::Redefined(self.names[id.0 as usize].clone()));
+            return self;
+        }
+        let mut block = BlockBuilder {
+            shared: &mut self.shared,
+            site_counter: &mut self.site_counters[id.0 as usize],
+            stmts: Vec::new(),
+        };
+        f(&mut block);
+        let stmts = block.stmts;
+        self.bodies[id.0 as usize] = Some(stmts);
+        self
+    }
+
+    /// Selects the entry function (defaults to the last declared one).
+    pub fn entry(&mut self, id: FuncId) -> &mut Self {
+        self.entry = Some(id);
+        self
+    }
+
+    /// Sets the argument the entry function is invoked with
+    /// (defaults to 0).
+    pub fn entry_arg(&mut self, arg: u32) -> &mut Self {
+        self.entry_arg = arg;
+        self
+    }
+
+    /// Validates and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`BuildError`] encountered: undeclared or
+    /// doubly defined functions, empty loop bodies, malformed
+    /// distributions, or an empty program.
+    pub fn build(&mut self) -> Result<Program, BuildError> {
+        if let Some(err) = self.shared.errors.first() {
+            return Err(err.clone());
+        }
+        if self.names.is_empty() {
+            return Err(BuildError::Empty);
+        }
+        let mut functions = Vec::with_capacity(self.names.len());
+        for (name, body) in self.names.iter().zip(&self.bodies) {
+            match body {
+                Some(stmts) => functions.push(Function {
+                    name: name.clone(),
+                    body: stmts.clone(),
+                }),
+                None => return Err(BuildError::UndefinedFunction(name.clone())),
+            }
+        }
+        let entry = self.entry.unwrap_or(FuncId(self.names.len() as u32 - 1));
+        Ok(Program {
+            functions,
+            entry,
+            entry_arg: self.entry_arg,
+            loop_count: self.shared.loop_counter,
+            state_slots: self.shared.state_slots,
+        })
+    }
+}
+
+/// Builds one block of statements (a function body, loop body, or
+/// conditional arm).
+#[derive(Debug)]
+pub struct BlockBuilder<'a> {
+    shared: &'a mut Shared,
+    site_counter: &'a mut u32,
+    stmts: Vec<Stmt>,
+}
+
+/// A function body under construction; alias of [`BlockBuilder`].
+pub type FuncBuilder<'a> = BlockBuilder<'a>;
+
+impl BlockBuilder<'_> {
+    fn make_branch(&mut self, dist: TakenDist) -> BranchStmt {
+        match dist {
+            TakenDist::Bernoulli(p) if !(0.0..=1.0).contains(&p) => {
+                self.shared.errors.push(BuildError::BadProbability(p));
+            }
+            TakenDist::Periodic(0) => self.shared.errors.push(BuildError::ZeroPeriod),
+            _ => {}
+        }
+        let offset = *self.site_counter;
+        *self.site_counter += 1;
+        let state_slot = match dist {
+            TakenDist::Alternating | TakenDist::Periodic(_) => {
+                let slot = self.shared.state_slots;
+                self.shared.state_slots += 1;
+                slot
+            }
+            _ => 0,
+        };
+        BranchStmt {
+            offset,
+            state_slot,
+            dist,
+        }
+    }
+
+    fn child(&mut self, f: impl FnOnce(&mut BlockBuilder<'_>)) -> Vec<Stmt> {
+        let mut block = BlockBuilder {
+            shared: self.shared,
+            site_counter: self.site_counter,
+            stmts: Vec::new(),
+        };
+        f(&mut block);
+        block.stmts
+    }
+
+    /// Appends a conditional branch with the given taken distribution.
+    pub fn branch(&mut self, dist: TakenDist) -> &mut Self {
+        let b = self.make_branch(dist);
+        self.stmts.push(Stmt::Branch(b));
+        self
+    }
+
+    /// Appends `n` distinct branch sites sharing one distribution —
+    /// convenient for giving a loop body a working set of a given size.
+    pub fn branches(&mut self, n: u32, dist: TakenDist) -> &mut Self {
+        for _ in 0..n {
+            self.branch(dist);
+        }
+        self
+    }
+
+    /// Appends a loop running `trip` iterations of `body`.
+    pub fn repeat(&mut self, trip: Trip, body: impl FnOnce(&mut BlockBuilder<'_>)) -> &mut Self {
+        if let Trip::Uniform(lo, hi) = trip {
+            if lo > hi {
+                self.shared.errors.push(BuildError::InvertedRange(lo, hi));
+            }
+        }
+        let id = LoopId::new(self.shared.loop_counter);
+        self.shared.loop_counter += 1;
+        let body = self.child(body);
+        if body.is_empty() {
+            self.shared.errors.push(BuildError::EmptyLoopBody);
+        }
+        self.stmts.push(Stmt::Loop { id, trip, body });
+        self
+    }
+
+    /// Appends a call to `callee` with argument `arg`.
+    pub fn call(&mut self, callee: FuncId, arg: ArgExpr) -> &mut Self {
+        if let ArgExpr::Draw(lo, hi) = arg {
+            if lo > hi {
+                self.shared.errors.push(BuildError::InvertedRange(lo, hi));
+            }
+        }
+        self.stmts.push(Stmt::Call { callee, arg });
+        self
+    }
+
+    /// Appends an if/else guarded by a fresh branch site.
+    pub fn cond(
+        &mut self,
+        dist: TakenDist,
+        then_f: impl FnOnce(&mut BlockBuilder<'_>),
+        else_f: impl FnOnce(&mut BlockBuilder<'_>),
+    ) -> &mut Self {
+        let branch = self.make_branch(dist);
+        let then_body = self.child(then_f);
+        let else_body = self.child(else_f);
+        self.stmts.push(Stmt::If {
+            branch,
+            then_body,
+            else_body,
+        });
+        self
+    }
+
+    /// Appends a block that runs only while the function argument is
+    /// positive — the guard used to bound recursion.
+    pub fn if_arg_positive(&mut self, body: impl FnOnce(&mut BlockBuilder<'_>)) -> &mut Self {
+        let body = self.child(body);
+        self.stmts.push(Stmt::IfArgPositive { body });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_minimal_program() {
+        let mut b = ProgramBuilder::new();
+        let main = b.declare("main");
+        b.define(main, |f| {
+            f.branch(TakenDist::Always);
+        });
+        let p = b.build().unwrap();
+        assert_eq!(p.functions().len(), 1);
+        assert_eq!(p.entry(), main);
+        assert_eq!(p.site_count(), 1);
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert_eq!(ProgramBuilder::new().build(), Err(BuildError::Empty));
+    }
+
+    #[test]
+    fn undefined_function_rejected() {
+        let mut b = ProgramBuilder::new();
+        let _main = b.declare("main");
+        assert_eq!(b.build(), Err(BuildError::UndefinedFunction("main".into())));
+    }
+
+    #[test]
+    fn double_definition_rejected() {
+        let mut b = ProgramBuilder::new();
+        let main = b.declare("main");
+        b.define(main, |f| {
+            f.branch(TakenDist::Always);
+        });
+        b.define(main, |f| {
+            f.branch(TakenDist::Never);
+        });
+        assert_eq!(b.build(), Err(BuildError::Redefined("main".into())));
+    }
+
+    #[test]
+    fn bad_probability_rejected() {
+        let mut b = ProgramBuilder::new();
+        let main = b.declare("main");
+        b.define(main, |f| {
+            f.branch(TakenDist::Bernoulli(1.5));
+        });
+        assert_eq!(b.build(), Err(BuildError::BadProbability(1.5)));
+    }
+
+    #[test]
+    fn empty_loop_rejected() {
+        let mut b = ProgramBuilder::new();
+        let main = b.declare("main");
+        b.define(main, |f| {
+            f.repeat(Trip::Fixed(3), |_| {});
+        });
+        assert_eq!(b.build(), Err(BuildError::EmptyLoopBody));
+    }
+
+    #[test]
+    fn inverted_trip_rejected() {
+        let mut b = ProgramBuilder::new();
+        let main = b.declare("main");
+        b.define(main, |f| {
+            f.repeat(Trip::Uniform(9, 2), |body| {
+                body.branch(TakenDist::Always);
+            });
+        });
+        assert_eq!(b.build(), Err(BuildError::InvertedRange(9, 2)));
+    }
+
+    #[test]
+    fn zero_period_rejected() {
+        let mut b = ProgramBuilder::new();
+        let main = b.declare("main");
+        b.define(main, |f| {
+            f.branch(TakenDist::Periodic(0));
+        });
+        assert_eq!(b.build(), Err(BuildError::ZeroPeriod));
+    }
+
+    #[test]
+    fn sites_numbered_per_function() {
+        let mut b = ProgramBuilder::new();
+        let a = b.declare("a");
+        let c = b.declare("c");
+        b.define(a, |f| {
+            f.branch(TakenDist::Always).branch(TakenDist::Never);
+        });
+        b.define(c, |f| {
+            f.branch(TakenDist::Always);
+        });
+        let p = b.entry(c).build().unwrap();
+        match (&p.function(a).body()[0], &p.function(a).body()[1]) {
+            (Stmt::Branch(x), Stmt::Branch(y)) => {
+                assert_eq!(x.offset(), 0);
+                assert_eq!(y.offset(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &p.function(c).body()[0] {
+            Stmt::Branch(x) => assert_eq!(x.offset(), 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn state_slots_assigned_only_to_stateful_dists() {
+        let mut b = ProgramBuilder::new();
+        let main = b.declare("main");
+        b.define(main, |f| {
+            f.branch(TakenDist::Always)
+                .branch(TakenDist::Alternating)
+                .branch(TakenDist::Periodic(4));
+        });
+        let p = b.build().unwrap();
+        assert_eq!(p.state_slot_count(), 2);
+    }
+
+    #[test]
+    fn nested_structure_counts_sites() {
+        let mut b = ProgramBuilder::new();
+        let main = b.declare("main");
+        b.define(main, |f| {
+            f.repeat(Trip::Fixed(2), |l1| {
+                l1.branch(TakenDist::Always);
+                l1.cond(
+                    TakenDist::Bernoulli(0.5),
+                    |t| {
+                        t.branch(TakenDist::Never);
+                    },
+                    |e| {
+                        e.branch(TakenDist::Always);
+                    },
+                );
+                l1.if_arg_positive(|r| {
+                    r.branch(TakenDist::Always);
+                });
+            });
+        });
+        let p = b.build().unwrap();
+        // 1 loop branch + 1 guard + 2 arms + 1 guarded = 5 sites
+        assert_eq!(p.site_count(), 5);
+        assert_eq!(p.loop_count(), 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! Human-readable dumps of MicroVM programs.
+
+use core::fmt::Write as _;
+
+use crate::ir::{ArgExpr, Program, Stmt, TakenDist, Trip};
+
+impl Program {
+    /// Renders the whole program as an indented IR listing — the
+    /// MicroVM equivalent of a compiler's `-emit-ir` flag, useful when
+    /// designing workloads.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use opd_microvm::{ProgramBuilder, TakenDist, Trip};
+    ///
+    /// let mut b = ProgramBuilder::new();
+    /// let main = b.declare("main");
+    /// b.define(main, |f| {
+    ///     f.repeat(Trip::Fixed(3), |l| {
+    ///         l.branch(TakenDist::Always);
+    ///     });
+    /// });
+    /// let dump = b.build()?.dump();
+    /// assert!(dump.contains("fn main"));
+    /// assert!(dump.contains("loop L0 x3"));
+    /// # Ok::<(), opd_microvm::BuildError>(())
+    /// ```
+    #[must_use]
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "// {self}");
+        for (i, func) in self.functions.iter().enumerate() {
+            let marker = if self.entry.index() as usize == i {
+                " // entry"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "fn {} (f{i}){marker} {{", func.name());
+            dump_block(&mut out, func.body(), 1);
+            let _ = writeln!(out, "}}");
+        }
+        out
+    }
+}
+
+fn dump_block(out: &mut String, stmts: &[Stmt], depth: usize) {
+    let pad = "  ".repeat(depth);
+    for stmt in stmts {
+        match stmt {
+            Stmt::Branch(b) => {
+                let _ = writeln!(out, "{pad}branch @{} {}", b.offset(), dist(b.dist()));
+            }
+            Stmt::Loop { id, trip, body } => {
+                let _ = writeln!(out, "{pad}loop {id} {} {{", trip_str(*trip));
+                dump_block(out, body, depth + 1);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::Call { callee, arg } => {
+                let _ = writeln!(out, "{pad}call {callee}({})", arg_str(*arg));
+            }
+            Stmt::If {
+                branch,
+                then_body,
+                else_body,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}if branch @{} {} {{",
+                    branch.offset(),
+                    dist(branch.dist())
+                );
+                dump_block(out, then_body, depth + 1);
+                if !else_body.is_empty() {
+                    let _ = writeln!(out, "{pad}}} else {{");
+                    dump_block(out, else_body, depth + 1);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::IfArgPositive { body } => {
+                let _ = writeln!(out, "{pad}if arg > 0 {{");
+                dump_block(out, body, depth + 1);
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+    }
+}
+
+fn trip_str(trip: Trip) -> String {
+    match trip {
+        Trip::Fixed(n) => format!("x{n}"),
+        Trip::Uniform(lo, hi) => format!("x[{lo}..={hi}]"),
+        Trip::Arg => "x(arg)".to_owned(),
+    }
+}
+
+fn dist(d: TakenDist) -> String {
+    match d {
+        TakenDist::Always => "always".to_owned(),
+        TakenDist::Never => "never".to_owned(),
+        TakenDist::Bernoulli(p) => format!("p={p}"),
+        TakenDist::Alternating => "alternating".to_owned(),
+        TakenDist::Periodic(n) => format!("period={n}"),
+    }
+}
+
+fn arg_str(a: ArgExpr) -> String {
+    match a {
+        ArgExpr::Const(v) => v.to_string(),
+        ArgExpr::Dec => "arg-1".to_owned(),
+        ArgExpr::Half => "arg/2".to_owned(),
+        ArgExpr::Draw(lo, hi) => format!("draw[{lo}..={hi}]"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+
+    #[test]
+    fn dump_covers_all_statement_kinds() {
+        let mut b = ProgramBuilder::new();
+        let helper = b.declare("helper");
+        let main = b.declare("main");
+        b.define(helper, |f| {
+            f.branch(TakenDist::Periodic(3));
+            f.if_arg_positive(|g| {
+                g.call(helper, crate::ArgExpr::Dec);
+            });
+        });
+        b.define(main, |f| {
+            f.branch(TakenDist::Always);
+            f.branch(TakenDist::Never);
+            f.branch(TakenDist::Alternating);
+            f.repeat(Trip::Uniform(2, 5), |l| {
+                l.cond(
+                    TakenDist::Bernoulli(0.25),
+                    |t| {
+                        t.call(helper, crate::ArgExpr::Draw(1, 3));
+                    },
+                    |e| {
+                        e.branch(TakenDist::Always);
+                    },
+                );
+            });
+            f.repeat(Trip::Arg, |l| {
+                l.call(helper, crate::ArgExpr::Half);
+            });
+        });
+        b.entry(main);
+        let dump = b.build().unwrap().dump();
+        for needle in [
+            "fn helper (f0)",
+            "fn main (f1) // entry",
+            "period=3",
+            "if arg > 0 {",
+            "call f0(arg-1)",
+            "alternating",
+            "loop L0 x[2..=5] {",
+            "if branch @3 p=0.25 {",
+            "} else {",
+            "call f0(draw[1..=3])",
+            "loop L1 x(arg) {",
+            "call f0(arg/2)",
+        ] {
+            assert!(dump.contains(needle), "missing {needle:?} in:\n{dump}");
+        }
+    }
+
+    #[test]
+    fn workload_dumps_are_nonempty() {
+        for w in crate::workloads::Workload::ALL {
+            let dump = w.program(1).dump();
+            assert!(dump.lines().count() > 5, "{w}");
+        }
+    }
+}

@@ -1,0 +1,511 @@
+//! The MicroVM interpreter: executes a [`Program`] and streams both
+//! profile streams into a [`TraceSink`].
+
+use core::fmt;
+
+use opd_trace::{CallLoopEventKind, ProfileElement, TraceSink};
+
+use crate::ir::{ArgExpr, BranchStmt, FuncId, Program, Stmt, TakenDist, Trip};
+use crate::rng::SplitMix64;
+
+/// Error produced by a runaway execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InterpError {
+    /// The call stack exceeded the configured limit — almost always an
+    /// unguarded recursive call (missing
+    /// [`if_arg_positive`](crate::BlockBuilder::if_arg_positive) or a
+    /// non-decreasing [`ArgExpr`]).
+    CallDepthExceeded {
+        /// The limit that was hit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::CallDepthExceeded { limit } => {
+                write!(f, "call depth exceeded the limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// What one execution did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunSummary {
+    /// Profile elements (dynamic branches) emitted.
+    pub branches: u64,
+    /// Call-loop events emitted.
+    pub events: u64,
+    /// Deepest call stack reached.
+    pub max_depth: usize,
+    /// `true` if the branch budget ran out and the program was halted
+    /// early (the trace is still well-formed: every enter event has a
+    /// matching exit).
+    pub exhausted: bool,
+}
+
+/// Executes a MicroVM program deterministically.
+///
+/// Equal (program, seed) pairs produce identical traces. The optional
+/// branch budget ([`with_fuel`](Interpreter::with_fuel)) halts emission
+/// early while still unwinding cleanly, so truncated traces remain
+/// balanced.
+///
+/// # Examples
+///
+/// ```
+/// use opd_microvm::{Interpreter, ProgramBuilder, TakenDist, Trip};
+/// use opd_trace::ExecutionTrace;
+///
+/// let mut b = ProgramBuilder::new();
+/// let main = b.declare("main");
+/// b.define(main, |f| {
+///     f.repeat(Trip::Fixed(10), |l| {
+///         l.branch(TakenDist::Alternating);
+///     });
+/// });
+/// let program = b.build()?;
+/// let mut trace = ExecutionTrace::new();
+/// let summary = Interpreter::new(&program, 1).run(&mut trace)?;
+/// assert_eq!(summary.branches, 10);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Interpreter<'p> {
+    program: &'p Program,
+    rng: SplitMix64,
+    fuel: u64,
+    depth_limit: usize,
+    site_state: Vec<u32>,
+}
+
+struct Exec<'p, 'a, S: TraceSink> {
+    program: &'p Program,
+    rng: &'a mut SplitMix64,
+    sink: &'a mut S,
+    site_state: &'a mut [u32],
+    branches: u64,
+    events: u64,
+    fuel: u64,
+    halted: bool,
+    depth: usize,
+    max_depth: usize,
+    depth_limit: usize,
+}
+
+impl<'p> Interpreter<'p> {
+    /// Default call-depth limit.
+    pub const DEFAULT_DEPTH_LIMIT: usize = 512;
+
+    /// Creates an interpreter for `program` with the given RNG seed.
+    #[must_use]
+    pub fn new(program: &'p Program, seed: u64) -> Self {
+        Interpreter {
+            program,
+            rng: SplitMix64::new(seed),
+            fuel: u64::MAX,
+            depth_limit: Self::DEFAULT_DEPTH_LIMIT,
+            site_state: vec![0; program.state_slot_count() as usize],
+        }
+    }
+
+    /// Caps the number of profile elements emitted. The program is
+    /// halted (and unwound cleanly) once the budget is spent.
+    #[must_use]
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Overrides the call-depth limit.
+    #[must_use]
+    pub fn with_depth_limit(mut self, limit: usize) -> Self {
+        self.depth_limit = limit;
+        self
+    }
+
+    /// Runs the program to completion (or until fuel runs out),
+    /// streaming into `sink`. A `&mut` sink reference also works, since
+    /// `TraceSink` is implemented for mutable references.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError::CallDepthExceeded`] if recursion exceeds
+    /// the depth limit; the sink will have received a partial,
+    /// possibly unbalanced trace in that case.
+    pub fn run<S: TraceSink>(&mut self, sink: &mut S) -> Result<RunSummary, InterpError> {
+        let mut exec = Exec {
+            program: self.program,
+            rng: &mut self.rng,
+            sink,
+            site_state: &mut self.site_state,
+            branches: 0,
+            events: 0,
+            fuel: self.fuel,
+            halted: false,
+            depth: 0,
+            max_depth: 0,
+            depth_limit: self.depth_limit,
+        };
+        exec.call(self.program.entry(), self.program.entry_arg())?;
+        Ok(RunSummary {
+            branches: exec.branches,
+            events: exec.events,
+            max_depth: exec.max_depth,
+            exhausted: exec.halted,
+        })
+    }
+}
+
+impl<S: TraceSink> Exec<'_, '_, S> {
+    fn emit_event(&mut self, kind: CallLoopEventKind) {
+        self.sink.record_event(kind, self.branches);
+        self.events += 1;
+    }
+
+    fn call(&mut self, id: FuncId, arg: u32) -> Result<(), InterpError> {
+        if self.depth >= self.depth_limit {
+            return Err(InterpError::CallDepthExceeded {
+                limit: self.depth_limit,
+            });
+        }
+        self.depth += 1;
+        self.max_depth = self.max_depth.max(self.depth);
+        self.emit_event(CallLoopEventKind::MethodEnter(id.method_id()));
+        let body = self.program.function(id).body();
+        let result = self.block(id, arg, body);
+        self.emit_event(CallLoopEventKind::MethodExit(id.method_id()));
+        self.depth -= 1;
+        result
+    }
+
+    fn block(&mut self, func: FuncId, arg: u32, stmts: &[Stmt]) -> Result<(), InterpError> {
+        for stmt in stmts {
+            if self.halted {
+                break;
+            }
+            match stmt {
+                Stmt::Branch(b) => {
+                    self.exec_branch(func, b);
+                }
+                Stmt::Loop { id, trip, body } => {
+                    let n = self.draw_trip(*trip, arg);
+                    self.emit_event(CallLoopEventKind::LoopEnter(*id));
+                    for _ in 0..n {
+                        if self.halted {
+                            break;
+                        }
+                        self.block(func, arg, body)?;
+                    }
+                    self.emit_event(CallLoopEventKind::LoopExit(*id));
+                }
+                Stmt::Call { callee, arg: expr } => {
+                    let value = self.eval_arg(*expr, arg);
+                    self.call(*callee, value)?;
+                }
+                Stmt::If {
+                    branch,
+                    then_body,
+                    else_body,
+                } => {
+                    let taken = self.exec_branch(func, branch);
+                    if taken {
+                        self.block(func, arg, then_body)?;
+                    } else {
+                        self.block(func, arg, else_body)?;
+                    }
+                }
+                Stmt::IfArgPositive { body } => {
+                    if arg > 0 {
+                        self.block(func, arg, body)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_branch(&mut self, func: FuncId, b: &BranchStmt) -> bool {
+        let taken = match b.dist {
+            TakenDist::Always => true,
+            TakenDist::Never => false,
+            TakenDist::Bernoulli(p) => self.rng.next_bool(p),
+            TakenDist::Alternating => {
+                let s = &mut self.site_state[b.state_slot as usize];
+                *s ^= 1;
+                *s == 1
+            }
+            TakenDist::Periodic(period) => {
+                let s = &mut self.site_state[b.state_slot as usize];
+                *s += 1;
+                if *s >= period {
+                    *s = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if self.fuel == 0 {
+            self.halted = true;
+            return taken;
+        }
+        self.fuel -= 1;
+        self.sink
+            .record_branch(ProfileElement::new(func.method_id(), b.offset, taken));
+        self.branches += 1;
+        taken
+    }
+
+    fn draw_trip(&mut self, trip: Trip, arg: u32) -> u32 {
+        match trip {
+            Trip::Fixed(n) => n,
+            Trip::Uniform(lo, hi) => self.rng.next_range(u64::from(lo), u64::from(hi)) as u32,
+            Trip::Arg => arg,
+        }
+    }
+
+    fn eval_arg(&mut self, expr: ArgExpr, arg: u32) -> u32 {
+        match expr {
+            ArgExpr::Const(v) => v,
+            ArgExpr::Dec => arg.saturating_sub(1),
+            ArgExpr::Half => arg / 2,
+            ArgExpr::Draw(lo, hi) => self.rng.next_range(u64::from(lo), u64::from(hi)) as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ProgramBuilder;
+    use opd_trace::{ExecutionTrace, TraceStats};
+
+    fn run_program(b: &mut ProgramBuilder, seed: u64) -> (ExecutionTrace, RunSummary) {
+        let program = b.build().unwrap();
+        let mut trace = ExecutionTrace::new();
+        let summary = Interpreter::new(&program, seed).run(&mut trace).unwrap();
+        (trace, summary)
+    }
+
+    #[test]
+    fn simple_loop_emits_expected_counts() {
+        let mut b = ProgramBuilder::new();
+        let main = b.declare("main");
+        b.define(main, |f| {
+            f.repeat(Trip::Fixed(7), |l| {
+                l.branches(3, TakenDist::Always);
+            });
+        });
+        let (trace, summary) = run_program(&mut b, 0);
+        assert_eq!(summary.branches, 21);
+        assert_eq!(trace.branches().len(), 21);
+        // method enter/exit + loop enter/exit
+        assert_eq!(summary.events, 4);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let build = || {
+            let mut b = ProgramBuilder::new();
+            let main = b.declare("main");
+            b.define(main, |f| {
+                f.repeat(Trip::Uniform(5, 50), |l| {
+                    l.branch(TakenDist::Bernoulli(0.5));
+                });
+            });
+            b.build().unwrap()
+        };
+        let p1 = build();
+        let p2 = build();
+        let mut t1 = ExecutionTrace::new();
+        let mut t2 = ExecutionTrace::new();
+        Interpreter::new(&p1, 99).run(&mut t1).unwrap();
+        Interpreter::new(&p2, 99).run(&mut t2).unwrap();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn bounded_recursion_terminates() {
+        let mut b = ProgramBuilder::new();
+        let rec = b.declare("rec");
+        let main = b.declare("main");
+        b.define(rec, |f| {
+            f.branch(TakenDist::Always);
+            f.if_arg_positive(|g| {
+                g.call(rec, ArgExpr::Dec);
+            });
+        });
+        b.define(main, |f| {
+            f.call(rec, ArgExpr::Const(5));
+        });
+        b.entry(main);
+        let (trace, summary) = run_program(&mut b, 0);
+        assert_eq!(summary.branches, 6); // depths 5,4,3,2,1,0
+        assert_eq!(summary.max_depth, 7); // main + 6 nested rec frames
+        let stats = TraceStats::measure(&trace);
+        assert_eq!(stats.recursion_roots, 1);
+        assert_eq!(stats.method_invocations, 7);
+    }
+
+    #[test]
+    fn unbounded_recursion_errors() {
+        let mut b = ProgramBuilder::new();
+        let rec = b.declare("rec");
+        b.define(rec, |f| {
+            f.call(rec, ArgExpr::Const(1));
+        });
+        let program = b.build().unwrap();
+        let mut trace = ExecutionTrace::new();
+        let err = Interpreter::new(&program, 0)
+            .with_depth_limit(32)
+            .run(&mut trace)
+            .unwrap_err();
+        assert_eq!(err, InterpError::CallDepthExceeded { limit: 32 });
+    }
+
+    #[test]
+    fn fuel_halts_cleanly() {
+        let mut b = ProgramBuilder::new();
+        let main = b.declare("main");
+        b.define(main, |f| {
+            f.repeat(Trip::Fixed(1000), |l| {
+                l.repeat(Trip::Fixed(10), |inner| {
+                    inner.branch(TakenDist::Always);
+                });
+            });
+        });
+        let program = b.build().unwrap();
+        let mut trace = ExecutionTrace::new();
+        let summary = Interpreter::new(&program, 0)
+            .with_fuel(137)
+            .run(&mut trace)
+            .unwrap();
+        assert!(summary.exhausted);
+        assert_eq!(summary.branches, 137);
+        // Every enter has a matching exit even though we halted early.
+        let enters = trace
+            .events()
+            .iter()
+            .filter(|e| e.kind().is_enter())
+            .count();
+        assert_eq!(enters * 2, trace.events().len());
+    }
+
+    #[test]
+    fn alternating_branch_alternates() {
+        let mut b = ProgramBuilder::new();
+        let main = b.declare("main");
+        b.define(main, |f| {
+            f.repeat(Trip::Fixed(6), |l| {
+                l.branch(TakenDist::Alternating);
+            });
+        });
+        let (trace, _) = run_program(&mut b, 0);
+        let bits: Vec<bool> = trace.branches().iter().map(|e| e.taken()).collect();
+        assert_eq!(bits, vec![true, false, true, false, true, false]);
+    }
+
+    #[test]
+    fn periodic_branch_fires_once_per_period() {
+        let mut b = ProgramBuilder::new();
+        let main = b.declare("main");
+        b.define(main, |f| {
+            f.repeat(Trip::Fixed(9), |l| {
+                l.branch(TakenDist::Periodic(3));
+            });
+        });
+        let (trace, _) = run_program(&mut b, 0);
+        let taken = trace.branches().iter().filter(|e| e.taken()).count();
+        assert_eq!(taken, 3);
+    }
+
+    #[test]
+    fn cond_selects_arm_by_taken_bit() {
+        let mut b = ProgramBuilder::new();
+        let main = b.declare("main");
+        b.define(main, |f| {
+            f.cond(
+                TakenDist::Always,
+                |t| {
+                    t.branch(TakenDist::Always);
+                },
+                |e| {
+                    e.branch(TakenDist::Never);
+                },
+            );
+            f.cond(
+                TakenDist::Never,
+                |t| {
+                    t.branch(TakenDist::Always);
+                },
+                |e| {
+                    e.branch(TakenDist::Never);
+                },
+            );
+        });
+        let (trace, _) = run_program(&mut b, 0);
+        // guard, then-arm, guard, else-arm
+        assert_eq!(trace.branches().len(), 4);
+        let bits: Vec<bool> = trace.branches().iter().map(|e| e.taken()).collect();
+        assert_eq!(bits, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn arg_trip_uses_argument() {
+        let mut b = ProgramBuilder::new();
+        let worker = b.declare("worker");
+        let main = b.declare("main");
+        b.define(worker, |f| {
+            f.repeat(Trip::Arg, |l| {
+                l.branch(TakenDist::Always);
+            });
+        });
+        b.define(main, |f| {
+            f.call(worker, ArgExpr::Const(13));
+        });
+        b.entry(main);
+        let (_, summary) = run_program(&mut b, 0);
+        assert_eq!(summary.branches, 13);
+    }
+
+    #[test]
+    fn half_and_draw_args() {
+        let mut b = ProgramBuilder::new();
+        let worker = b.declare("worker");
+        let main = b.declare("main");
+        b.define(worker, |f| {
+            f.repeat(Trip::Arg, |l| {
+                l.branch(TakenDist::Always);
+            });
+        });
+        b.define(main, |f| {
+            f.call(worker, ArgExpr::Half);
+            f.call(worker, ArgExpr::Draw(2, 2));
+        });
+        b.entry(main).entry_arg(10);
+        let (_, summary) = run_program(&mut b, 0);
+        assert_eq!(summary.branches, 5 + 2);
+    }
+
+    #[test]
+    fn events_offsets_are_correlated() {
+        let mut b = ProgramBuilder::new();
+        let main = b.declare("main");
+        b.define(main, |f| {
+            f.branch(TakenDist::Always);
+            f.repeat(Trip::Fixed(2), |l| {
+                l.branch(TakenDist::Always);
+            });
+        });
+        let (trace, _) = run_program(&mut b, 0);
+        let offsets: Vec<u64> = trace.events().iter().map(|e| e.offset()).collect();
+        // enter main @0, loop enter @1, loop exit @3, exit main @3
+        assert_eq!(offsets, vec![0, 1, 3, 3]);
+    }
+}

@@ -1,0 +1,286 @@
+//! The MicroVM intermediate representation: structured programs made of
+//! loops, conditional branches, calls, and argument-guarded recursion.
+
+use core::fmt;
+
+use opd_trace::{LoopId, MethodId};
+
+/// Identifier of a function within a [`Program`].
+///
+/// A `FuncId` doubles as the [`MethodId`] under which the function's
+/// branches and call events are recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub(crate) u32);
+
+impl FuncId {
+    /// Returns the function index inside its program.
+    #[must_use]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the method id under which this function is profiled.
+    #[must_use]
+    pub fn method_id(self) -> MethodId {
+        MethodId::new(self.0)
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// How many iterations a loop runs, drawn at loop entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trip {
+    /// Exactly `n` iterations.
+    Fixed(u32),
+    /// Uniformly random in `[lo, hi]` (inclusive).
+    Uniform(u32, u32),
+    /// As many iterations as the current function argument.
+    Arg,
+}
+
+impl Trip {
+    /// Largest possible iteration count for this distribution, given
+    /// the largest possible argument value.
+    #[must_use]
+    pub fn max_trip(self, max_arg: u32) -> u32 {
+        match self {
+            Trip::Fixed(n) => n,
+            Trip::Uniform(_, hi) => hi,
+            Trip::Arg => max_arg,
+        }
+    }
+}
+
+/// The distribution of a conditional branch's taken bit.
+///
+/// Because a profile element packs the taken bit, two executions of the
+/// same static site with different outcomes are *different* profile
+/// elements. Distributions therefore control both which elements appear
+/// and their relative frequencies — the knob that separates the
+/// unweighted and weighted similarity models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TakenDist {
+    /// Always taken.
+    Always,
+    /// Never taken.
+    Never,
+    /// Taken with probability `p` on each execution.
+    Bernoulli(f64),
+    /// Strictly alternating taken / not-taken.
+    Alternating,
+    /// Taken exactly once every `period` executions.
+    Periodic(u32),
+}
+
+/// The argument passed to a callee, evaluated in the caller's frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArgExpr {
+    /// A constant value.
+    Const(u32),
+    /// The caller's argument minus one (saturating); the idiom for
+    /// bounded recursion.
+    Dec,
+    /// Half the caller's argument.
+    Half,
+    /// A fresh uniform draw in `[lo, hi]`.
+    Draw(u32, u32),
+}
+
+/// A conditional-branch statement: the unit that emits one profile
+/// element per execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BranchStmt {
+    /// Bytecode offset of the site within its function; assigned by the
+    /// builder, unique per function.
+    pub(crate) offset: u32,
+    /// Dense index into the interpreter's per-site state table, used by
+    /// stateful distributions (alternating / periodic).
+    pub(crate) state_slot: u32,
+    /// Taken-bit distribution.
+    pub(crate) dist: TakenDist,
+}
+
+impl BranchStmt {
+    /// Returns the bytecode offset of this site within its function.
+    #[must_use]
+    pub fn offset(&self) -> u32 {
+        self.offset
+    }
+
+    /// Returns the taken-bit distribution.
+    #[must_use]
+    pub fn dist(&self) -> TakenDist {
+        self.dist
+    }
+}
+
+/// One statement of a MicroVM function body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Execute a conditional branch, emitting one profile element.
+    Branch(BranchStmt),
+    /// Run `body` for a number of iterations drawn from `trip`,
+    /// emitting loop enter/exit events around the whole execution.
+    Loop {
+        /// Static loop identifier (unique per program).
+        id: LoopId,
+        /// Iteration-count distribution.
+        trip: Trip,
+        /// Statements run once per iteration.
+        body: Vec<Stmt>,
+    },
+    /// Invoke `callee` with the argument `arg`, emitting method
+    /// enter/exit events.
+    Call {
+        /// The invoked function.
+        callee: FuncId,
+        /// Argument passed to the callee.
+        arg: ArgExpr,
+    },
+    /// Execute the branch, then run `then_body` if taken, otherwise
+    /// `else_body`.
+    If {
+        /// The guarding branch (emits its element before either arm).
+        branch: BranchStmt,
+        /// Statements for the taken arm.
+        then_body: Vec<Stmt>,
+        /// Statements for the not-taken arm.
+        else_body: Vec<Stmt>,
+    },
+    /// Run `body` only when the current function argument is positive;
+    /// the guard for bounded recursion.
+    IfArgPositive {
+        /// Statements guarded by `arg > 0`.
+        body: Vec<Stmt>,
+    },
+}
+
+/// A MicroVM function: a name (for diagnostics) and a body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    pub(crate) name: String,
+    pub(crate) body: Vec<Stmt>,
+}
+
+impl Function {
+    /// Returns the function's diagnostic name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the function body.
+    #[must_use]
+    pub fn body(&self) -> &[Stmt] {
+        &self.body
+    }
+}
+
+/// A complete MicroVM program: functions plus the entry point.
+///
+/// Programs are constructed (and validated) by
+/// [`ProgramBuilder`](crate::ProgramBuilder).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub(crate) functions: Vec<Function>,
+    pub(crate) entry: FuncId,
+    pub(crate) entry_arg: u32,
+    pub(crate) loop_count: u32,
+    pub(crate) state_slots: u32,
+}
+
+impl Program {
+    /// Returns all functions, indexable by [`FuncId::index`].
+    #[must_use]
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// Returns the function with the given id.
+    #[must_use]
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.0 as usize]
+    }
+
+    /// Returns the entry function.
+    #[must_use]
+    pub fn entry(&self) -> FuncId {
+        self.entry
+    }
+
+    /// Returns the argument the entry function is invoked with.
+    #[must_use]
+    pub fn entry_arg(&self) -> u32 {
+        self.entry_arg
+    }
+
+    /// Returns the number of static loops in the program.
+    #[must_use]
+    pub fn loop_count(&self) -> u32 {
+        self.loop_count
+    }
+
+    /// Returns the number of stateful branch sites.
+    #[must_use]
+    pub fn state_slot_count(&self) -> u32 {
+        self.state_slots
+    }
+
+    /// Returns the total number of static branch sites.
+    #[must_use]
+    pub fn site_count(&self) -> usize {
+        fn count(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::Branch(_) => 1,
+                    Stmt::Loop { body, .. } | Stmt::IfArgPositive { body } => count(body),
+                    Stmt::Call { .. } => 0,
+                    Stmt::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => 1 + count(then_body) + count(else_body),
+                })
+                .sum()
+        }
+        self.functions.iter().map(|f| count(&f.body)).sum()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "program: {} functions, {} loops, {} branch sites, entry {} (arg {})",
+            self.functions.len(),
+            self.loop_count,
+            self.site_count(),
+            self.entry,
+            self.entry_arg
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trip_max() {
+        assert_eq!(Trip::Fixed(5).max_trip(100), 5);
+        assert_eq!(Trip::Uniform(2, 9).max_trip(100), 9);
+        assert_eq!(Trip::Arg.max_trip(100), 100);
+    }
+
+    #[test]
+    fn func_id_maps_to_method_id() {
+        assert_eq!(FuncId(3).method_id(), MethodId::new(3));
+        assert_eq!(format!("{}", FuncId(3)), "f3");
+    }
+}

@@ -1,0 +1,106 @@
+//! `audiodec`: the `_222_mpegaudio` analogue.
+//!
+//! An audio decoder processes two channels of granules of frames. The
+//! per-frame subband synthesis loop (~1.6K branches) is the unit
+//! phase; twelve frames form a granule (~20K); ten granules form a
+//! channel (~200K). At MPL = 100K only the two channel-level
+//! executions remain — matching the extreme mpegaudio shows in
+//! Table 1(b), where 7594 phases at MPL = 1K collapse to 2 at 100K.
+
+use crate::{ArgExpr, Program, ProgramBuilder, TakenDist, Trip};
+
+/// Builds the `audiodec` program. `scale` multiplies the number of
+/// channels decoded.
+#[must_use]
+pub fn audiodec(scale: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    let decode_frame = b.declare("decode_frame");
+    let decode_channel = b.declare("decode_channel");
+    let main = b.declare("main");
+
+    // One frame: windowing, subband synthesis (the dominant unit
+    // loop), and output.
+    b.define(decode_frame, |f| {
+        f.branches(2, TakenDist::Bernoulli(0.5)); // frame header
+        f.repeat(Trip::Uniform(10, 16), |window| {
+            window.branches(2, TakenDist::Bernoulli(0.7));
+        });
+        f.repeat(Trip::Uniform(150, 260), |subband| {
+            subband.branches(4, TakenDist::Bernoulli(0.45));
+            subband.repeat(Trip::Fixed(2), |butterfly| {
+                butterfly.branches(2, TakenDist::Alternating);
+            });
+        });
+        f.repeat(Trip::Uniform(8, 14), |out| {
+            out.branches(2, TakenDist::Bernoulli(0.9));
+        });
+    });
+
+    // One channel: granules of frames; the granule loop execution is
+    // the ~200K channel-level repetition construct.
+    b.define(decode_channel, |f| {
+        f.branches(3, TakenDist::Bernoulli(0.5)); // channel setup
+        f.repeat(Trip::Fixed(10), |granules| {
+            granules.branches(2, TakenDist::Bernoulli(0.5)); // granule header
+                                                             // One loop execution per granule (~20K).
+            granules.repeat(Trip::Fixed(12), |frames| {
+                frames.branches(2, TakenDist::Bernoulli(0.5)); // sync search
+                frames.call(decode_frame, ArgExpr::Const(0));
+            });
+        });
+    });
+
+    b.define(main, |f| {
+        f.branches(5, TakenDist::Bernoulli(0.4)); // stream open
+        f.repeat(Trip::Fixed(2 * scale), |channels| {
+            channels.branches(2, TakenDist::Bernoulli(0.3));
+            channels.call(decode_channel, ArgExpr::Const(0));
+        });
+    });
+
+    b.entry(main);
+    b.build().expect("audiodec is a valid program")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Interpreter;
+    use opd_trace::{CallLoopEventKind, ExecutionTrace, TraceStats};
+
+    #[test]
+    fn shape_matches_design() {
+        let p = audiodec(1);
+        let mut t = ExecutionTrace::new();
+        Interpreter::new(&p, 2).run(&mut t).unwrap();
+        let s = TraceStats::measure(&t);
+        assert!(s.dynamic_branches > 250_000, "{}", s.dynamic_branches);
+        // 2 channels x 10 granules x 12 frames, plus 2 channel calls.
+        assert_eq!(s.method_invocations, 240 + 2 + 1);
+        assert_eq!(s.recursion_roots, 0);
+    }
+
+    #[test]
+    fn frames_dominated_by_subband_unit() {
+        let p = audiodec(1);
+        let mut t = ExecutionTrace::new();
+        Interpreter::new(&p, 2).run(&mut t).unwrap();
+        // Average frame length ~1.7K: big enough that its subband loop
+        // is a unit phase at MPL = 1K, small enough to vanish by 25K.
+        let mut enters = Vec::new();
+        let mut lens = Vec::new();
+        for ev in t.events() {
+            match ev.kind() {
+                CallLoopEventKind::MethodEnter(m) if m.index() == 0 => enters.push(ev.offset()),
+                CallLoopEventKind::MethodExit(m) if m.index() == 0 => {
+                    let start = enters.pop().unwrap();
+                    lens.push(ev.offset() - start);
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(lens.len(), 240);
+        let avg = lens.iter().sum::<u64>() / lens.len() as u64;
+        assert!((1_000..3_000).contains(&avg), "avg frame length {avg}");
+    }
+}

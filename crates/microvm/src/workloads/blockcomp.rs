@@ -1,0 +1,156 @@
+//! `blockcomp`: the `_201_compress` analogue.
+//!
+//! Compress alternates between compressing and expanding large data
+//! blocks. Crucially for the paper's Figure 5 anomaly, every branch
+//! site is shared across all phases *and* transitions: the codec
+//! rounds and the inter-block checksum gaps draw from one working
+//! set, so the unweighted (set) model sees similarity 1.0 everywhere
+//! and cannot find any boundary. Only the relative *frequencies*
+//! differ — the expander spends ~90% of its time in the inner bit
+//! loop, the compressor ~38%, and the gaps are pure checksum — which
+//! the weighted model detects sharply. This reproduces the paper's
+//! finding that `_201_compress` is the one benchmark where the
+//! weighted model clearly wins.
+
+use crate::{ArgExpr, Program, ProgramBuilder, TakenDist, Trip};
+
+/// Builds the `blockcomp` program. `scale` multiplies the number of
+/// processed blocks.
+#[must_use]
+pub fn blockcomp(scale: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    let checksum = b.declare("checksum");
+    let codec_block = b.declare("codec_block");
+    let main = b.declare("main");
+
+    // A tiny checksum routine, called both inside every codec round
+    // and throughout the inter-block gaps — its sites are frequent in
+    // every phase, so gap elements are invisible to the set model.
+    b.define(checksum, |f| {
+        f.branches(2, TakenDist::Bernoulli(0.5));
+    });
+
+    // The shared codec routine: "table lookup" sites, a checksum call,
+    // and an inner bit loop whose trip count is the caller's argument.
+    // Callers shift weight between outer and inner sites without
+    // changing the site set.
+    b.define(codec_block, |f| {
+        f.repeat(Trip::Fixed(700), |round| {
+            round.branches(3, TakenDist::Bernoulli(0.6));
+            round.call(checksum, ArgExpr::Const(0));
+            round.repeat(Trip::Arg, |bits| {
+                bits.branches(3, TakenDist::Bernoulli(0.55));
+            });
+        });
+    });
+
+    b.define(main, |f| {
+        f.branches(6, TakenDist::Bernoulli(0.4)); // startup
+        f.repeat(Trip::Fixed(6 * scale), |blocks| {
+            // Inter-block gap: ~600 elements of checksum work.
+            blocks.repeat(Trip::Fixed(300), |gap| {
+                gap.call(checksum, ArgExpr::Const(0));
+            });
+            blocks.call(codec_block, ArgExpr::Const(1)); // compress: light bit loop
+            blocks.repeat(Trip::Fixed(300), |gap| {
+                gap.call(checksum, ArgExpr::Const(0));
+            });
+            blocks.call(codec_block, ArgExpr::Const(16)); // expand: heavy bit loop
+        });
+        f.branches(6, TakenDist::Bernoulli(0.4)); // teardown
+    });
+
+    b.entry(main);
+    b.build().expect("blockcomp is a valid program")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Interpreter;
+    use opd_trace::{CallLoopEventKind, ExecutionTrace, TraceStats};
+    use std::collections::HashSet;
+
+    fn codec_spans(t: &ExecutionTrace) -> Vec<(u64, u64)> {
+        let mut spans = Vec::new();
+        let mut open = None;
+        for ev in t.events() {
+            match ev.kind() {
+                CallLoopEventKind::MethodEnter(m) if m.index() == 1 => open = Some(ev.offset()),
+                CallLoopEventKind::MethodExit(m) if m.index() == 1 => {
+                    spans.push((open.take().unwrap(), ev.offset()));
+                }
+                _ => {}
+            }
+        }
+        spans
+    }
+
+    #[test]
+    fn shape_matches_design() {
+        let p = blockcomp(1);
+        let mut t = ExecutionTrace::new();
+        Interpreter::new(&p, 1).run(&mut t).unwrap();
+        let s = TraceStats::measure(&t);
+        // 6 blocks x (compress ~6.3K + expand ~39K + 1.2K gaps).
+        assert!(s.dynamic_branches > 150_000, "{}", s.dynamic_branches);
+        assert_eq!(s.recursion_roots, 0);
+    }
+
+    #[test]
+    fn all_sites_shared_between_phases_and_gaps() {
+        // Consecutive codec invocations (compress, then expand) must
+        // use identical site sets, and the gap elements between them
+        // must be a subset — the unweighted model then sees nothing.
+        let p = blockcomp(1);
+        let mut t = ExecutionTrace::new();
+        Interpreter::new(&p, 1).run(&mut t).unwrap();
+        let spans = codec_spans(&t);
+        assert_eq!(spans.len(), 12);
+        let sites: Vec<HashSet<_>> = spans
+            .iter()
+            .map(|&(s, e)| {
+                t.branches().as_slice()[s as usize..e as usize]
+                    .iter()
+                    .map(|x| x.site())
+                    .collect()
+            })
+            .collect();
+        for pair in sites.windows(2) {
+            assert_eq!(pair[0], pair[1], "phases must share their site set");
+        }
+        // Gap between phase 0 and phase 1.
+        let gap: HashSet<_> = t.branches().as_slice()[spans[0].1 as usize..spans[1].0 as usize]
+            .iter()
+            .map(|x| x.site())
+            .collect();
+        assert!(!gap.is_empty());
+        assert!(gap.is_subset(&sites[0]), "gap sites leak new information");
+    }
+
+    #[test]
+    fn phases_differ_in_frequency_mix() {
+        let p = blockcomp(1);
+        let mut t = ExecutionTrace::new();
+        Interpreter::new(&p, 1).run(&mut t).unwrap();
+        let lens: Vec<u64> = codec_spans(&t).iter().map(|&(s, e)| e - s).collect();
+        // Alternating short (compress) and long (expand) phases.
+        for pair in lens.chunks(2) {
+            assert!(pair[1] > pair[0] * 4, "{pair:?}");
+        }
+    }
+
+    #[test]
+    fn gaps_are_wide_enough_for_boundary_matching() {
+        // The inter-phase gaps must exceed a CW=500 detector's lag so
+        // that late phase-end detections still land inside the gap.
+        let p = blockcomp(1);
+        let mut t = ExecutionTrace::new();
+        Interpreter::new(&p, 1).run(&mut t).unwrap();
+        let spans = codec_spans(&t);
+        for pair in spans.windows(2) {
+            let gap = pair[1].0 - pair[0].1;
+            assert!((550..1_000).contains(&gap), "gap {gap}");
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! `lexgen`: the JLex analogue.
+//!
+//! A lexical-analyzer generator processes two scanner specifications;
+//! each runs a pipeline of distinct long stages — read the
+//! specification, build the NFA, determinize (the dominant ~100K
+//! stage), minimize, and emit. Almost all branches fall inside some
+//! phase, and at MPL = 100K exactly the two determinization stages
+//! survive — mirroring JLex's 2 phases at 92.85% in Table 1(b).
+
+use crate::{ArgExpr, Program, ProgramBuilder, TakenDist, Trip};
+
+/// Builds the `lexgen` program. `scale` multiplies the size of the
+/// determinization stage.
+#[must_use]
+pub fn lexgen(scale: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    let determinize = b.declare("determinize");
+    let main = b.declare("main");
+
+    // Subset construction: for every unmarked DFA state, scan the
+    // alphabet and union NFA move sets. ~100K branches per call.
+    b.define(determinize, |f| {
+        f.repeat(Trip::Fixed(300), |states| {
+            states.branch(TakenDist::Bernoulli(0.5)); // pop work list
+            states.repeat(Trip::Uniform(120, 220), |alphabet| {
+                alphabet.branches(2, TakenDist::Bernoulli(0.35));
+            });
+        });
+    });
+
+    b.define(main, |f| {
+        f.repeat(Trip::Fixed(2 * scale), |specs| {
+            specs.branches(3, TakenDist::Bernoulli(0.5)); // open spec
+                                                          // Stage 1: read the lexer specification.
+            specs.repeat(Trip::Fixed(2000), |spec| {
+                spec.branches(2, TakenDist::Bernoulli(0.65));
+            });
+            specs.branches(2, TakenDist::Bernoulli(0.5)); // hand-off
+                                                          // Stage 2: build the NFA.
+            specs.repeat(Trip::Fixed(5500), |nfa| {
+                nfa.branches(3, TakenDist::Bernoulli(0.5));
+            });
+            specs.branches(2, TakenDist::Bernoulli(0.5));
+            // Stage 3: determinize (NFA -> DFA), the dominant stage.
+            specs.call(determinize, ArgExpr::Const(0));
+            specs.branches(2, TakenDist::Bernoulli(0.5));
+            // Stage 4: minimize the DFA.
+            specs.repeat(Trip::Fixed(12), |rounds| {
+                rounds.branch(TakenDist::Bernoulli(0.5));
+                rounds.repeat(Trip::Fixed(1400), |pairs| {
+                    pairs.branches(2, TakenDist::Bernoulli(0.4));
+                });
+            });
+            specs.branches(2, TakenDist::Bernoulli(0.5));
+            // Stage 5: emit the scanner tables.
+            specs.repeat(Trip::Fixed(4000), |emit| {
+                emit.branches(2, TakenDist::Bernoulli(0.8));
+            });
+        });
+    });
+
+    b.entry(main);
+    b.build().expect("lexgen is a valid program")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Interpreter;
+    use opd_trace::{ExecutionTrace, TraceStats};
+
+    #[test]
+    fn shape_matches_design() {
+        let p = lexgen(1);
+        let mut t = ExecutionTrace::new();
+        Interpreter::new(&p, 8).run(&mut t).unwrap();
+        let s = TraceStats::measure(&t);
+        // 2 specs x (4K read + 16.5K nfa + ~102K det + ~34K min + 8K emit).
+        assert!(s.dynamic_branches > 250_000, "{}", s.dynamic_branches);
+        assert_eq!(s.method_invocations, 3);
+        assert_eq!(s.recursion_roots, 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! `parsegen`: the `_228_jack` analogue.
+//!
+//! A parser generator re-parses a series of grammar files, invoking
+//! the same parse method back-to-back twelve times per file. The
+//! adjacent invocations exercise the baseline's merging of temporally
+//! adjacent repeated invocations of one method (Section 3.1): at small
+//! MPL values each pass's token loop (~2.4K) is a phase, at mid MPL
+//! values the merged run of passes per file (~30K) is, and at large
+//! MPL values only the whole-file loop survives — the decay jack shows
+//! in Table 1(b).
+
+use crate::{ArgExpr, Program, ProgramBuilder, TakenDist, Trip};
+
+/// Builds the `parsegen` program. `scale` multiplies the number of
+/// grammar files.
+#[must_use]
+pub fn parsegen(scale: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    let parse_pass = b.declare("parse_pass");
+    let emit_tables = b.declare("emit_tables");
+    let main = b.declare("main");
+
+    // One pass over a grammar: a token loop with an occasional
+    // production-reduction burst.
+    b.define(parse_pass, |f| {
+        f.branch(TakenDist::Bernoulli(0.5)); // reset lexer
+        f.repeat(Trip::Uniform(800, 1400), |tokens| {
+            tokens.branches(2, TakenDist::Bernoulli(0.5)); // token class
+            tokens.cond(
+                TakenDist::Bernoulli(0.06), // reduce a production
+                |reduce| {
+                    reduce.branches(3, TakenDist::Bernoulli(0.45));
+                },
+                |_| {},
+            );
+        });
+    });
+
+    // Final table emission.
+    b.define(emit_tables, |f| {
+        f.repeat(Trip::Fixed(5000), |rows| {
+            rows.branches(2, TakenDist::Bernoulli(0.75));
+        });
+    });
+
+    b.define(main, |f| {
+        f.branches(4, TakenDist::Bernoulli(0.5)); // startup
+        f.repeat(Trip::Fixed(12 * scale), |files| {
+            files.branches(2, TakenDist::Bernoulli(0.5)); // open grammar
+                                                          // NOTE: no branches between iterations, so consecutive
+                                                          // parse_pass invocations are adjacent (distance 0) and
+                                                          // merge into a single baseline CRI per file.
+            files.repeat(Trip::Fixed(12), |passes| {
+                passes.call(parse_pass, ArgExpr::Const(0));
+            });
+        });
+        f.call(emit_tables, ArgExpr::Const(0));
+    });
+
+    b.entry(main);
+    b.build().expect("parsegen is a valid program")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Interpreter;
+    use opd_trace::{ExecutionTrace, TraceStats};
+
+    #[test]
+    fn shape_matches_design() {
+        let p = parsegen(1);
+        let mut t = ExecutionTrace::new();
+        Interpreter::new(&p, 7).run(&mut t).unwrap();
+        let s = TraceStats::measure(&t);
+        // 12 files x 12 passes x ~2.4K + 10K emit.
+        assert!(s.dynamic_branches > 250_000, "{}", s.dynamic_branches);
+        assert_eq!(s.method_invocations, 12 * 12 + 1 + 1);
+        assert_eq!(s.recursion_roots, 0);
+    }
+}

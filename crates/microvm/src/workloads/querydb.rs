@@ -1,0 +1,90 @@
+//! `querydb`: the `_209_db` analogue.
+//!
+//! An in-memory database serves sessions of queries: each query scans
+//! the record table (~2K branches, the unit phase), eight queries make
+//! a session (~17K, the mid-level phase), and a shell-sort burst runs
+//! every tenth operation.
+
+use crate::{ArgExpr, Program, ProgramBuilder, TakenDist, Trip};
+
+/// Builds the `querydb` program. `scale` multiplies the number of
+/// sessions.
+#[must_use]
+pub fn querydb(scale: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    let run_query = b.declare("run_query");
+    let sort_records = b.declare("sort_records");
+    let main = b.declare("main");
+
+    // One query: a scan over ~1000 records with a comparison and a
+    // rarely-taken match branch.
+    b.define(run_query, |f| {
+        f.branches(2, TakenDist::Bernoulli(0.5)); // parse the query
+        f.repeat(Trip::Uniform(700, 1300), |scan| {
+            scan.branch(TakenDist::Bernoulli(0.3)); // key compare
+            scan.cond(
+                TakenDist::Bernoulli(0.02), // match found
+                |hit| {
+                    hit.branches(2, TakenDist::Bernoulli(0.5));
+                },
+                |_| {},
+            );
+        });
+    });
+
+    // Shell sort burst: nested gap/insertion loops.
+    b.define(sort_records, |f| {
+        f.repeat(Trip::Fixed(35), |gap| {
+            gap.repeat(Trip::Uniform(30, 50), |inner| {
+                inner.branches(2, TakenDist::Bernoulli(0.5));
+            });
+        });
+    });
+
+    b.define(main, |f| {
+        // Setup: read the record file.
+        f.repeat(Trip::Fixed(2500), |read| {
+            read.branches(2, TakenDist::Bernoulli(0.8));
+        });
+        // Sessions of queries.
+        f.repeat(Trip::Fixed(18 * scale), |sessions| {
+            sessions.branches(2, TakenDist::Bernoulli(0.5)); // authenticate
+                                                             // One loop execution per session (~17K): the mid-level
+                                                             // repetition construct.
+            sessions.repeat(Trip::Fixed(8), |ops| {
+                ops.branches(2, TakenDist::Bernoulli(0.5)); // dispatch
+                ops.call(run_query, ArgExpr::Const(0));
+                ops.cond(
+                    TakenDist::Periodic(10),
+                    |sort| {
+                        sort.call(sort_records, ArgExpr::Const(0));
+                    },
+                    |_| {},
+                );
+            });
+        });
+    });
+
+    b.entry(main);
+    b.build().expect("querydb is a valid program")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Interpreter;
+    use opd_trace::{ExecutionTrace, TraceStats};
+
+    #[test]
+    fn shape_matches_design() {
+        let p = querydb(1);
+        let mut t = ExecutionTrace::new();
+        Interpreter::new(&p, 3).run(&mut t).unwrap();
+        let s = TraceStats::measure(&t);
+        // 18 sessions x 8 queries x ~2.1K + sorts + setup 5K.
+        assert!(s.dynamic_branches > 250_000, "{}", s.dynamic_branches);
+        // 144 queries + 14 sorts (every 10th op) + main.
+        assert_eq!(s.method_invocations, 144 + 14 + 1);
+        assert_eq!(s.recursion_roots, 0);
+    }
+}

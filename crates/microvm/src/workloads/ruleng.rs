@@ -1,0 +1,84 @@
+//! `ruleng`: the `_202_jess` analogue.
+//!
+//! An expert-system shell solves a series of problems; each problem
+//! runs many match/fire cycles whose match loops are the fine-grained
+//! repetition units. The three-level hierarchy (match unit ~0.5–5K,
+//! problem ~30K, whole run) gives the baseline a rich Table 1(b)
+//! profile: many phases at small MPL values that coalesce smoothly as
+//! MPL grows, as jess does.
+
+use crate::{ArgExpr, Program, ProgramBuilder, TakenDist, Trip};
+
+/// Builds the `ruleng` program. `scale` multiplies the number of
+/// problems solved.
+#[must_use]
+pub fn ruleng(scale: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    let fire_rule = b.declare("fire_rule");
+    let main = b.declare("main");
+
+    // Fire: execute the selected rule's right-hand side (small; part
+    // of the transition texture between match units).
+    b.define(fire_rule, |f| {
+        f.branches(2, TakenDist::Bernoulli(0.6));
+        f.repeat(Trip::Uniform(10, 40), |actions| {
+            actions.branches(2, TakenDist::Bernoulli(0.55));
+        });
+    });
+
+    b.define(main, |f| {
+        // Load the rule base.
+        f.repeat(Trip::Fixed(1500), |load| {
+            load.branches(2, TakenDist::Bernoulli(0.7));
+        });
+        // Problems (epochs).
+        f.repeat(Trip::Fixed(12 * scale), |problems| {
+            problems.branches(3, TakenDist::Bernoulli(0.5)); // problem setup
+                                                             // Cycles within one problem: one loop execution per
+                                                             // problem, the mid-level repetition construct (~30K).
+            problems.repeat(Trip::Fixed(20), |cycles| {
+                cycles.branches(2, TakenDist::Bernoulli(0.5)); // agenda check
+                                                               // Match work: the unit-level loop execution. Trip
+                                                               // counts vary widely so unit phases straddle the small
+                                                               // MPL values.
+                cycles.repeat(Trip::Uniform(100, 900), |match_work| {
+                    match_work.branches(2, TakenDist::Bernoulli(0.4)); // alpha tests
+                    match_work.cond(
+                        TakenDist::Bernoulli(0.15), // beta join needed
+                        |join| {
+                            join.branches(2, TakenDist::Bernoulli(0.5));
+                        },
+                        |_| {},
+                    );
+                });
+                cycles.branches(2, TakenDist::Bernoulli(0.35)); // conflict resolution
+                cycles.call(fire_rule, ArgExpr::Const(0));
+            });
+        });
+    });
+
+    b.entry(main);
+    b.build().expect("ruleng is a valid program")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Interpreter;
+    use opd_trace::{ExecutionTrace, TraceStats};
+
+    #[test]
+    fn shape_matches_design() {
+        let p = ruleng(1);
+        let mut t = ExecutionTrace::new();
+        Interpreter::new(&p, 5).run(&mut t).unwrap();
+        let s = TraceStats::measure(&t);
+        // 12 problems x 20 cycles x (~2.2K match + fire) + 3K load.
+        assert!(s.dynamic_branches > 200_000, "{}", s.dynamic_branches);
+        assert_eq!(s.method_invocations, 12 * 20 + 1);
+        assert_eq!(s.recursion_roots, 0);
+        // load + problems + 12 cycle loops + 240 match units +
+        // 240 fire action loops + per-iteration join loops.
+        assert!(s.loop_executions > 400, "{}", s.loop_executions);
+    }
+}

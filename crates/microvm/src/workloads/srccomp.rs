@@ -1,0 +1,88 @@
+//! `srccomp`: the `_213_javac` analogue.
+//!
+//! A compiler front end processes packages of source files: each file
+//! is parsed by recursive descent (deep, irregular recursion whose
+//! trees are the unit phases) and lowered by a flat emission loop;
+//! six files form a package (~26K, the mid-level phase). Recursion
+//! roots are plentiful, matching javac's profile in Table 1(a).
+
+use crate::{ArgExpr, Program, ProgramBuilder, TakenDist, Trip};
+
+/// Builds the `srccomp` program. `scale` multiplies the number of
+/// compiled packages.
+#[must_use]
+pub fn srccomp(scale: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    let parse_expr = b.declare("parse_expr");
+    let compile_file = b.declare("compile_file");
+    let main = b.declare("main");
+
+    // Recursive-descent expression parser: a binary recursion bounded
+    // by the depth argument, with token-scanning work at every node.
+    b.define(parse_expr, |f| {
+        f.branches(3, TakenDist::Bernoulli(0.55)); // token dispatch
+        f.repeat(Trip::Uniform(1, 4), |tokens| {
+            tokens.branches(2, TakenDist::Bernoulli(0.5));
+        });
+        f.if_arg_positive(|rec| {
+            rec.branch(TakenDist::Bernoulli(0.8)); // operator present?
+            rec.call(parse_expr, ArgExpr::Dec); // left operand
+            rec.call(parse_expr, ArgExpr::Dec); // right operand
+        });
+    });
+
+    // One file: parse a couple of top-level declarations (tree sizes
+    // vary over two orders of magnitude), then emit bytecode.
+    b.define(compile_file, |f| {
+        f.branches(2, TakenDist::Bernoulli(0.5)); // open + scan header
+        f.repeat(Trip::Uniform(1, 3), |decls| {
+            decls.branch(TakenDist::Bernoulli(0.6));
+            decls.call(parse_expr, ArgExpr::Draw(4, 8));
+        });
+        f.repeat(Trip::Uniform(400, 900), |emit| {
+            emit.branches(2, TakenDist::Bernoulli(0.5));
+        });
+    });
+
+    b.define(main, |f| {
+        f.branches(4, TakenDist::Bernoulli(0.5)); // javac startup
+        f.repeat(Trip::Fixed(15 * scale), |packages| {
+            packages.branches(2, TakenDist::Bernoulli(0.4)); // read manifest
+                                                             // One loop execution per package (~26K).
+            packages.repeat(Trip::Fixed(6), |files| {
+                files.branches(2, TakenDist::Bernoulli(0.4));
+                files.call(compile_file, ArgExpr::Const(0));
+            });
+        });
+    });
+
+    b.entry(main);
+    b.build().expect("srccomp is a valid program")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Interpreter;
+    use opd_trace::{ExecutionTrace, TraceStats};
+
+    #[test]
+    fn shape_matches_design() {
+        let p = srccomp(1);
+        let mut t = ExecutionTrace::new();
+        Interpreter::new(&p, 4).run(&mut t).unwrap();
+        let s = TraceStats::measure(&t);
+        assert!(s.dynamic_branches > 150_000, "{}", s.dynamic_branches);
+        // Every top-level parse_expr call with depth > 0 recurses.
+        assert!(s.recursion_roots > 100, "{}", s.recursion_roots);
+    }
+
+    #[test]
+    fn recursion_depth_is_bounded() {
+        let p = srccomp(1);
+        let mut t = ExecutionTrace::new();
+        let summary = Interpreter::new(&p, 4).run(&mut t).unwrap();
+        // main -> compile_file -> parse_expr nest of at most 9.
+        assert!(summary.max_depth <= 2 + 9 + 1, "{}", summary.max_depth);
+    }
+}

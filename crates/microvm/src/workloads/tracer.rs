@@ -1,0 +1,94 @@
+//! `tracer`: the `_205_raytrace` analogue.
+//!
+//! A ray tracer renders a few frames, each split into horizontal
+//! bands of rows; every pixel spawns a recursive ray cast of small,
+//! random depth. Rows (~1.5K branches), bands (~25K), and frames
+//! (~100K) give the baseline phases at several granularities, and the
+//! recursion contributes recursion roots as raytrace does in
+//! Table 1(a).
+
+use crate::{ArgExpr, Program, ProgramBuilder, TakenDist, Trip};
+
+/// Builds the `tracer` program. `scale` multiplies the number of
+/// rendered frames.
+#[must_use]
+pub fn tracer(scale: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    let trace_ray = b.declare("trace_ray");
+    let shade_pixel = b.declare("shade_pixel");
+    let main = b.declare("main");
+
+    // A ray: intersection tests, then possibly a reflected ray.
+    b.define(trace_ray, |f| {
+        f.repeat(Trip::Uniform(2, 6), |objects| {
+            objects.branches(2, TakenDist::Bernoulli(0.35)); // hit tests
+        });
+        f.if_arg_positive(|rec| {
+            rec.cond(
+                TakenDist::Bernoulli(0.55), // surface is reflective
+                |reflect| {
+                    reflect.call(trace_ray, ArgExpr::Dec);
+                },
+                |_| {},
+            );
+        });
+    });
+
+    // Shading after the primary ray returns.
+    b.define(shade_pixel, |f| {
+        f.branches(3, TakenDist::Bernoulli(0.6));
+        f.cond(
+            TakenDist::Bernoulli(0.3), // in shadow: extra lighting work
+            |shadow| {
+                shadow.branches(2, TakenDist::Bernoulli(0.5));
+            },
+            |_| {},
+        );
+    });
+
+    b.define(main, |f| {
+        f.repeat(Trip::Fixed(800), |scene| {
+            scene.branches(2, TakenDist::Bernoulli(0.7)); // scene parse
+        });
+        f.repeat(Trip::Fixed(3 * scale), |frames| {
+            frames.branches(2, TakenDist::Bernoulli(0.5)); // frame setup
+                                                           // Bands: one loop execution per frame (~100K).
+            frames.repeat(Trip::Fixed(4), |bands| {
+                bands.branches(2, TakenDist::Bernoulli(0.5)); // band setup
+                                                              // Rows: one loop execution per band (~25K).
+                bands.repeat(Trip::Fixed(16), |rows| {
+                    rows.branches(2, TakenDist::Bernoulli(0.5)); // row bookkeeping
+                                                                 // Columns: one loop execution per row — the unit
+                                                                 // phase of ~1.5K branches.
+                    rows.repeat(Trip::Fixed(64), |cols| {
+                        cols.branch(TakenDist::Bernoulli(0.5)); // pixel fetch
+                        cols.call(trace_ray, ArgExpr::Draw(1, 4));
+                        cols.call(shade_pixel, ArgExpr::Const(0));
+                    });
+                });
+            });
+        });
+    });
+
+    b.entry(main);
+    b.build().expect("tracer is a valid program")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Interpreter;
+    use opd_trace::{ExecutionTrace, TraceStats};
+
+    #[test]
+    fn shape_matches_design() {
+        let p = tracer(1);
+        let mut t = ExecutionTrace::new();
+        Interpreter::new(&p, 6).run(&mut t).unwrap();
+        let s = TraceStats::measure(&t);
+        // 3 frames x 4 bands x 16 rows x 64 pixels x ~24 branches.
+        assert!(s.dynamic_branches > 150_000, "{}", s.dynamic_branches);
+        assert!(s.recursion_roots > 1_000, "{}", s.recursion_roots);
+        assert!(s.loop_executions > 10_000, "{}", s.loop_executions);
+    }
+}

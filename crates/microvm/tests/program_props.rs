@@ -1,0 +1,187 @@
+//! Property tests: arbitrary (valid) programs build, run, terminate,
+//! and emit balanced, deterministic traces.
+
+use proptest::prelude::*;
+
+use opd_microvm::{ArgExpr, Interpreter, ProgramBuilder, TakenDist, Trip};
+use opd_trace::{CallLoopEventKind, ExecutionTrace, TraceStats};
+
+/// A recipe for one statement; interpreted recursively into builder
+/// calls with bounded nesting.
+#[derive(Debug, Clone)]
+enum StmtSpec {
+    Branch(u8),
+    Branches(u8),
+    Loop(u8, Vec<StmtSpec>),
+    Cond(Vec<StmtSpec>, Vec<StmtSpec>),
+    CallHelper,
+    Recurse,
+}
+
+fn arb_stmt(depth: u32) -> impl Strategy<Value = StmtSpec> {
+    let leaf = prop_oneof![
+        (0u8..=4).prop_map(StmtSpec::Branch),
+        (1u8..4).prop_map(StmtSpec::Branches),
+        Just(StmtSpec::CallHelper),
+        Just(StmtSpec::Recurse),
+    ];
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        prop_oneof![
+            ((1u8..5), prop::collection::vec(inner.clone(), 1..4))
+                .prop_map(|(n, body)| StmtSpec::Loop(n, body)),
+            (
+                prop::collection::vec(inner.clone(), 0..3),
+                prop::collection::vec(inner, 0..3)
+            )
+                .prop_map(|(t, e)| StmtSpec::Cond(t, e)),
+        ]
+    })
+}
+
+fn dist_of(tag: u8) -> TakenDist {
+    match tag {
+        0 => TakenDist::Always,
+        1 => TakenDist::Never,
+        2 => TakenDist::Bernoulli(0.5),
+        3 => TakenDist::Alternating,
+        _ => TakenDist::Periodic(3),
+    }
+}
+
+fn emit(
+    specs: &[StmtSpec],
+    b: &mut opd_microvm::BlockBuilder<'_>,
+    helper: opd_microvm::FuncId,
+    me: opd_microvm::FuncId,
+) {
+    for spec in specs {
+        match spec {
+            StmtSpec::Branch(tag) => {
+                b.branch(dist_of(*tag));
+            }
+            StmtSpec::Branches(n) => {
+                b.branches(u32::from(*n), TakenDist::Bernoulli(0.4));
+            }
+            StmtSpec::Loop(n, body) => {
+                b.repeat(Trip::Fixed(u32::from(*n)), |l| emit(body, l, helper, me));
+            }
+            StmtSpec::Cond(t, e) => {
+                b.cond(
+                    TakenDist::Bernoulli(0.5),
+                    |tb| emit(t, tb, helper, me),
+                    |eb| emit(e, eb, helper, me),
+                );
+            }
+            StmtSpec::CallHelper => {
+                b.call(helper, ArgExpr::Const(2));
+            }
+            StmtSpec::Recurse => {
+                b.if_arg_positive(|g| {
+                    g.call(me, ArgExpr::Dec);
+                });
+            }
+        }
+    }
+}
+
+fn build_program(specs: &[StmtSpec]) -> Option<opd_microvm::Program> {
+    let mut b = ProgramBuilder::new();
+    let helper = b.declare("helper");
+    let main = b.declare("main");
+    b.define(helper, |f| {
+        f.branch(TakenDist::Bernoulli(0.6));
+        f.repeat(Trip::Arg, |l| {
+            l.branch(TakenDist::Alternating);
+        });
+    });
+    let mut emitted_any = false;
+    b.define(main, |f| {
+        // Guarantee at least one branch so traces are never empty.
+        f.branch(TakenDist::Always);
+        emit(specs, f, helper, main);
+        emitted_any = true;
+    });
+    assert!(emitted_any);
+    b.entry(main).entry_arg(3);
+    b.build().ok()
+}
+
+fn balanced(trace: &ExecutionTrace) -> bool {
+    let mut stack: Vec<CallLoopEventKind> = Vec::new();
+    for ev in trace.events() {
+        if ev.kind().is_enter() {
+            stack.push(ev.kind());
+        } else {
+            match stack.pop() {
+                Some(open) if open.matching() == ev.kind() => {}
+                _ => return false,
+            }
+        }
+    }
+    stack.is_empty()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_programs_run_and_balance(
+        specs in prop::collection::vec(arb_stmt(3), 0..6),
+        seed in 0u64..1_000,
+        fuel in 1u64..50_000,
+    ) {
+        let Some(program) = build_program(&specs) else {
+            // Only possible rejection is an empty loop body, which the
+            // generator cannot produce.
+            unreachable!("generated programs are valid");
+        };
+        let mut trace = ExecutionTrace::new();
+        let summary = Interpreter::new(&program, seed)
+            .with_fuel(fuel)
+            .run(&mut trace)
+            .expect("bounded recursion cannot exceed the depth limit");
+        prop_assert_eq!(summary.branches, trace.branches().len() as u64);
+        prop_assert!(summary.branches <= fuel);
+        prop_assert!(balanced(&trace), "unbalanced events");
+        // Offsets are non-decreasing and within bounds by
+        // construction; stats never panic.
+        let stats = TraceStats::measure(&trace);
+        prop_assert_eq!(stats.dynamic_branches, summary.branches);
+    }
+
+    #[test]
+    fn equal_seeds_reproduce_exactly(
+        specs in prop::collection::vec(arb_stmt(2), 0..5),
+        seed in 0u64..100,
+    ) {
+        let program = build_program(&specs).expect("valid");
+        let run = |p: &opd_microvm::Program| {
+            let mut t = ExecutionTrace::new();
+            Interpreter::new(p, seed).with_fuel(20_000).run(&mut t).unwrap();
+            t
+        };
+        prop_assert_eq!(run(&program), run(&program));
+    }
+
+    #[test]
+    fn different_seeds_only_change_dynamic_outcomes(
+        specs in prop::collection::vec(arb_stmt(2), 1..5),
+    ) {
+        let program = build_program(&specs).expect("valid");
+        let sites = |seed: u64| {
+            let mut t = ExecutionTrace::new();
+            Interpreter::new(&program, seed).with_fuel(5_000).run(&mut t).unwrap();
+            t.branches()
+                .iter()
+                .map(|e| e.site())
+                .collect::<std::collections::HashSet<_>>()
+        };
+        // Site sets may differ in rare cases (different arms taken),
+        // but all sites must come from the same static program: the
+        // union is bounded by the program's site count.
+        let a = sites(1);
+        let b = sites(2);
+        let union = a.union(&b).count();
+        prop_assert!(union <= program.site_count());
+    }
+}

@@ -1,0 +1,49 @@
+//! The accuracy scoring metric of Section 3.2 of *Online Phase
+//! Detection Algorithms* (CGO 2006).
+//!
+//! A detector's output is compared against the baseline (oracle)
+//! solution along two axes:
+//!
+//! * **correlation** — the fraction of profile elements on which the
+//!   detector and the baseline agree (`P` with `P`, `T` with `T`);
+//! * **boundary matching** — *sensitivity* (matched baseline
+//!   boundaries) and *false positives* (detected boundaries the
+//!   baseline does not have), under the paper's three matching
+//!   constraints.
+//!
+//! The combined score weighs correlation at 50%, sensitivity at 25%,
+//! and false positives at 25%:
+//!
+//! ```text
+//! score = correlation/2 + sensitivity/4 + (1 - falsePositives)/4
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use opd_scoring::score_states;
+//! use opd_baseline::BaselineSolution;
+//! use opd_microvm::workloads::Workload;
+//! use opd_core::{DetectorConfig, PhaseDetector};
+//!
+//! let trace = Workload::Lexgen.trace(1);
+//! let oracle = BaselineSolution::compute(&trace, 10_000)?;
+//! let mut detector = PhaseDetector::new(
+//!     DetectorConfig::builder().current_window(5_000).build()?,
+//! );
+//! let states = detector.run(trace.branches());
+//! let score = score_states(&states, &oracle);
+//! assert!(score.combined() > 0.0 && score.combined() <= 1.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod matching;
+mod metrics;
+mod score;
+
+pub use matching::{match_phases, MatchOutcome};
+pub use metrics::{correlation, score_intervals, score_states};
+pub use score::AccuracyScore;

@@ -1,0 +1,128 @@
+//! The accuracy score: correlation, sensitivity, false positives, and
+//! their weighted combination.
+
+use core::fmt;
+
+/// The accuracy of one detector run against one baseline solution.
+///
+/// All three components lie in `[0, 1]`. The combined score weighs
+/// correlation at 50% and splits the boundary-matching weight evenly
+/// between sensitivity and false positives (Section 3.2 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use opd_scoring::AccuracyScore;
+///
+/// let s = AccuracyScore::new(0.8, 0.5, 0.25, 2, 4, 4);
+/// // 0.8/2 + 0.5/4 + (1 - 0.25)/4
+/// assert!((s.combined() - 0.7125).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AccuracyScore {
+    /// Fraction of profile elements on which detector and baseline
+    /// agree.
+    pub correlation: f64,
+    /// Fraction of baseline boundaries matched by the detector.
+    pub sensitivity: f64,
+    /// Fraction of detected boundaries not matching any baseline
+    /// boundary.
+    pub false_positives: f64,
+    /// Number of matched boundaries.
+    pub matched_boundaries: usize,
+    /// Number of baseline boundaries.
+    pub baseline_boundaries: usize,
+    /// Number of detected boundaries.
+    pub detected_boundaries: usize,
+}
+
+impl AccuracyScore {
+    /// Assembles a score from its components.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if any component lies outside `[0, 1]`.
+    #[must_use]
+    pub fn new(
+        correlation: f64,
+        sensitivity: f64,
+        false_positives: f64,
+        matched_boundaries: usize,
+        baseline_boundaries: usize,
+        detected_boundaries: usize,
+    ) -> Self {
+        debug_assert!((0.0..=1.0).contains(&correlation), "{correlation}");
+        debug_assert!((0.0..=1.0).contains(&sensitivity), "{sensitivity}");
+        debug_assert!((0.0..=1.0).contains(&false_positives), "{false_positives}");
+        AccuracyScore {
+            correlation,
+            sensitivity,
+            false_positives,
+            matched_boundaries,
+            baseline_boundaries,
+            detected_boundaries,
+        }
+    }
+
+    /// The weighted sum
+    /// `correlation/2 + sensitivity/4 + (1 - falsePositives)/4`,
+    /// in `[0, 1]`, higher is better.
+    #[must_use]
+    pub fn combined(&self) -> f64 {
+        self.correlation / 2.0 + self.sensitivity / 4.0 + (1.0 - self.false_positives) / 4.0
+    }
+}
+
+impl fmt::Display for AccuracyScore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "score {:.4} (corr {:.4}, sens {:.4} [{}/{}], fp {:.4} [{}/{}])",
+            self.combined(),
+            self.correlation,
+            self.sensitivity,
+            self.matched_boundaries,
+            self.baseline_boundaries,
+            self.false_positives,
+            self.detected_boundaries - self.matched_boundaries,
+            self.detected_boundaries,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighting_matches_paper() {
+        // Correlation 50%, sensitivity 25%, false positives 25%.
+        let corr_only = AccuracyScore::new(1.0, 0.0, 1.0, 0, 2, 2);
+        assert!((corr_only.combined() - 0.5).abs() < 1e-12);
+        let sens_only = AccuracyScore::new(0.0, 1.0, 1.0, 2, 2, 2);
+        assert!((sens_only.combined() - 0.25).abs() < 1e-12);
+        let fp_only = AccuracyScore::new(0.0, 0.0, 0.0, 0, 2, 0);
+        assert!((fp_only.combined() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_score_is_one() {
+        let s = AccuracyScore::new(1.0, 1.0, 0.0, 4, 4, 4);
+        assert!((s.combined() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_score_is_zero() {
+        let s = AccuracyScore::new(0.0, 0.0, 1.0, 0, 4, 4);
+        assert_eq!(s.combined(), 0.0);
+    }
+
+    #[test]
+    fn display_shows_components() {
+        let s = AccuracyScore::new(0.5, 0.5, 0.5, 1, 2, 2);
+        let text = s.to_string();
+        assert!(text.contains("corr 0.5000"), "{text}");
+        assert!(text.contains("[1/2]"), "{text}");
+    }
+}

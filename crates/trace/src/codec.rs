@@ -1,0 +1,253 @@
+//! Compact binary serialization of execution traces.
+//!
+//! The format is a simple versioned container so traces can be captured
+//! once (e.g. a long MicroVM run) and replayed through many detector
+//! configurations:
+//!
+//! ```text
+//! magic  b"OPDT"
+//! version u16 LE        (currently 1)
+//! branch_count u64 LE   then branch_count packed u64 elements
+//! event_count u64 LE    then per event: tag u8, id u32 LE, offset u64 LE
+//! ```
+
+use core::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::{
+    BranchTrace, CallLoopEvent, CallLoopEventKind, CallLoopTrace, ExecutionTrace, LoopId, MethodId,
+    ProfileElement,
+};
+
+const MAGIC: &[u8; 4] = b"OPDT";
+const VERSION: u16 = 1;
+
+const TAG_LOOP_ENTER: u8 = 0;
+const TAG_LOOP_EXIT: u8 = 1;
+const TAG_METHOD_ENTER: u8 = 2;
+const TAG_METHOD_EXIT: u8 = 3;
+
+/// Error produced when decoding a malformed trace buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The buffer does not start with the `OPDT` magic bytes.
+    BadMagic,
+    /// The container version is not supported.
+    UnsupportedVersion(u16),
+    /// The buffer ended before the declared contents.
+    Truncated,
+    /// A packed element had reserved bits set.
+    BadElement(u64),
+    /// An event record had an unknown tag byte.
+    BadEventTag(u8),
+    /// Events were out of order or beyond the branch count.
+    InconsistentEvents,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic => f.write_str("missing OPDT magic bytes"),
+            CodecError::UnsupportedVersion(v) => write!(f, "unsupported trace version {v}"),
+            CodecError::Truncated => f.write_str("trace buffer truncated"),
+            CodecError::BadElement(raw) => write!(f, "invalid packed element {raw:#x}"),
+            CodecError::BadEventTag(t) => write!(f, "unknown event tag {t}"),
+            CodecError::InconsistentEvents => {
+                f.write_str("event stream inconsistent with branches")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Encodes an execution trace into a byte buffer.
+///
+/// # Examples
+///
+/// ```
+/// use opd_trace::{decode_trace, encode_trace, ExecutionTrace, MethodId, ProfileElement, TraceSink};
+///
+/// let mut t = ExecutionTrace::new();
+/// t.record_branch(ProfileElement::new(MethodId::new(1), 2, true));
+/// let bytes = encode_trace(&t);
+/// assert_eq!(decode_trace(&bytes).unwrap(), t);
+/// ```
+#[must_use]
+pub fn encode_trace(trace: &ExecutionTrace) -> Bytes {
+    let branches = trace.branches();
+    let events = trace.events();
+    let mut buf = BytesMut::with_capacity(4 + 2 + 16 + branches.len() * 8 + events.len() * 13);
+
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u64_le(branches.len() as u64);
+    for e in branches {
+        buf.put_u64_le(e.raw());
+    }
+    buf.put_u64_le(events.len() as u64);
+    for ev in events {
+        let (tag, id) = match ev.kind() {
+            CallLoopEventKind::LoopEnter(l) => (TAG_LOOP_ENTER, l.index()),
+            CallLoopEventKind::LoopExit(l) => (TAG_LOOP_EXIT, l.index()),
+            CallLoopEventKind::MethodEnter(m) => (TAG_METHOD_ENTER, m.index()),
+            CallLoopEventKind::MethodExit(m) => (TAG_METHOD_EXIT, m.index()),
+        };
+        buf.put_u8(tag);
+        buf.put_u32_le(id);
+        buf.put_u64_le(ev.offset());
+    }
+    buf.freeze()
+}
+
+/// Decodes an execution trace from a byte buffer produced by
+/// [`encode_trace`].
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] if the buffer is truncated, has a bad magic
+/// or version, or contains malformed records.
+pub fn decode_trace(mut buf: &[u8]) -> Result<ExecutionTrace, CodecError> {
+    if buf.remaining() < 4 || &buf[..4] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    buf.advance(4);
+    if buf.remaining() < 2 {
+        return Err(CodecError::Truncated);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+
+    if buf.remaining() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    let n_branches = buf.get_u64_le() as usize;
+    if buf.remaining() < n_branches.checked_mul(8).ok_or(CodecError::Truncated)? {
+        return Err(CodecError::Truncated);
+    }
+    let mut branches = BranchTrace::with_capacity(n_branches);
+    for _ in 0..n_branches {
+        let raw = buf.get_u64_le();
+        let elem = ProfileElement::try_from(raw).map_err(|_| CodecError::BadElement(raw))?;
+        branches.push(elem);
+    }
+
+    if buf.remaining() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    let n_events = buf.get_u64_le() as usize;
+    // Validate the declared count against the remaining bytes *before*
+    // allocating: each event record is exactly 13 bytes, so a
+    // corrupted count would otherwise request an absurd capacity.
+    if buf.remaining() < n_events.checked_mul(13).ok_or(CodecError::Truncated)? {
+        return Err(CodecError::Truncated);
+    }
+    let mut events = Vec::with_capacity(n_events);
+    let mut last_offset = 0u64;
+    for _ in 0..n_events {
+        if buf.remaining() < 13 {
+            return Err(CodecError::Truncated);
+        }
+        let tag = buf.get_u8();
+        let id = buf.get_u32_le();
+        let offset = buf.get_u64_le();
+        if offset < last_offset || offset > n_branches as u64 {
+            return Err(CodecError::InconsistentEvents);
+        }
+        last_offset = offset;
+        let kind = match tag {
+            TAG_LOOP_ENTER => CallLoopEventKind::LoopEnter(LoopId::new(id)),
+            TAG_LOOP_EXIT => CallLoopEventKind::LoopExit(LoopId::new(id)),
+            TAG_METHOD_ENTER => CallLoopEventKind::MethodEnter(valid_method(id)?),
+            TAG_METHOD_EXIT => CallLoopEventKind::MethodExit(valid_method(id)?),
+            other => return Err(CodecError::BadEventTag(other)),
+        };
+        events.push(CallLoopEvent::new(kind, offset));
+    }
+
+    let events: CallLoopTrace = events.into_iter().collect();
+    Ok(ExecutionTrace::from_parts(branches, events))
+}
+
+fn valid_method(id: u32) -> Result<MethodId, CodecError> {
+    if id > MethodId::MAX {
+        Err(CodecError::InconsistentEvents)
+    } else {
+        Ok(MethodId::new(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceSink;
+
+    fn sample() -> ExecutionTrace {
+        let mut t = ExecutionTrace::new();
+        t.record_method_enter(MethodId::new(1));
+        t.record_loop_enter(LoopId::new(7));
+        for i in 0..20 {
+            t.record_branch(ProfileElement::new(MethodId::new(1), i, i % 3 == 0));
+        }
+        t.record_loop_exit(LoopId::new(7));
+        t.record_method_exit(MethodId::new(1));
+        t
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let bytes = encode_trace(&t);
+        assert_eq!(decode_trace(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let t = ExecutionTrace::new();
+        assert_eq!(decode_trace(&encode_trace(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decode_trace(b"NOPE"), Err(CodecError::BadMagic));
+        assert_eq!(decode_trace(b""), Err(CodecError::BadMagic));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let bytes = encode_trace(&sample());
+        for cut in [5, 8, 20, bytes.len() - 1] {
+            let err = decode_trace(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CodecError::Truncated | CodecError::InconsistentEvents),
+                "cut at {cut} gave {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = encode_trace(&sample()).to_vec();
+        bytes[4] = 99;
+        assert_eq!(
+            decode_trace(&bytes),
+            Err(CodecError::UnsupportedVersion(99))
+        );
+    }
+
+    #[test]
+    fn errors_display() {
+        let msgs = [
+            CodecError::BadMagic.to_string(),
+            CodecError::Truncated.to_string(),
+            CodecError::BadEventTag(9).to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Derived profile streams: alternative inputs to the framework.
+//!
+//! Section 2 of the paper stresses that its input is abstract: "a wide
+//! variety of inputs, such as the methods invoked, basic blocks,
+//! branches, addresses loaded, or instructions executed" can be the
+//! profile. This module derives two such alternatives from a recorded
+//! execution:
+//!
+//! * [`site_profile`] — the branch trace with the dynamic taken bit
+//!   stripped, leaving pure control-flow *locations* (a basic-block-
+//!   like profile: less dynamic noise, smaller element universe);
+//! * [`method_profile`] — one element per method invocation (the
+//!   method-level profile of Georges et al., which the paper's
+//!   baseline discussion cites).
+//!
+//! Both produce ordinary [`BranchTrace`]s, so every detector in the
+//! workspace runs on them unchanged. Note that element *offsets* in a
+//! derived stream are positions in that stream, so oracles must be
+//! built at the matching granularity (the `inputs` experiment handles
+//! the mapping).
+
+use crate::{BranchTrace, CallLoopEventKind, ExecutionTrace, ProfileElement};
+
+/// The branch trace with every element's taken bit cleared: a stream
+/// of static control-flow locations.
+///
+/// # Examples
+///
+/// ```
+/// use opd_trace::{site_profile, ExecutionTrace, MethodId, ProfileElement, TraceSink};
+///
+/// let mut t = ExecutionTrace::new();
+/// t.record_branch(ProfileElement::new(MethodId::new(1), 4, true));
+/// t.record_branch(ProfileElement::new(MethodId::new(1), 4, false));
+/// let sites = site_profile(&t);
+/// // Both executions collapse onto one element value.
+/// assert_eq!(sites.as_slice()[0], sites.as_slice()[1]);
+/// ```
+#[must_use]
+pub fn site_profile(trace: &ExecutionTrace) -> BranchTrace {
+    trace
+        .branches()
+        .iter()
+        .map(|e| ProfileElement::from_site(e.site(), false))
+        .collect()
+}
+
+/// One profile element per method invocation, in call order: the
+/// method-level execution profile. The element encodes the method id
+/// (offset 0, taken bit clear).
+#[must_use]
+pub fn method_profile(trace: &ExecutionTrace) -> BranchTrace {
+    trace
+        .events()
+        .iter()
+        .filter_map(|ev| match ev.kind() {
+            CallLoopEventKind::MethodEnter(m) => Some(ProfileElement::new(m, 0, false)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// For every element of a derived stream, the corresponding offset in
+/// the original branch trace — used to map detected intervals back to
+/// branch offsets for scoring.
+///
+/// For [`site_profile`] the mapping is the identity (same length); for
+/// [`method_profile`] it is each method-entry event's branch offset.
+#[must_use]
+pub fn method_profile_offsets(trace: &ExecutionTrace) -> Vec<u64> {
+    trace
+        .events()
+        .iter()
+        .filter_map(|ev| match ev.kind() {
+            CallLoopEventKind::MethodEnter(_) => Some(ev.offset()),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LoopId, MethodId, TraceSink};
+
+    fn sample() -> ExecutionTrace {
+        let mut t = ExecutionTrace::new();
+        t.record_method_enter(MethodId::new(1));
+        for i in 0..5 {
+            t.record_branch(ProfileElement::new(MethodId::new(1), i, i % 2 == 0));
+        }
+        t.record_loop_enter(LoopId::new(0));
+        t.record_method_enter(MethodId::new(2));
+        t.record_branch(ProfileElement::new(MethodId::new(2), 0, true));
+        t.record_method_exit(MethodId::new(2));
+        t.record_loop_exit(LoopId::new(0));
+        t.record_method_exit(MethodId::new(1));
+        t
+    }
+
+    #[test]
+    fn site_profile_strips_taken_bits() {
+        let t = sample();
+        let sites = site_profile(&t);
+        assert_eq!(sites.len(), t.branches().len());
+        assert!(sites.iter().all(|e| !e.taken()));
+        for (s, b) in sites.iter().zip(t.branches()) {
+            assert_eq!(s.site(), b.site());
+        }
+    }
+
+    #[test]
+    fn site_profile_shrinks_element_universe() {
+        let t = sample();
+        use std::collections::HashSet;
+        let raw: HashSet<_> = t.branches().iter().copied().collect();
+        let sites: HashSet<_> = site_profile(&t).iter().copied().collect();
+        assert!(sites.len() <= raw.len());
+    }
+
+    #[test]
+    fn method_profile_lists_invocations_in_order() {
+        let t = sample();
+        let methods = method_profile(&t);
+        assert_eq!(methods.len(), 2);
+        assert_eq!(methods.as_slice()[0].site().method(), MethodId::new(1));
+        assert_eq!(methods.as_slice()[1].site().method(), MethodId::new(2));
+        let offsets = method_profile_offsets(&t);
+        assert_eq!(offsets, vec![0, 5]);
+    }
+
+    #[test]
+    fn empty_trace_derives_empty_profiles() {
+        let t = ExecutionTrace::new();
+        assert!(site_profile(&t).is_empty());
+        assert!(method_profile(&t).is_empty());
+        assert!(method_profile_offsets(&t).is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! Call-loop events: loop and method entry/exit records.
+
+use core::fmt;
+
+use crate::MethodId;
+
+/// Identifier of a static loop in the program.
+///
+/// # Examples
+///
+/// ```
+/// use opd_trace::LoopId;
+/// assert_eq!(LoopId::new(9).index(), 9);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LoopId(u32);
+
+impl LoopId {
+    /// Creates a loop id.
+    #[must_use]
+    pub fn new(index: u32) -> Self {
+        LoopId(index)
+    }
+
+    /// Returns the raw loop index.
+    #[must_use]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for LoopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl fmt::Display for LoopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// The kind of a [`CallLoopEvent`]: which repetition construct was
+/// entered or exited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum CallLoopEventKind {
+    /// A loop execution began (before the first iteration).
+    LoopEnter(LoopId),
+    /// A loop execution finished (after the last iteration).
+    LoopExit(LoopId),
+    /// A method was invoked.
+    MethodEnter(MethodId),
+    /// A method returned (normally or exceptionally).
+    MethodExit(MethodId),
+}
+
+impl CallLoopEventKind {
+    /// Returns `true` for the two `*Enter` variants.
+    #[must_use]
+    pub fn is_enter(self) -> bool {
+        matches!(
+            self,
+            CallLoopEventKind::LoopEnter(_) | CallLoopEventKind::MethodEnter(_)
+        )
+    }
+
+    /// Returns the enter event matching this exit event and vice versa.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use opd_trace::{CallLoopEventKind, LoopId};
+    /// let enter = CallLoopEventKind::LoopEnter(LoopId::new(1));
+    /// assert_eq!(enter.matching(), CallLoopEventKind::LoopExit(LoopId::new(1)));
+    /// ```
+    #[must_use]
+    pub fn matching(self) -> Self {
+        match self {
+            CallLoopEventKind::LoopEnter(id) => CallLoopEventKind::LoopExit(id),
+            CallLoopEventKind::LoopExit(id) => CallLoopEventKind::LoopEnter(id),
+            CallLoopEventKind::MethodEnter(id) => CallLoopEventKind::MethodExit(id),
+            CallLoopEventKind::MethodExit(id) => CallLoopEventKind::MethodEnter(id),
+        }
+    }
+}
+
+impl fmt::Display for CallLoopEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CallLoopEventKind::LoopEnter(id) => write!(f, "enter {id}"),
+            CallLoopEventKind::LoopExit(id) => write!(f, "exit {id}"),
+            CallLoopEventKind::MethodEnter(id) => write!(f, "call {id}"),
+            CallLoopEventKind::MethodExit(id) => write!(f, "return {id}"),
+        }
+    }
+}
+
+/// One entry in the call-loop trace.
+///
+/// Following Section 3.1 of the paper, each repetition-construct event
+/// is correlated with the "time" of the latest dynamic branch: `offset`
+/// is the number of profile elements recorded *before* this event, so a
+/// loop entered after the k-th branch carries `offset == k`.
+///
+/// # Examples
+///
+/// ```
+/// use opd_trace::{CallLoopEvent, CallLoopEventKind, LoopId};
+/// let ev = CallLoopEvent::new(CallLoopEventKind::LoopEnter(LoopId::new(0)), 128);
+/// assert_eq!(ev.offset(), 128);
+/// assert!(ev.kind().is_enter());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CallLoopEvent {
+    kind: CallLoopEventKind,
+    offset: u64,
+}
+
+impl CallLoopEvent {
+    /// Creates an event at the given branch offset.
+    #[must_use]
+    pub fn new(kind: CallLoopEventKind, offset: u64) -> Self {
+        CallLoopEvent { kind, offset }
+    }
+
+    /// Returns the construct and direction of this event.
+    #[must_use]
+    pub fn kind(self) -> CallLoopEventKind {
+        self.kind
+    }
+
+    /// Returns the number of profile elements recorded before this
+    /// event.
+    #[must_use]
+    pub fn offset(self) -> u64 {
+        self.offset
+    }
+}
+
+impl fmt::Display for CallLoopEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.kind, self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_is_involutive() {
+        let kinds = [
+            CallLoopEventKind::LoopEnter(LoopId::new(3)),
+            CallLoopEventKind::LoopExit(LoopId::new(3)),
+            CallLoopEventKind::MethodEnter(MethodId::new(4)),
+            CallLoopEventKind::MethodExit(MethodId::new(4)),
+        ];
+        for k in kinds {
+            assert_eq!(k.matching().matching(), k);
+            assert_ne!(k.matching().is_enter(), k.is_enter());
+        }
+    }
+
+    #[test]
+    fn event_accessors() {
+        let ev = CallLoopEvent::new(CallLoopEventKind::MethodEnter(MethodId::new(2)), 77);
+        assert_eq!(ev.offset(), 77);
+        assert_eq!(ev.kind(), CallLoopEventKind::MethodEnter(MethodId::new(2)));
+        assert_eq!(format!("{ev}"), "call m2@77");
+    }
+}

@@ -1,0 +1,413 @@
+//! Phase/transition labels over a profile, and the intervals and
+//! boundaries derived from them.
+//!
+//! Both the online detectors and the offline baseline solution emit one
+//! [`PhaseState`] per profile element. Phase *boundaries* are the points
+//! where a `T` is followed by a `P` (a phase start) or a `P` by a `T`
+//! (a phase end), exactly as defined in Section 2 of the paper.
+
+use core::fmt;
+
+/// The state of one profile element: in phase or in transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PhaseState {
+    /// The element is part of a stable phase (`P`).
+    Phase,
+    /// The element is part of a transition between phases (`T`).
+    #[default]
+    Transition,
+}
+
+impl PhaseState {
+    /// Returns `true` for [`PhaseState::Phase`].
+    #[must_use]
+    pub fn is_phase(self) -> bool {
+        matches!(self, PhaseState::Phase)
+    }
+
+    /// Returns `true` for [`PhaseState::Transition`].
+    #[must_use]
+    pub fn is_transition(self) -> bool {
+        matches!(self, PhaseState::Transition)
+    }
+}
+
+impl fmt::Display for PhaseState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PhaseState::Phase => "P",
+            PhaseState::Transition => "T",
+        })
+    }
+}
+
+/// A half-open interval `[start, end)` of profile-element offsets that
+/// constitutes one phase.
+///
+/// # Examples
+///
+/// ```
+/// use opd_trace::PhaseInterval;
+/// let p = PhaseInterval::new(10, 50);
+/// assert_eq!(p.len(), 40);
+/// assert!(p.contains(10) && !p.contains(50));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PhaseInterval {
+    start: u64,
+    end: u64,
+}
+
+impl PhaseInterval {
+    /// Creates a phase interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end` (phases are non-empty).
+    #[must_use]
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(start < end, "empty phase interval [{start}, {end})");
+        PhaseInterval { start, end }
+    }
+
+    /// Returns the offset of the first element in the phase.
+    #[must_use]
+    pub fn start(self) -> u64 {
+        self.start
+    }
+
+    /// Returns the offset one past the last element in the phase.
+    #[must_use]
+    pub fn end(self) -> u64 {
+        self.end
+    }
+
+    /// Returns the number of profile elements in the phase.
+    #[must_use]
+    pub fn len(self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Phases are never empty; provided for API completeness.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// Returns `true` if `offset` lies within the interval.
+    #[must_use]
+    pub fn contains(self, offset: u64) -> bool {
+        self.start <= offset && offset < self.end
+    }
+
+    /// Returns `true` if the two intervals share at least one element.
+    #[must_use]
+    pub fn overlaps(self, other: PhaseInterval) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+impl fmt::Display for PhaseInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// Whether a boundary starts or ends a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum BoundaryKind {
+    /// A `T -> P` edge: the phase starts at this offset.
+    Start,
+    /// A `P -> T` edge: the phase ended just before this offset.
+    End,
+}
+
+/// One phase boundary: a state change at a profile-element offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Boundary {
+    /// Start or end of a phase.
+    pub kind: BoundaryKind,
+    /// The element offset at which the new state takes effect.
+    pub offset: u64,
+}
+
+impl fmt::Display for Boundary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            BoundaryKind::Start => write!(f, "start@{}", self.offset),
+            BoundaryKind::End => write!(f, "end@{}", self.offset),
+        }
+    }
+}
+
+/// A sequence of per-element phase states, one per profile element.
+///
+/// # Examples
+///
+/// ```
+/// use opd_trace::{intervals_of, PhaseState, StateSeq};
+///
+/// let mut seq = StateSeq::new();
+/// for s in [PhaseState::Transition, PhaseState::Phase, PhaseState::Phase] {
+///     seq.push(s);
+/// }
+/// let phases = intervals_of(&seq);
+/// assert_eq!(phases.len(), 1);
+/// assert_eq!((phases[0].start(), phases[0].end()), (1, 3));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct StateSeq {
+    states: Vec<PhaseState>,
+}
+
+impl StateSeq {
+    /// Creates an empty state sequence.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty sequence with room for `capacity` states.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        StateSeq {
+            states: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends one state.
+    pub fn push(&mut self, state: PhaseState) {
+        self.states.push(state);
+    }
+
+    /// Appends `n` copies of `state` (used with skip factors > 1, where
+    /// one detector step labels several elements).
+    pub fn push_n(&mut self, state: PhaseState, n: usize) {
+        self.states.resize(self.states.len() + n, state);
+    }
+
+    /// Returns the number of labelled elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Returns `true` if no elements are labelled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Returns the state of element `offset`, if labelled.
+    #[must_use]
+    pub fn get(&self, offset: usize) -> Option<PhaseState> {
+        self.states.get(offset).copied()
+    }
+
+    /// Returns the labels as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[PhaseState] {
+        &self.states
+    }
+
+    /// Iterates over the labels.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, PhaseState>> {
+        self.states.iter().copied()
+    }
+
+    /// Returns the number of elements labelled `P`.
+    #[must_use]
+    pub fn phase_count(&self) -> usize {
+        self.states.iter().filter(|s| s.is_phase()).count()
+    }
+}
+
+impl FromIterator<PhaseState> for StateSeq {
+    fn from_iter<I: IntoIterator<Item = PhaseState>>(iter: I) -> Self {
+        StateSeq {
+            states: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<PhaseState> for StateSeq {
+    fn extend<I: IntoIterator<Item = PhaseState>>(&mut self, iter: I) {
+        self.states.extend(iter);
+    }
+}
+
+impl AsRef<[PhaseState]> for StateSeq {
+    fn as_ref(&self) -> &[PhaseState] {
+        &self.states
+    }
+}
+
+/// Extracts the maximal phase intervals from a state sequence.
+///
+/// A phase interval is a maximal run of `P` states; a trailing run that
+/// reaches the end of the sequence is closed at `seq.len()`.
+#[must_use]
+pub fn intervals_of(seq: &StateSeq) -> Vec<PhaseInterval> {
+    let mut out = Vec::new();
+    let mut run_start: Option<u64> = None;
+    for (i, s) in seq.iter().enumerate() {
+        match (run_start, s.is_phase()) {
+            (None, true) => run_start = Some(i as u64),
+            (Some(start), false) => {
+                out.push(PhaseInterval::new(start, i as u64));
+                run_start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(start) = run_start {
+        out.push(PhaseInterval::new(start, seq.len() as u64));
+    }
+    out
+}
+
+/// Reconstructs a state sequence of length `len` from phase intervals.
+///
+/// # Panics
+///
+/// Panics if any interval extends past `len`.
+#[must_use]
+pub fn states_from_intervals(intervals: &[PhaseInterval], len: u64) -> StateSeq {
+    let mut seq = StateSeq {
+        states: vec![PhaseState::Transition; len as usize],
+    };
+    for iv in intervals {
+        assert!(iv.end() <= len, "interval {iv} exceeds trace length {len}");
+        for s in &mut seq.states[iv.start() as usize..iv.end() as usize] {
+            *s = PhaseState::Phase;
+        }
+    }
+    seq
+}
+
+/// Lists the phase boundaries (start and end edges) of a set of
+/// intervals, in offset order.
+#[must_use]
+pub fn boundaries_of(intervals: &[PhaseInterval]) -> Vec<Boundary> {
+    let mut out = Vec::with_capacity(intervals.len() * 2);
+    for iv in intervals {
+        out.push(Boundary {
+            kind: BoundaryKind::Start,
+            offset: iv.start(),
+        });
+        out.push(Boundary {
+            kind: BoundaryKind::End,
+            offset: iv.end(),
+        });
+    }
+    out.sort_by_key(|b| b.offset);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(pattern: &str) -> StateSeq {
+        pattern
+            .chars()
+            .map(|c| match c {
+                'P' => PhaseState::Phase,
+                'T' => PhaseState::Transition,
+                _ => panic!("bad pattern char {c}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn intervals_basic() {
+        let s = seq("TTPPPTTPPT");
+        let iv = intervals_of(&s);
+        assert_eq!(iv.len(), 2);
+        assert_eq!((iv[0].start(), iv[0].end()), (2, 5));
+        assert_eq!((iv[1].start(), iv[1].end()), (7, 9));
+    }
+
+    #[test]
+    fn intervals_open_at_end() {
+        let s = seq("TPPP");
+        let iv = intervals_of(&s);
+        assert_eq!(iv, vec![PhaseInterval::new(1, 4)]);
+    }
+
+    #[test]
+    fn intervals_all_phase_and_all_transition() {
+        assert_eq!(intervals_of(&seq("PPPP")), vec![PhaseInterval::new(0, 4)]);
+        assert!(intervals_of(&seq("TTTT")).is_empty());
+        assert!(intervals_of(&StateSeq::new()).is_empty());
+    }
+
+    #[test]
+    fn roundtrip_states_intervals() {
+        let s = seq("TPPTTPPPPT");
+        let iv = intervals_of(&s);
+        let back = states_from_intervals(&iv, s.len() as u64);
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn boundaries_ordering() {
+        let iv = vec![PhaseInterval::new(2, 5), PhaseInterval::new(7, 9)];
+        let b = boundaries_of(&iv);
+        assert_eq!(b.len(), 4);
+        assert_eq!(
+            b[0],
+            Boundary {
+                kind: BoundaryKind::Start,
+                offset: 2
+            }
+        );
+        assert_eq!(
+            b[1],
+            Boundary {
+                kind: BoundaryKind::End,
+                offset: 5
+            }
+        );
+        assert_eq!(b[3].offset, 9);
+    }
+
+    #[test]
+    fn push_n_labels_bulk() {
+        let mut s = StateSeq::new();
+        s.push_n(PhaseState::Phase, 3);
+        s.push_n(PhaseState::Transition, 2);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.phase_count(), 3);
+    }
+
+    #[test]
+    fn interval_queries() {
+        let a = PhaseInterval::new(5, 10);
+        let b = PhaseInterval::new(9, 12);
+        let c = PhaseInterval::new(10, 12);
+        assert!(a.overlaps(b));
+        assert!(!a.overlaps(c));
+        assert_eq!(a.len(), 5);
+        assert!(!a.is_empty());
+        assert_eq!(format!("{a}"), "[5, 10)");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty phase interval")]
+    fn empty_interval_rejected() {
+        let _ = PhaseInterval::new(4, 4);
+    }
+
+    #[test]
+    fn state_display() {
+        assert_eq!(format!("{}", PhaseState::Phase), "P");
+        assert_eq!(format!("{}", PhaseState::Transition), "T");
+        assert!(PhaseState::default().is_transition());
+    }
+}

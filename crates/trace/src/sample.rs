@@ -1,0 +1,128 @@
+//! Sampled profiles: trading profile-collection overhead for detector
+//! accuracy.
+//!
+//! The paper names profile collection as the first of the three
+//! overhead sources in a phase-aware optimization system (Section 7)
+//! and cites sampled remote profiling as a client of phase detection.
+//! The standard mitigation is to emit only every k-th profile
+//! element; [`subsample`] models it, and the `sampling` experiment
+//! binary measures what it costs in detection accuracy.
+
+use crate::{BranchTrace, PhaseInterval};
+
+/// Keeps every `stride`-th element of a branch trace (elements 0,
+/// `stride`, `2·stride`, …) — a systematic sampling of the profile
+/// stream that reduces collection overhead by `stride`×.
+///
+/// # Panics
+///
+/// Panics if `stride` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use opd_trace::{subsample, BranchTrace, MethodId, ProfileElement};
+///
+/// let trace: BranchTrace = (0..10)
+///     .map(|i| ProfileElement::new(MethodId::new(0), i, true))
+///     .collect();
+/// let sampled = subsample(&trace, 4);
+/// assert_eq!(sampled.len(), 3); // offsets 0, 4, 8
+/// ```
+#[must_use]
+pub fn subsample(trace: &BranchTrace, stride: usize) -> BranchTrace {
+    assert!(stride > 0, "sampling stride must be positive");
+    trace.iter().step_by(stride).copied().collect()
+}
+
+/// Maps phase intervals detected in a subsampled stream back to
+/// full-trace offsets: sample index `i` stands for the `stride`
+/// elements starting at `i·stride`. Interval ends are clamped to
+/// `total`.
+///
+/// # Panics
+///
+/// Panics if `stride` is zero.
+#[must_use]
+pub fn upsample_intervals(
+    intervals: &[PhaseInterval],
+    stride: usize,
+    total: u64,
+) -> Vec<PhaseInterval> {
+    assert!(stride > 0, "sampling stride must be positive");
+    let stride = stride as u64;
+    intervals
+        .iter()
+        .filter_map(|p| {
+            let start = p.start() * stride;
+            let end = (p.end() * stride).min(total);
+            (start < end).then(|| PhaseInterval::new(start, end))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MethodId, ProfileElement};
+
+    fn trace(n: u32) -> BranchTrace {
+        (0..n)
+            .map(|i| ProfileElement::new(MethodId::new(0), i % 7, true))
+            .collect()
+    }
+
+    #[test]
+    fn stride_one_is_identity() {
+        let t = trace(100);
+        assert_eq!(subsample(&t, 1), t);
+    }
+
+    #[test]
+    fn stride_reduces_length() {
+        let t = trace(100);
+        assert_eq!(subsample(&t, 2).len(), 50);
+        assert_eq!(subsample(&t, 3).len(), 34); // ceil(100/3)
+        assert_eq!(subsample(&t, 1_000).len(), 1);
+    }
+
+    #[test]
+    fn sampled_elements_are_the_right_ones() {
+        let t = trace(20);
+        let s = subsample(&t, 5);
+        let expected: Vec<_> = [0usize, 5, 10, 15]
+            .iter()
+            .map(|&i| t.as_slice()[i])
+            .collect();
+        assert_eq!(s.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn upsample_scales_and_clamps() {
+        let iv = [PhaseInterval::new(2, 5), PhaseInterval::new(9, 12)];
+        let up = upsample_intervals(&iv, 4, 45);
+        assert_eq!(
+            up,
+            vec![PhaseInterval::new(8, 20), PhaseInterval::new(36, 45)]
+        );
+    }
+
+    #[test]
+    fn upsample_drops_degenerate() {
+        // An interval entirely beyond the clamp disappears.
+        let iv = [PhaseInterval::new(50, 60)];
+        assert!(upsample_intervals(&iv, 4, 100).is_empty());
+    }
+
+    #[test]
+    fn empty_trace_subsamples_to_empty() {
+        assert!(subsample(&BranchTrace::new(), 3).is_empty());
+        assert!(upsample_intervals(&[], 3, 10).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_rejected() {
+        let _ = subsample(&BranchTrace::new(), 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Dynamic execution characteristics of a trace (Table 1(a) of the
+//! paper).
+
+use std::collections::HashMap;
+
+use crate::{CallLoopEventKind, ExecutionTrace, MethodId, ProfileElement, TraceSink};
+
+/// The per-benchmark execution characteristics reported in Table 1(a):
+/// dynamic branches, loop executions, method invocations, and recursion
+/// roots.
+///
+/// A *recursion root* is a method invocation that is later invoked
+/// recursively while having no other execution instance of the same
+/// method on the stack beneath it (Section 3.1).
+///
+/// # Examples
+///
+/// ```
+/// use opd_trace::{ExecutionTrace, MethodId, TraceStats};
+///
+/// let mut t = ExecutionTrace::new();
+/// t.record_method_enter(MethodId::new(0)); // main
+/// t.record_method_enter(MethodId::new(1)); // foo
+/// t.record_method_enter(MethodId::new(2)); // bar
+/// t.record_method_enter(MethodId::new(1)); // foo again: recursion!
+/// t.record_method_exit(MethodId::new(1));
+/// t.record_method_exit(MethodId::new(2));
+/// t.record_method_exit(MethodId::new(1));
+/// t.record_method_exit(MethodId::new(0));
+///
+/// let stats = TraceStats::measure(&t);
+/// assert_eq!(stats.method_invocations, 4);
+/// assert_eq!(stats.recursion_roots, 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TraceStats {
+    /// Number of profile elements (dynamic conditional branches).
+    pub dynamic_branches: u64,
+    /// Number of completed loop executions (enter/exit pairs).
+    pub loop_executions: u64,
+    /// Number of method invocations.
+    pub method_invocations: u64,
+    /// Number of method invocations that are the root of a recursive
+    /// execution.
+    pub recursion_roots: u64,
+}
+
+impl TraceStats {
+    /// Measures the characteristics of an execution trace.
+    #[must_use]
+    pub fn measure(trace: &ExecutionTrace) -> Self {
+        let mut sink = StatsSink::new();
+        for ev in trace.events() {
+            sink.record_event(ev.kind(), ev.offset());
+        }
+        sink.stats.dynamic_branches = trace.branches().len() as u64;
+        sink.finish()
+    }
+}
+
+/// A [`TraceSink`] that computes [`TraceStats`] on the fly without
+/// storing the trace — hand it to the MicroVM interpreter to size a
+/// workload with O(call depth) memory.
+///
+/// # Examples
+///
+/// ```
+/// use opd_trace::{MethodId, ProfileElement, StatsSink, TraceSink};
+///
+/// let mut sink = StatsSink::new();
+/// sink.record_branch(ProfileElement::new(MethodId::new(0), 1, true));
+/// let stats = sink.finish();
+/// assert_eq!(stats.dynamic_branches, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StatsSink {
+    stats: TraceStats,
+    // Stack of method frames; for each method, the indices of its
+    // frames currently on the stack (in push order). The earliest
+    // frame of a method that recurses is its recursion root; mark it
+    // once.
+    stack: Vec<(MethodId, bool)>,
+    on_stack: HashMap<MethodId, Vec<usize>>,
+}
+
+impl StatsSink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> TraceStats {
+        self.stats
+    }
+
+    /// Consumes the sink, returning the final statistics.
+    #[must_use]
+    pub fn finish(self) -> TraceStats {
+        self.stats
+    }
+}
+
+impl TraceSink for StatsSink {
+    fn record_branch(&mut self, _element: ProfileElement) {
+        self.stats.dynamic_branches += 1;
+    }
+
+    fn record_event(&mut self, kind: CallLoopEventKind, _offset: u64) {
+        match kind {
+            CallLoopEventKind::LoopEnter(_) => {}
+            CallLoopEventKind::LoopExit(_) => self.stats.loop_executions += 1,
+            CallLoopEventKind::MethodEnter(m) => {
+                self.stats.method_invocations += 1;
+                let frames = self.on_stack.entry(m).or_default();
+                if let Some(&root_idx) = frames.first() {
+                    if !self.stack[root_idx].1 {
+                        self.stack[root_idx].1 = true;
+                        self.stats.recursion_roots += 1;
+                    }
+                }
+                frames.push(self.stack.len());
+                self.stack.push((m, false));
+            }
+            CallLoopEventKind::MethodExit(m) => {
+                if let Some((top, _)) = self.stack.pop() {
+                    debug_assert_eq!(top, m, "unbalanced method exit");
+                    if let Some(frames) = self.on_stack.get_mut(&m) {
+                        frames.pop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} branches, {} loop executions, {} method invocations, {} recursion roots",
+            self.dynamic_branches,
+            self.loop_executions,
+            self.method_invocations,
+            self.recursion_roots
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LoopId, ProfileElement, TraceSink};
+
+    fn m(i: u32) -> MethodId {
+        MethodId::new(i)
+    }
+
+    #[test]
+    fn counts_loops_and_branches() {
+        let mut t = ExecutionTrace::new();
+        for _ in 0..3 {
+            t.record_loop_enter(LoopId::new(0));
+            for i in 0..5 {
+                t.record_branch(ProfileElement::new(m(0), i, true));
+            }
+            t.record_loop_exit(LoopId::new(0));
+        }
+        let s = TraceStats::measure(&t);
+        assert_eq!(s.dynamic_branches, 15);
+        assert_eq!(s.loop_executions, 3);
+        assert_eq!(s.method_invocations, 0);
+        assert_eq!(s.recursion_roots, 0);
+    }
+
+    #[test]
+    fn direct_recursion_counts_one_root() {
+        let mut t = ExecutionTrace::new();
+        t.record_method_enter(m(1));
+        t.record_method_enter(m(1));
+        t.record_method_enter(m(1));
+        t.record_method_exit(m(1));
+        t.record_method_exit(m(1));
+        t.record_method_exit(m(1));
+        let s = TraceStats::measure(&t);
+        assert_eq!(s.method_invocations, 3);
+        assert_eq!(s.recursion_roots, 1);
+    }
+
+    #[test]
+    fn mutual_recursion_roots_per_method() {
+        // main -> foo -> bar -> foo: foo's first frame is the only root
+        // (bar never re-appears on the stack).
+        let mut t = ExecutionTrace::new();
+        t.record_method_enter(m(0));
+        t.record_method_enter(m(1));
+        t.record_method_enter(m(2));
+        t.record_method_enter(m(1));
+        t.record_method_exit(m(1));
+        t.record_method_exit(m(2));
+        t.record_method_exit(m(1));
+        t.record_method_exit(m(0));
+        let s = TraceStats::measure(&t);
+        assert_eq!(s.recursion_roots, 1);
+    }
+
+    #[test]
+    fn separate_executions_are_separate_roots() {
+        let mut t = ExecutionTrace::new();
+        for _ in 0..2 {
+            t.record_method_enter(m(1));
+            t.record_method_enter(m(1));
+            t.record_method_exit(m(1));
+            t.record_method_exit(m(1));
+        }
+        let s = TraceStats::measure(&t);
+        assert_eq!(s.recursion_roots, 2);
+    }
+
+    #[test]
+    fn non_recursive_calls_have_no_roots() {
+        let mut t = ExecutionTrace::new();
+        t.record_method_enter(m(0));
+        t.record_method_enter(m(1));
+        t.record_method_exit(m(1));
+        t.record_method_enter(m(1));
+        t.record_method_exit(m(1));
+        t.record_method_exit(m(0));
+        let s = TraceStats::measure(&t);
+        assert_eq!(s.method_invocations, 3);
+        assert_eq!(s.recursion_roots, 0);
+    }
+
+    #[test]
+    fn stats_sink_matches_measure() {
+        let mut t = ExecutionTrace::new();
+        t.record_method_enter(m(0));
+        t.record_method_enter(m(1));
+        t.record_method_enter(m(1));
+        for i in 0..5 {
+            t.record_branch(ProfileElement::new(m(1), i, true));
+        }
+        t.record_method_exit(m(1));
+        t.record_method_exit(m(1));
+        t.record_loop_enter(LoopId::new(0));
+        t.record_loop_exit(LoopId::new(0));
+        t.record_method_exit(m(0));
+
+        let mut sink = StatsSink::new();
+        for e in t.branches() {
+            sink.record_branch(*e);
+        }
+        for ev in t.events() {
+            sink.record_event(ev.kind(), ev.offset());
+        }
+        assert_eq!(sink.stats(), TraceStats::measure(&t));
+        assert_eq!(sink.finish(), TraceStats::measure(&t));
+    }
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let s = TraceStats {
+            dynamic_branches: 1,
+            loop_executions: 2,
+            method_invocations: 3,
+            recursion_roots: 4,
+        };
+        let text = format!("{s}");
+        assert!(text.contains('1') && text.contains('4'));
+    }
+}

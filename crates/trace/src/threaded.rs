@@ -1,0 +1,304 @@
+//! Multi-threaded profile streams.
+//!
+//! The paper evaluates single-threaded applications but notes the
+//! framework "can be extended to handle multi-threaded applications"
+//! (Section 4.1). The natural extension — used here — tags every
+//! profile record with its thread and runs one detector (and one
+//! baseline) per thread: phases are a property of each thread's own
+//! control flow.
+//!
+//! [`ThreadedTrace`] is a merged, tagged stream;
+//! [`ThreadedTrace::demux`] splits it back into one ordinary
+//! [`ExecutionTrace`] per thread, after which everything in this
+//! workspace applies unchanged. [`interleave`] builds a merged stream
+//! from per-thread traces with a round-robin scheduling quantum, the
+//! way a time-sliced VM would emit it.
+
+use core::fmt;
+use std::collections::BTreeMap;
+
+use crate::{CallLoopEventKind, ExecutionTrace, ProfileElement, TraceSink};
+
+/// Identifier of a thread in a merged profile stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ThreadId(u32);
+
+impl ThreadId {
+    /// Creates a thread id.
+    #[must_use]
+    pub fn new(index: u32) -> Self {
+        ThreadId(index)
+    }
+
+    /// Returns the raw index.
+    #[must_use]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// One record of a merged stream: a branch or a call-loop event,
+/// tagged with its thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ThreadedRecord {
+    /// A conditional branch executed by the thread.
+    Branch(ProfileElement),
+    /// A loop/method entry or exit on the thread.
+    Event(CallLoopEventKind),
+}
+
+/// A merged, thread-tagged profile stream.
+///
+/// # Examples
+///
+/// ```
+/// use opd_trace::{interleave, ExecutionTrace, MethodId, ProfileElement, ThreadId, TraceSink};
+///
+/// let mut a = ExecutionTrace::new();
+/// a.record_branch(ProfileElement::new(MethodId::new(0), 0, true));
+/// let mut b = ExecutionTrace::new();
+/// b.record_branch(ProfileElement::new(MethodId::new(1), 0, false));
+///
+/// let merged = interleave(vec![a.clone(), b.clone()], 4);
+/// let per_thread = merged.demux();
+/// assert_eq!(per_thread[&ThreadId::new(0)], a);
+/// assert_eq!(per_thread[&ThreadId::new(1)], b);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ThreadedTrace {
+    records: Vec<(ThreadId, ThreadedRecord)>,
+}
+
+impl ThreadedTrace {
+    /// Creates an empty merged stream.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one tagged record.
+    pub fn push(&mut self, thread: ThreadId, record: ThreadedRecord) {
+        self.records.push((thread, record));
+    }
+
+    /// Number of records (branches plus events).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if the stream has no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The tagged records, in arrival order.
+    #[must_use]
+    pub fn records(&self) -> &[(ThreadId, ThreadedRecord)] {
+        &self.records
+    }
+
+    /// The distinct threads present, ascending.
+    #[must_use]
+    pub fn threads(&self) -> Vec<ThreadId> {
+        let mut out: Vec<ThreadId> = self.records.iter().map(|(t, _)| *t).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Splits the merged stream into one ordinary execution trace per
+    /// thread. Within each thread, record order (and hence every
+    /// event's branch offset) is preserved, so detectors and the
+    /// baseline apply per thread unchanged.
+    #[must_use]
+    pub fn demux(&self) -> BTreeMap<ThreadId, ExecutionTrace> {
+        let mut out: BTreeMap<ThreadId, ExecutionTrace> = BTreeMap::new();
+        for &(thread, record) in &self.records {
+            let trace = out.entry(thread).or_default();
+            match record {
+                ThreadedRecord::Branch(e) => trace.record_branch(e),
+                ThreadedRecord::Event(kind) => {
+                    let off = trace.branches().len() as u64;
+                    trace.record_event(kind, off);
+                }
+            }
+        }
+        out
+    }
+
+    /// A per-thread recording adaptor: everything recorded through the
+    /// returned sink is tagged with `thread`.
+    pub fn sink_for(&mut self, thread: ThreadId) -> ThreadSink<'_> {
+        ThreadSink {
+            trace: self,
+            thread,
+        }
+    }
+}
+
+/// A [`TraceSink`] view of one thread of a [`ThreadedTrace`].
+#[derive(Debug)]
+pub struct ThreadSink<'a> {
+    trace: &'a mut ThreadedTrace,
+    thread: ThreadId,
+}
+
+impl TraceSink for ThreadSink<'_> {
+    fn record_branch(&mut self, element: ProfileElement) {
+        self.trace
+            .push(self.thread, ThreadedRecord::Branch(element));
+    }
+
+    fn record_event(&mut self, kind: CallLoopEventKind, _offset: u64) {
+        self.trace.push(self.thread, ThreadedRecord::Event(kind));
+    }
+}
+
+/// Merges per-thread traces into one tagged stream, round-robin with
+/// the given scheduling `quantum` (records per turn) — the shape a
+/// time-sliced VM's merged profile buffer would have.
+///
+/// # Panics
+///
+/// Panics if `quantum` is zero.
+#[must_use]
+pub fn interleave(traces: Vec<ExecutionTrace>, quantum: usize) -> ThreadedTrace {
+    assert!(quantum > 0, "scheduling quantum must be positive");
+    // Flatten each trace into its record sequence (branches and
+    // events in offset order).
+    let mut streams: Vec<std::vec::IntoIter<ThreadedRecord>> = traces
+        .into_iter()
+        .map(|t| {
+            let (branches, events) = t.into_parts();
+            let mut records = Vec::with_capacity(branches.len() + events.len());
+            let mut ev = events.as_slice().iter().peekable();
+            for (i, b) in branches.iter().enumerate() {
+                while ev.peek().is_some_and(|e| e.offset() <= i as u64) {
+                    records.push(ThreadedRecord::Event(ev.next().expect("peeked").kind()));
+                }
+                records.push(ThreadedRecord::Branch(*b));
+            }
+            for e in ev {
+                records.push(ThreadedRecord::Event(e.kind()));
+            }
+            records.into_iter()
+        })
+        .collect();
+
+    let mut out = ThreadedTrace::new();
+    let mut live = streams.len();
+    while live > 0 {
+        live = 0;
+        for (i, stream) in streams.iter_mut().enumerate() {
+            let thread = ThreadId::new(i as u32);
+            let mut taken = 0;
+            while taken < quantum {
+                match stream.next() {
+                    Some(r) => {
+                        out.push(thread, r);
+                        taken += 1;
+                    }
+                    None => break,
+                }
+            }
+            if taken == quantum {
+                live += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LoopId, MethodId};
+
+    fn trace(method: u32, branches: u32) -> ExecutionTrace {
+        let mut t = ExecutionTrace::new();
+        t.record_method_enter(MethodId::new(method));
+        t.record_loop_enter(LoopId::new(method));
+        for i in 0..branches {
+            t.record_branch(ProfileElement::new(MethodId::new(method), i % 7, true));
+        }
+        t.record_loop_exit(LoopId::new(method));
+        t.record_method_exit(MethodId::new(method));
+        t
+    }
+
+    #[test]
+    fn interleave_demux_roundtrip() {
+        let a = trace(0, 100);
+        let b = trace(1, 37);
+        let c = trace(2, 250);
+        for quantum in [1, 3, 16, 1000] {
+            let merged = interleave(vec![a.clone(), b.clone(), c.clone()], quantum);
+            let split = merged.demux();
+            assert_eq!(split.len(), 3, "quantum {quantum}");
+            assert_eq!(split[&ThreadId::new(0)], a);
+            assert_eq!(split[&ThreadId::new(1)], b);
+            assert_eq!(split[&ThreadId::new(2)], c);
+        }
+    }
+
+    #[test]
+    fn interleaving_actually_mixes_threads() {
+        let merged = interleave(vec![trace(0, 50), trace(1, 50)], 5);
+        let first_20: Vec<u32> = merged.records()[..20]
+            .iter()
+            .map(|(t, _)| t.index())
+            .collect();
+        assert!(first_20.contains(&0) && first_20.contains(&1));
+        assert_eq!(merged.threads(), vec![ThreadId::new(0), ThreadId::new(1)]);
+    }
+
+    #[test]
+    fn sink_for_tags_records() {
+        let mut merged = ThreadedTrace::new();
+        {
+            let mut sink = merged.sink_for(ThreadId::new(9));
+            sink.record_branch(ProfileElement::new(MethodId::new(0), 0, true));
+            sink.record_event(CallLoopEventKind::LoopEnter(LoopId::new(1)), 1);
+        }
+        assert_eq!(merged.len(), 2);
+        assert!(merged.records().iter().all(|(t, _)| t.index() == 9));
+        assert!(!merged.is_empty());
+    }
+
+    #[test]
+    fn demux_preserves_event_offsets() {
+        let a = trace(0, 10);
+        let merged = interleave(vec![a.clone()], 3);
+        let split = merged.demux();
+        let back = &split[&ThreadId::new(0)];
+        let offsets: Vec<u64> = back.events().iter().map(|e| e.offset()).collect();
+        let orig: Vec<u64> = a.events().iter().map(|e| e.offset()).collect();
+        assert_eq!(offsets, orig);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let merged = interleave(vec![], 4);
+        assert!(merged.is_empty());
+        assert!(merged.demux().is_empty());
+        assert!(merged.threads().is_empty());
+        assert_eq!(format!("{}", ThreadId::new(3)), "t3");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum")]
+    fn zero_quantum_rejected() {
+        let _ = interleave(vec![], 0);
+    }
+}

@@ -1,0 +1,390 @@
+//! Trace containers and the recording sink abstraction.
+
+use core::fmt;
+
+use crate::{CallLoopEvent, CallLoopEventKind, LoopId, MethodId, ProfileElement};
+
+/// A sink that receives the two correlated profile streams as a program
+/// executes.
+///
+/// The MicroVM interpreter (and any other instrumentation front end) is
+/// generic over `TraceSink`, so full traces, statistics-only collectors
+/// and streaming online detectors can all consume an execution without
+/// buffering when they do not need to.
+pub trait TraceSink {
+    /// Records one executed conditional branch.
+    fn record_branch(&mut self, element: ProfileElement);
+
+    /// Records one loop or method entry/exit. `offset` is the number of
+    /// branches recorded so far.
+    fn record_event(&mut self, kind: CallLoopEventKind, offset: u64);
+}
+
+/// A sequence of profile elements: the conditional-branch trace.
+///
+/// # Examples
+///
+/// ```
+/// use opd_trace::{BranchTrace, MethodId, ProfileElement};
+///
+/// let trace: BranchTrace = (0..4)
+///     .map(|i| ProfileElement::new(MethodId::new(0), i, i % 2 == 0))
+///     .collect();
+/// assert_eq!(trace.len(), 4);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BranchTrace {
+    elements: Vec<ProfileElement>,
+}
+
+impl BranchTrace {
+    /// Creates an empty branch trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty trace with room for `capacity` elements.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        BranchTrace {
+            elements: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends one element.
+    pub fn push(&mut self, element: ProfileElement) {
+        self.elements.push(element);
+    }
+
+    /// Returns the number of dynamic branches.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Returns `true` if no branches were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Returns the recorded elements as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[ProfileElement] {
+        &self.elements
+    }
+
+    /// Iterates over the recorded elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, ProfileElement> {
+        self.elements.iter()
+    }
+}
+
+impl FromIterator<ProfileElement> for BranchTrace {
+    fn from_iter<I: IntoIterator<Item = ProfileElement>>(iter: I) -> Self {
+        BranchTrace {
+            elements: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<ProfileElement> for BranchTrace {
+    fn extend<I: IntoIterator<Item = ProfileElement>>(&mut self, iter: I) {
+        self.elements.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a BranchTrace {
+    type Item = &'a ProfileElement;
+    type IntoIter = std::slice::Iter<'a, ProfileElement>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.elements.iter()
+    }
+}
+
+impl IntoIterator for BranchTrace {
+    type Item = ProfileElement;
+    type IntoIter = std::vec::IntoIter<ProfileElement>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.elements.into_iter()
+    }
+}
+
+impl From<Vec<ProfileElement>> for BranchTrace {
+    fn from(elements: Vec<ProfileElement>) -> Self {
+        BranchTrace { elements }
+    }
+}
+
+impl AsRef<[ProfileElement]> for BranchTrace {
+    fn as_ref(&self) -> &[ProfileElement] {
+        &self.elements
+    }
+}
+
+/// The call-loop trace: loop and method entry/exit events correlated
+/// with branch offsets, in execution order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CallLoopTrace {
+    events: Vec<CallLoopEvent>,
+}
+
+impl CallLoopTrace {
+    /// Creates an empty call-loop trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event` is out of order: offsets must be
+    /// non-decreasing.
+    pub fn push(&mut self, event: CallLoopEvent) {
+        if let Some(last) = self.events.last() {
+            assert!(
+                last.offset() <= event.offset(),
+                "call-loop events must have non-decreasing offsets ({} then {})",
+                last.offset(),
+                event.offset()
+            );
+        }
+        self.events.push(event);
+    }
+
+    /// Returns the number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if no events were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Returns the recorded events as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[CallLoopEvent] {
+        &self.events
+    }
+
+    /// Iterates over the recorded events.
+    pub fn iter(&self) -> std::slice::Iter<'_, CallLoopEvent> {
+        self.events.iter()
+    }
+}
+
+impl FromIterator<CallLoopEvent> for CallLoopTrace {
+    fn from_iter<I: IntoIterator<Item = CallLoopEvent>>(iter: I) -> Self {
+        let mut t = CallLoopTrace::new();
+        for ev in iter {
+            t.push(ev);
+        }
+        t
+    }
+}
+
+impl<'a> IntoIterator for &'a CallLoopTrace {
+    type Item = &'a CallLoopEvent;
+    type IntoIter = std::slice::Iter<'a, CallLoopEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+/// The full record of one program execution: the branch trace plus the
+/// correlated call-loop trace.
+///
+/// `ExecutionTrace` implements [`TraceSink`], so it can be handed
+/// directly to the MicroVM interpreter.
+///
+/// # Examples
+///
+/// ```
+/// use opd_trace::{ExecutionTrace, LoopId, MethodId, ProfileElement, TraceSink};
+///
+/// let mut t = ExecutionTrace::new();
+/// t.record_loop_enter(LoopId::new(0));
+/// t.record_branch(ProfileElement::new(MethodId::new(0), 1, true));
+/// t.record_loop_exit(LoopId::new(0));
+/// assert_eq!(t.events().as_slice()[1].offset(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ExecutionTrace {
+    branches: BranchTrace,
+    events: CallLoopTrace,
+}
+
+impl ExecutionTrace {
+    /// Creates an empty execution trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assembles a trace from already-recorded streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event offset exceeds the branch count.
+    #[must_use]
+    pub fn from_parts(branches: BranchTrace, events: CallLoopTrace) -> Self {
+        let n = branches.len() as u64;
+        for ev in &events {
+            assert!(
+                ev.offset() <= n,
+                "event {ev} beyond the end of the branch trace ({n} branches)"
+            );
+        }
+        ExecutionTrace { branches, events }
+    }
+
+    /// Returns the branch trace.
+    #[must_use]
+    pub fn branches(&self) -> &BranchTrace {
+        &self.branches
+    }
+
+    /// Returns the call-loop trace.
+    #[must_use]
+    pub fn events(&self) -> &CallLoopTrace {
+        &self.events
+    }
+
+    /// Splits the trace into its two streams.
+    #[must_use]
+    pub fn into_parts(self) -> (BranchTrace, CallLoopTrace) {
+        (self.branches, self.events)
+    }
+
+    /// Records a loop entry at the current branch offset.
+    pub fn record_loop_enter(&mut self, id: LoopId) {
+        let off = self.branches.len() as u64;
+        self.events
+            .push(CallLoopEvent::new(CallLoopEventKind::LoopEnter(id), off));
+    }
+
+    /// Records a loop exit at the current branch offset.
+    pub fn record_loop_exit(&mut self, id: LoopId) {
+        let off = self.branches.len() as u64;
+        self.events
+            .push(CallLoopEvent::new(CallLoopEventKind::LoopExit(id), off));
+    }
+
+    /// Records a method entry at the current branch offset.
+    pub fn record_method_enter(&mut self, id: MethodId) {
+        let off = self.branches.len() as u64;
+        self.events
+            .push(CallLoopEvent::new(CallLoopEventKind::MethodEnter(id), off));
+    }
+
+    /// Records a method exit at the current branch offset.
+    pub fn record_method_exit(&mut self, id: MethodId) {
+        let off = self.branches.len() as u64;
+        self.events
+            .push(CallLoopEvent::new(CallLoopEventKind::MethodExit(id), off));
+    }
+}
+
+impl TraceSink for ExecutionTrace {
+    fn record_branch(&mut self, element: ProfileElement) {
+        self.branches.push(element);
+    }
+
+    fn record_event(&mut self, kind: CallLoopEventKind, offset: u64) {
+        self.events.push(CallLoopEvent::new(kind, offset));
+    }
+}
+
+impl fmt::Display for ExecutionTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "execution trace: {} branches, {} call-loop events",
+            self.branches.len(),
+            self.events.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn elem(offset: u32) -> ProfileElement {
+        ProfileElement::new(MethodId::new(0), offset, true)
+    }
+
+    #[test]
+    fn branch_trace_collects() {
+        let t: BranchTrace = (0..10).map(elem).collect();
+        assert_eq!(t.len(), 10);
+        assert!(!t.is_empty());
+        assert_eq!(t.iter().count(), 10);
+        let back: Vec<_> = t.clone().into_iter().collect();
+        assert_eq!(back.len(), 10);
+        assert_eq!(t.as_ref().len(), 10);
+    }
+
+    #[test]
+    fn execution_trace_correlates_offsets() {
+        let mut t = ExecutionTrace::new();
+        t.record_method_enter(MethodId::new(1));
+        t.record_branch(elem(0));
+        t.record_branch(elem(1));
+        t.record_loop_enter(LoopId::new(5));
+        t.record_branch(elem(2));
+        t.record_loop_exit(LoopId::new(5));
+        t.record_method_exit(MethodId::new(1));
+
+        let offsets: Vec<u64> = t.events().iter().map(|e| e.offset()).collect();
+        assert_eq!(offsets, vec![0, 2, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn out_of_order_events_rejected() {
+        let mut t = CallLoopTrace::new();
+        t.push(CallLoopEvent::new(
+            CallLoopEventKind::LoopEnter(LoopId::new(0)),
+            5,
+        ));
+        t.push(CallLoopEvent::new(
+            CallLoopEventKind::LoopExit(LoopId::new(0)),
+            4,
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the end")]
+    fn from_parts_validates_offsets() {
+        let branches: BranchTrace = (0..3).map(elem).collect();
+        let mut events = CallLoopTrace::new();
+        events.push(CallLoopEvent::new(
+            CallLoopEventKind::LoopEnter(LoopId::new(0)),
+            4,
+        ));
+        let _ = ExecutionTrace::from_parts(branches, events);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut t = ExecutionTrace::new();
+        t.record_branch(elem(0));
+        assert_eq!(
+            format!("{t}"),
+            "execution trace: 1 branches, 0 call-loop events"
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Builds a custom MicroVM program — a three-stage pipeline with a
+//! recursive middle stage — traces it, and watches an online detector
+//! track its phases.
+//!
+//! ```sh
+//! cargo run --release --example custom_workload
+//! ```
+
+use opd::baseline::BaselineSolution;
+use opd::core::{DetectorConfig, PhaseDetector};
+use opd::microvm::{ArgExpr, Interpreter, ProgramBuilder, TakenDist, Trip};
+use opd::scoring::score_states;
+use opd::trace::{intervals_of, ExecutionTrace};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A program with three distinct stages: parse (flat loop), solve
+    // (bounded recursion), and emit (flat loop with a different
+    // working set).
+    let mut b = ProgramBuilder::new();
+    let solve = b.declare("solve");
+    let main_fn = b.declare("main");
+
+    b.define(solve, |f| {
+        f.branches(3, TakenDist::Bernoulli(0.5));
+        f.repeat(Trip::Uniform(2, 6), |work| {
+            work.branches(2, TakenDist::Bernoulli(0.7));
+        });
+        f.if_arg_positive(|rec| {
+            rec.call(solve, ArgExpr::Dec);
+            rec.call(solve, ArgExpr::Dec);
+        });
+    });
+
+    b.define(main_fn, |f| {
+        // Stage 1: parse.
+        f.repeat(Trip::Fixed(4_000), |parse| {
+            parse.branches(2, TakenDist::Bernoulli(0.6));
+        });
+        // Stage 2: a burst of recursive solves.
+        f.repeat(Trip::Fixed(120), |burst| {
+            burst.branch(TakenDist::Bernoulli(0.5));
+            burst.call(solve, ArgExpr::Draw(3, 6));
+        });
+        // Stage 3: emit.
+        f.repeat(Trip::Fixed(5_000), |emit| {
+            emit.branches(2, TakenDist::Bernoulli(0.8));
+        });
+    });
+    b.entry(main_fn);
+    let program = b.build()?;
+    println!("{program}");
+
+    let mut trace = ExecutionTrace::new();
+    let summary = Interpreter::new(&program, 2024).run(&mut trace)?;
+    println!(
+        "executed: {} branches, deepest call stack {}",
+        summary.branches, summary.max_depth
+    );
+
+    let oracle = BaselineSolution::compute(&trace, 5_000)?;
+    println!("oracle phases (MPL 5K):");
+    for p in oracle.phases() {
+        println!("  {p}");
+    }
+
+    let config = DetectorConfig::builder().current_window(2_500).build()?;
+    let mut detector = PhaseDetector::new(config);
+    let states = detector.run(trace.branches());
+    println!("detected phases:");
+    for p in intervals_of(&states) {
+        println!("  {p}");
+    }
+    println!("{}", score_states(&states, &oracle));
+    Ok(())
+}

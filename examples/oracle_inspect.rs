@@ -1,0 +1,75 @@
+//! Inspects the baseline solution's view of one execution: the
+//! call-loop forest, the recursion roots, and how the selected phases
+//! change with the minimum phase length.
+//!
+//! ```sh
+//! cargo run --release --example oracle_inspect
+//! ```
+
+use opd::baseline::{CallLoopForest, RepNode};
+use opd::microvm::workloads::Workload;
+
+fn print_node(node: &RepNode, depth: usize, budget: &mut usize) {
+    if *budget == 0 {
+        return;
+    }
+    *budget -= 1;
+    println!(
+        "{:indent$}{} [{}, {}) len={}{}",
+        "",
+        node.construct(),
+        node.start(),
+        node.end(),
+        node.len(),
+        if node.is_recursion_root() {
+            "  <recursion root>"
+        } else {
+            ""
+        },
+        indent = depth * 2
+    );
+    for child in node.children().iter().take(3) {
+        print_node(child, depth + 1, budget);
+    }
+    if node.children().len() > 3 && *budget > 0 {
+        *budget -= 1;
+        println!(
+            "{:indent$}... {} more children",
+            "",
+            node.children().len() - 3,
+            indent = (depth + 1) * 2
+        );
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = Workload::Srccomp;
+    let trace = workload.trace(1);
+    let forest = CallLoopForest::build(&trace)?;
+    println!(
+        "{workload}: {} construct executions over {} branches\n",
+        forest.node_count(),
+        forest.total_branches()
+    );
+
+    println!("top of the call-loop forest:");
+    let mut budget = 24;
+    for root in forest.roots() {
+        print_node(root, 0, &mut budget);
+    }
+
+    println!("\nphases per MPL:");
+    for mpl in [1_000u64, 5_000, 10_000, 25_000, 50_000, 100_000] {
+        let sol = forest.solve(mpl);
+        println!("  {sol}");
+    }
+
+    // The same forest solves for any client-specific MPL without
+    // re-reading the trace.
+    let custom = forest.solve(33_000);
+    println!("\na client needing 33K-branch phases would see:");
+    for p in custom.phases().iter().take(6) {
+        println!("  {p}");
+    }
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! A complete phase-aware optimization client: derives its MPL from
+//! its cost model, drives an online detector, simulates the net
+//! benefit, and adapts the MPL from the phase lengths it observes —
+//! the full loop the paper's Section 7 sketches as future work.
+//!
+//! ```sh
+//! cargo run --release --example phase_aware_optimizer
+//! ```
+
+use opd::baseline::BaselineSolution;
+use opd::client::{
+    break_even_mpl, recommended_mpl, simulate, simulate_intervals, AdaptiveMplController, CostModel,
+};
+use opd::core::{DetectorConfig, PhaseDetector, TwPolicy};
+use opd::microvm::workloads::Workload;
+use opd::trace::intervals_of;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = Workload::Ruleng;
+    let trace = workload.trace(1);
+    let total = trace.branches().len() as u64;
+
+    // 1. The client knows its own economics.
+    let model = CostModel::new(2_000, 1.3, 200)?;
+    let mpl = recommended_mpl(&model);
+    println!("client: {model}");
+    println!(
+        "break-even phase length {} -> requesting MPL {}",
+        break_even_mpl(&model),
+        mpl
+    );
+
+    // 2. Configure a detector for that granularity (CW = MPL/2).
+    let config = DetectorConfig::builder()
+        .current_window((mpl / 2) as usize)
+        .tw_policy(TwPolicy::Adaptive)
+        .build()?;
+    let mut detector = PhaseDetector::new(config);
+    let states = detector.run(trace.branches());
+
+    // 3. What did phase-guided optimization buy? Speedup only applies
+    //    to elements that were *genuinely* stable (the oracle's
+    //    phases); optimizing transition elements earns nothing.
+    let oracle = BaselineSolution::compute(&trace, mpl)?;
+    let outcome = simulate(&states, oracle.phases(), &model);
+    println!("\nwith the online detector: {outcome}");
+
+    let reference = simulate_intervals(oracle.phases(), oracle.phases(), total, &model);
+    println!("oracle client reference:  {reference}");
+    if reference.net_benefit() > 0.0 {
+        println!(
+            "captured {:.0}% of the oracle client's benefit",
+            100.0 * outcome.net_benefit() / reference.net_benefit()
+        );
+    }
+
+    // 4. Adapt the MPL from the phases actually seen.
+    let mut controller = AdaptiveMplController::new(&model);
+    for phase in intervals_of(&states) {
+        controller.observe_phase(phase.len());
+    }
+    println!("\nafter one run the controller proposes: {controller}");
+    let retuned_mpl = controller.current_mpl();
+    if retuned_mpl != mpl {
+        let retuned = DetectorConfig::builder()
+            .current_window(controller.current_window())
+            .tw_policy(TwPolicy::Adaptive)
+            .build()?;
+        let retuned_oracle = BaselineSolution::compute(&trace, retuned_mpl)?;
+        let states2 = PhaseDetector::new(retuned).run(trace.branches());
+        let outcome2 = simulate(&states2, retuned_oracle.phases(), &model);
+        println!("re-running with the adapted MPL: {outcome2}");
+    }
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Quickstart: execute a workload, run one online phase detector over
+//! its branch profile, and score it against the baseline oracle.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use opd::baseline::BaselineSolution;
+use opd::core::{AnalyzerPolicy, DetectorConfig, ModelPolicy, PhaseDetector, TwPolicy};
+use opd::microvm::workloads::Workload;
+use opd::scoring::score_states;
+use opd::trace::{intervals_of, TraceStats};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Execute the JLex-analogue workload, recording both the
+    //    conditional-branch trace and the call-loop trace.
+    let trace = Workload::Lexgen.trace(1);
+    println!("trace: {}", TraceStats::measure(&trace));
+
+    // 2. Compute the baseline (oracle) phases for a client that needs
+    //    phases of at least 10,000 branches.
+    let mpl = 10_000;
+    let oracle = BaselineSolution::compute(&trace, mpl)?;
+    println!("oracle: {oracle}");
+
+    // 3. Configure an online detector: CW = half the MPL, adaptive
+    //    trailing window, unweighted model, threshold analyzer.
+    let config = DetectorConfig::builder()
+        .current_window((mpl / 2) as usize)
+        .tw_policy(TwPolicy::Adaptive)
+        .model(ModelPolicy::UnweightedSet)
+        .analyzer(AnalyzerPolicy::Threshold(0.6))
+        .build()?;
+    let mut detector = PhaseDetector::new(config);
+    let states = detector.run(trace.branches());
+
+    // 4. Inspect what it found and score it.
+    let detected = intervals_of(&states);
+    println!("detector found {} phases:", detected.len());
+    for phase in detected.iter().take(8) {
+        println!("  {phase} ({} branches)", phase.len());
+    }
+    if detected.len() > 8 {
+        println!("  ... and {} more", detected.len() - 8);
+    }
+
+    let score = score_states(&states, &oracle);
+    println!("{score}");
+    Ok(())
+}

@@ -1,0 +1,109 @@
+//! Recurring-phase detection: the paper's first future-work item.
+//! A dynamic optimizer can memoize an optimization decision per phase
+//! *class* and reuse it whenever the phase recurs.
+//!
+//! ```sh
+//! cargo run --release --example recurring_phases
+//! ```
+
+use std::collections::HashMap;
+
+use opd::core::{
+    AnalyzerPolicy, DetectorConfig, ModelPolicy, PhaseId, PhasePredictor, RecurringPhaseDetector,
+};
+use opd::microvm::workloads::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // blockcomp alternates compress and expand blocks: two phase
+    // classes, each recurring six times. Their working *sets* are
+    // identical — only frequencies differ — so both the detector and
+    // the signature matching use weighted similarity.
+    let trace = Workload::Blockcomp.trace(1);
+
+    let config = DetectorConfig::builder()
+        .current_window(500)
+        .model(ModelPolicy::WeightedSet)
+        .analyzer(AnalyzerPolicy::Threshold(0.6))
+        .build()?;
+    let mut detector = RecurringPhaseDetector::new(config, 0.7)?;
+    let _states = detector.run(trace.branches());
+
+    println!(
+        "{} phase occurrences across {} distinct classes\n",
+        detector.phases().len(),
+        detector.registry().class_count()
+    );
+
+    // A memoization client: pretend each first occurrence costs an
+    // expensive analysis, and each recurrence reuses it.
+    let mut memo: HashMap<PhaseId, u64> = HashMap::new();
+    let mut analyses = 0u32;
+    let mut reuses = 0u32;
+    for phase in detector.phases() {
+        if phase.recurrence {
+            reuses += 1;
+            let expected = memo.get(&phase.class);
+            if let Some(&len) = expected {
+                let drift = (phase.end - phase.start).abs_diff(len);
+                if drift * 10 > len {
+                    // The phase changed shape; a real client would
+                    // re-analyze here.
+                }
+            }
+        } else {
+            analyses += 1;
+            memo.insert(phase.class, phase.end - phase.start);
+        }
+    }
+    println!("optimization analyses performed: {analyses}");
+    println!("memoized decisions reused:       {reuses}");
+
+    println!("\nfirst ten occurrences:");
+    for p in detector.phases().iter().take(10) {
+        println!(
+            "  [{:>7}, {:>7}) {} {}",
+            p.start,
+            p.end,
+            p.class,
+            if p.recurrence {
+                "(recurrence)"
+            } else {
+                "(new)"
+            }
+        );
+    }
+    // A predictor on top of the class sequence: after the alternation
+    // is learned, the client knows the next phase before it starts.
+    let mut predictor = PhasePredictor::new();
+    for p in detector.phases() {
+        let _ = predictor.predict_next();
+        predictor.observe(p.class, p.end - p.start);
+    }
+    println!(
+        "\npredictor: {:.0}% of next-phase predictions correct ({} scored)",
+        100.0 * predictor.accuracy(),
+        predictor.predictions_made()
+    );
+    if let Some(next) = predictor.predict_next() {
+        println!(
+            "prediction for what follows: {} (~{} elements, {:.0}% confidence)",
+            next.class,
+            next.length,
+            100.0 * next.confidence
+        );
+    }
+
+    for id in 0..detector.registry().class_count() as u32 {
+        let id = detector
+            .phases()
+            .iter()
+            .map(|p| p.class)
+            .find(|c| c.index() == id)
+            .expect("class ids are dense");
+        println!(
+            "class {id}: {} occurrences",
+            detector.registry().occurrences(id)
+        );
+    }
+    Ok(())
+}

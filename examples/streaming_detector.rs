@@ -1,0 +1,76 @@
+//! Drives a phase detector the way a VM's dynamic optimizer would:
+//! online, one profile element at a time, reacting to phase starts and
+//! ends as they are reported.
+//!
+//! ```sh
+//! cargo run --release --example streaming_detector
+//! ```
+
+use opd::core::{AnalyzerPolicy, DetectorConfig, PhaseDetector, TwPolicy};
+use opd::microvm::workloads::Workload;
+use opd::trace::PhaseState;
+
+/// A toy optimization client: specializes code while a phase is
+/// stable and deoptimizes when the phase ends.
+#[derive(Default)]
+struct OptimizerClient {
+    specializations: u32,
+    deoptimizations: u32,
+    longest_phase: u64,
+    current_start: Option<u64>,
+}
+
+impl OptimizerClient {
+    fn on_state(&mut self, offset: u64, prev: PhaseState, now: PhaseState) {
+        match (prev, now) {
+            (PhaseState::Transition, PhaseState::Phase) => {
+                self.specializations += 1;
+                self.current_start = Some(offset);
+                if self.specializations <= 5 {
+                    println!("  [client] phase started at element {offset}: specializing");
+                }
+            }
+            (PhaseState::Phase, PhaseState::Transition) => {
+                self.deoptimizations += 1;
+                if let Some(start) = self.current_start.take() {
+                    self.longest_phase = self.longest_phase.max(offset - start);
+                }
+                if self.deoptimizations <= 5 {
+                    println!("  [client] phase ended at element {offset}: deoptimizing");
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = Workload::Querydb.trace(1);
+    let config = DetectorConfig::builder()
+        .current_window(2_000)
+        .tw_policy(TwPolicy::Adaptive)
+        .analyzer(AnalyzerPolicy::Average { delta: 0.05 })
+        .build()?;
+    let mut detector = PhaseDetector::new(config);
+    let mut client = OptimizerClient::default();
+
+    // The online loop: the instrumented program hands the detector one
+    // element at a time (skip factor 1); the client reacts to edges.
+    let mut prev = PhaseState::Transition;
+    for (i, &element) in trace.branches().iter().enumerate() {
+        let now = detector.process(&[element]);
+        client.on_state(i as u64, prev, now);
+        prev = now;
+    }
+
+    println!("\nprocessed {} elements", detector.elements_consumed());
+    println!(
+        "client actions: {} specializations, {} deoptimizations",
+        client.specializations, client.deoptimizations
+    );
+    println!("longest stable phase: {} elements", client.longest_phase);
+    if let Some(sim) = detector.last_similarity() {
+        println!("final similarity value: {sim:.3}");
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Visual comparison of a detector's output against the oracle: one
+//! ASCII track per MPL value, `#` = in phase, `.` = transition.
+//!
+//! ```sh
+//! cargo run --release --example timeline
+//! ```
+
+use opd::baseline::CallLoopForest;
+use opd::core::{AnalyzerPolicy, DetectorConfig, ModelPolicy, PhaseDetector, TwPolicy};
+use opd::experiments::report::timeline;
+use opd::microvm::workloads::Workload;
+use opd::scoring::score_intervals;
+use opd::trace::intervals_of;
+
+const WIDTH: usize = 96;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // blockcomp's compress/expand alternation is clearly visible: the
+    // weighted model tracks the oracle closely because the phases
+    // differ only in their frequency mix.
+    let workload = Workload::Blockcomp;
+    let trace = workload.trace(1);
+    let total = trace.branches().len() as u64;
+    let forest = CallLoopForest::build(&trace)?;
+    println!("{workload}: {total} branches\n");
+
+    for mpl in [1_000u64, 10_000, 100_000] {
+        let oracle = forest.solve(mpl);
+        let config = DetectorConfig::builder()
+            .current_window((mpl / 2) as usize)
+            .tw_policy(TwPolicy::Adaptive)
+            .model(ModelPolicy::WeightedSet)
+            .analyzer(AnalyzerPolicy::Threshold(0.6))
+            .build()?;
+        let mut detector = PhaseDetector::new(config);
+        let states = detector.run(trace.branches());
+        let detected = intervals_of(&states);
+        let score = score_intervals(&detected, &oracle);
+
+        println!("MPL {mpl:>6}  (score {:.3})", score.combined());
+        println!("  oracle   {}", timeline(oracle.phases(), total, WIDTH));
+        println!("  detector {}", timeline(&detected, total, WIDTH));
+        println!();
+    }
+    println!("legend: '#' in phase, '.' transition, '-' mixed cell");
+    Ok(())
+}

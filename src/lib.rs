@@ -1,0 +1,63 @@
+//! # opd — Online Phase Detection Algorithms
+//!
+//! A complete Rust reproduction of *Online Phase Detection Algorithms*
+//! (Nagpurkar, Hind, Krintz, Sweeney, Rajan — CGO 2006): the
+//! parameterizable online phase detection framework, the MicroVM
+//! workload substrate that stands in for instrumented Java benchmarks,
+//! the offline baseline ("oracle") solution, the client- and
+//! machine-independent accuracy scoring metric, and the evaluation
+//! harness that regenerates every table and figure of the paper.
+//!
+//! This facade crate re-exports the workspace crates under stable
+//! module names:
+//!
+//! * [`trace`] — profile elements, branch/call-loop traces, phase labels
+//! * [`microvm`] — structured-program IR, interpreter, and the eight
+//!   synthetic workloads
+//! * [`core`] — the online phase detection framework (window, model,
+//!   and analyzer policies; the detector of Figure 3)
+//! * [`baseline`] — the offline baseline solution of Section 3.1
+//! * [`scoring`] — the accuracy scoring metric of Section 3.2
+//! * [`client`] — phase-aware optimization clients: cost models, net-benefit
+//!   simulation, and MPL selection/adaptation (the paper's Section 7
+//!   future work)
+//! * [`experiments`] — configuration grids, the parallel sweep runner,
+//!   and per-table/figure experiment generators
+//!
+//! # Quickstart
+//!
+//! ```
+//! use opd::baseline::BaselineSolution;
+//! use opd::core::{DetectorConfig, PhaseDetector};
+//! use opd::microvm::{workloads, Interpreter};
+//! use opd::scoring::score_states;
+//! use opd::trace::ExecutionTrace;
+//!
+//! // 1. Execute a workload, recording branch + call-loop traces.
+//! let program = workloads::lexgen(1);
+//! let mut trace = ExecutionTrace::new();
+//! Interpreter::new(&program, 0xC0FFEE).run(&mut trace)?;
+//!
+//! // 2. Compute the baseline (oracle) phases for MPL = 1000.
+//! let oracle = BaselineSolution::compute(&trace, 1_000)?;
+//!
+//! // 3. Run an online detector over the same profile.
+//! let config = DetectorConfig::builder().current_window(500).build()?;
+//! let mut detector = PhaseDetector::new(config);
+//! let states = detector.run(trace.branches());
+//!
+//! // 4. Score the detector against the oracle.
+//! let score = score_states(&states, &oracle);
+//! assert!(score.combined() >= 0.0 && score.combined() <= 1.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use opd_baseline as baseline;
+pub use opd_client as client;
+pub use opd_core as core;
+pub use opd_experiments as experiments;
+pub use opd_microvm as microvm;
+pub use opd_scoring as scoring;
+pub use opd_trace as trace;

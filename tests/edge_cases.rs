@@ -1,0 +1,260 @@
+//! Edge cases and failure injection across the crate boundaries.
+
+use opd::baseline::{BaselineSolution, CallLoopForest};
+use opd::core::{
+    AnalyzerPolicy, AnchorPolicy, DetectorConfig, ModelPolicy, PhaseDetector, ResizePolicy,
+    TwPolicy,
+};
+use opd::microvm::{ArgExpr, Interpreter, ProgramBuilder, TakenDist, Trip};
+use opd::scoring::score_states;
+use opd::trace::{
+    decode_trace, encode_trace, BranchTrace, CallLoopEvent, CallLoopEventKind, ExecutionTrace,
+    LoopId, MethodId, ProfileElement, TraceSink,
+};
+
+fn elem(offset: u32) -> ProfileElement {
+    ProfileElement::new(MethodId::new(0), offset, true)
+}
+
+#[test]
+fn detector_window_larger_than_trace_stays_in_transition() {
+    let config = DetectorConfig::builder()
+        .current_window(10_000)
+        .build()
+        .unwrap();
+    let trace: BranchTrace = (0..100).map(elem).collect();
+    let states = PhaseDetector::new(config).run(&trace);
+    assert!(states.iter().all(|s| s.is_transition()));
+}
+
+#[test]
+fn skip_factor_larger_than_trace_is_one_step() {
+    let config = DetectorConfig::builder()
+        .current_window(4)
+        .skip_factor(1_000_000)
+        .build()
+        .unwrap();
+    let trace: BranchTrace = (0..50).map(elem).collect();
+    let mut d = PhaseDetector::new(config);
+    let states = d.run(&trace);
+    assert_eq!(states.len(), 50);
+    assert_eq!(d.elements_consumed(), 50);
+}
+
+#[test]
+fn single_element_trace() {
+    let config = DetectorConfig::builder().current_window(1).build().unwrap();
+    let trace: BranchTrace = std::iter::once(elem(0)).collect();
+    let states = PhaseDetector::new(config).run(&trace);
+    assert_eq!(states.len(), 1);
+}
+
+#[test]
+fn minimal_windows_on_uniform_stream() {
+    // cw = tw = 1: the smallest legal detector.
+    let config = DetectorConfig::builder()
+        .current_window(1)
+        .trailing_window(1)
+        .build()
+        .unwrap();
+    let trace: BranchTrace = (0..20).map(|_| elem(7)).collect();
+    let states = PhaseDetector::new(config).run(&trace);
+    assert!(states.as_slice()[2..].iter().all(|s| s.is_phase()));
+}
+
+#[test]
+fn all_four_adaptive_variants_run_on_real_traces() {
+    let program = opd::microvm::workloads::Workload::Ruleng.program(1);
+    let mut trace = ExecutionTrace::new();
+    Interpreter::new(&program, 1)
+        .with_fuel(60_000)
+        .run(&mut trace)
+        .unwrap();
+    let oracle = BaselineSolution::compute(&trace, 5_000).unwrap();
+    for anchor in [AnchorPolicy::RightmostNoisy, AnchorPolicy::LeftmostNonNoisy] {
+        for resize in [ResizePolicy::Slide, ResizePolicy::Move] {
+            let config = DetectorConfig::builder()
+                .current_window(2_500)
+                .tw_policy(TwPolicy::Adaptive)
+                .anchor(anchor)
+                .resize(resize)
+                .build()
+                .unwrap();
+            let mut d = PhaseDetector::new(config);
+            let states = d.run(trace.branches());
+            let score = score_states(&states, &oracle);
+            assert!(
+                (0.0..=1.0).contains(&score.combined()),
+                "{anchor:?}/{resize:?}: {score}"
+            );
+            for p in d.detected_phases() {
+                assert!(p.anchored_start <= p.start, "{anchor:?}/{resize:?}: {p:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn average_analyzer_with_adaptive_tw_detects_workload_phases() {
+    let trace = opd::microvm::workloads::Workload::Lexgen.trace(1);
+    let config = DetectorConfig::builder()
+        .current_window(2_000)
+        .tw_policy(TwPolicy::Adaptive)
+        .analyzer(AnalyzerPolicy::Average { delta: 0.05 })
+        .build()
+        .unwrap();
+    let mut d = PhaseDetector::new(config);
+    let states = d.run(trace.branches());
+    assert!(states.phase_count() > 0);
+    assert!(d.confidence().is_some());
+}
+
+#[test]
+fn detector_continues_after_run() {
+    // A detector is a long-lived online object: feeding more elements
+    // after a run() must be seamless.
+    let config = DetectorConfig::builder().current_window(4).build().unwrap();
+    let mut d = PhaseDetector::new(config);
+    let first: BranchTrace = (0..40).map(|_| elem(1)).collect();
+    let _ = d.run(&first);
+    assert_eq!(d.elements_consumed(), 40);
+    let state = d.process(&[elem(1)]);
+    assert!(state.is_phase());
+    assert_eq!(d.elements_consumed(), 41);
+}
+
+#[test]
+fn pearson_model_runs_end_to_end() {
+    let trace = opd::microvm::workloads::Workload::Querydb.trace(1);
+    let oracle = BaselineSolution::compute(&trace, 10_000).unwrap();
+    let config = DetectorConfig::builder()
+        .current_window(5_000)
+        .model(ModelPolicy::Pearson)
+        .analyzer(AnalyzerPolicy::Threshold(0.8))
+        .build()
+        .unwrap();
+    let states = PhaseDetector::new(config).run(trace.branches());
+    let score = score_states(&states, &oracle);
+    assert!((0.0..=1.0).contains(&score.combined()), "{score}");
+}
+
+#[test]
+fn oracle_handles_pathological_nesting() {
+    // Ten levels of perfectly nested loops, each one iteration.
+    let mut t = ExecutionTrace::new();
+    for i in 0..10 {
+        t.record_loop_enter(LoopId::new(i));
+        for j in 0..3 {
+            t.record_branch(elem(i * 4 + j));
+        }
+    }
+    for k in 0..30 {
+        t.record_branch(elem(100 + k));
+    }
+    for i in (0..10).rev() {
+        t.record_loop_exit(LoopId::new(i));
+    }
+    let total = t.branches().len() as u64;
+    let forest = CallLoopForest::build(&t).unwrap();
+    // Small MPL: the innermost loop big enough wins; large MPL: only
+    // the outermost; absurd MPL: nothing.
+    let fine = forest.solve(10);
+    assert_eq!(fine.phases().len(), 1);
+    let none = forest.solve(10_000);
+    assert_eq!(none.phase_count(), 0);
+    let all = forest.solve(total);
+    assert_eq!(all.phases().len(), 1);
+    assert_eq!(all.phases()[0].len(), total);
+}
+
+#[test]
+fn oracle_handles_zero_length_constructs() {
+    // Loops and methods that execute no branches at all.
+    let mut t = ExecutionTrace::new();
+    t.record_loop_enter(LoopId::new(0));
+    t.record_loop_exit(LoopId::new(0));
+    t.record_method_enter(MethodId::new(1));
+    t.record_method_exit(MethodId::new(1));
+    t.record_branch(elem(0));
+    let sol = BaselineSolution::compute(&t, 1).unwrap();
+    assert_eq!(sol.phase_count(), 0);
+    assert_eq!(sol.total_elements(), 1);
+}
+
+#[test]
+fn oracle_rejects_interleaved_constructs() {
+    // enter L0, enter L1, exit L0: improper nesting must error, not
+    // silently mislabel.
+    let events = [
+        CallLoopEvent::new(CallLoopEventKind::LoopEnter(LoopId::new(0)), 0),
+        CallLoopEvent::new(CallLoopEventKind::LoopEnter(LoopId::new(1)), 0),
+        CallLoopEvent::new(CallLoopEventKind::LoopExit(LoopId::new(0)), 0),
+    ];
+    let trace: opd::trace::CallLoopTrace = events.into_iter().collect();
+    assert!(CallLoopForest::from_events(&trace, 0).is_err());
+}
+
+#[test]
+fn codec_rejects_bit_flipped_buffers() {
+    let trace = {
+        let mut t = ExecutionTrace::new();
+        t.record_loop_enter(LoopId::new(0));
+        for i in 0..50 {
+            t.record_branch(elem(i));
+        }
+        t.record_loop_exit(LoopId::new(0));
+        t
+    };
+    let bytes = encode_trace(&trace).to_vec();
+    // Flip a bit in every byte position; decoding must never panic,
+    // and must either error or produce a *different* trace only when
+    // the flip landed in a value (not structure) byte.
+    let mut silent_changes = 0;
+    for pos in 0..bytes.len() {
+        let mut corrupted = bytes.clone();
+        corrupted[pos] ^= 0x40;
+        match decode_trace(&corrupted) {
+            Ok(t) if t == trace => panic!("flip at {pos} was a no-op?"),
+            Ok(_) => silent_changes += 1,
+            Err(_) => {}
+        }
+    }
+    // Payload bytes dominate, so some silent value changes are
+    // expected; structural corruption must be caught.
+    assert!(silent_changes > 0);
+}
+
+#[test]
+fn microvm_zero_fuel_produces_balanced_empty_trace() {
+    let mut b = ProgramBuilder::new();
+    let main = b.declare("main");
+    b.define(main, |f| {
+        f.repeat(Trip::Fixed(5), |l| {
+            l.branch(TakenDist::Always);
+            l.call(main, ArgExpr::Const(0)); // self-call, guarded by fuel
+        });
+    });
+    // NOTE: recursion depth guard will stop this even without fuel.
+    let program = b.build().unwrap();
+    let mut trace = ExecutionTrace::new();
+    let summary = Interpreter::new(&program, 0)
+        .with_fuel(0)
+        .run(&mut trace)
+        .unwrap();
+    assert_eq!(summary.branches, 0);
+    assert!(summary.exhausted);
+    assert!(trace.branches().is_empty());
+    // Events still balance.
+    assert!(CallLoopForest::build(&trace).is_ok());
+}
+
+#[test]
+fn scoring_panics_cleanly_on_wrong_trace() {
+    let trace = opd::microvm::workloads::Workload::Lexgen.trace(1);
+    let oracle = BaselineSolution::compute(&trace, 10_000).unwrap();
+    let too_long: opd::trace::StateSeq = (0..oracle.total_elements() + 1)
+        .map(|_| opd::trace::PhaseState::Phase)
+        .collect();
+    let result = std::panic::catch_unwind(|| score_states(&too_long, &oracle));
+    assert!(result.is_err());
+}

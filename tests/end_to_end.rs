@@ -1,0 +1,132 @@
+//! End-to-end integration: workload -> detector -> oracle -> score,
+//! across the crate boundaries the way a downstream user would drive
+//! them.
+
+use opd::baseline::{BaselineSolution, CallLoopForest};
+use opd::core::{
+    AnalyzerPolicy, DetectorConfig, InternedTrace, ModelPolicy, PhaseDetector, TwPolicy,
+};
+use opd::microvm::workloads::Workload;
+use opd::scoring::score_states;
+use opd::trace::{decode_trace, encode_trace, intervals_of, TraceStats};
+
+/// Truncated trace so the suite stays fast on one core.
+fn trace_of(w: Workload, fuel: u64) -> opd::trace::ExecutionTrace {
+    let program = w.program(1);
+    let mut trace = opd::trace::ExecutionTrace::new();
+    opd::microvm::Interpreter::new(&program, w.default_seed())
+        .with_fuel(fuel)
+        .run(&mut trace)
+        .expect("workloads terminate");
+    trace
+}
+
+#[test]
+fn full_pipeline_produces_sane_scores() {
+    for w in [Workload::Lexgen, Workload::Audiodec] {
+        let trace = trace_of(w, 120_000);
+        let oracle = BaselineSolution::compute(&trace, 5_000).expect("well-nested trace");
+        let config = DetectorConfig::builder()
+            .current_window(2_500)
+            .tw_policy(TwPolicy::Adaptive)
+            .analyzer(AnalyzerPolicy::Threshold(0.6))
+            .build()
+            .expect("valid config");
+        let mut detector = PhaseDetector::new(config);
+        let states = detector.run(trace.branches());
+        assert_eq!(states.len(), trace.branches().len());
+        let score = score_states(&states, &oracle);
+        let combined = score.combined();
+        assert!((0.0..=1.0).contains(&combined), "{w}: {score}");
+        // A reasonable detector on these well-phased workloads clears
+        // a low bar comfortably.
+        assert!(combined > 0.35, "{w}: {score}");
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let run = || {
+        let trace = trace_of(Workload::Ruleng, 80_000);
+        let oracle = BaselineSolution::compute(&trace, 10_000).expect("well-nested");
+        let mut detector = PhaseDetector::new(
+            DetectorConfig::builder()
+                .current_window(1_000)
+                .build()
+                .expect("valid"),
+        );
+        let states = detector.run(trace.branches());
+        score_states(&states, &oracle)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn detector_states_match_detected_phase_records() {
+    // The detector's DetectedPhase list and its state sequence are two
+    // views of the same output.
+    let trace = trace_of(Workload::Querydb, 100_000);
+    let config = DetectorConfig::builder()
+        .current_window(1_000)
+        .build()
+        .expect("valid");
+    let mut detector = PhaseDetector::new(config);
+    let states = detector.run(trace.branches());
+    let from_states = intervals_of(&states);
+    let from_records =
+        opd::core::detected_intervals(detector.detected_phases(), trace.branches().len() as u64);
+    assert_eq!(from_states, from_records);
+}
+
+#[test]
+fn interned_and_direct_runs_agree_end_to_end() {
+    let trace = trace_of(Workload::Parsegen, 90_000);
+    let config = DetectorConfig::builder()
+        .current_window(2_000)
+        .model(ModelPolicy::WeightedSet)
+        .build()
+        .expect("valid");
+    let direct = PhaseDetector::new(config).run(trace.branches());
+    let interned = InternedTrace::from(trace.branches());
+    let fast = PhaseDetector::new(config).run_interned(&interned);
+    assert_eq!(direct, fast);
+}
+
+#[test]
+fn codec_roundtrips_a_full_workload_trace() {
+    let trace = trace_of(Workload::Tracer, 50_000);
+    let bytes = encode_trace(&trace);
+    let back = decode_trace(&bytes).expect("well-formed buffer");
+    assert_eq!(back, trace);
+    // The decoded trace is fully usable downstream.
+    let stats = TraceStats::measure(&back);
+    assert_eq!(stats.dynamic_branches, 50_000);
+    let forest = CallLoopForest::build(&back).expect("well nested");
+    assert!(forest.node_count() > 0);
+}
+
+#[test]
+fn oracle_states_and_phase_lists_agree() {
+    let trace = trace_of(Workload::Srccomp, 100_000);
+    let oracle = BaselineSolution::compute(&trace, 5_000).expect("well nested");
+    let states = oracle.states();
+    assert_eq!(states.len() as u64, oracle.total_elements());
+    assert_eq!(intervals_of(&states), oracle.phases());
+    assert_eq!(states.phase_count() as u64, oracle.in_phase_elements());
+}
+
+#[test]
+fn skip_factor_variants_cover_whole_trace() {
+    let trace = trace_of(Workload::Blockcomp, 60_000);
+    for skip in [1usize, 7, 500, 1_024] {
+        let config = DetectorConfig::builder()
+            .current_window(500)
+            .skip_factor(skip)
+            .build()
+            .expect("valid");
+        let states = PhaseDetector::new(config).run(trace.branches());
+        assert_eq!(states.len(), 60_000, "skip {skip}");
+    }
+}

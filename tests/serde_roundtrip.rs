@@ -1,0 +1,69 @@
+//! Round-trip tests for the optional `serde` feature:
+//!
+//! ```sh
+//! cargo test --features serde --test serde_roundtrip
+//! ```
+
+#![cfg(feature = "serde")]
+
+use opd::baseline::BaselineSolution;
+use opd::client::CostModel;
+use opd::core::DetectorConfig;
+use opd::microvm::workloads::Workload;
+use opd::trace::{ExecutionTrace, MethodId, PhaseInterval, ProfileElement, StateSeq, TraceStats};
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + for<'de> serde::Deserialize<'de>,
+{
+    let json = serde_json::to_string(value).expect("serializes");
+    serde_json::from_str(&json).expect("deserializes")
+}
+
+fn small_trace() -> ExecutionTrace {
+    let program = Workload::Lexgen.program(1);
+    let mut trace = ExecutionTrace::new();
+    opd::microvm::Interpreter::new(&program, 7)
+        .with_fuel(5_000)
+        .run(&mut trace)
+        .expect("terminates");
+    trace
+}
+
+#[test]
+fn execution_trace_roundtrips() {
+    let trace = small_trace();
+    assert_eq!(roundtrip(&trace), trace);
+}
+
+#[test]
+fn profile_elements_and_intervals_roundtrip() {
+    let e = ProfileElement::new(MethodId::new(12), 34, true);
+    assert_eq!(roundtrip(&e), e);
+    let p = PhaseInterval::new(10, 99);
+    assert_eq!(roundtrip(&p), p);
+}
+
+#[test]
+fn states_and_stats_roundtrip() {
+    let trace = small_trace();
+    let stats = TraceStats::measure(&trace);
+    assert_eq!(roundtrip(&stats), stats);
+    let oracle = BaselineSolution::compute(&trace, 500).expect("well nested");
+    let states: StateSeq = oracle.states();
+    assert_eq!(roundtrip(&states), states);
+    assert_eq!(roundtrip(&oracle), oracle);
+}
+
+#[test]
+fn configs_and_models_roundtrip() {
+    let config = DetectorConfig::builder()
+        .current_window(123)
+        .trailing_window(77)
+        .skip_factor(3)
+        .build()
+        .expect("valid");
+    assert_eq!(roundtrip(&config), config);
+    let model = CostModel::new(10, 1.5, 2).expect("valid");
+    assert_eq!(roundtrip(&model), model);
+}
