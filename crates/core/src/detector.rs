@@ -10,6 +10,35 @@ use crate::config::DetectorConfig;
 use crate::intern::InternedTrace;
 use crate::window::{TwPolicy, Windows};
 
+/// Receives the per-element state stream of a detector run.
+///
+/// The detector itself only ever appends; a sink decides whether the
+/// stream is materialized ([`StateSeq`]), discarded ([`NullSink`] —
+/// the zero-allocation path for sweeps that only need phase
+/// boundaries), or processed on the fly.
+pub trait StateSink {
+    /// Records that the next `len` profile elements were attributed
+    /// `state`.
+    fn record(&mut self, state: PhaseState, len: usize);
+}
+
+/// Discards the state stream: detector runs that only need the
+/// detected phase list allocate nothing per element.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl StateSink for NullSink {
+    #[inline]
+    fn record(&mut self, _state: PhaseState, _len: usize) {}
+}
+
+impl StateSink for StateSeq {
+    #[inline]
+    fn record(&mut self, state: PhaseState, len: usize) {
+        self.push_n(state, len);
+    }
+}
+
 /// An online phase detector: one instantiation of the framework.
 ///
 /// The detector consumes `skip_factor` profile elements per step and
@@ -152,18 +181,63 @@ impl PhaseDetector {
     /// [`process`](PhaseDetector::process) and `run_interned` on one
     /// detector would conflate two id spaces.
     pub fn run_interned(&mut self, trace: &InternedTrace) -> StateSeq {
-        self.windows.ensure_sites(trace.distinct_count() as usize);
         let mut seq = StateSeq::with_capacity(trace.len());
+        self.run_interned_with(trace, &mut seq);
+        seq
+    }
+
+    /// Like [`run_interned`](PhaseDetector::run_interned), but streams
+    /// each step's state into `sink` instead of materializing a
+    /// [`StateSeq`]. With [`NullSink`] this is the zero-allocation run
+    /// path: nothing is allocated per element, only the detected phase
+    /// list grows (one entry per phase).
+    pub fn run_interned_with<S: StateSink>(&mut self, trace: &InternedTrace, sink: &mut S) {
+        self.windows.ensure_sites(trace.distinct_count() as usize);
         for chunk in trace.ids().chunks(self.config.skip_factor()) {
             let tw_grows = self.tw_grows();
             for &id in chunk {
                 self.windows.push(id, tw_grows);
             }
             let state = self.finish_step(chunk.len());
-            seq.push_n(state, chunk.len());
+            sink.record(state, chunk.len());
         }
         self.close_open_phase();
-        seq
+    }
+
+    /// Runs over a pre-interned trace discarding the state stream and
+    /// returns the detected phases — the cheap path for parameter
+    /// sweeps that only score phase intervals.
+    pub fn run_interned_phases_only(&mut self, trace: &InternedTrace) -> &[DetectedPhase] {
+        self.run_interned_with(trace, &mut NullSink);
+        self.detected_phases()
+    }
+
+    /// Resets this detector to a fresh run of `config`, reusing the
+    /// window allocations (per-site tables, element deque, distinct
+    /// lists) sized by previous runs. Equivalent to
+    /// `*self = PhaseDetector::new(config)` but without reallocating —
+    /// the sweep engine's per-thread scratch path.
+    pub fn reconfigure(&mut self, config: DetectorConfig) {
+        self.windows.reset_shape(
+            config.current_window(),
+            config.trailing_window(),
+            config.model() == crate::ModelPolicy::WeightedSet,
+        );
+        self.analyzer = Analyzer::new(config.analyzer());
+        self.state = PhaseState::Transition;
+        self.interner.clear();
+        self.consumed = 0;
+        self.last_similarity = None;
+        self.phases.clear();
+        self.config = config;
+    }
+
+    /// Takes ownership of the detected phase list, leaving the
+    /// detector's list empty (pairs with
+    /// [`reconfigure`](PhaseDetector::reconfigure) for scratch reuse).
+    #[must_use]
+    pub fn take_phases(&mut self) -> Vec<DetectedPhase> {
+        std::mem::take(&mut self.phases)
     }
 
     fn tw_grows(&self) -> bool {

@@ -52,15 +52,17 @@ mod model;
 mod predict;
 mod recur;
 mod related;
+mod sweep;
 mod window;
 
 pub use analyzer::{Analyzer, AnalyzerPolicy};
 pub use boundary::{anchored_intervals, detected_intervals, DetectedPhase};
 pub use config::{ConfigError, DetectorConfig, DetectorConfigBuilder};
-pub use detector::PhaseDetector;
+pub use detector::{NullSink, PhaseDetector, StateSink};
 pub use intern::InternedTrace;
 pub use model::ModelPolicy;
 pub use predict::{PhasePredictor, Prediction};
 pub use recur::{PhaseId, PhaseRegistry, PhaseSignature, RecurringPhase, RecurringPhaseDetector};
 pub use related::{run_online, OnlineDetector, PcRangeDetector};
+pub use sweep::{SweepEngine, SweepScratch, SweepUnit};
 pub use window::{AnchorPolicy, ResizePolicy, TwPolicy, Windows};

@@ -110,7 +110,7 @@ impl PhasePredictor {
         let length = self
             .lengths
             .get(&best_to)
-            .map_or(0, |&(sum, n)| if n == 0 { 0 } else { sum / n });
+            .map_or(0, |&(sum, n)| sum.checked_div(n).unwrap_or(0));
         self.pending = Some(best_to);
         Some(Prediction {
             class: best_to,

@@ -1,0 +1,561 @@
+//! The single-pass shared-window sweep engine.
+//!
+//! A parameter sweep runs many [`DetectorConfig`]s over one interned
+//! trace. The expensive part of each run is *window maintenance* —
+//! deque pushes, eviction, multiset counts, distinct-set upkeep in
+//! [`Windows::push`] — and it depends only on the window **shape**
+//! `(cw, tw, skip)`, never on the model, analyzer, or anchor policy.
+//! The engine therefore groups a config grid by shape and, per
+//! Constant-TW group, makes **one** scan of the trace: the shared
+//! `Windows` advance once per step while each member config evaluates
+//! only its cheap residue (memoized model similarity, analyzer
+//! judgment, anchor bookkeeping, phase boundaries).
+//!
+//! # Why sharing is exact (shape-group invariants)
+//!
+//! With a Constant trailing window and `skip ≤ cw`, window evolution
+//! is a pure FIFO over the element stream: once `cw + tw` elements
+//! have been consumed, the buffer holds *exactly the last `cw + tw`
+//! elements*, independent of any per-config state. A private detector
+//! differs from that saturated FIFO in exactly one way: at each phase
+//! end it flushes its windows, keeping the last `skip` elements
+//! ([`Windows::clear_keep_last`]). But a flushed detector is not
+//! *warm* again until its buffer refills to `cw + tw` — which takes
+//! `cw + tw − skip` further elements — and a non-warm detector reads
+//! nothing from its windows (it reports `T` unconditionally). Once
+//! refilled, its buffer again holds exactly the last `cw + tw` stream
+//! elements at the same global offset, i.e. it is bit-identical to
+//! the never-flushed shared window. So the engine tracks, per member,
+//! only the element count at which the member becomes warm again
+//! (`warm_from`), and the flush itself never has to happen.
+//!
+//! The `skip ≤ cw` restriction exists because [`Windows::push`]
+//! transfers at most one element per push from CW to TW: re-seeding
+//! the CW with `skip > cw` elements would leave the CW over capacity
+//! while the TW refills, so the private buffer would transiently hold
+//! *more* than `cw + tw` elements at warm-up — a state the shared
+//! window never visits. Such configs (rare: `full_grid` uses
+//! `skip ∈ {1, cw/10, cw}`) simply run on the private path.
+//!
+//! **Adaptive-TW configs cannot share windows at all**: at each phase
+//! start they mutate the windows ([`Windows::anchor_and_resize`]) and
+//! while in phase they suppress TW eviction, so their window contents
+//! depend on their own detection history — each config's windows
+//! evolve differently even for identical shapes. They keep private
+//! windows (with scratch reuse) but run through the same engine and
+//! its work distribution.
+//!
+//! Mixed-model groups are also exact: the shared windows enable
+//! weighted min-sum tracking iff some member uses the weighted model.
+//! Members that don't never read `min_sum`, and members that do see
+//! the same integer fast path a private tracking window would use.
+//!
+//! # Example
+//!
+//! ```
+//! use opd_core::{DetectorConfig, InternedTrace, SweepEngine};
+//! use opd_trace::{MethodId, ProfileElement};
+//!
+//! let elements: Vec<ProfileElement> = (0..600)
+//!     .map(|i| ProfileElement::new(MethodId::new(0), i / 150, true))
+//!     .collect();
+//! let trace = InternedTrace::from_elements(elements.iter().copied());
+//! // Two configs sharing one window shape: one shared scan.
+//! let configs = vec![
+//!     DetectorConfig::builder().current_window(40).build()?,
+//!     DetectorConfig::builder()
+//!         .current_window(40)
+//!         .model(opd_core::ModelPolicy::WeightedSet)
+//!         .build()?,
+//! ];
+//! let engine = SweepEngine::new(&configs);
+//! assert_eq!(engine.units().len(), 1);
+//! assert_eq!(engine.total_scans(), 1);
+//! let phases = engine.run_all(&trace);
+//! assert_eq!(phases.len(), configs.len());
+//! # Ok::<(), opd_core::ConfigError>(())
+//! ```
+
+use std::collections::HashMap;
+
+use opd_trace::PhaseState;
+
+use crate::analyzer::Analyzer;
+use crate::boundary::DetectedPhase;
+use crate::config::DetectorConfig;
+use crate::detector::PhaseDetector;
+use crate::intern::InternedTrace;
+use crate::model::ModelPolicy;
+use crate::window::{TwPolicy, Windows};
+
+/// A window shape: the part of a configuration that determines window
+/// evolution under the Constant TW policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Shape {
+    cw: usize,
+    tw: usize,
+    skip: usize,
+}
+
+impl Shape {
+    fn of(config: &DetectorConfig) -> Self {
+        Shape {
+            cw: config.current_window(),
+            tw: config.trailing_window(),
+            skip: config.skip_factor(),
+        }
+    }
+}
+
+/// Whether `config` may share windows with same-shape configs (see
+/// the module docs for why both conditions are required).
+fn shareable(config: &DetectorConfig) -> bool {
+    config.tw_policy() == TwPolicy::Constant && config.skip_factor() <= config.current_window()
+}
+
+/// One schedulable piece of a sweep: either a shape group that scans
+/// the trace once for all members, or a single private-window config.
+#[derive(Debug, Clone)]
+pub struct SweepUnit {
+    config_indices: Vec<usize>,
+    shared: bool,
+}
+
+impl SweepUnit {
+    /// Indices (into the engine's config slice) this unit covers.
+    #[must_use]
+    pub fn config_indices(&self) -> &[usize] {
+        &self.config_indices
+    }
+
+    /// `true` if this unit advances one shared window for all members.
+    #[must_use]
+    pub fn is_shared(&self) -> bool {
+        self.shared
+    }
+
+    /// Trace scans this unit performs (1 for shared groups).
+    #[must_use]
+    pub fn scans(&self) -> usize {
+        if self.shared {
+            1
+        } else {
+            self.config_indices.len()
+        }
+    }
+
+    /// Relative cost estimate for work distribution: scans weighted by
+    /// a small per-member residue term.
+    #[must_use]
+    pub fn cost(&self) -> u64 {
+        // Window maintenance dominates; the per-member residue is
+        // roughly an eighth of a scan's work per step.
+        self.scans() as u64 * 8 + self.config_indices.len() as u64
+    }
+}
+
+/// Per-thread reusable state for private-path runs: one
+/// [`PhaseDetector`] whose window allocations (site tables, deque,
+/// distinct lists) are sized once per trace and reused across configs.
+#[derive(Debug, Default)]
+pub struct SweepScratch {
+    detector: Option<PhaseDetector>,
+}
+
+impl SweepScratch {
+    /// An empty scratch; allocations build up on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        SweepScratch::default()
+    }
+
+    fn detector_for(&mut self, config: DetectorConfig) -> &mut PhaseDetector {
+        if let Some(d) = &mut self.detector {
+            d.reconfigure(config);
+        } else {
+            self.detector = Some(PhaseDetector::new(config));
+        }
+        self.detector.as_mut().expect("detector just ensured")
+    }
+}
+
+/// A planned sweep of one config grid: shape groups for Constant-TW
+/// configs, private units for the rest (see module docs).
+///
+/// The engine is scan-order deterministic: results depend only on the
+/// configs and the trace, never on unit scheduling, so callers may run
+/// units across threads (each unit's results carry config indices).
+#[derive(Debug)]
+pub struct SweepEngine<'a> {
+    configs: &'a [DetectorConfig],
+    units: Vec<SweepUnit>,
+}
+
+impl<'a> SweepEngine<'a> {
+    /// Plans a sweep over `configs`: groups shareable configs by
+    /// window shape (first-seen order) and gives every other config a
+    /// private unit.
+    #[must_use]
+    pub fn new(configs: &'a [DetectorConfig]) -> Self {
+        let mut group_of: HashMap<Shape, usize> = HashMap::new();
+        let mut units: Vec<SweepUnit> = Vec::new();
+        for (i, config) in configs.iter().enumerate() {
+            if shareable(config) {
+                let unit = *group_of.entry(Shape::of(config)).or_insert_with(|| {
+                    units.push(SweepUnit {
+                        config_indices: Vec::new(),
+                        shared: true,
+                    });
+                    units.len() - 1
+                });
+                units[unit].config_indices.push(i);
+            } else {
+                units.push(SweepUnit {
+                    config_indices: vec![i],
+                    shared: false,
+                });
+            }
+        }
+        SweepEngine { configs, units }
+    }
+
+    /// The configs this engine plans over.
+    #[must_use]
+    pub fn configs(&self) -> &'a [DetectorConfig] {
+        self.configs
+    }
+
+    /// The planned units, in deterministic planning order.
+    #[must_use]
+    pub fn units(&self) -> &[SweepUnit] {
+        &self.units
+    }
+
+    /// Total trace scans the plan performs; a naive sweep performs
+    /// one per config.
+    #[must_use]
+    pub fn total_scans(&self) -> usize {
+        self.units.iter().map(SweepUnit::scans).sum()
+    }
+
+    /// Runs one planned unit over `trace`, returning `(config index,
+    /// detected phases)` per member. `scratch` carries reusable
+    /// allocations across calls on the same thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit_index` is out of range.
+    #[must_use]
+    pub fn run_unit(
+        &self,
+        unit_index: usize,
+        trace: &InternedTrace,
+        scratch: &mut SweepScratch,
+    ) -> Vec<(usize, Vec<DetectedPhase>)> {
+        let unit = &self.units[unit_index];
+        if unit.shared {
+            run_shared_group(self.configs, &unit.config_indices, trace)
+        } else {
+            unit.config_indices
+                .iter()
+                .map(|&i| {
+                    let detector = scratch.detector_for(self.configs[i]);
+                    let _ = detector.run_interned_phases_only(trace);
+                    (i, detector.take_phases())
+                })
+                .collect()
+        }
+    }
+
+    /// Runs the whole plan sequentially, returning phases in config
+    /// order.
+    #[must_use]
+    pub fn run_all(&self, trace: &InternedTrace) -> Vec<Vec<DetectedPhase>> {
+        let mut scratch = SweepScratch::new();
+        let mut out: Vec<Vec<DetectedPhase>> = vec![Vec::new(); self.configs.len()];
+        for unit_index in 0..self.units.len() {
+            for (config_index, phases) in self.run_unit(unit_index, trace, &mut scratch) {
+                out[config_index] = phases;
+            }
+        }
+        out
+    }
+}
+
+fn model_slot(model: ModelPolicy) -> usize {
+    match model {
+        ModelPolicy::UnweightedSet => 0,
+        ModelPolicy::WeightedSet => 1,
+        ModelPolicy::Pearson => 2,
+    }
+}
+
+/// A member config's cheap residue state within a shared scan.
+struct Member {
+    config_index: usize,
+    config: DetectorConfig,
+    analyzer: Analyzer,
+    state: PhaseState,
+    /// Element count from which this member's (virtual) private
+    /// windows are full again after its last flush; warm iff the
+    /// shared windows are warm and `consumed >= warm_from`.
+    warm_from: u64,
+    phases: Vec<DetectedPhase>,
+}
+
+/// One scan of `trace` evaluating every member of a same-shape
+/// Constant-TW group against shared windows. See the module docs for
+/// the exactness argument.
+fn run_shared_group(
+    configs: &[DetectorConfig],
+    member_indices: &[usize],
+    trace: &InternedTrace,
+) -> Vec<(usize, Vec<DetectedPhase>)> {
+    let first = &configs[member_indices[0]];
+    let (cw, tw, skip) = (
+        first.current_window(),
+        first.trailing_window(),
+        first.skip_factor(),
+    );
+    // After a flush keeps `skip` elements, a private window is full
+    // (warm) again `cw + tw - skip` elements later.
+    let refill = (cw + tw - skip) as u64;
+    let track = member_indices
+        .iter()
+        .any(|&i| configs[i].model() == ModelPolicy::WeightedSet);
+    let mut windows = Windows::with_weighted_tracking(cw, tw, track);
+    windows.ensure_sites(trace.distinct_count() as usize);
+
+    let mut members: Vec<Member> = member_indices
+        .iter()
+        .map(|&i| Member {
+            config_index: i,
+            config: configs[i],
+            analyzer: Analyzer::new(configs[i].analyzer()),
+            state: PhaseState::Transition,
+            warm_from: 0,
+            phases: Vec::new(),
+        })
+        .collect();
+
+    let mut consumed = 0u64;
+    // Per-step memo of each distinct model's similarity against the
+    // shared windows: computed once per step, judged by every member.
+    let mut sims = [0.0f64; 3];
+    for chunk in trace.ids().chunks(skip) {
+        for &id in chunk {
+            windows.push(id, false);
+        }
+        let step_start = consumed;
+        consumed += chunk.len() as u64;
+        let shared_warm = windows.is_warm();
+        let mut have = [false; 3];
+        for m in &mut members {
+            let (new_state, sim) = if shared_warm && consumed >= m.warm_from {
+                let slot = model_slot(m.config.model());
+                if !have[slot] {
+                    sims[slot] = m.config.model().similarity(&windows);
+                    have[slot] = true;
+                }
+                (m.analyzer.judge(sims[slot]), sims[slot])
+            } else {
+                (PhaseState::Transition, 0.0)
+            };
+            match (m.state, new_state) {
+                (PhaseState::Transition, PhaseState::Phase) => {
+                    // Phase start: anchor against the shared windows
+                    // (Constant TW never resizes) and reset stats.
+                    let anchor_idx = windows.anchor_index(m.config.anchor());
+                    m.analyzer.reset();
+                    m.phases.push(DetectedPhase {
+                        start: step_start,
+                        anchored_start: windows.offset_of_index(anchor_idx),
+                        end: None,
+                    });
+                }
+                (PhaseState::Phase, PhaseState::Transition) => {
+                    // Phase end: a private detector would flush its
+                    // windows here; tracking the refill point is
+                    // equivalent and keeps the scan shared.
+                    m.warm_from = consumed + refill;
+                    if let Some(open) = m.phases.last_mut() {
+                        open.end = Some(step_start);
+                    }
+                }
+                (PhaseState::Phase, PhaseState::Phase) => {
+                    m.analyzer.update(sim);
+                }
+                (PhaseState::Transition, PhaseState::Transition) => {}
+            }
+            m.state = new_state;
+        }
+    }
+    members
+        .into_iter()
+        .map(|mut m| {
+            if let Some(open) = m.phases.last_mut() {
+                if open.end.is_none() {
+                    open.end = Some(consumed);
+                }
+            }
+            (m.config_index, m.phases)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::AnalyzerPolicy;
+    use crate::boundary::{anchored_intervals, detected_intervals};
+    use crate::window::{AnchorPolicy, ResizePolicy};
+    use opd_trace::{MethodId, ProfileElement};
+
+    fn block_trace(blocks: u32, block_len: u32, sites_per_block: u32) -> InternedTrace {
+        let elements = (0..blocks).flat_map(move |b| {
+            (0..block_len).map(move |i| {
+                ProfileElement::new(MethodId::new(0), b * sites_per_block + i % sites_per_block, true)
+            })
+        });
+        InternedTrace::from_elements(elements)
+    }
+
+    fn reference(config: DetectorConfig, trace: &InternedTrace) -> Vec<DetectedPhase> {
+        let mut d = PhaseDetector::new(config);
+        let _ = d.run_interned(trace);
+        d.take_phases()
+    }
+
+    fn mixed_grid() -> Vec<DetectorConfig> {
+        let mut configs = Vec::new();
+        for cw in [8usize, 16] {
+            for skip in [1usize, 3, 8] {
+                for model in ModelPolicy::ALL_EXTENDED {
+                    for analyzer in [
+                        AnalyzerPolicy::Threshold(0.5),
+                        AnalyzerPolicy::Threshold(0.9),
+                        AnalyzerPolicy::Average { delta: 0.2 },
+                    ] {
+                        configs.push(
+                            DetectorConfig::builder()
+                                .current_window(cw)
+                                .trailing_window(cw)
+                                .skip_factor(skip)
+                                .model(model)
+                                .analyzer(analyzer)
+                                .build()
+                                .unwrap(),
+                        );
+                    }
+                }
+            }
+        }
+        // Adaptive configs: private path through the same engine.
+        for anchor in [AnchorPolicy::RightmostNoisy, AnchorPolicy::LeftmostNonNoisy] {
+            for resize in [ResizePolicy::Slide, ResizePolicy::Move] {
+                configs.push(
+                    DetectorConfig::builder()
+                        .current_window(12)
+                        .tw_policy(TwPolicy::Adaptive)
+                        .anchor(anchor)
+                        .resize(resize)
+                        .build()
+                        .unwrap(),
+                );
+            }
+        }
+        // A skip > cw config: shareable() must route it privately.
+        configs.push(
+            DetectorConfig::builder()
+                .current_window(4)
+                .trailing_window(8)
+                .skip_factor(9)
+                .build()
+                .unwrap(),
+        );
+        configs
+    }
+
+    #[test]
+    fn plan_groups_by_shape() {
+        let configs = mixed_grid();
+        let engine = SweepEngine::new(&configs);
+        // 2 cw × 3 skip shared groups + 4 adaptive + 1 skip>cw.
+        assert_eq!(engine.units().len(), 6 + 5);
+        assert_eq!(engine.total_scans(), 6 + 5);
+        assert!(engine.total_scans() < configs.len());
+        let covered: usize = engine.units().iter().map(|u| u.config_indices().len()).sum();
+        assert_eq!(covered, configs.len());
+        for unit in engine.units() {
+            assert!(unit.cost() > 0);
+            if unit.is_shared() {
+                let shape = Shape::of(&configs[unit.config_indices()[0]]);
+                for &i in unit.config_indices() {
+                    assert_eq!(Shape::of(&configs[i]), shape);
+                    assert!(shareable(&configs[i]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_matches_sequential_detectors_exactly() {
+        let configs = mixed_grid();
+        let engine = SweepEngine::new(&configs);
+        for trace in [block_trace(3, 120, 4), block_trace(1, 50, 2), block_trace(5, 37, 6)] {
+            let all = engine.run_all(&trace);
+            for (i, config) in configs.iter().enumerate() {
+                let expected = reference(*config, &trace);
+                assert_eq!(all[i], expected, "config {i}: {config:?}");
+                // Interval views are derived data, but compare them
+                // too: they are what sweeps ultimately score.
+                let total = trace.len() as u64;
+                assert_eq!(
+                    detected_intervals(&all[i], total),
+                    detected_intervals(&expected, total)
+                );
+                assert_eq!(
+                    anchored_intervals(&all[i], total),
+                    anchored_intervals(&expected, total)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_handles_empty_and_short_traces() {
+        let configs = vec![DetectorConfig::builder().current_window(8).build().unwrap()];
+        let engine = SweepEngine::new(&configs);
+        let empty = InternedTrace::from_elements(std::iter::empty());
+        assert_eq!(engine.run_all(&empty), vec![Vec::new()]);
+        // Shorter than cw + tw: never warm, no phases.
+        let short = block_trace(1, 10, 2);
+        assert_eq!(engine.run_all(&short), vec![Vec::new()]);
+    }
+
+    #[test]
+    fn scratch_reuse_is_equivalent_to_fresh_detectors() {
+        let trace = block_trace(4, 90, 5);
+        let mut scratch = SweepScratch::new();
+        let configs: Vec<DetectorConfig> = [
+            (8usize, TwPolicy::Adaptive),
+            (16, TwPolicy::Adaptive),
+            (8, TwPolicy::Constant),
+        ]
+        .iter()
+        .map(|&(cw, twp)| {
+            DetectorConfig::builder()
+                .current_window(cw)
+                .tw_policy(twp)
+                .build()
+                .unwrap()
+        })
+        .collect();
+        for config in configs {
+            let d = scratch.detector_for(config);
+            let _ = d.run_interned_phases_only(&trace);
+            let reused = d.take_phases();
+            assert_eq!(reused, reference(config, &trace), "{config:?}");
+        }
+    }
+}

@@ -169,6 +169,45 @@ impl Windows {
         (a * self.tw_cap as u64).min(b * self.cw_cap as u64)
     }
 
+    /// Empties the windows and adopts new capacities, *reusing* every
+    /// allocation (the element deque, count tables, and distinct-site
+    /// lists). This is the sweep engine's scratch-reuse path: one
+    /// `Windows` value serves many configurations over the same trace
+    /// without re-allocating per-site tables per config.
+    ///
+    /// Counts are cleared sparsely via the distinct-site lists, so the
+    /// cost is `O(distinct sites present)`, not `O(site table)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is zero.
+    pub fn reset_shape(&mut self, cw_cap: usize, tw_cap: usize, track: bool) {
+        assert!(
+            cw_cap > 0 && tw_cap > 0,
+            "window capacities must be positive"
+        );
+        for &site in &self.cw_sites {
+            self.cw_counts[site as usize] = 0;
+            self.cw_site_pos[site as usize] = NO_POS;
+        }
+        for &site in &self.tw_sites {
+            self.tw_counts[site as usize] = 0;
+            self.tw_site_pos[site as usize] = NO_POS;
+        }
+        self.cw_sites.clear();
+        self.tw_sites.clear();
+        self.buf.clear();
+        self.tw_len = 0;
+        self.cw_cap = cw_cap;
+        self.tw_cap = tw_cap;
+        self.distinct_cw = 0;
+        self.distinct_shared = 0;
+        self.front_offset = 0;
+        self.warm = false;
+        self.min_sum = 0;
+        self.track_min_sum = track;
+    }
+
     /// Grows the per-site tables to cover ids `0..n_sites`.
     pub fn ensure_sites(&mut self, n_sites: usize) {
         if self.cw_counts.len() < n_sites {

@@ -1,0 +1,120 @@
+//! Property tests: for random traces and random config grids, the
+//! sweep engine's phases are bit-identical to a fresh sequential
+//! [`PhaseDetector`] per config — across both trailing-window
+//! policies, all models and analyzers, and skip factors larger than
+//! the current window (which must route to the private path).
+
+use opd_core::{
+    AnalyzerPolicy, AnchorPolicy, DetectorConfig, InternedTrace, ModelPolicy, PhaseDetector,
+    ResizePolicy, SweepEngine, TwPolicy,
+};
+use opd_trace::{MethodId, ProfileElement};
+use proptest::prelude::*;
+
+fn interned(sites: &[u32]) -> InternedTrace {
+    InternedTrace::from_elements(
+        sites
+            .iter()
+            .map(|&s| ProfileElement::new(MethodId::new(0), s, true)),
+    )
+}
+
+/// Decodes one packed parameter tuple into a detector config. `flags`
+/// packs tw-policy, anchor, resize, and analyzer-kind choices.
+fn decode(cw: usize, tw: usize, skip: usize, flags: u8, model: u8, x: f64) -> DetectorConfig {
+    let model = match model {
+        0 => ModelPolicy::UnweightedSet,
+        1 => ModelPolicy::WeightedSet,
+        _ => ModelPolicy::Pearson,
+    };
+    let analyzer = if flags & 8 == 0 {
+        AnalyzerPolicy::Threshold(x)
+    } else {
+        AnalyzerPolicy::Average { delta: x / 2.0 }
+    };
+    DetectorConfig::builder()
+        .current_window(cw)
+        .trailing_window(tw)
+        .skip_factor(skip)
+        .tw_policy(if flags & 1 == 0 {
+            TwPolicy::Constant
+        } else {
+            TwPolicy::Adaptive
+        })
+        .anchor(if flags & 2 == 0 {
+            AnchorPolicy::RightmostNoisy
+        } else {
+            AnchorPolicy::LeftmostNonNoisy
+        })
+        .resize(if flags & 4 == 0 {
+            ResizePolicy::Slide
+        } else {
+            ResizePolicy::Move
+        })
+        .model(model)
+        .analyzer(analyzer)
+        .build()
+        .expect("generated parameters are valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engine_is_bit_identical_to_sequential_detectors(
+        sites in prop::collection::vec(0u32..10, 0..500),
+        params in prop::collection::vec(
+            (1usize..24, 1usize..24, 1usize..32, 0u8..16, 0u8..3, 0.05f64..0.95),
+            1..10,
+        ),
+    ) {
+        let trace = interned(&sites);
+        let configs: Vec<DetectorConfig> = params
+            .iter()
+            .map(|&(cw, tw, skip, flags, model, x)| decode(cw, tw, skip, flags, model, x))
+            .collect();
+        let engine = SweepEngine::new(&configs);
+        let covered: usize = engine
+            .units()
+            .iter()
+            .map(|u| u.config_indices().len())
+            .sum();
+        prop_assert_eq!(covered, configs.len());
+        let all = engine.run_all(&trace);
+        for (i, &config) in configs.iter().enumerate() {
+            let mut detector = PhaseDetector::new(config);
+            let _ = detector.run_interned(&trace);
+            prop_assert_eq!(
+                all[i].as_slice(),
+                detector.detected_phases(),
+                "config {}: {:?}",
+                i,
+                config
+            );
+        }
+    }
+
+    #[test]
+    fn shared_scan_count_never_exceeds_config_count(
+        params in prop::collection::vec(
+            (1usize..24, 1usize..24, 1usize..32, 0u8..16, 0u8..3, 0.05f64..0.95),
+            1..16,
+        ),
+    ) {
+        let configs: Vec<DetectorConfig> = params
+            .iter()
+            .map(|&(cw, tw, skip, flags, model, x)| decode(cw, tw, skip, flags, model, x))
+            .collect();
+        let engine = SweepEngine::new(&configs);
+        prop_assert!(engine.total_scans() <= configs.len());
+        for unit in engine.units() {
+            if unit.is_shared() {
+                let first = configs[unit.config_indices()[0]];
+                prop_assert_eq!(first.tw_policy(), TwPolicy::Constant);
+                prop_assert!(first.skip_factor() <= first.current_window());
+            } else {
+                prop_assert_eq!(unit.config_indices().len(), 1);
+            }
+        }
+    }
+}

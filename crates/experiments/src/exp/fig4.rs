@@ -11,7 +11,7 @@ use core::fmt;
 use crate::exp::{avg, ExpOptions};
 use crate::grid::{half_mpl_cw, policy_grid, TwKind, MPLS_FIG4};
 use crate::report::{fmt_mpl, fmt_score, Table};
-use crate::runner::{best_combined, prepare_all, sweep};
+use crate::runner::{best_combined, prepare_all, sweep_many};
 
 /// Scores for one MPL value.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,10 +54,12 @@ pub fn run(opts: &ExpOptions) -> Fig4Result {
         .map(|&mpl| {
             let cw = half_mpl_cw(mpl);
             let mut scores = [Vec::new(), Vec::new(), Vec::new()];
-            for p in &prepared {
-                for (ki, &kind) in TwKind::ALL.iter().enumerate() {
-                    let runs = sweep(p, &policy_grid(kind, cw), opts.threads);
-                    scores[ki].push(best_combined(&runs, p.oracle(mpl)));
+            for (ki, &kind) in TwKind::ALL.iter().enumerate() {
+                // All workloads at once: (workload × shape-group)
+                // units share the thread pool.
+                let per_workload = sweep_many(&prepared, &policy_grid(kind, cw), opts.threads);
+                for (p, runs) in prepared.iter().zip(&per_workload) {
+                    scores[ki].push(best_combined(runs, p.oracle(mpl)));
                 }
             }
             Fig4Row {

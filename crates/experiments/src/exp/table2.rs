@@ -13,7 +13,7 @@ use core::fmt;
 use crate::exp::{avg, pct_improvement, ExpOptions};
 use crate::grid::{policy_grid, TwKind, CW_SIZES, MPLS_TABLE1};
 use crate::report::{fmt_pct, fmt_score, Table};
-use crate::runner::{best_combined, prepare_all, sweep};
+use crate::runner::{best_combined, prepare_all, sweep_many};
 
 /// Improvements for one benchmark under one TW strategy (part (a)).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,13 +68,15 @@ pub fn run(opts: &ExpOptions) -> Table2Result {
     let prepared = prepare_all(&opts.workloads, opts.scale, &MPLS_TABLE1, opts.fuel);
 
     // best[workload][kind][cw_idx][mpl_idx] = best combined score.
+    // Each grid is swept over every workload at once, so the engine
+    // distributes (workload × shape-group) units across the threads.
     let mut best = vec![[[[0.0f64; MPLS_TABLE1.len()]; CW_SIZES.len()]; 3]; prepared.len()];
-    for (wi, p) in prepared.iter().enumerate() {
-        for (ki, &kind) in TwKind::ALL.iter().enumerate() {
-            for (ci, &cw) in CW_SIZES.iter().enumerate() {
-                let runs = sweep(p, &policy_grid(kind, cw), opts.threads);
+    for (ki, &kind) in TwKind::ALL.iter().enumerate() {
+        for (ci, &cw) in CW_SIZES.iter().enumerate() {
+            let per_workload = sweep_many(&prepared, &policy_grid(kind, cw), opts.threads);
+            for (wi, (p, runs)) in prepared.iter().zip(&per_workload).enumerate() {
                 for (mi, &mpl) in MPLS_TABLE1.iter().enumerate() {
-                    best[wi][ki][ci][mi] = best_combined(&runs, p.oracle(mpl));
+                    best[wi][ki][ci][mi] = best_combined(runs, p.oracle(mpl));
                 }
             }
         }

@@ -1,11 +1,11 @@
 //! Workload preparation and the parallel configuration sweep.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use opd_baseline::{BaselineSolution, CallLoopForest};
 use opd_core::{
-    anchored_intervals, detected_intervals, DetectorConfig, InternedTrace, PhaseDetector,
+    anchored_intervals, detected_intervals, DetectedPhase, DetectorConfig, InternedTrace,
+    PhaseDetector, SweepEngine, SweepScratch,
 };
 use opd_microvm::workloads::Workload;
 use opd_scoring::{score_intervals, AccuracyScore};
@@ -127,14 +127,13 @@ pub fn prepare_all(
     fuel: u64,
 ) -> Vec<PreparedWorkload> {
     let mut out: Vec<Option<PreparedWorkload>> = workloads.iter().map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (slot, &w) in out.iter_mut().zip(workloads) {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 *slot = Some(PreparedWorkload::prepare_with_fuel(w, scale, mpls, fuel));
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
     out.into_iter().map(|o| o.expect("slot filled")).collect()
 }
 
@@ -166,55 +165,132 @@ impl ConfigRun {
     }
 }
 
-/// Runs one detector over a prepared trace.
+/// Runs one detector over a prepared trace. The detector run itself
+/// allocates nothing per element: phases accumulate in the detector
+/// and the interval views are built once at the end.
 #[must_use]
 pub fn run_detector(config: DetectorConfig, trace: &InternedTrace) -> ConfigRun {
     let mut detector = PhaseDetector::new(config);
-    let _states = detector.run_interned(trace);
-    let total = trace.len() as u64;
+    let _ = detector.run_interned_phases_only(trace);
+    config_run(config, &detector.take_phases(), trace.len() as u64)
+}
+
+/// Builds interval views from one config's detected phases.
+fn config_run(config: DetectorConfig, phases: &[DetectedPhase], total: u64) -> ConfigRun {
     ConfigRun {
         config,
-        detected: detected_intervals(detector.detected_phases(), total),
-        anchored: anchored_intervals(detector.detected_phases(), total),
+        detected: detected_intervals(phases, total),
+        anchored: anchored_intervals(phases, total),
     }
 }
 
-/// Runs many configurations over one prepared workload, spreading the
-/// work over `threads` threads. Results are in `configs` order.
+/// Runs many configurations over one prepared workload through the
+/// [`SweepEngine`] (same-shape Constant-TW configs share one trace
+/// scan), spreading engine units over `threads` threads. Results are
+/// in `configs` order and bit-identical to sequential
+/// [`run_detector`] calls.
 #[must_use]
 pub fn sweep(
     prepared: &PreparedWorkload,
     configs: &[DetectorConfig],
     threads: usize,
 ) -> Vec<ConfigRun> {
-    let threads = threads.max(1).min(configs.len().max(1));
-    if threads <= 1 || configs.len() <= 1 {
-        return configs
-            .iter()
-            .map(|&c| run_detector(c, prepared.interned()))
-            .collect();
-    }
-    let next = AtomicUsize::new(0);
-    let results: Vec<parking_lot::Mutex<Option<ConfigRun>>> = configs
-        .iter()
-        .map(|_| parking_lot::Mutex::new(None))
-        .collect();
-    crossbeam::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= configs.len() {
-                    break;
-                }
-                let run = run_detector(configs[i], prepared.interned());
-                *results[i].lock() = Some(run);
-            });
+    let mut per_workload = sweep_many(std::slice::from_ref(prepared), configs, threads);
+    per_workload.pop().expect("one workload in, one out")
+}
+
+/// Runs many configurations over many prepared workloads, distributing
+/// `(workload × engine unit)` work items over `threads` threads with a
+/// longest-processing-time-first plan. Returns one `configs`-ordered
+/// vector per workload, in `prepared` order.
+///
+/// Workers own disjoint result buckets (no locks on the hot path) and
+/// each carries a [`SweepScratch`] so private-path detector
+/// allocations are reused across the units it runs.
+#[must_use]
+pub fn sweep_many(
+    prepared: &[PreparedWorkload],
+    configs: &[DetectorConfig],
+    threads: usize,
+) -> Vec<Vec<ConfigRun>> {
+    let engine = SweepEngine::new(configs);
+    // One work item per (workload, unit), weighted by how many trace
+    // scans the unit performs on that workload's trace.
+    let mut items: Vec<(usize, usize, u64)> =
+        Vec::with_capacity(prepared.len() * engine.units().len());
+    for (wi, p) in prepared.iter().enumerate() {
+        for (ui, unit) in engine.units().iter().enumerate() {
+            items.push((wi, ui, unit.cost().saturating_mul(p.total_elements().max(1))));
         }
-    })
-    .expect("worker threads do not panic");
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("every slot filled"))
+    }
+    let threads = threads.max(1).min(items.len().max(1));
+
+    let mut out: Vec<Vec<Option<ConfigRun>>> = prepared
+        .iter()
+        .map(|_| configs.iter().map(|_| None).collect())
+        .collect();
+    if threads <= 1 {
+        let mut scratch = SweepScratch::new();
+        for &(wi, ui, _) in &items {
+            let p = &prepared[wi];
+            let total = p.interned().len() as u64;
+            for (ci, phases) in engine.run_unit(ui, p.interned(), &mut scratch) {
+                out[wi][ci] = Some(config_run(configs[ci], &phases, total));
+            }
+        }
+    } else {
+        // LPT bucket planning: heaviest items first, each onto the
+        // least-loaded bucket. One worker per bucket owns its own
+        // result vector; results are scattered after the join, so the
+        // outcome is independent of scheduling.
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(items[i].2), i));
+        let mut buckets: Vec<Vec<(usize, usize)>> = vec![Vec::new(); threads];
+        let mut loads = vec![0u64; threads];
+        for i in order {
+            let (wi, ui, cost) = items[i];
+            let t = (0..threads)
+                .min_by_key(|&t| loads[t])
+                .expect("at least one bucket");
+            loads[t] += cost;
+            buckets[t].push((wi, ui));
+        }
+        let engine = &engine;
+        let filled: Vec<Vec<(usize, usize, ConfigRun)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .map(|bucket| {
+                    s.spawn(move || {
+                        let mut scratch = SweepScratch::new();
+                        let mut local = Vec::new();
+                        for (wi, ui) in bucket {
+                            let p = &prepared[wi];
+                            let total = p.interned().len() as u64;
+                            for (ci, phases) in engine.run_unit(ui, p.interned(), &mut scratch) {
+                                local.push((wi, ci, config_run(configs[ci], &phases, total)));
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        });
+        for bucket in filled {
+            for (wi, ci, run) in bucket {
+                out[wi][ci] = Some(run);
+            }
+        }
+    }
+    out.into_iter()
+        .map(|w| {
+            w.into_iter()
+                .map(|o| o.expect("every (workload, config) cell filled"))
+                .collect()
+        })
         .collect()
 }
 
@@ -297,6 +373,25 @@ mod tests {
         }
         assert!(best_combined(&runs, oracle) > 0.0);
         assert!(best_combined_anchored(&runs, oracle) > 0.0);
+    }
+
+    #[test]
+    fn sweep_many_matches_per_workload_sweeps() {
+        let ws = [Workload::Lexgen, Workload::Blockcomp];
+        let prepared = prepare_all(&ws, 1, &[1_000], 50_000);
+        // A grid mixing shared-eligible and private configs.
+        let mut configs = policy_grid(TwKind::Constant, 500);
+        configs.extend(policy_grid(TwKind::Adaptive, 250));
+        let many = sweep_many(&prepared, &configs, 3);
+        assert_eq!(many.len(), prepared.len());
+        for (p, runs) in prepared.iter().zip(&many) {
+            assert_eq!(runs.len(), configs.len());
+            for (run, &config) in runs.iter().zip(&configs) {
+                let expected = run_detector(config, p.interned());
+                assert_eq!(run.detected, expected.detected, "{config:?}");
+                assert_eq!(run.anchored, expected.anchored, "{config:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# The full local gate: release build, default test tier (includes the
+# sweep-engine equivalence tests), and warning-free clippy.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+echo "check.sh: all gates passed"

@@ -1,0 +1,258 @@
+//! Offline stand-in for `criterion`: the macro/entry-point surface
+//! this workspace's benches use, backed by a real (if simple)
+//! measurement loop — warmup, calibrated iteration counts, and a
+//! median over `sample_size` samples — following the spirit of the
+//! warmup cautions in Barrett et al. (no statistics beyond the
+//! median, no plots, no persistence).
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+pub use core::hint::black_box;
+
+/// Wall-clock budget per sample during calibration.
+const TARGET_SAMPLE_NANOS: u128 = 25_000_000; // 25 ms
+/// Hard cap on iterations per sample (guards tiny routines).
+const MAX_ITERS_PER_SAMPLE: u64 = 1 << 20;
+
+/// Per-sample throughput annotation.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How batched inputs are sized; the shim treats all variants alike.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The benchmark harness context.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 12 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotates throughput reporting for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measures one benchmark function.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            median_nanos: None,
+        };
+        f(&mut bencher);
+        report(
+            &self.name,
+            &id.into(),
+            bencher.median_nanos,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (the shim reports eagerly, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Runs and times one routine.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    median_nanos: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, amortizing over a calibrated iteration count.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibration doubles the iteration count until one sample
+        // costs enough wall-clock time to be measurable.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos();
+            if elapsed >= TARGET_SAMPLE_NANOS || iters >= MAX_ITERS_PER_SAMPLE {
+                break;
+            }
+            iters = iters.saturating_mul(2).min(MAX_ITERS_PER_SAMPLE);
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos();
+            samples.push(elapsed as f64 / iters as f64);
+        }
+        self.median_nanos = Some(median(&mut samples));
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup cost is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Keep batches small: batched routines in this workspace are
+        // not micro-operations.
+        let mut iters: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed().as_nanos();
+            if elapsed >= TARGET_SAMPLE_NANOS || iters >= 256 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed().as_nanos();
+            samples.push(elapsed as f64 / iters as f64);
+        }
+        self.median_nanos = Some(median(&mut samples));
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 0 {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    } else {
+        samples[mid]
+    }
+}
+
+fn report(group: &str, id: &str, median_nanos: Option<f64>, throughput: Option<Throughput>) {
+    let Some(nanos) = median_nanos else {
+        println!("{group}/{id}: no measurement recorded");
+        return;
+    };
+    let time = format_nanos(nanos);
+    match throughput {
+        Some(Throughput::Elements(n)) if nanos > 0.0 => {
+            let rate = n as f64 / (nanos / 1e9);
+            println!("{group}/{id}  time: [{time}]  thrpt: [{} elem/s]", format_rate(rate));
+        }
+        Some(Throughput::Bytes(n)) if nanos > 0.0 => {
+            let rate = n as f64 / (nanos / 1e9);
+            println!("{group}/{id}  time: [{time}]  thrpt: [{} B/s]", format_rate(rate));
+        }
+        _ => println!("{group}/{id}  time: [{time}]"),
+    }
+}
+
+fn format_nanos(nanos: f64) -> String {
+    if nanos >= 1e9 {
+        format!("{:.4} s", nanos / 1e9)
+    } else if nanos >= 1e6 {
+        format!("{:.4} ms", nanos / 1e6)
+    } else if nanos >= 1e3 {
+        format!("{:.4} us", nanos / 1e3)
+    } else {
+        format!("{nanos:.2} ns")
+    }
+}
+
+fn format_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.3}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.3}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.3}K", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes flags like `--bench`; the shim has
+            // no CLI surface, so arguments are ignored.
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`: marker traits and the derive macro
+//! re-export, enough for `#[cfg_attr(feature = "serde", derive(...))]`
+//! annotations to compile. No actual serialization machinery.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types that can (in real serde) be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can (in real serde) be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned-deserialization alias mirroring serde's helper trait.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

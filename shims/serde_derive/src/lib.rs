@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde_derive`: the derive macros expand to
+//! nothing, so `#[derive(serde::Serialize)]` compiles without
+//! generating impls. This is compile-gating only; actual
+//! serialization is unsupported offline.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (accepts and ignores `#[serde(...)]`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (accepts and ignores `#[serde(...)]`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

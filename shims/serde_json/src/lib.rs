@@ -1,0 +1,40 @@
+//! Offline stand-in for `serde_json`: the entry points exist so code
+//! and tests compile, but they return errors at runtime because the
+//! serde shim has no real serialization machinery.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// JSON error (always "unsupported" in this shim).
+#[derive(Debug, Clone)]
+pub struct Error(&'static str);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Stub: always errors (no serialization support offline).
+///
+/// # Errors
+///
+/// Always returns [`Error`].
+pub fn to_string<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String> {
+    Err(Error("serde_json shim: serialization unsupported offline"))
+}
+
+/// Stub: always errors (no deserialization support offline).
+///
+/// # Errors
+///
+/// Always returns [`Error`].
+pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T> {
+    Err(Error("serde_json shim: deserialization unsupported offline"))
+}
