@@ -1,0 +1,383 @@
+//! Exact worst-case bounds of one program execution, computed by a
+//! memoized abstract interpretation of the IR over maximum argument
+//! values.
+//!
+//! All arithmetic is checked: if any bound exceeds `u64`, the result is
+//! saturated and flagged ([`StaticBounds::overflowed`]), which the lint
+//! engine reports as `OPD-E004`.
+
+use std::collections::{HashMap, HashSet};
+
+use opd_microvm::{Interpreter, Program, Stmt};
+
+use crate::flow::arg_upper_bound;
+
+/// Worst-case bounds for a whole program execution.
+///
+/// Every bound is inclusive and sound: no run of the program (any seed,
+/// unlimited fuel) can exceed it. The companion soundness tests compare
+/// these against observed [`opd_microvm::RunSummary`] values and the
+/// dynamic call-loop forest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticBounds {
+    branches: u64,
+    events: u64,
+    call_depth: u64,
+    nest_depth: u64,
+    overflowed: bool,
+}
+
+impl StaticBounds {
+    /// Computes the bounds for `program`.
+    #[must_use]
+    pub fn compute(program: &Program) -> Self {
+        let mut eval = Evaluator {
+            program,
+            memo: HashMap::new(),
+            in_progress: HashSet::new(),
+            depth: 0,
+            overflowed: false,
+        };
+        let entry = eval.func(program.entry().index() as usize, program.entry_arg());
+        StaticBounds {
+            branches: entry.branches,
+            // The entry invocation itself emits method enter/exit.
+            events: entry.events.saturating_add(2),
+            call_depth: entry.call_depth.saturating_add(1),
+            nest_depth: entry.nest.saturating_add(1),
+            overflowed: eval.overflowed,
+        }
+    }
+
+    /// Maximum number of profile elements any run can emit.
+    #[must_use]
+    pub fn branches(self) -> u64 {
+        self.branches
+    }
+
+    /// Maximum number of call-loop events any run can emit.
+    #[must_use]
+    pub fn events(self) -> u64 {
+        self.events
+    }
+
+    /// Maximum call-stack depth any run can reach (the entry frame
+    /// counts as 1, matching [`opd_microvm::RunSummary::max_depth`]).
+    #[must_use]
+    pub fn call_depth(self) -> u64 {
+        self.call_depth
+    }
+
+    /// Maximum nesting depth of the dynamic call-loop tree (the entry
+    /// method execution counts as 1) — the ceiling on how many phase
+    /// nesting levels the oracle hierarchy can expose.
+    #[must_use]
+    pub fn nest_depth(self) -> u64 {
+        self.nest_depth
+    }
+
+    /// `true` if any bound overflowed `u64` (or the evaluation had to
+    /// bail out of an unboundedly deep chain); overflowed bounds are
+    /// saturated to `u64::MAX` and reported as `OPD-E004`.
+    #[must_use]
+    pub fn overflowed(self) -> bool {
+        self.overflowed
+    }
+
+    /// `true` if the worst-case call depth exceeds the interpreter's
+    /// default limit — the `OPD-W007` condition.
+    #[must_use]
+    pub fn exceeds_depth_limit(self) -> bool {
+        self.call_depth > Interpreter::DEFAULT_DEPTH_LIMIT as u64
+    }
+}
+
+/// Worst case of one function invocation (exclusive of the invocation's
+/// own enter/exit events and stack frame).
+#[derive(Debug, Clone, Copy, Default)]
+struct FnBound {
+    branches: u64,
+    events: u64,
+    /// Additional call frames the body can stack on top of its own.
+    call_depth: u64,
+    /// Deepest construct chain the body opens inside its method node.
+    nest: u64,
+}
+
+const SATURATED: FnBound = FnBound {
+    branches: u64::MAX,
+    events: u64::MAX,
+    call_depth: u64::MAX,
+    nest: u64::MAX,
+};
+
+struct Evaluator<'p> {
+    program: &'p Program,
+    memo: HashMap<(usize, u32), FnBound>,
+    in_progress: HashSet<(usize, u32)>,
+    depth: usize,
+    overflowed: bool,
+}
+
+impl Evaluator<'_> {
+    /// Evaluation recursion cap. Deeper chains (a long `arg-1` ladder
+    /// from a huge entry argument) saturate instead of recursing; such
+    /// programs exceed the interpreter's 512-frame limit long before
+    /// this cap, so precision there has no value.
+    const DEPTH_CAP: usize = 1024;
+
+    fn func(&mut self, f: usize, arg: u32) -> FnBound {
+        let key = (f, arg);
+        if let Some(&cached) = self.memo.get(&key) {
+            return cached;
+        }
+        // Re-entering an in-progress (function, argument) pair means a
+        // call cycle that does not decrease its argument: unbounded.
+        if !self.in_progress.insert(key) {
+            self.overflowed = true;
+            return SATURATED;
+        }
+        if self.depth >= Self::DEPTH_CAP {
+            self.in_progress.remove(&key);
+            self.overflowed = true;
+            return SATURATED;
+        }
+        self.depth += 1;
+        let body = self.program.function(self.program.func_id(f)).body();
+        let bound = self.block(body, arg);
+        self.depth -= 1;
+        self.in_progress.remove(&key);
+        self.memo.insert(key, bound);
+        bound
+    }
+
+    fn block(&mut self, stmts: &[Stmt], arg: u32) -> FnBound {
+        let mut total = FnBound::default();
+        for stmt in stmts {
+            let s = self.stmt(stmt, arg);
+            total.branches = self.add(total.branches, s.branches);
+            total.events = self.add(total.events, s.events);
+            total.call_depth = total.call_depth.max(s.call_depth);
+            total.nest = total.nest.max(s.nest);
+        }
+        total
+    }
+
+    fn stmt(&mut self, stmt: &Stmt, arg: u32) -> FnBound {
+        match stmt {
+            Stmt::Branch(_) => FnBound {
+                branches: 1,
+                ..FnBound::default()
+            },
+            Stmt::Loop { trip, body, .. } => {
+                let t = u64::from(trip.max_trip(arg));
+                // Zero-trip loops still emit enter/exit and still open
+                // a construct node; their body never runs.
+                let b = if t == 0 {
+                    FnBound::default()
+                } else {
+                    self.block(body, arg)
+                };
+                let body_events = self.mul(t, b.events);
+                FnBound {
+                    branches: self.mul(t, b.branches),
+                    events: self.add(2, body_events),
+                    call_depth: b.call_depth,
+                    nest: self.add_depth(1, b.nest),
+                }
+            }
+            Stmt::Call { callee, arg: expr } => {
+                let callee_arg = arg_upper_bound(*expr, arg);
+                let c = self.func(callee.index() as usize, callee_arg);
+                FnBound {
+                    branches: c.branches,
+                    events: self.add(2, c.events),
+                    call_depth: self.add_depth(1, c.call_depth),
+                    nest: self.add_depth(1, c.nest),
+                }
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                let t = self.block(then_body, arg);
+                let e = self.block(else_body, arg);
+                FnBound {
+                    branches: self.add(1, t.branches.max(e.branches)),
+                    events: t.events.max(e.events),
+                    call_depth: t.call_depth.max(e.call_depth),
+                    nest: t.nest.max(e.nest),
+                }
+            }
+            Stmt::IfArgPositive { body } => {
+                if arg == 0 {
+                    FnBound::default()
+                } else {
+                    self.block(body, arg)
+                }
+            }
+        }
+    }
+
+    fn add(&mut self, a: u64, b: u64) -> u64 {
+        a.checked_add(b).unwrap_or_else(|| {
+            self.overflowed = true;
+            u64::MAX
+        })
+    }
+
+    fn mul(&mut self, a: u64, b: u64) -> u64 {
+        a.checked_mul(b).unwrap_or_else(|| {
+            self.overflowed = true;
+            u64::MAX
+        })
+    }
+
+    /// Depth metrics saturate without raising the overflow flag: the
+    /// flag means "event/branch counts are meaningless", while a
+    /// saturated depth still reports correctly as "deeper than any
+    /// limit".
+    fn add_depth(&mut self, a: u64, b: u64) -> u64 {
+        a.saturating_add(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opd_microvm::{ArgExpr, ProgramBuilder, TakenDist, Trip};
+    use opd_trace::ExecutionTrace;
+
+    fn bounds_of(b: &mut ProgramBuilder) -> StaticBounds {
+        StaticBounds::compute(&b.build().unwrap())
+    }
+
+    #[test]
+    fn flat_loop_bounds_are_exact() {
+        let mut b = ProgramBuilder::new();
+        let main = b.declare("main");
+        b.define(main, |f| {
+            f.repeat(Trip::Fixed(7), |l| {
+                l.branch(TakenDist::Always);
+                l.branch(TakenDist::Never);
+            });
+        });
+        let s = bounds_of(&mut b);
+        assert_eq!(s.branches(), 14);
+        assert_eq!(s.events(), 2 + 2); // entry method + one loop
+        assert_eq!(s.call_depth(), 1);
+        assert_eq!(s.nest_depth(), 2); // method > loop
+        assert!(!s.overflowed());
+    }
+
+    #[test]
+    fn bounds_match_a_deterministic_run_exactly() {
+        let mut b = ProgramBuilder::new();
+        let helper = b.declare("helper");
+        let main = b.declare("main");
+        b.define(helper, |f| {
+            f.repeat(Trip::Fixed(3), |l| {
+                l.branch(TakenDist::Alternating);
+            });
+        });
+        b.define(main, |f| {
+            f.repeat(Trip::Fixed(5), |l| {
+                l.call(helper, ArgExpr::Const(0));
+            });
+        });
+        let p = b.entry(main).build().unwrap();
+        let s = StaticBounds::compute(&p);
+        let mut t = ExecutionTrace::new();
+        let run = Interpreter::new(&p, 1).run(&mut t).unwrap();
+        // Fully deterministic control flow: bounds are equalities.
+        assert_eq!(s.branches(), run.branches);
+        assert_eq!(s.events(), run.events);
+        assert_eq!(s.call_depth(), run.max_depth as u64);
+    }
+
+    #[test]
+    fn guarded_recursion_bounds_by_argument() {
+        let mut b = ProgramBuilder::new();
+        let rec = b.declare("rec");
+        let main = b.declare("main");
+        b.define(rec, |f| {
+            f.branch(TakenDist::Always);
+            f.if_arg_positive(|g| {
+                g.call(rec, ArgExpr::Dec);
+            });
+        });
+        b.define(main, |f| {
+            f.call(rec, ArgExpr::Const(5));
+        });
+        b.entry(main);
+        let s = bounds_of(&mut b);
+        assert_eq!(s.branches(), 6); // args 5,4,3,2,1,0
+        assert_eq!(s.call_depth(), 7); // main + six rec frames
+        assert!(!s.overflowed());
+    }
+
+    #[test]
+    fn unguarded_recursion_saturates() {
+        let mut b = ProgramBuilder::new();
+        let rec = b.declare("rec");
+        b.define(rec, |f| {
+            f.call(rec, ArgExpr::Const(1));
+        });
+        let s = bounds_of(&mut b);
+        assert!(s.overflowed());
+        assert!(s.exceeds_depth_limit());
+    }
+
+    #[test]
+    fn nested_huge_loops_overflow_u64() {
+        let mut b = ProgramBuilder::new();
+        let main = b.declare("main");
+        b.define(main, |f| {
+            f.repeat(Trip::Fixed(4_000_000_000), |a| {
+                a.repeat(Trip::Fixed(4_000_000_000), |c| {
+                    c.repeat(Trip::Fixed(4_000_000_000), |d| {
+                        d.branch(TakenDist::Always);
+                    });
+                });
+            });
+        });
+        let s = bounds_of(&mut b);
+        assert!(s.overflowed());
+        assert_eq!(s.branches(), u64::MAX);
+    }
+
+    #[test]
+    fn deep_dec_recursion_exceeds_interpreter_limit() {
+        let mut b = ProgramBuilder::new();
+        let rec = b.declare("rec");
+        b.define(rec, |f| {
+            f.branch(TakenDist::Always);
+            f.if_arg_positive(|g| {
+                g.call(rec, ArgExpr::Dec);
+            });
+        });
+        b.entry_arg(600);
+        let s = bounds_of(&mut b);
+        assert!(!s.overflowed()); // 601 frames: precisely evaluable
+        assert_eq!(s.call_depth(), 601);
+        assert!(s.exceeds_depth_limit());
+    }
+
+    #[test]
+    fn half_recursion_is_logarithmic() {
+        let mut b = ProgramBuilder::new();
+        let rec = b.declare("rec");
+        b.define(rec, |f| {
+            f.branch(TakenDist::Always);
+            f.if_arg_positive(|g| {
+                g.call(rec, ArgExpr::Half);
+            });
+        });
+        b.entry_arg(1 << 20);
+        let s = bounds_of(&mut b);
+        assert!(!s.overflowed());
+        assert_eq!(s.call_depth(), 22); // 2^20 halves to 0 in 21 steps
+        assert!(!s.exceeds_depth_limit());
+    }
+}

@@ -1,0 +1,313 @@
+//! The static call graph: who calls whom, with the guard/decrease
+//! attributes of each call site, plus Tarjan SCC analysis to find
+//! recursion cycles and verify they terminate.
+
+use opd_microvm::{ArgExpr, FuncId, Program, Stmt};
+
+/// One static call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallEdge {
+    caller: FuncId,
+    callee: FuncId,
+    arg: ArgExpr,
+    guarded: bool,
+}
+
+impl CallEdge {
+    /// The calling function.
+    #[must_use]
+    pub fn caller(self) -> FuncId {
+        self.caller
+    }
+
+    /// The called function.
+    #[must_use]
+    pub fn callee(self) -> FuncId {
+        self.callee
+    }
+
+    /// The argument expression passed to the callee.
+    #[must_use]
+    pub fn arg(self) -> ArgExpr {
+        self.arg
+    }
+
+    /// `true` if the call sits under an `arg > 0` guard.
+    #[must_use]
+    pub fn is_guarded(self) -> bool {
+        self.guarded
+    }
+
+    /// `true` if the argument strictly decreases whenever the guard
+    /// holds (`arg-1` and `arg/2` both do for `arg > 0`). Constants and
+    /// fresh draws do not decrease, whatever their value.
+    #[must_use]
+    pub fn is_decreasing(self) -> bool {
+        matches!(self.arg, ArgExpr::Dec | ArgExpr::Half)
+    }
+}
+
+/// A recursion cycle (one strongly connected component with at least
+/// one internal call edge) and whether it provably terminates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecursionCycle {
+    members: Vec<FuncId>,
+    terminating: bool,
+}
+
+impl RecursionCycle {
+    /// The functions in the cycle, in program order.
+    #[must_use]
+    pub fn members(&self) -> &[FuncId] {
+        &self.members
+    }
+
+    /// `true` if every call edge inside the cycle is argument-guarded
+    /// *and* strictly decreasing, which bounds the recursion depth by
+    /// the largest argument.
+    #[must_use]
+    pub fn is_terminating(&self) -> bool {
+        self.terminating
+    }
+}
+
+/// The static call graph of a [`Program`].
+///
+/// # Examples
+///
+/// ```
+/// use opd_analyze::CallGraph;
+/// use opd_microvm::workloads::Workload;
+///
+/// let program = Workload::Srccomp.program(1);
+/// let graph = CallGraph::build(&program);
+/// // srccomp's expression parser is self-recursive, with a guard.
+/// assert!(graph.cycles().iter().all(|c| c.is_terminating()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    edges: Vec<CallEdge>,
+    cycles: Vec<RecursionCycle>,
+}
+
+impl CallGraph {
+    /// Builds the call graph and runs the SCC/termination analysis.
+    #[must_use]
+    pub fn build(program: &Program) -> Self {
+        let mut edges = Vec::new();
+        program.walk(|ctx, stmt| {
+            if let Stmt::Call { callee, arg } = stmt {
+                edges.push(CallEdge {
+                    caller: ctx.func(),
+                    callee: *callee,
+                    arg: *arg,
+                    guarded: ctx.is_arg_guarded(),
+                });
+            }
+        });
+        let n = program.functions().len();
+        let scc_of = tarjan(n, &edges);
+        let scc_count = scc_of.iter().copied().max().map_or(0, |m| m + 1);
+
+        let mut cycles = Vec::new();
+        for scc in 0..scc_count {
+            let internal: Vec<&CallEdge> = edges
+                .iter()
+                .filter(|e| {
+                    scc_of[e.caller.index() as usize] == scc
+                        && scc_of[e.callee.index() as usize] == scc
+                })
+                .collect();
+            if internal.is_empty() {
+                continue; // a trivial SCC: no self or mutual recursion
+            }
+            let terminating = internal.iter().all(|e| e.is_guarded() && e.is_decreasing());
+            // Every member of an SCC with internal edges appears as a
+            // caller of at least one internal edge.
+            let mut members: Vec<FuncId> = internal.iter().map(|e| e.caller).collect();
+            members.sort_unstable();
+            members.dedup();
+            cycles.push(RecursionCycle {
+                members,
+                terminating,
+            });
+        }
+        CallGraph { edges, cycles }
+    }
+
+    /// Every static call site.
+    #[must_use]
+    pub fn edges(&self) -> &[CallEdge] {
+        &self.edges
+    }
+
+    /// The recursion cycles (non-trivial SCCs) of the graph.
+    #[must_use]
+    pub fn cycles(&self) -> &[RecursionCycle] {
+        &self.cycles
+    }
+
+    /// `true` if the function participates in any recursion cycle.
+    #[must_use]
+    pub fn is_recursive(&self, func: FuncId) -> bool {
+        self.cycles.iter().any(|c| c.members.contains(&func))
+    }
+}
+
+/// Iterative Tarjan SCC over function indices; returns the SCC index of
+/// each function. Iterative rather than recursive so a pathological
+/// call chain cannot overflow the analyzer's stack.
+fn tarjan(n: usize, edges: &[CallEdge]) -> Vec<usize> {
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in edges {
+        succ[e.caller.index() as usize].push(e.callee.index() as usize);
+    }
+
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut scc_of = vec![UNSET; n];
+    let mut next_index = 0usize;
+    let mut scc_count = 0usize;
+
+    // (node, next successor position) frames of the simulated recursion.
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNSET {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut i)) = frames.last_mut() {
+            if let Some(&w) = succ[v].get(*i) {
+                *i += 1;
+                if index[w] == UNSET {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack holds the component");
+                        on_stack[w] = false;
+                        scc_of[w] = scc_count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc_count += 1;
+                }
+            }
+        }
+    }
+    scc_of
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opd_microvm::{ProgramBuilder, TakenDist};
+
+    #[test]
+    fn straight_line_program_has_no_cycles() {
+        let mut b = ProgramBuilder::new();
+        let leaf = b.declare("leaf");
+        let main = b.declare("main");
+        b.define(leaf, |f| {
+            f.branch(TakenDist::Always);
+        });
+        b.define(main, |f| {
+            f.call(leaf, ArgExpr::Const(0));
+        });
+        let g = CallGraph::build(&b.entry(main).build().unwrap());
+        assert_eq!(g.edges().len(), 1);
+        assert!(g.cycles().is_empty());
+        assert!(!g.is_recursive(main));
+    }
+
+    #[test]
+    fn guarded_decreasing_self_recursion_terminates() {
+        let mut b = ProgramBuilder::new();
+        let rec = b.declare("rec");
+        b.define(rec, |f| {
+            f.branch(TakenDist::Always);
+            f.if_arg_positive(|g| {
+                g.call(rec, ArgExpr::Dec);
+            });
+        });
+        let g = CallGraph::build(&b.build().unwrap());
+        assert_eq!(g.cycles().len(), 1);
+        assert!(g.cycles()[0].is_terminating());
+        assert!(g.is_recursive(rec));
+    }
+
+    #[test]
+    fn unguarded_recursion_flagged() {
+        let mut b = ProgramBuilder::new();
+        let rec = b.declare("rec");
+        b.define(rec, |f| {
+            f.call(rec, ArgExpr::Dec); // decreasing but unguarded
+        });
+        let g = CallGraph::build(&b.build().unwrap());
+        assert!(!g.cycles()[0].is_terminating());
+    }
+
+    #[test]
+    fn guarded_but_nondecreasing_recursion_flagged() {
+        let mut b = ProgramBuilder::new();
+        let rec = b.declare("rec");
+        b.define(rec, |f| {
+            f.if_arg_positive(|g| {
+                g.call(rec, ArgExpr::Const(5)); // guard never falsifies
+            });
+        });
+        let g = CallGraph::build(&b.build().unwrap());
+        assert!(!g.cycles()[0].is_terminating());
+    }
+
+    #[test]
+    fn mutual_recursion_is_one_cycle() {
+        let mut b = ProgramBuilder::new();
+        let even = b.declare("even");
+        let odd = b.declare("odd");
+        b.define(even, |f| {
+            f.if_arg_positive(|g| {
+                g.call(odd, ArgExpr::Dec);
+            });
+        });
+        b.define(odd, |f| {
+            f.if_arg_positive(|g| {
+                g.call(even, ArgExpr::Dec);
+            });
+        });
+        let g = CallGraph::build(&b.entry(even).build().unwrap());
+        assert_eq!(g.cycles().len(), 1);
+        assert_eq!(g.cycles()[0].members().len(), 2);
+        assert!(g.cycles()[0].is_terminating());
+    }
+
+    #[test]
+    fn workload_cycles_all_terminate() {
+        for w in opd_microvm::workloads::Workload::ALL {
+            let g = CallGraph::build(&w.program(1));
+            assert!(g.cycles().iter().all(RecursionCycle::is_terminating), "{w}");
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! The static call-loop nesting tree: which repetition construct can
+//! appear directly inside which, derived purely from the IR.
+//!
+//! Every dynamic call-loop tree the oracle builds
+//! ([`CallLoopForest`]) is an unrolling of this static relation, so
+//! the static edge set is a supergraph of every dynamic edge set —
+//! the soundness property the differential tests check.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use opd_baseline::{CallLoopForest, Construct, RepNode};
+use opd_microvm::{Program, Stmt};
+
+/// The static nesting relation over [`Construct`]s.
+///
+/// # Examples
+///
+/// ```
+/// use opd_analyze::NestingTree;
+/// use opd_baseline::CallLoopForest;
+/// use opd_microvm::workloads::Workload;
+///
+/// let w = Workload::Tracer;
+/// let tree = NestingTree::build(&w.program(1));
+/// let forest = CallLoopForest::build(&w.trace(1))?;
+/// assert!(tree.is_supergraph_of(&forest));
+/// # Ok::<(), opd_baseline::ForestError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NestingTree {
+    root: Construct,
+    edges: BTreeSet<(Construct, Construct)>,
+    depth: BTreeMap<Construct, u32>,
+}
+
+impl NestingTree {
+    /// Builds the nesting relation from the IR.
+    ///
+    /// The parent of a statement's construct is the innermost loop
+    /// enclosing it in the same function, or the function's own method
+    /// node at the top level; calls link the caller's context to the
+    /// callee's method node. The relation covers *all* functions —
+    /// including unreachable ones — so it over-approximates every run.
+    #[must_use]
+    pub fn build(program: &Program) -> Self {
+        let mut edges = BTreeSet::new();
+        program.walk(|ctx, stmt| {
+            let parent = ctx
+                .innermost_loop()
+                .map_or(Construct::Method(ctx.func().method_id()), Construct::Loop);
+            match stmt {
+                Stmt::Loop { id, .. } => {
+                    edges.insert((parent, Construct::Loop(*id)));
+                }
+                Stmt::Call { callee, .. } => {
+                    edges.insert((parent, Construct::Method(callee.method_id())));
+                }
+                Stmt::Branch(_) | Stmt::If { .. } | Stmt::IfArgPositive { .. } => {}
+            }
+        });
+        let root = Construct::Method(program.entry().method_id());
+
+        // Per-nest depth: fewest constructs on a path from the root
+        // (root itself at depth 1), by BFS over the static edges.
+        let mut children: BTreeMap<Construct, Vec<Construct>> = BTreeMap::new();
+        for &(from, to) in &edges {
+            children.entry(from).or_default().push(to);
+        }
+        let mut depth = BTreeMap::new();
+        depth.insert(root, 1);
+        let mut queue = VecDeque::from([root]);
+        while let Some(c) = queue.pop_front() {
+            let d = depth[&c];
+            for &to in children.get(&c).into_iter().flatten() {
+                if let std::collections::btree_map::Entry::Vacant(e) = depth.entry(to) {
+                    e.insert(d + 1);
+                    queue.push_back(to);
+                }
+            }
+        }
+
+        NestingTree { root, edges, depth }
+    }
+
+    /// The root construct: the entry function's method node.
+    #[must_use]
+    pub fn root(&self) -> Construct {
+        self.root
+    }
+
+    /// All `(parent, child)` nesting edges.
+    #[must_use]
+    pub fn edges(&self) -> &BTreeSet<(Construct, Construct)> {
+        &self.edges
+    }
+
+    /// `true` if `child` can appear directly inside `parent`.
+    #[must_use]
+    pub fn contains_edge(&self, parent: Construct, child: Construct) -> bool {
+        self.edges.contains(&(parent, child))
+    }
+
+    /// The minimum nesting depth at which the construct can appear (the
+    /// root is at depth 1), or `None` if no chain of nesting edges
+    /// connects it to the root.
+    #[must_use]
+    pub fn depth_of(&self, construct: Construct) -> Option<u32> {
+        self.depth.get(&construct).copied()
+    }
+
+    /// `true` if every dynamic nesting edge of `forest` (and every
+    /// root) exists in this static relation — the soundness property:
+    /// the static tree is a supergraph of any tree a run can produce.
+    #[must_use]
+    pub fn is_supergraph_of(&self, forest: &CallLoopForest) -> bool {
+        fn covers(tree: &NestingTree, node: &RepNode) -> bool {
+            node.children().iter().all(|child| {
+                tree.contains_edge(node.construct(), child.construct()) && covers(tree, child)
+            })
+        }
+        forest
+            .roots()
+            .iter()
+            .all(|r| r.construct() == self.root && covers(self, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opd_microvm::{ArgExpr, ProgramBuilder, TakenDist, Trip};
+    use opd_trace::{LoopId, MethodId};
+
+    #[test]
+    fn edges_follow_local_structure_and_calls() {
+        let mut b = ProgramBuilder::new();
+        let helper = b.declare("helper");
+        let main = b.declare("main");
+        b.define(helper, |f| {
+            f.repeat(Trip::Fixed(2), |l| {
+                l.branch(TakenDist::Always);
+            });
+        });
+        b.define(main, |f| {
+            f.repeat(Trip::Fixed(3), |outer| {
+                outer.repeat(Trip::Fixed(4), |inner| {
+                    inner.branch(TakenDist::Always);
+                });
+                outer.call(helper, ArgExpr::Const(0));
+            });
+        });
+        let p = b.entry(main).build().unwrap();
+        let t = NestingTree::build(&p);
+        let l = |i| Construct::Loop(LoopId::new(i));
+        let m = |i| Construct::Method(MethodId::new(i));
+        assert_eq!(t.root(), m(1));
+        assert!(t.contains_edge(m(1), l(1))); // main > outer
+        assert!(t.contains_edge(l(1), l(2))); // outer > inner
+        assert!(t.contains_edge(l(1), m(0))); // outer > call helper
+        assert!(t.contains_edge(m(0), l(0))); // helper > its loop
+        assert!(!t.contains_edge(m(1), l(2)));
+        assert_eq!(t.edges().len(), 4);
+    }
+
+    #[test]
+    fn depths_count_constructs_from_root() {
+        let mut b = ProgramBuilder::new();
+        let main = b.declare("main");
+        b.define(main, |f| {
+            f.repeat(Trip::Fixed(2), |outer| {
+                outer.repeat(Trip::Fixed(2), |inner| {
+                    inner.branch(TakenDist::Always);
+                });
+            });
+        });
+        let p = b.build().unwrap();
+        let t = NestingTree::build(&p);
+        assert_eq!(t.depth_of(t.root()), Some(1));
+        assert_eq!(t.depth_of(Construct::Loop(LoopId::new(0))), Some(2));
+        assert_eq!(t.depth_of(Construct::Loop(LoopId::new(1))), Some(3));
+        assert_eq!(t.depth_of(Construct::Method(MethodId::new(9))), None);
+    }
+
+    #[test]
+    fn recursive_programs_have_self_edges() {
+        let mut b = ProgramBuilder::new();
+        let rec = b.declare("rec");
+        b.define(rec, |f| {
+            f.branch(TakenDist::Always);
+            f.if_arg_positive(|g| {
+                g.call(rec, ArgExpr::Dec);
+            });
+        });
+        let t = NestingTree::build(&b.build().unwrap());
+        let m = Construct::Method(MethodId::new(0));
+        assert!(t.contains_edge(m, m));
+        assert_eq!(t.depth_of(m), Some(1));
+    }
+
+    #[test]
+    fn supergraph_holds_for_every_workload() {
+        for w in opd_microvm::workloads::Workload::ALL {
+            let tree = NestingTree::build(&w.program(1));
+            let forest = CallLoopForest::build(&w.trace(1)).unwrap();
+            assert!(tree.is_supergraph_of(&forest), "{w}");
+        }
+    }
+
+    #[test]
+    fn supergraph_rejects_foreign_forests() {
+        let tree = NestingTree::build(&opd_microvm::workloads::Workload::Lexgen.program(1));
+        let forest =
+            CallLoopForest::build(&opd_microvm::workloads::Workload::Tracer.trace(1)).unwrap();
+        assert!(!tree.is_supergraph_of(&forest));
+    }
+}

@@ -1,7 +1,7 @@
 //! Building the dynamic call-loop forest from a call-loop trace.
 
 use core::fmt;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use opd_trace::{CallLoopEventKind, CallLoopTrace, ExecutionTrace, LoopId, MethodId};
 
@@ -278,6 +278,41 @@ impl CallLoopForest {
         self.roots.iter().map(RepNode::subtree_size).sum()
     }
 
+    /// Every distinct `(parent construct, child construct)` nesting
+    /// edge realized by this execution. Static analyses compare
+    /// against this set: a sound static nesting relation must contain
+    /// every edge returned here.
+    #[must_use]
+    pub fn construct_edges(&self) -> BTreeSet<(Construct, Construct)> {
+        fn walk(node: &RepNode, edges: &mut BTreeSet<(Construct, Construct)>) {
+            for child in node.children() {
+                edges.insert((node.construct(), child.construct()));
+                walk(child, edges);
+            }
+        }
+        let mut edges = BTreeSet::new();
+        for root in &self.roots {
+            walk(root, &mut edges);
+        }
+        edges
+    }
+
+    /// The distinct constructs appearing at the forest roots.
+    #[must_use]
+    pub fn root_constructs(&self) -> BTreeSet<Construct> {
+        self.roots.iter().map(RepNode::construct).collect()
+    }
+
+    /// The deepest nesting level of any node, counting roots as level
+    /// 1; 0 for an empty forest.
+    #[must_use]
+    pub fn max_depth(&self) -> u32 {
+        fn depth(node: &RepNode) -> u32 {
+            1 + node.children().iter().map(depth).max().unwrap_or(0)
+        }
+        self.roots.iter().map(depth).max().unwrap_or(0)
+    }
+
     /// Runs the MPL-driven phase selection of Section 3.1, producing
     /// the baseline solution for one minimum phase length.
     #[must_use]
@@ -404,6 +439,36 @@ mod tests {
         let f = CallLoopForest::build(&t).unwrap();
         assert_eq!(f.roots().len(), 3);
         assert!(f.roots().windows(2).all(|w| w[0].end() <= w[1].start()));
+    }
+
+    #[test]
+    fn construct_views_summarize_the_forest() {
+        let mut t = ExecutionTrace::new();
+        t.record_method_enter(m(1));
+        t.record_loop_enter(l(0));
+        branch(&mut t, 2);
+        t.record_loop_enter(l(1));
+        branch(&mut t, 2);
+        t.record_loop_exit(l(1));
+        t.record_loop_exit(l(0));
+        t.record_method_exit(m(1));
+        t.record_method_enter(m(2));
+        t.record_method_exit(m(2));
+        let f = CallLoopForest::build(&t).unwrap();
+        let edges = f.construct_edges();
+        assert_eq!(
+            edges.into_iter().collect::<Vec<_>>(),
+            vec![
+                (Construct::Loop(l(0)), Construct::Loop(l(1))),
+                (Construct::Method(m(1)), Construct::Loop(l(0))),
+            ]
+        );
+        assert_eq!(
+            f.root_constructs().into_iter().collect::<Vec<_>>(),
+            vec![Construct::Method(m(1)), Construct::Method(m(2))]
+        );
+        assert_eq!(f.max_depth(), 3);
+        assert_eq!(CallLoopForest::build(&ExecutionTrace::new()).unwrap().max_depth(), 0);
     }
 
     #[test]

@@ -118,6 +118,14 @@ impl PhaseDetector {
         self.last_similarity
     }
 
+    /// Pre-sizes the per-site window tables for `n_sites` distinct
+    /// elements — typically a static alphabet bound from the
+    /// `opd-analyze` crate — so a run over any trace with at most that
+    /// many distinct elements never grows them mid-scan.
+    pub fn reserve_sites(&mut self, n_sites: usize) {
+        self.windows.ensure_sites(n_sites);
+    }
+
     /// The detector's confidence in its current state, in `[0, 1]`:
     /// how decisively the most recent similarity value cleared (or
     /// missed) the analyzer's threshold. `None` until the windows have

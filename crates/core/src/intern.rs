@@ -38,8 +38,23 @@ impl InternedTrace {
     where
         I: IntoIterator<Item = ProfileElement>,
     {
+        Self::from_elements_with_capacity(elements, 0)
+    }
+
+    /// Interns a sequence of profile elements with the intern table
+    /// pre-sized for `distinct_hint` distinct elements — typically the
+    /// static alphabet bound from the `opd-analyze` crate — so
+    /// interning a trace within the bound never rehashes.
+    ///
+    /// The hint is only a capacity; the result is identical to
+    /// [`from_elements`](InternedTrace::from_elements) whatever its
+    /// value.
+    pub fn from_elements_with_capacity<I>(elements: I, distinct_hint: usize) -> Self
+    where
+        I: IntoIterator<Item = ProfileElement>,
+    {
         let iter = elements.into_iter();
-        let mut map: HashMap<u64, u32> = HashMap::new();
+        let mut map: HashMap<u64, u32> = HashMap::with_capacity(distinct_hint);
         let mut ids = Vec::with_capacity(iter.size_hint().0);
         for e in iter {
             let next = map.len() as u32;
@@ -107,6 +122,19 @@ mod tests {
         let t = InternedTrace::from_elements([e(5), e(3), e(5), e(9)]);
         assert_eq!(t.ids(), &[0, 1, 0, 2]);
         assert_eq!(t.distinct_count(), 3);
+    }
+
+    #[test]
+    fn capacity_hint_does_not_change_the_result() {
+        let e = |o| ProfileElement::new(MethodId::new(1), o, false);
+        let elements = [e(5), e(3), e(5), e(9)];
+        let plain = InternedTrace::from_elements(elements);
+        for hint in [0, 1, 3, 64] {
+            assert_eq!(
+                InternedTrace::from_elements_with_capacity(elements, hint),
+                plain
+            );
+        }
     }
 
     #[test]

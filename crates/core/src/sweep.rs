@@ -160,6 +160,7 @@ impl SweepUnit {
 #[derive(Debug, Default)]
 pub struct SweepScratch {
     detector: Option<PhaseDetector>,
+    site_capacity: usize,
 }
 
 impl SweepScratch {
@@ -169,13 +170,27 @@ impl SweepScratch {
         SweepScratch::default()
     }
 
+    /// A scratch whose window tables are pre-sized for `n_sites`
+    /// distinct elements (typically a static alphabet bound from
+    /// `opd-analyze`), so runs over traces with at most that many
+    /// sites never grow them mid-scan.
+    #[must_use]
+    pub fn with_site_capacity(n_sites: usize) -> Self {
+        SweepScratch {
+            detector: None,
+            site_capacity: n_sites,
+        }
+    }
+
     fn detector_for(&mut self, config: DetectorConfig) -> &mut PhaseDetector {
         if let Some(d) = &mut self.detector {
             d.reconfigure(config);
         } else {
             self.detector = Some(PhaseDetector::new(config));
         }
-        self.detector.as_mut().expect("detector just ensured")
+        let detector = self.detector.as_mut().expect("detector just ensured");
+        detector.reserve_sites(self.site_capacity);
+        detector
     }
 }
 
@@ -254,7 +269,12 @@ impl<'a> SweepEngine<'a> {
     ) -> Vec<(usize, Vec<DetectedPhase>)> {
         let unit = &self.units[unit_index];
         if unit.shared {
-            run_shared_group(self.configs, &unit.config_indices, trace)
+            run_shared_group(
+                self.configs,
+                &unit.config_indices,
+                trace,
+                scratch.site_capacity,
+            )
         } else {
             unit.config_indices
                 .iter()
@@ -310,12 +330,27 @@ fn run_shared_group(
     configs: &[DetectorConfig],
     member_indices: &[usize],
     trace: &InternedTrace,
+    site_capacity: usize,
 ) -> Vec<(usize, Vec<DetectedPhase>)> {
     let first = &configs[member_indices[0]];
     let (cw, tw, skip) = (
         first.current_window(),
         first.trailing_window(),
         first.skip_factor(),
+    );
+    // Shared-path invariants: the planner only groups shareable
+    // configs of identical shape, and sharing is exact only when a
+    // flush's kept elements fit in the CW (`skip <= cw`, module docs).
+    debug_assert!(skip >= 1 && cw >= 1 && tw >= 1, "windows have capacity");
+    debug_assert!(skip <= cw, "shared scan requires skip <= cw");
+    debug_assert!(
+        member_indices.iter().all(|&i| {
+            shareable(&configs[i])
+                && configs[i].current_window() == cw
+                && configs[i].trailing_window() == tw
+                && configs[i].skip_factor() == skip
+        }),
+        "shared group members must be shareable and same-shape"
     );
     // After a flush keeps `skip` elements, a private window is full
     // (warm) again `cw + tw - skip` elements later.
@@ -324,7 +359,7 @@ fn run_shared_group(
         .iter()
         .any(|&i| configs[i].model() == ModelPolicy::WeightedSet);
     let mut windows = Windows::with_weighted_tracking(cw, tw, track);
-    windows.ensure_sites(trace.distinct_count() as usize);
+    windows.ensure_sites((trace.distinct_count() as usize).max(site_capacity));
 
     let mut members: Vec<Member> = member_indices
         .iter()

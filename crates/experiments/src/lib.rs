@@ -8,6 +8,8 @@
 //!   oracle computation for all MPL values) and the parallel
 //!   configuration sweep;
 //! * [`report`] — fixed-width table rendering for experiment output;
+//! * [`analysis`] — the per-workload static-bounds artifact
+//!   (`BENCH_static_bounds.json`) regress-checking runtime pre-sizing;
 //! * [`exp`] — one module per paper artifact: Table 1, Table 2, and
 //!   Figures 4–8, each with a `run` entry point and a printable
 //!   result.
@@ -27,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod analysis;
 pub mod cli;
 pub mod exp;
 pub mod grid;

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use opd_analyze::Analysis;
 use opd_baseline::{BaselineSolution, CallLoopForest};
 use opd_core::{
     anchored_intervals, detected_intervals, DetectedPhase, DetectorConfig, InternedTrace,
@@ -21,6 +22,7 @@ pub struct PreparedWorkload {
     interned: InternedTrace,
     total: u64,
     oracles: BTreeMap<u64, BaselineSolution>,
+    analysis: Analysis,
 }
 
 impl PreparedWorkload {
@@ -46,6 +48,7 @@ impl PreparedWorkload {
     #[must_use]
     pub fn prepare_with_fuel(workload: Workload, scale: u32, mpls: &[u64], fuel: u64) -> Self {
         let program = workload.program(scale);
+        let analysis = Analysis::of(&program);
         let mut trace = opd_trace::ExecutionTrace::new();
         opd_microvm::Interpreter::new(&program, workload.default_seed())
             .with_fuel(fuel)
@@ -54,7 +57,15 @@ impl PreparedWorkload {
         let stats = TraceStats::measure(&trace);
         let forest = CallLoopForest::build(&trace).expect("workload traces are well nested");
         let oracles = mpls.iter().map(|&mpl| (mpl, forest.solve(mpl))).collect();
-        let interned = InternedTrace::from(trace.branches());
+        // The static alphabet bound pre-sizes the intern table so
+        // interning never rehashes; it is an upper bound on the
+        // distinct-element count by the soundness property the
+        // differential tests check.
+        let interned = InternedTrace::from_elements_with_capacity(
+            trace.branches().iter().copied(),
+            analysis.flow().alphabet_bound() as usize,
+        );
+        debug_assert!(u64::from(interned.distinct_count()) <= analysis.flow().alphabet_bound());
         let total = trace.branches().len() as u64;
         let (branches, _) = trace.into_parts();
         PreparedWorkload {
@@ -64,6 +75,7 @@ impl PreparedWorkload {
             interned,
             total,
             oracles,
+            analysis,
         }
     }
 
@@ -114,6 +126,20 @@ impl PreparedWorkload {
     #[must_use]
     pub fn mpls(&self) -> Vec<u64> {
         self.oracles.keys().copied().collect()
+    }
+
+    /// The static analysis of the workload's program: lint findings,
+    /// call graph, nesting tree, and worst-case bounds.
+    #[must_use]
+    pub fn analysis(&self) -> &Analysis {
+        &self.analysis
+    }
+
+    /// The static alphabet bound, as a site-table capacity: no trace
+    /// of this program has more distinct profile elements than this.
+    #[must_use]
+    pub fn site_capacity(&self) -> usize {
+        self.analysis.flow().alphabet_bound() as usize
     }
 }
 
@@ -224,13 +250,20 @@ pub fn sweep_many(
         }
     }
     let threads = threads.max(1).min(items.len().max(1));
+    // Pre-size every worker's detector site tables to the largest
+    // static alphabet bound, so no unit run grows them mid-scan.
+    let site_capacity = prepared
+        .iter()
+        .map(PreparedWorkload::site_capacity)
+        .max()
+        .unwrap_or(0);
 
     let mut out: Vec<Vec<Option<ConfigRun>>> = prepared
         .iter()
         .map(|_| configs.iter().map(|_| None).collect())
         .collect();
     if threads <= 1 {
-        let mut scratch = SweepScratch::new();
+        let mut scratch = SweepScratch::with_site_capacity(site_capacity);
         for &(wi, ui, _) in &items {
             let p = &prepared[wi];
             let total = p.interned().len() as u64;
@@ -261,7 +294,7 @@ pub fn sweep_many(
                 .into_iter()
                 .map(|bucket| {
                     s.spawn(move || {
-                        let mut scratch = SweepScratch::new();
+                        let mut scratch = SweepScratch::with_site_capacity(site_capacity);
                         let mut local = Vec::new();
                         for (wi, ui) in bucket {
                             let p = &prepared[wi];
@@ -334,6 +367,14 @@ mod tests {
         assert!(p.oracle(1_000).phase_count() >= p.oracle(10_000).phase_count());
         assert_eq!(p.stats().dynamic_branches, 60_000);
         assert_eq!(p.workload(), Workload::Lexgen);
+    }
+
+    #[test]
+    fn static_analysis_rides_along_and_bounds_the_alphabet() {
+        let p = small_prepared();
+        assert!(p.analysis().is_clean());
+        assert!(p.interned().distinct_count() as usize <= p.site_capacity());
+        assert!(p.analysis().bounds().branches() >= p.total_elements());
     }
 
     #[test]

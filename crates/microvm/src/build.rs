@@ -153,6 +153,12 @@ impl ProgramBuilder {
 
     /// Validates and produces the program.
     ///
+    /// Declaration-level checks (empty program, undefined or doubly
+    /// defined functions) are the builder's own; every IR-level check
+    /// (empty loop bodies, malformed distributions, inverted ranges)
+    /// is delegated to [`Program::validate`], the same routine the
+    /// `opd-analyze` lint engine runs, so the two cannot drift.
+    ///
     /// # Errors
     ///
     /// Returns the first [`BuildError`] encountered: undeclared or
@@ -176,13 +182,17 @@ impl ProgramBuilder {
             }
         }
         let entry = self.entry.unwrap_or(FuncId(self.names.len() as u32 - 1));
-        Ok(Program {
+        let program = Program {
             functions,
             entry,
             entry_arg: self.entry_arg,
             loop_count: self.shared.loop_counter,
             state_slots: self.shared.state_slots,
-        })
+        };
+        if let Some(err) = program.validate().into_iter().next() {
+            return Err(err);
+        }
+        Ok(program)
     }
 }
 
@@ -200,13 +210,8 @@ pub type FuncBuilder<'a> = BlockBuilder<'a>;
 
 impl BlockBuilder<'_> {
     fn make_branch(&mut self, dist: TakenDist) -> BranchStmt {
-        match dist {
-            TakenDist::Bernoulli(p) if !(0.0..=1.0).contains(&p) => {
-                self.shared.errors.push(BuildError::BadProbability(p));
-            }
-            TakenDist::Periodic(0) => self.shared.errors.push(BuildError::ZeroPeriod),
-            _ => {}
-        }
+        // Distribution validity is checked by `Program::validate` at
+        // build time; here we only assign offsets and state slots.
         let offset = *self.site_counter;
         *self.site_counter += 1;
         let state_slot = match dist {
@@ -252,28 +257,15 @@ impl BlockBuilder<'_> {
 
     /// Appends a loop running `trip` iterations of `body`.
     pub fn repeat(&mut self, trip: Trip, body: impl FnOnce(&mut BlockBuilder<'_>)) -> &mut Self {
-        if let Trip::Uniform(lo, hi) = trip {
-            if lo > hi {
-                self.shared.errors.push(BuildError::InvertedRange(lo, hi));
-            }
-        }
         let id = LoopId::new(self.shared.loop_counter);
         self.shared.loop_counter += 1;
         let body = self.child(body);
-        if body.is_empty() {
-            self.shared.errors.push(BuildError::EmptyLoopBody);
-        }
         self.stmts.push(Stmt::Loop { id, trip, body });
         self
     }
 
     /// Appends a call to `callee` with argument `arg`.
     pub fn call(&mut self, callee: FuncId, arg: ArgExpr) -> &mut Self {
-        if let ArgExpr::Draw(lo, hi) = arg {
-            if lo > hi {
-                self.shared.errors.push(BuildError::InvertedRange(lo, hi));
-            }
-        }
         self.stmts.push(Stmt::Call { callee, arg });
         self
     }

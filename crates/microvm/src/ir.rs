@@ -207,6 +207,19 @@ impl Program {
         &self.functions[id.0 as usize]
     }
 
+    /// Returns the id of the function at `index`, the inverse of
+    /// [`FuncId::index`] — how external analyses mint ids for functions
+    /// they enumerate positionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn func_id(&self, index: usize) -> FuncId {
+        assert!(index < self.functions.len(), "no function at index {index}");
+        FuncId(index as u32)
+    }
+
     /// Returns the entry function.
     #[must_use]
     pub fn entry(&self) -> FuncId {

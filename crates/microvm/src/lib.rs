@@ -45,10 +45,15 @@ mod build;
 mod dump;
 mod interp;
 mod ir;
+mod parse;
 mod rng;
+mod validate;
+mod walk;
 pub mod workloads;
 
 pub use build::{BlockBuilder, BuildError, FuncBuilder, ProgramBuilder};
 pub use interp::{InterpError, Interpreter, RunSummary};
 pub use ir::{ArgExpr, BranchStmt, FuncId, Function, Program, Stmt, TakenDist, Trip};
+pub use parse::{parse_program, ParseError};
 pub use rng::SplitMix64;
+pub use walk::WalkCtx;

@@ -1,0 +1,504 @@
+//! Parsing the [`Program::dump`](crate::Program::dump) listing format
+//! back into a [`Program`] — the inverse of `dump`, so programs can be
+//! designed (or deliberately broken) in text files and fed to tools
+//! like `opd lint`.
+//!
+//! The grammar is exactly what `dump` emits: one statement per line,
+//! `{`/`}` blocks for loops and conditionals, `// ...` comments. The
+//! header comment's `entry fN (arg A)` is honoured when present.
+//!
+//! ```text
+//! fn helper (f0) {
+//!   branch @0 p=0.5
+//!   if arg > 0 {
+//!     call f0(arg-1)
+//!   }
+//! }
+//! fn main (f1) // entry {
+//!   loop L0 x3 {
+//!     branch @0 always
+//!   }
+//!   call f0(4)
+//! }
+//! ```
+
+use core::fmt;
+
+use crate::build::{BlockBuilder, BuildError, ProgramBuilder};
+use crate::ir::{ArgExpr, FuncId, Program, TakenDist, Trip};
+
+/// Error produced when a program listing cannot be parsed or the
+/// parsed program fails builder validation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// A line did not match any statement form.
+    Syntax {
+        /// 1-based source line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The listing parsed, but the program failed validation.
+    Build(BuildError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ParseError::Build(e) => write!(f, "invalid program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<BuildError> for ParseError {
+    fn from(e: BuildError) -> Self {
+        ParseError::Build(e)
+    }
+}
+
+/// Statement forms as parsed, before builder emission.
+#[derive(Debug)]
+enum PStmt {
+    Branch(TakenDist),
+    Loop(Trip, Vec<PStmt>),
+    Call(usize, ArgExpr),
+    If(TakenDist, Vec<PStmt>, Vec<PStmt>),
+    IfArgPositive(Vec<PStmt>),
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>,
+    pos: usize,
+}
+
+fn syntax(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError::Syntax {
+        line,
+        message: message.into(),
+    }
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        let lines = src
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty() && !l.starts_with("//"))
+            .collect();
+        Parser { lines, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<(usize, &'a str)> {
+        self.lines.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<(usize, &'a str)> {
+        let item = self.peek();
+        self.pos += 1;
+        item
+    }
+
+    /// Parses statements until a block terminator (`}` or `} else {`),
+    /// which is consumed. Returns the statements and whether the
+    /// terminator opened an `else` block.
+    fn block(&mut self, open_line: usize) -> Result<(Vec<PStmt>, bool), ParseError> {
+        let mut stmts = Vec::new();
+        loop {
+            let Some((line, text)) = self.next() else {
+                return Err(syntax(open_line, "unclosed `{` block"));
+            };
+            match text {
+                "}" => return Ok((stmts, false)),
+                "} else {" => return Ok((stmts, true)),
+                _ => stmts.push(self.stmt(line, text)?),
+            }
+        }
+    }
+
+    fn stmt(&mut self, line: usize, text: &str) -> Result<PStmt, ParseError> {
+        if let Some(rest) = text.strip_prefix("branch @") {
+            let (_, dist) = rest
+                .split_once(' ')
+                .ok_or_else(|| syntax(line, "expected `branch @N <dist>`"))?;
+            return Ok(PStmt::Branch(parse_dist(line, dist)?));
+        }
+        if let Some(rest) = text.strip_prefix("loop L") {
+            let rest = rest
+                .strip_suffix(" {")
+                .ok_or_else(|| syntax(line, "expected `loop LN <trip> {`"))?;
+            let (_, trip) = rest
+                .split_once(' ')
+                .ok_or_else(|| syntax(line, "expected `loop LN <trip> {`"))?;
+            let trip = parse_trip(line, trip)?;
+            let (body, has_else) = self.block(line)?;
+            if has_else {
+                return Err(syntax(line, "`} else {` closes an `if`, not a loop"));
+            }
+            return Ok(PStmt::Loop(trip, body));
+        }
+        if let Some(rest) = text.strip_prefix("call f") {
+            let rest = rest
+                .strip_suffix(')')
+                .ok_or_else(|| syntax(line, "expected `call fN(<arg>)`"))?;
+            let (index, arg) = rest
+                .split_once('(')
+                .ok_or_else(|| syntax(line, "expected `call fN(<arg>)`"))?;
+            let index: usize = index
+                .parse()
+                .map_err(|_| syntax(line, format!("bad function index `{index}`")))?;
+            return Ok(PStmt::Call(index, parse_arg(line, arg)?));
+        }
+        if text == "if arg > 0 {" {
+            let (body, has_else) = self.block(line)?;
+            if has_else {
+                return Err(syntax(line, "`if arg > 0` takes no `else`"));
+            }
+            return Ok(PStmt::IfArgPositive(body));
+        }
+        if let Some(rest) = text.strip_prefix("if branch @") {
+            let rest = rest
+                .strip_suffix(" {")
+                .ok_or_else(|| syntax(line, "expected `if branch @N <dist> {`"))?;
+            let (_, dist) = rest
+                .split_once(' ')
+                .ok_or_else(|| syntax(line, "expected `if branch @N <dist> {`"))?;
+            let dist = parse_dist(line, dist)?;
+            let (then_body, has_else) = self.block(line)?;
+            let else_body = if has_else {
+                let (body, nested_else) = self.block(line)?;
+                if nested_else {
+                    return Err(syntax(line, "duplicate `} else {`"));
+                }
+                body
+            } else {
+                Vec::new()
+            };
+            return Ok(PStmt::If(dist, then_body, else_body));
+        }
+        Err(syntax(line, format!("unrecognized statement `{text}`")))
+    }
+}
+
+fn parse_dist(line: usize, text: &str) -> Result<TakenDist, ParseError> {
+    match text {
+        "always" => return Ok(TakenDist::Always),
+        "never" => return Ok(TakenDist::Never),
+        "alternating" => return Ok(TakenDist::Alternating),
+        _ => {}
+    }
+    if let Some(p) = text.strip_prefix("p=") {
+        let p = p
+            .parse()
+            .map_err(|_| syntax(line, format!("bad probability `{p}`")))?;
+        return Ok(TakenDist::Bernoulli(p));
+    }
+    if let Some(n) = text.strip_prefix("period=") {
+        let n = n
+            .parse()
+            .map_err(|_| syntax(line, format!("bad period `{n}`")))?;
+        return Ok(TakenDist::Periodic(n));
+    }
+    Err(syntax(line, format!("unrecognized distribution `{text}`")))
+}
+
+fn parse_range(line: usize, text: &str) -> Result<(u32, u32), ParseError> {
+    let (lo, hi) = text
+        .split_once("..=")
+        .ok_or_else(|| syntax(line, format!("bad range `{text}`")))?;
+    let lo = lo
+        .parse()
+        .map_err(|_| syntax(line, format!("bad range bound `{lo}`")))?;
+    let hi = hi
+        .parse()
+        .map_err(|_| syntax(line, format!("bad range bound `{hi}`")))?;
+    Ok((lo, hi))
+}
+
+fn parse_trip(line: usize, text: &str) -> Result<Trip, ParseError> {
+    if text == "x(arg)" {
+        return Ok(Trip::Arg);
+    }
+    if let Some(range) = text.strip_prefix("x[").and_then(|r| r.strip_suffix(']')) {
+        let (lo, hi) = parse_range(line, range)?;
+        return Ok(Trip::Uniform(lo, hi));
+    }
+    if let Some(n) = text.strip_prefix('x') {
+        if let Ok(n) = n.parse() {
+            return Ok(Trip::Fixed(n));
+        }
+    }
+    Err(syntax(line, format!("unrecognized trip `{text}`")))
+}
+
+fn parse_arg(line: usize, text: &str) -> Result<ArgExpr, ParseError> {
+    match text {
+        "arg-1" => return Ok(ArgExpr::Dec),
+        "arg/2" => return Ok(ArgExpr::Half),
+        _ => {}
+    }
+    if let Some(range) = text.strip_prefix("draw[").and_then(|r| r.strip_suffix(']')) {
+        let (lo, hi) = parse_range(line, range)?;
+        return Ok(ArgExpr::Draw(lo, hi));
+    }
+    if let Ok(v) = text.parse() {
+        return Ok(ArgExpr::Const(v));
+    }
+    Err(syntax(line, format!("unrecognized argument `{text}`")))
+}
+
+fn emit(stmts: &[PStmt], b: &mut BlockBuilder<'_>, funcs: &[FuncId]) {
+    for stmt in stmts {
+        match stmt {
+            PStmt::Branch(dist) => {
+                b.branch(*dist);
+            }
+            PStmt::Loop(trip, body) => {
+                b.repeat(*trip, |l| emit(body, l, funcs));
+            }
+            PStmt::Call(index, arg) => {
+                b.call(funcs[*index], *arg);
+            }
+            PStmt::If(dist, then_body, else_body) => {
+                b.cond(
+                    *dist,
+                    |t| emit(then_body, t, funcs),
+                    |e| emit(else_body, e, funcs),
+                );
+            }
+            PStmt::IfArgPositive(body) => {
+                b.if_arg_positive(|g| emit(body, g, funcs));
+            }
+        }
+    }
+}
+
+/// Parses a header comment's `entry fN (arg A)` tail, as emitted by
+/// the [`Program`] `Display` impl inside `dump` output.
+fn parse_header_entry(src: &str) -> Option<u32> {
+    let line = src.lines().map(str::trim).find(|l| l.starts_with("//"))?;
+    let arg = line.rsplit_once("(arg ")?.1.strip_suffix(')')?;
+    arg.parse().ok()
+}
+
+/// Parses a program listing in the [`Program::dump`](Program::dump)
+/// format.
+///
+/// # Errors
+///
+/// Returns [`ParseError::Syntax`] for malformed listings and
+/// [`ParseError::Build`] when the parsed program fails the same
+/// validation [`ProgramBuilder::build`] applies.
+///
+/// # Examples
+///
+/// ```
+/// use opd_microvm::{parse_program, ProgramBuilder, TakenDist, Trip};
+///
+/// let mut b = ProgramBuilder::new();
+/// let main = b.declare("main");
+/// b.define(main, |f| {
+///     f.repeat(Trip::Fixed(3), |l| {
+///         l.branch(TakenDist::Bernoulli(0.25));
+///     });
+/// });
+/// let program = b.build()?;
+/// let reparsed = parse_program(&program.dump())?;
+/// assert_eq!(reparsed, program);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    struct Header {
+        name: String,
+        entry: bool,
+        body_start_line: usize,
+    }
+
+    // First pass: find every `fn` header so call sites can reference
+    // functions defined later.
+    let mut headers: Vec<Header> = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let line = i + 1;
+        let text = raw.trim();
+        let Some(rest) = text.strip_prefix("fn ") else {
+            continue;
+        };
+        let rest = rest
+            .strip_suffix('{')
+            .ok_or_else(|| syntax(line, "expected `fn NAME (fN) {`"))?
+            .trim_end();
+        let (rest, entry) = match rest.strip_suffix("// entry") {
+            Some(r) => (r.trim_end(), true),
+            None => (rest, false),
+        };
+        let (name, id) = rest
+            .rsplit_once(" (f")
+            .ok_or_else(|| syntax(line, "expected `fn NAME (fN) {`"))?;
+        let id = id
+            .strip_suffix(')')
+            .ok_or_else(|| syntax(line, "expected `fn NAME (fN) {`"))?;
+        let index: usize = id
+            .parse()
+            .map_err(|_| syntax(line, format!("bad function index `{id}`")))?;
+        if index != headers.len() {
+            return Err(syntax(
+                line,
+                format!("function index f{index} out of order (expected f{})", headers.len()),
+            ));
+        }
+        headers.push(Header {
+            name: name.trim().to_owned(),
+            entry,
+            body_start_line: line,
+        });
+    }
+    if headers.is_empty() {
+        return Err(ParseError::Build(BuildError::Empty));
+    }
+
+    let mut builder = ProgramBuilder::new();
+    let funcs: Vec<FuncId> = headers.iter().map(|h| builder.declare(&h.name)).collect();
+
+    // Second pass: parse each body between its header and closing `}`.
+    let mut parser = Parser::new(src);
+    let mut bodies: Vec<Vec<PStmt>> = Vec::with_capacity(headers.len());
+    for header in &headers {
+        // Advance to this header (non-header lines outside bodies are
+        // rejected by the statement parser below).
+        let Some((line, text)) = parser.next() else {
+            return Err(syntax(header.body_start_line, "missing function body"));
+        };
+        if !text.starts_with("fn ") {
+            return Err(syntax(line, format!("expected `fn`, found `{text}`")));
+        }
+        let (body, has_else) = parser.block(line)?;
+        if has_else {
+            return Err(syntax(line, "`} else {` outside an `if`"));
+        }
+        bodies.push(body);
+    }
+    if let Some((line, text)) = parser.peek() {
+        return Err(syntax(line, format!("trailing input `{text}`")));
+    }
+
+    for (index, body) in bodies.iter().enumerate() {
+        builder.define(funcs[index], |f| emit(body, f, &funcs));
+    }
+    let entry = headers.iter().position(|h| h.entry);
+    if let Some(index) = entry {
+        builder.entry(funcs[index]);
+    }
+    if let Some(arg) = parse_header_entry(src) {
+        builder.entry_arg(arg);
+    }
+    Ok(builder.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::Workload;
+
+    #[test]
+    fn round_trips_every_workload() {
+        for w in Workload::ALL {
+            let program = w.program(1);
+            let reparsed = parse_program(&program.dump())
+                .unwrap_or_else(|e| panic!("{w}: {e}"));
+            assert_eq!(reparsed, program, "{w}");
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_entry_arg() {
+        let mut b = ProgramBuilder::new();
+        let main = b.declare("main");
+        b.define(main, |f| {
+            f.repeat(Trip::Arg, |l| {
+                l.branch(TakenDist::Always);
+            });
+        });
+        let program = b.entry(main).entry_arg(17).build().unwrap();
+        let reparsed = parse_program(&program.dump()).unwrap();
+        assert_eq!(reparsed.entry_arg(), 17);
+        assert_eq!(reparsed, program);
+    }
+
+    #[test]
+    fn hand_written_listing_parses() {
+        let src = "
+fn helper (f0) {
+  branch @0 p=0.5
+  if arg > 0 {
+    call f0(arg-1)
+  }
+}
+fn main (f1) // entry {
+  loop L0 x[2..=5] {
+    if branch @0 alternating {
+      branch @1 period=4
+    } else {
+      call f0(draw[1..=3])
+    }
+  }
+  call f0(arg/2)
+}
+";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.functions().len(), 2);
+        assert_eq!(p.entry().index(), 1);
+        assert_eq!(p.loop_count(), 1);
+        assert_eq!(p.site_count(), 3);
+    }
+
+    #[test]
+    fn invalid_programs_surface_build_errors() {
+        let src = "
+fn main (f0) // entry {
+  branch @0 p=1.5
+}
+";
+        assert_eq!(
+            parse_program(src),
+            Err(ParseError::Build(BuildError::BadProbability(1.5)))
+        );
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let src = "
+fn main (f0) // entry {
+  wibble
+}
+";
+        match parse_program(src) {
+            Err(ParseError::Syntax { line, message }) => {
+                assert_eq!(line, 3);
+                assert!(message.contains("wibble"));
+                assert!(!syntax(line, message).to_string().is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unclosed_block_rejected() {
+        let src = "fn main (f0) {\n  loop L0 x2 {\n    branch @0 always\n";
+        assert!(matches!(
+            parse_program(src),
+            Err(ParseError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_source_rejected() {
+        assert_eq!(
+            parse_program("// nothing here\n"),
+            Err(ParseError::Build(BuildError::Empty))
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Structural validation of MicroVM programs.
+//!
+//! This is the single source of truth for the IR-level checks that
+//! both [`ProgramBuilder::build`](crate::ProgramBuilder::build) and
+//! the `opd-analyze` lint engine apply: the builder rejects programs
+//! that fail them, and the analyzer reports the same defects as
+//! `OPD-E005` diagnostics, so the two can never drift apart.
+
+use crate::build::BuildError;
+use crate::ir::{ArgExpr, Program, Stmt, TakenDist, Trip};
+
+fn check_dist(dist: TakenDist, errors: &mut Vec<BuildError>) {
+    match dist {
+        TakenDist::Bernoulli(p) if !(0.0..=1.0).contains(&p) => {
+            errors.push(BuildError::BadProbability(p));
+        }
+        TakenDist::Periodic(0) => errors.push(BuildError::ZeroPeriod),
+        _ => {}
+    }
+}
+
+/// Collects every IR-level defect of one statement (not recursing into
+/// nested bodies; [`Program::validate`] drives the recursion).
+fn check_stmt(stmt: &Stmt, errors: &mut Vec<BuildError>) {
+    match stmt {
+        Stmt::Branch(b) => check_dist(b.dist(), errors),
+        Stmt::Loop { trip, body, .. } => {
+            if let Trip::Uniform(lo, hi) = trip {
+                if lo > hi {
+                    errors.push(BuildError::InvertedRange(*lo, *hi));
+                }
+            }
+            if body.is_empty() {
+                errors.push(BuildError::EmptyLoopBody);
+            }
+        }
+        Stmt::Call { arg, .. } => {
+            if let ArgExpr::Draw(lo, hi) = arg {
+                if lo > hi {
+                    errors.push(BuildError::InvertedRange(*lo, *hi));
+                }
+            }
+        }
+        Stmt::If { branch, .. } => check_dist(branch.dist(), errors),
+        Stmt::IfArgPositive { .. } => {}
+    }
+}
+
+impl Program {
+    /// Returns every IR-level structural defect, in pre-order walk
+    /// order: empty loop bodies, out-of-range branch probabilities,
+    /// zero periods, and inverted `Uniform`/`Draw` ranges.
+    ///
+    /// Programs produced by [`ProgramBuilder`](crate::ProgramBuilder)
+    /// always validate cleanly — `build()` runs exactly this check and
+    /// refuses to produce a program with defects. The method exists so
+    /// external analyses (the `opd-analyze` lint engine) share the
+    /// builder's definition of validity.
+    #[must_use]
+    pub fn validate(&self) -> Vec<BuildError> {
+        let mut errors = Vec::new();
+        self.walk(|_, stmt| check_stmt(stmt, &mut errors));
+        errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+
+    #[test]
+    fn builder_programs_validate_cleanly() {
+        let mut b = ProgramBuilder::new();
+        let main = b.declare("main");
+        b.define(main, |f| {
+            f.repeat(Trip::Uniform(1, 5), |l| {
+                l.branch(TakenDist::Bernoulli(0.5));
+                l.branch(TakenDist::Periodic(3));
+            });
+        });
+        assert!(b.build().unwrap().validate().is_empty());
+    }
+
+    #[test]
+    fn all_defects_reported_in_walk_order() {
+        // Bypass the builder's rejection by checking statements
+        // directly: the builder can never hand us an invalid program.
+        let mut errors = Vec::new();
+        check_dist(TakenDist::Bernoulli(1.5), &mut errors);
+        check_dist(TakenDist::Bernoulli(-0.1), &mut errors);
+        check_dist(TakenDist::Bernoulli(f64::NAN), &mut errors);
+        check_dist(TakenDist::Periodic(0), &mut errors);
+        assert_eq!(errors.len(), 4);
+        assert!(matches!(errors[3], BuildError::ZeroPeriod));
+    }
+}

@@ -1,0 +1,203 @@
+//! Pre-order IR walkers: flat iteration over every statement of a
+//! [`Program`] with its static context (enclosing function, loop
+//! stack, argument guard).
+//!
+//! The walkers are the substrate `opd-analyze` builds its call graph,
+//! nesting tree, and bound computations on, and what
+//! [`Program::validate`](crate::Program::validate) uses to keep the
+//! builder's checks and the lint engine's checks identical.
+
+use opd_trace::LoopId;
+
+use crate::ir::{FuncId, Program, Stmt};
+
+/// The static context of one visited statement: which function it is
+/// in, the stack of enclosing loops *within that function*, and
+/// whether it sits under an `arg > 0` guard.
+#[derive(Debug, Clone)]
+pub struct WalkCtx<'a> {
+    func: FuncId,
+    loops: &'a [LoopId],
+    arg_guarded: bool,
+}
+
+impl WalkCtx<'_> {
+    /// The function the statement belongs to.
+    #[must_use]
+    pub fn func(&self) -> FuncId {
+        self.func
+    }
+
+    /// Enclosing loops within the current function, outermost first.
+    #[must_use]
+    pub fn loops(&self) -> &[LoopId] {
+        self.loops
+    }
+
+    /// The innermost enclosing loop, if the statement is inside one.
+    #[must_use]
+    pub fn innermost_loop(&self) -> Option<LoopId> {
+        self.loops.last().copied()
+    }
+
+    /// Loop-nesting depth within the current function (0 at the top
+    /// level of a body).
+    #[must_use]
+    pub fn loop_depth(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// `true` if the statement is inside an
+    /// [`IfArgPositive`](Stmt::IfArgPositive) guard.
+    #[must_use]
+    pub fn is_arg_guarded(&self) -> bool {
+        self.arg_guarded
+    }
+}
+
+fn walk_block<F: FnMut(&WalkCtx<'_>, &Stmt)>(
+    func: FuncId,
+    stmts: &[Stmt],
+    loops: &mut Vec<LoopId>,
+    arg_guarded: bool,
+    f: &mut F,
+) {
+    for stmt in stmts {
+        {
+            let ctx = WalkCtx {
+                func,
+                loops,
+                arg_guarded,
+            };
+            f(&ctx, stmt);
+        }
+        match stmt {
+            Stmt::Branch(_) | Stmt::Call { .. } => {}
+            Stmt::Loop { id, body, .. } => {
+                loops.push(*id);
+                walk_block(func, body, loops, arg_guarded, f);
+                loops.pop();
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                walk_block(func, then_body, loops, arg_guarded, f);
+                walk_block(func, else_body, loops, arg_guarded, f);
+            }
+            Stmt::IfArgPositive { body } => {
+                walk_block(func, body, loops, true, f);
+            }
+        }
+    }
+}
+
+impl Program {
+    /// Visits every statement of every function in pre-order,
+    /// supplying the static context of each.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use opd_microvm::{ProgramBuilder, Stmt, TakenDist, Trip};
+    ///
+    /// let mut b = ProgramBuilder::new();
+    /// let main = b.declare("main");
+    /// b.define(main, |f| {
+    ///     f.repeat(Trip::Fixed(2), |l| {
+    ///         l.branch(TakenDist::Always);
+    ///     });
+    /// });
+    /// let program = b.build()?;
+    /// let mut nested_branches = 0;
+    /// program.walk(|ctx, stmt| {
+    ///     if matches!(stmt, Stmt::Branch(_)) && ctx.loop_depth() == 1 {
+    ///         nested_branches += 1;
+    ///     }
+    /// });
+    /// assert_eq!(nested_branches, 1);
+    /// # Ok::<(), opd_microvm::BuildError>(())
+    /// ```
+    pub fn walk<F: FnMut(&WalkCtx<'_>, &Stmt)>(&self, mut f: F) {
+        for (i, func) in self.functions().iter().enumerate() {
+            let id = FuncId(i as u32);
+            let mut loops = Vec::new();
+            walk_block(id, func.body(), &mut loops, false, &mut f);
+        }
+    }
+
+    /// Visits every statement of one function in pre-order.
+    pub fn walk_function<F: FnMut(&WalkCtx<'_>, &Stmt)>(&self, id: FuncId, mut f: F) {
+        let mut loops = Vec::new();
+        walk_block(id, self.function(id).body(), &mut loops, false, &mut f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArgExpr, ProgramBuilder, TakenDist, Trip};
+
+    #[test]
+    fn walk_reports_context() {
+        let mut b = ProgramBuilder::new();
+        let helper = b.declare("helper");
+        let main = b.declare("main");
+        b.define(helper, |f| {
+            f.branch(TakenDist::Always);
+            f.if_arg_positive(|g| {
+                g.call(helper, ArgExpr::Dec);
+            });
+        });
+        b.define(main, |f| {
+            f.repeat(Trip::Fixed(2), |outer| {
+                outer.repeat(Trip::Fixed(3), |inner| {
+                    inner.branch(TakenDist::Never);
+                });
+            });
+            f.call(helper, ArgExpr::Const(4));
+        });
+        let p = b.entry(main).build().unwrap();
+
+        let mut guarded_calls = 0;
+        let mut deepest = 0;
+        let mut stmts = 0;
+        p.walk(|ctx, stmt| {
+            stmts += 1;
+            deepest = deepest.max(ctx.loop_depth());
+            if matches!(stmt, Stmt::Call { .. }) && ctx.is_arg_guarded() {
+                guarded_calls += 1;
+                assert_eq!(ctx.func(), helper);
+            }
+            if ctx.loop_depth() == 2 {
+                assert!(ctx.innermost_loop().is_some());
+                assert_eq!(ctx.loops().len(), 2);
+            }
+        });
+        assert_eq!(guarded_calls, 1);
+        assert_eq!(deepest, 2);
+        // helper: branch + guard + call; main: loop + loop + branch + call.
+        assert_eq!(stmts, 7);
+    }
+
+    #[test]
+    fn walk_function_restricts_to_one_body() {
+        let mut b = ProgramBuilder::new();
+        let a = b.declare("a");
+        let c = b.declare("c");
+        b.define(a, |f| {
+            f.branch(TakenDist::Always);
+        });
+        b.define(c, |f| {
+            f.branches(3, TakenDist::Never);
+        });
+        let p = b.entry(c).build().unwrap();
+        let mut seen = 0;
+        p.walk_function(a, |ctx, _| {
+            assert_eq!(ctx.func(), a);
+            seen += 1;
+        });
+        assert_eq!(seen, 1);
+    }
+}

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # The full local gate: release build, default test tier (includes the
-# sweep-engine equivalence tests), and warning-free clippy.
+# sweep-engine equivalence tests), warning-free clippy, and a
+# deny-warnings static lint of every built-in workload.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+cargo run --release -q --bin opd -- lint --deny-warnings
 echo "check.sh: all gates passed"

@@ -1,0 +1,200 @@
+//! The `opd` command-line tool.
+//!
+//! Currently one subcommand family around the static analyzer:
+//!
+//! * `opd lint [--json] [--deny-warnings] [--scale N] [TARGET...]` —
+//!   lint the built-in workloads (default: all eight) or a dumped
+//!   program listing, printing rustc-style diagnostics.
+//! * `opd bounds [--write]` — render the per-workload static-bounds
+//!   artifact; `--write` updates `BENCH_static_bounds.json` at the
+//!   repository root.
+//!
+//! Exit codes: 0 clean, 1 lint findings at the failing severity,
+//! 2 usage/input errors.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use opd_analyze::Analysis;
+use opd_microvm::workloads::Workload;
+use opd_microvm::{parse_program, Program};
+
+const USAGE: &str = "\
+usage: opd lint [--json] [--deny-warnings] [--scale N] [TARGET...]
+       opd bounds [--write]
+
+TARGET is a built-in workload name (blockcomp, ruleng, tracer,
+querydb, srccomp, audiodec, parsegen, lexgen) or a path to a program
+listing in the MicroVM dump format. With no targets, all eight
+workloads are linted.";
+
+struct LintOpts {
+    json: bool,
+    deny_warnings: bool,
+    scale: u32,
+    targets: Vec<String>,
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("error: {message}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => match parse_lint_args(&args[1..]) {
+            Ok(opts) => lint(&opts),
+            Err(message) => fail(&message),
+        },
+        Some("bounds") => match args[1..] {
+            [] => {
+                print!("{}", opd_experiments::analysis::static_bounds_json(1));
+                ExitCode::SUCCESS
+            }
+            [ref flag] if flag == "--write" => write_bounds_artifact(),
+            _ => fail("bounds accepts only --write"),
+        },
+        Some("help" | "--help" | "-h") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => fail(&format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn parse_lint_args(args: &[String]) -> Result<LintOpts, String> {
+    let mut opts = LintOpts {
+        json: false,
+        deny_warnings: false,
+        scale: 1,
+        targets: Vec::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--scale" => {
+                let value = iter.next().ok_or("missing value for --scale")?;
+                opts.scale = value
+                    .parse()
+                    .map_err(|e| format!("bad --scale `{value}`: {e}"))?;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            target => opts.targets.push(target.to_owned()),
+        }
+    }
+    Ok(opts)
+}
+
+/// Resolves one lint target to a `(name, program)` pair.
+fn resolve(target: &str, scale: u32) -> Result<(String, Program), String> {
+    if let Some(w) = Workload::ALL.iter().find(|w| w.name() == target) {
+        return Ok((target.to_owned(), w.program(scale)));
+    }
+    if std::path::Path::new(target).exists() {
+        let source = std::fs::read_to_string(target)
+            .map_err(|e| format!("cannot read `{target}`: {e}"))?;
+        let program =
+            parse_program(&source).map_err(|e| format!("cannot parse `{target}`: {e}"))?;
+        return Ok((target.to_owned(), program));
+    }
+    Err(format!(
+        "`{target}` is neither a built-in workload nor an existing file"
+    ))
+}
+
+fn lint(opts: &LintOpts) -> ExitCode {
+    let named: Result<Vec<(String, Program)>, String> = if opts.targets.is_empty() {
+        Ok(Workload::ALL
+            .iter()
+            .map(|w| (w.name().to_owned(), w.program(opts.scale)))
+            .collect())
+    } else {
+        opts.targets
+            .iter()
+            .map(|t| resolve(t, opts.scale))
+            .collect()
+    };
+    let named = match named {
+        Ok(n) => n,
+        Err(message) => return fail(&message),
+    };
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut json_entries = Vec::new();
+    for (name, program) in &named {
+        let analysis = Analysis::of(program);
+        errors += analysis.error_count();
+        warnings += analysis.warning_count();
+        if opts.json {
+            json_entries.push(format!(" \"{name}\": {}", analysis.to_json()));
+        } else {
+            print!("{}", render_target(name, &analysis));
+        }
+    }
+    if opts.json {
+        println!("{{\n{}\n}}", json_entries.join(",\n"));
+    } else {
+        let verdict = if errors > 0 || (opts.deny_warnings && warnings > 0) {
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "lint: {} target(s), {errors} error(s), {warnings} warning(s): {verdict}",
+            named.len()
+        );
+    }
+    if errors > 0 || (opts.deny_warnings && warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Renders one target's diagnostics and bound summary.
+fn render_target(name: &str, analysis: &Analysis) -> String {
+    let mut out = String::new();
+    for d in analysis.diagnostics() {
+        let _ = writeln!(out, "{}", d.render());
+    }
+    let bounds = analysis.bounds();
+    // Saturated values mean no finite bound exists (unguarded
+    // recursion or u64 overflow) — print them as such.
+    let show = |value: u64, saturated: bool| {
+        if saturated || value == u64::MAX {
+            "unbounded".to_owned()
+        } else {
+            value.to_string()
+        }
+    };
+    let _ = writeln!(
+        out,
+        "{name}: {} error(s), {} warning(s); alphabet <= {}, events <= {}, call depth <= {}, nesting <= {}",
+        analysis.error_count(),
+        analysis.warning_count(),
+        analysis.flow().alphabet_bound(),
+        show(bounds.events(), bounds.overflowed()),
+        show(bounds.call_depth(), false),
+        show(bounds.nest_depth(), false),
+    );
+    out
+}
+
+fn write_bounds_artifact() -> ExitCode {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_static_bounds.json");
+    let json = opd_experiments::analysis::static_bounds_json(1);
+    match std::fs::write(path, &json) {
+        Ok(()) => {
+            println!("wrote {path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot write {path}: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
