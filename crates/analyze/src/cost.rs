@@ -1,0 +1,267 @@
+//! The static sweep cost model.
+//!
+//! PR 2's program analysis bounds what a workload can *emit* (branch
+//! events, alphabet size); this module bounds what a detector config
+//! must *do* with those events, without running anything:
+//!
+//! * **Exact scan counts** — [`predicted_scans`] replicates the sweep
+//!   engine's grouping rule (one scan per distinct shape among
+//!   window-sharing configs, one per private config) and therefore
+//!   matches [`opd_core::SweepEngine::total_scans`] exactly; the
+//!   `opd plan` CLI asserts this agreement on every run.
+//! * **Comparison-op upper bounds** — per config × workload, from the
+//!   static element and alphabet bounds, with checked arithmetic
+//!   (overflow surfaces as `OPD-C105`, never as a wrapped number).
+//! * **Schedulable unit costs** — [`unit_cost`] prices one
+//!   [`SweepUnit`] for LPT distribution, replacing the old heuristic
+//!   `SweepUnit::cost()` (a fixed 8:1 scan-to-member weighting that
+//!   ignored trace length, skip factor, and model entirely).
+//!
+//! The per-step op counts mirror the implementation: the unweighted
+//! model and the tracked weighted fast path read O(1) incremental
+//! counters per judged step, the untracked weighted slow path walks
+//! the CW's distinct sites, and Pearson walks the distinct sites of
+//! both windows. Window maintenance costs a constant per element
+//! (deque push, eviction, two site-table updates, distinct-set
+//! upkeep) — once per scan for a shared group, once per member
+//! otherwise.
+
+use std::collections::HashSet;
+
+use opd_core::{DetectorConfig, ModelPolicy, SweepUnit, TwPolicy};
+
+/// Relative weight of one element's window maintenance (deque push,
+/// eviction, site-table updates, distinct-set upkeep).
+const WINDOW_OPS_PER_ELEMENT: u64 = 8;
+
+/// Comparison ops one judged step costs for `config` against a trace
+/// whose alphabet (distinct-site count) is at most `alphabet`.
+fn per_step_ops(config: &DetectorConfig, alphabet: u64) -> u64 {
+    let cw = config.current_window() as u64;
+    let tw = config.trailing_window() as u64;
+    // A window over a trace with `alphabet` distinct sites holds at
+    // most min(capacity, alphabet) distinct entries; degenerate zero
+    // bounds still cost the fixed judge overhead.
+    let distinct = |cap: u64| cap.min(alphabet).max(1);
+    match config.model() {
+        // Incremental counters: O(1) per similarity read.
+        ModelPolicy::UnweightedSet => 2,
+        ModelPolicy::WeightedSet => match config.tw_policy() {
+            // Warm constant-TW windows use the tracked integer
+            // min-sum fast path.
+            TwPolicy::Constant => 2,
+            // Adaptive windows judge over capacity: the slow path
+            // walks the CW's distinct sites.
+            TwPolicy::Adaptive => distinct(cw).saturating_add(2),
+        },
+        // Pearson walks the distinct sites of both windows.
+        ModelPolicy::Pearson => distinct(cw).saturating_add(distinct(tw)).saturating_add(2),
+    }
+}
+
+/// Static cost of running one config over one workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfigCost {
+    steps: u64,
+    window_ops: u64,
+    compare_ops: Option<u64>,
+}
+
+impl ConfigCost {
+    /// Costs `config` against a trace of at most `elements` profile
+    /// elements drawn from at most `alphabet` distinct sites (both
+    /// typically static bounds from [`crate::Analysis`]).
+    #[must_use]
+    pub fn of(config: &DetectorConfig, elements: u64, alphabet: u64) -> Self {
+        let steps = config.shape().steps(elements);
+        ConfigCost {
+            steps,
+            window_ops: elements.saturating_mul(WINDOW_OPS_PER_ELEMENT),
+            compare_ops: steps.checked_mul(per_step_ops(config, alphabet)),
+        }
+    }
+
+    /// Detector steps taken: `ceil(elements / skip)`.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Window-maintenance ops (a constant per consumed element).
+    #[must_use]
+    pub fn window_ops(&self) -> u64 {
+        self.window_ops
+    }
+
+    /// Upper bound on comparison ops across all judged steps; `None`
+    /// when the checked product overflowed `u64` (lint `OPD-C105`).
+    #[must_use]
+    pub fn compare_ops(&self) -> Option<u64> {
+        self.compare_ops
+    }
+
+    /// Total cost (window + comparison ops); `None` on overflow.
+    #[must_use]
+    pub fn total(&self) -> Option<u64> {
+        self.compare_ops
+            .and_then(|c| c.checked_add(self.window_ops))
+    }
+}
+
+/// Trace scans a sweep over `configs` performs, predicted statically:
+/// one per distinct shape among window-sharing configs plus one per
+/// private config. Matches `SweepEngine::total_scans()` exactly — the
+/// grouping rule here is the engine's planning rule.
+#[must_use]
+pub fn predicted_scans(configs: &[DetectorConfig]) -> usize {
+    let mut shapes = HashSet::new();
+    let mut scans = 0usize;
+    for config in configs {
+        if config.shares_windows() {
+            if shapes.insert(config.shape()) {
+                scans += 1;
+            }
+        } else {
+            scans += 1;
+        }
+    }
+    scans
+}
+
+/// Statically derived cost of one planned sweep unit over a trace of
+/// at most `elements` elements and `alphabet` distinct sites, for LPT
+/// work distribution. Shared groups pay window maintenance once plus
+/// each member's per-step residue; private units pay both per member.
+/// Saturates (never wraps) so overflowed bounds rank heaviest.
+#[must_use]
+pub fn unit_cost(
+    configs: &[DetectorConfig],
+    unit: &SweepUnit,
+    elements: u64,
+    alphabet: u64,
+) -> u64 {
+    let mut cost = if unit.is_shared() {
+        elements.saturating_mul(WINDOW_OPS_PER_ELEMENT)
+    } else {
+        0
+    };
+    for &i in unit.config_indices() {
+        let member = ConfigCost::of(&configs[i], elements, alphabet);
+        if !unit.is_shared() {
+            cost = cost.saturating_add(member.window_ops());
+        }
+        cost = cost.saturating_add(member.compare_ops().unwrap_or(u64::MAX));
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opd_core::{AnalyzerPolicy, SweepEngine};
+
+    fn grid() -> Vec<DetectorConfig> {
+        let mut configs = Vec::new();
+        for cw in [16usize, 32] {
+            for model in [ModelPolicy::UnweightedSet, ModelPolicy::WeightedSet] {
+                configs.push(
+                    DetectorConfig::builder()
+                        .current_window(cw)
+                        .model(model)
+                        .build()
+                        .unwrap(),
+                );
+            }
+        }
+        configs.push(
+            DetectorConfig::builder()
+                .current_window(16)
+                .tw_policy(TwPolicy::Adaptive)
+                .build()
+                .unwrap(),
+        );
+        configs.push(
+            DetectorConfig::builder()
+                .current_window(4)
+                .skip_factor(9)
+                .build()
+                .unwrap(),
+        );
+        configs
+    }
+
+    #[test]
+    fn predicted_scans_match_the_engine_exactly() {
+        let configs = grid();
+        let engine = SweepEngine::new(&configs);
+        assert_eq!(predicted_scans(&configs), engine.total_scans());
+        assert_eq!(predicted_scans(&configs), 4); // 2 shapes + 2 private
+        assert_eq!(predicted_scans(&[]), 0);
+    }
+
+    #[test]
+    fn steps_and_ops_reflect_skip_and_model() {
+        let unweighted = DetectorConfig::builder()
+            .current_window(10)
+            .skip_factor(3)
+            .build()
+            .unwrap();
+        let c = ConfigCost::of(&unweighted, 100, 1_000);
+        assert_eq!(c.steps(), 34); // ceil(100 / 3)
+        assert_eq!(c.compare_ops(), Some(68));
+        let pearson = DetectorConfig::builder()
+            .current_window(10)
+            .trailing_window(20)
+            .model(ModelPolicy::Pearson)
+            .build()
+            .unwrap();
+        // Alphabet of 5 caps both windows' distinct walks.
+        assert_eq!(ConfigCost::of(&pearson, 100, 5).compare_ops(), Some(1_200));
+        assert!(
+            ConfigCost::of(&pearson, 100, 5).total().unwrap()
+                > ConfigCost::of(&unweighted, 100, 5).total().unwrap()
+        );
+    }
+
+    #[test]
+    fn overflow_is_reported_not_wrapped() {
+        let adaptive_weighted = DetectorConfig::builder()
+            .current_window(usize::MAX)
+            .model(ModelPolicy::WeightedSet)
+            .tw_policy(TwPolicy::Adaptive)
+            .build()
+            .unwrap();
+        let c = ConfigCost::of(&adaptive_weighted, u64::MAX, u64::MAX);
+        assert_eq!(c.compare_ops(), None);
+        assert_eq!(c.total(), None);
+        // Saturated, maximal cost for scheduling purposes.
+        let configs = [adaptive_weighted];
+        let engine = SweepEngine::new(&configs);
+        assert_eq!(
+            unit_cost(&configs, &engine.units()[0], u64::MAX, u64::MAX),
+            u64::MAX
+        );
+    }
+
+    #[test]
+    fn shared_units_amortize_window_maintenance() {
+        let mk = |analyzer| {
+            DetectorConfig::builder()
+                .current_window(100)
+                .analyzer(AnalyzerPolicy::Threshold(analyzer))
+                .build()
+                .unwrap()
+        };
+        let shared_pair = [mk(0.5), mk(0.7)];
+        let engine = SweepEngine::new(&shared_pair);
+        assert_eq!(engine.units().len(), 1);
+        let shared = unit_cost(&shared_pair, &engine.units()[0], 10_000, 50);
+        let solo = [mk(0.5)];
+        let solo_engine = SweepEngine::new(&solo);
+        let one = unit_cost(&solo, &solo_engine.units()[0], 10_000, 50);
+        // Two members cost far less than twice one member: the scan
+        // is shared, only the judge residue doubles.
+        assert!(shared < one * 2);
+        assert!(shared > one);
+    }
+}

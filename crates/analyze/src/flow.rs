@@ -333,7 +333,8 @@ mod tests {
         let flow = FlowInfo::compute(&p);
         assert_eq!(flow.max_arg(main), 100);
         assert_eq!(flow.max_arg(mid), 9);
-        assert_eq!(flow.max_arg(leaf), 6.max(9 / 2));
+        // max(Const 6, Half of 9) = 6.
+        assert_eq!(flow.max_arg(leaf), 6);
     }
 
     #[test]

@@ -20,6 +20,13 @@
 //! the sweep engine allocate to the alphabet bound up front), and the
 //! supergraph property is what the differential soundness tests check.
 //!
+//! A second analysis family targets the *sweep plan* rather than the
+//! program: [`PlanAnalysis`] proves detector-config equivalences
+//! ([`EquivClass`], [`canonicalize`]), prices each config with a
+//! static cost model ([`ConfigCost`], [`unit_cost`]), predicts the
+//! sweep engine's exact scan count ([`predicted_scans`]), and lints
+//! the grid with codes `OPD-C101` … `OPD-C106`.
+//!
 //! # Examples
 //!
 //! ```
@@ -36,16 +43,25 @@
 
 mod bounds;
 mod callgraph;
+mod cost;
 mod diag;
+mod equiv;
 mod flow;
 mod lint;
 mod nesting;
+mod plan;
 
 pub use bounds::StaticBounds;
 pub use callgraph::{CallEdge, CallGraph, RecursionCycle};
+pub use cost::{predicted_scans, unit_cost, ConfigCost};
 pub use diag::{Code, Diagnostic, Severity};
+pub use equiv::{
+    always_fires, canonicalize, equivalence_classes, snap_threshold, snap_threshold_fixed,
+    EquivClass, EquivRule,
+};
 pub use flow::{DeadKind, DeadSite, FlowInfo};
 pub use nesting::NestingTree;
+pub use plan::{AxisPairOutcome, AxisWitnesses, PlanAnalysis, PlanWorkload, SweepAxis};
 
 use opd_microvm::Program;
 
@@ -169,7 +185,10 @@ mod tests {
             assert!(
                 a.is_clean(),
                 "{w}: {:?}",
-                a.diagnostics().iter().map(Diagnostic::render).collect::<Vec<_>>()
+                a.diagnostics()
+                    .iter()
+                    .map(Diagnostic::render)
+                    .collect::<Vec<_>>()
             );
             assert_eq!(a.error_count(), 0);
             assert_eq!(a.warning_count(), 0);

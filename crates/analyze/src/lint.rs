@@ -83,7 +83,10 @@ pub(crate) fn collect(
             out.push(Diagnostic::new(
                 Code::DegenerateDistribution,
                 fn_anchor(program, ctx.func()),
-                format!("branch @{} has a degenerate distribution: {why}", branch.offset()),
+                format!(
+                    "branch @{} has a degenerate distribution: {why}",
+                    branch.offset()
+                ),
             ));
         }
     });

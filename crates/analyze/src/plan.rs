@@ -1,0 +1,931 @@
+//! Static analysis of a sweep plan: equivalence classes, plan lints,
+//! predicted scan counts, and per-axis distinctness witnesses.
+//!
+//! [`PlanAnalysis::of`] analyzes a `&[DetectorConfig]` grid *before*
+//! any trace is run:
+//!
+//! * the [equivalence prover](crate::equiv) partitions the grid into
+//!   classes of configs with provably bit-identical output, so a
+//!   sweep need only run one representative per class
+//!   ([`PlanAnalysis::expand`] maps the results back);
+//! * the [cost model](crate::cost) predicts the sweep engine's exact
+//!   scan count and per-workload comparison-op bounds;
+//! * plan lints `OPD-C101..C106` flag duplicates, provably-silent
+//!   detectors, skip factors that swallow the current window,
+//!   redundant sweep axes, cost-bound overflows, and shadowed
+//!   (prunable) grid entries.
+//!
+//! Where the prover keeps configs *apart*, [`PlanAnalysis::
+//! axis_witnesses`] backs the separation dynamically: for every pair
+//! of representatives differing in exactly one sweep axis it searches
+//! a battery of engineered probe traces for one on which the two
+//! configs emit different phase streams. A divergent probe is a sound
+//! inequivalence certificate; pairs with no divergent probe are
+//! reported as *undecided*, never as proven distinct.
+
+use std::collections::HashMap;
+
+use opd_core::{
+    AnalyzerPolicy, AnchorPolicy, DetectorConfig, InternedTrace, ModelPolicy, PhaseDetector,
+    ResizePolicy, TwPolicy,
+};
+use opd_trace::{MethodId, ProfileElement};
+
+use crate::cost::{predicted_scans, ConfigCost};
+use crate::diag::{Code, Diagnostic};
+use crate::equiv::{equivalence_classes, snap_fraction, EquivClass};
+use crate::lint;
+
+/// One workload a plan is costed against: the static element and
+/// alphabet bounds from [`crate::Analysis`].
+#[derive(Debug, Clone)]
+pub struct PlanWorkload {
+    /// Workload name, used in diagnostics.
+    pub name: String,
+    /// Static bound on emitted profile elements (branch events).
+    pub elements: u64,
+    /// Static bound on distinct branch sites (the alphabet).
+    pub alphabet: u64,
+}
+
+/// One sweep axis: a single field of [`DetectorConfig`] that a grid
+/// may vary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum SweepAxis {
+    /// Current-window size.
+    CurrentWindow,
+    /// Trailing-window size.
+    TrailingWindow,
+    /// Skip factor.
+    SkipFactor,
+    /// Trailing-window policy (constant vs adaptive).
+    TwPolicy,
+    /// Anchor policy.
+    Anchor,
+    /// Resize policy.
+    Resize,
+    /// Similarity model.
+    Model,
+    /// Analyzer (kind and parameter together).
+    Analyzer,
+}
+
+impl SweepAxis {
+    /// Every axis, in declaration order.
+    pub const ALL: [SweepAxis; 8] = [
+        SweepAxis::CurrentWindow,
+        SweepAxis::TrailingWindow,
+        SweepAxis::SkipFactor,
+        SweepAxis::TwPolicy,
+        SweepAxis::Anchor,
+        SweepAxis::Resize,
+        SweepAxis::Model,
+        SweepAxis::Analyzer,
+    ];
+
+    /// Stable lowercase name, used in reports and JSON.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SweepAxis::CurrentWindow => "current-window",
+            SweepAxis::TrailingWindow => "trailing-window",
+            SweepAxis::SkipFactor => "skip-factor",
+            SweepAxis::TwPolicy => "tw-policy",
+            SweepAxis::Anchor => "anchor",
+            SweepAxis::Resize => "resize",
+            SweepAxis::Model => "model",
+            SweepAxis::Analyzer => "analyzer",
+        }
+    }
+}
+
+impl core::fmt::Display for SweepAxis {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Field-level encoding of a raw (uncanonicalized) config, hashable
+/// so axis groupings can erase one field at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RawKey {
+    cw: u64,
+    tw: u64,
+    skip: u64,
+    tw_policy: u8,
+    anchor: u8,
+    resize: u8,
+    model: u8,
+    analyzer_tag: u8,
+    param_bits: u64,
+}
+
+impl RawKey {
+    fn of(c: &DetectorConfig) -> Self {
+        let (analyzer_tag, param_bits) = match c.analyzer() {
+            AnalyzerPolicy::Threshold(t) => (0, t.to_bits()),
+            AnalyzerPolicy::Average { delta } => (1, delta.to_bits()),
+        };
+        RawKey {
+            cw: c.current_window() as u64,
+            tw: c.trailing_window() as u64,
+            skip: c.skip_factor() as u64,
+            tw_policy: matches!(c.tw_policy(), TwPolicy::Adaptive).into(),
+            anchor: matches!(c.anchor(), AnchorPolicy::LeftmostNonNoisy).into(),
+            resize: matches!(c.resize(), ResizePolicy::Move).into(),
+            model: match c.model() {
+                ModelPolicy::UnweightedSet => 0,
+                ModelPolicy::WeightedSet => 1,
+                ModelPolicy::Pearson => 2,
+            },
+            analyzer_tag,
+            param_bits,
+        }
+    }
+
+    /// The key with `axis`'s field replaced by a sentinel, so configs
+    /// equal everywhere *except* that axis collide.
+    fn erasing(mut self, axis: SweepAxis) -> Self {
+        match axis {
+            SweepAxis::CurrentWindow => self.cw = u64::MAX,
+            SweepAxis::TrailingWindow => self.tw = u64::MAX,
+            SweepAxis::SkipFactor => self.skip = u64::MAX,
+            SweepAxis::TwPolicy => self.tw_policy = u8::MAX,
+            SweepAxis::Anchor => self.anchor = u8::MAX,
+            SweepAxis::Resize => self.resize = u8::MAX,
+            SweepAxis::Model => self.model = u8::MAX,
+            SweepAxis::Analyzer => {
+                self.analyzer_tag = u8::MAX;
+                self.param_bits = u64::MAX;
+            }
+        }
+        self
+    }
+}
+
+/// The axes on which `a` and `b` differ.
+fn differing_axes(a: &DetectorConfig, b: &DetectorConfig) -> Vec<SweepAxis> {
+    let (ka, kb) = (RawKey::of(a), RawKey::of(b));
+    SweepAxis::ALL
+        .into_iter()
+        .filter(|&axis| field_differs(&ka, &kb, axis))
+        .collect()
+}
+
+fn field_differs(a: &RawKey, b: &RawKey, axis: SweepAxis) -> bool {
+    match axis {
+        SweepAxis::CurrentWindow => a.cw != b.cw,
+        SweepAxis::TrailingWindow => a.tw != b.tw,
+        SweepAxis::SkipFactor => a.skip != b.skip,
+        SweepAxis::TwPolicy => a.tw_policy != b.tw_policy,
+        SweepAxis::Anchor => a.anchor != b.anchor,
+        SweepAxis::Resize => a.resize != b.resize,
+        SweepAxis::Model => a.model != b.model,
+        SweepAxis::Analyzer => a.analyzer_tag != b.analyzer_tag || a.param_bits != b.param_bits,
+    }
+}
+
+/// The outcome of probing one single-axis pair of representatives.
+#[derive(Debug, Clone)]
+pub struct AxisPairOutcome {
+    /// Grid index of the first config of the pair.
+    pub a: usize,
+    /// Grid index of the second config of the pair.
+    pub b: usize,
+    /// The one axis on which the pair differs.
+    pub axis: SweepAxis,
+    /// Name of the first probe trace on which the two configs emitted
+    /// different phase streams (a sound inequivalence certificate),
+    /// or `None` when every probe agreed — the pair stays *undecided*.
+    pub witness: Option<String>,
+}
+
+/// Dynamic distinctness evidence for every single-axis pair of class
+/// representatives.
+#[derive(Debug, Clone)]
+pub struct AxisWitnesses {
+    /// Every probed pair, in (a, b) order.
+    pub pairs: Vec<AxisPairOutcome>,
+}
+
+impl AxisWitnesses {
+    /// Pairs with a divergence witness.
+    #[must_use]
+    pub fn witnessed(&self) -> usize {
+        self.pairs.iter().filter(|p| p.witness.is_some()).count()
+    }
+
+    /// Pairs no probe could separate.
+    #[must_use]
+    pub fn undecided(&self) -> usize {
+        self.pairs.len() - self.witnessed()
+    }
+
+    /// `(witnessed, total)` per axis, in [`SweepAxis::ALL`] order,
+    /// omitting axes with no pairs.
+    #[must_use]
+    pub fn per_axis(&self) -> Vec<(SweepAxis, usize, usize)> {
+        SweepAxis::ALL
+            .into_iter()
+            .filter_map(|axis| {
+                let total = self.pairs.iter().filter(|p| p.axis == axis).count();
+                if total == 0 {
+                    return None;
+                }
+                let hit = self
+                    .pairs
+                    .iter()
+                    .filter(|p| p.axis == axis && p.witness.is_some())
+                    .count();
+                Some((axis, hit, total))
+            })
+            .collect()
+    }
+}
+
+/// The complete static analysis of one sweep grid.
+#[derive(Debug, Clone)]
+pub struct PlanAnalysis {
+    configs: Vec<DetectorConfig>,
+    classes: Vec<EquivClass>,
+    class_of: Vec<usize>,
+    diagnostics: Vec<Diagnostic>,
+    predicted_scans_full: usize,
+    predicted_scans_pruned: usize,
+}
+
+impl PlanAnalysis {
+    /// Analyzes `configs` as one sweep grid, costed against
+    /// `workloads` (pass an empty slice to skip the per-workload
+    /// lints `OPD-C102`/`OPD-C105`).
+    #[must_use]
+    pub fn of(configs: &[DetectorConfig], workloads: &[PlanWorkload]) -> Self {
+        let classes = equivalence_classes(configs);
+        let mut class_of = vec![0usize; configs.len()];
+        for (ci, class) in classes.iter().enumerate() {
+            for &m in class.members() {
+                class_of[m] = ci;
+            }
+        }
+        let representatives: Vec<DetectorConfig> = classes
+            .iter()
+            .map(|c| configs[c.representative()])
+            .collect();
+        let mut analysis = PlanAnalysis {
+            configs: configs.to_vec(),
+            classes,
+            class_of,
+            diagnostics: Vec::new(),
+            predicted_scans_full: predicted_scans(configs),
+            predicted_scans_pruned: predicted_scans(&representatives),
+        };
+        analysis.lint_grid();
+        analysis.lint_workloads(workloads);
+        analysis
+    }
+
+    fn lint_grid(&mut self) {
+        // OPD-C101 / OPD-C106: non-representative members are either
+        // textual duplicates of an earlier member or rule-proven
+        // shadows of their representative.
+        for class in &self.classes {
+            let rep = class.representative();
+            for &m in class.members() {
+                if m == rep {
+                    continue;
+                }
+                let duplicate_of = class.members()[..class.members().len()]
+                    .iter()
+                    .copied()
+                    .take_while(|&e| e < m)
+                    .find(|&e| self.configs[e] == self.configs[m]);
+                if let Some(earlier) = duplicate_of {
+                    self.diagnostics.push(Diagnostic::new(
+                        Code::DuplicateConfig,
+                        format!("config #{m}"),
+                        format!(
+                            "`{}` textually duplicates config #{earlier}",
+                            self.configs[m]
+                        ),
+                    ));
+                } else {
+                    self.diagnostics.push(Diagnostic::new(
+                        Code::ShadowedRepresentative,
+                        format!("config #{m}"),
+                        format!(
+                            "`{}` is provably equivalent to representative config #{rep} \
+                             ({}); it can be pruned",
+                            self.configs[m],
+                            class
+                                .rules()
+                                .iter()
+                                .map(|r| r.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", "),
+                        ),
+                    ));
+                }
+            }
+        }
+        // OPD-C103: skip > cw excludes a config from shared scanning.
+        for (i, config) in self.configs.iter().enumerate() {
+            if config.skip_factor() > config.current_window() {
+                self.diagnostics.push(Diagnostic::new(
+                    Code::SkipSwallowsWindow,
+                    format!("config #{i}"),
+                    format!(
+                        "skip factor {} exceeds the current window {}: a phase-end flush \
+                         over-fills the CW, so the config runs on the private path and \
+                         cannot share a scan",
+                        config.skip_factor(),
+                        config.current_window()
+                    ),
+                ));
+            }
+        }
+        // OPD-C104: an axis the grid varies without ever changing the
+        // output.
+        for axis in SweepAxis::ALL {
+            let mut groups: HashMap<RawKey, Vec<usize>> = HashMap::new();
+            for (i, config) in self.configs.iter().enumerate() {
+                groups
+                    .entry(RawKey::of(config).erasing(axis))
+                    .or_default()
+                    .push(i);
+            }
+            let mut varied = false;
+            let mut all_uniform = true;
+            for members in groups.values() {
+                let first_key = RawKey::of(&self.configs[members[0]]);
+                if members
+                    .iter()
+                    .any(|&m| field_differs(&first_key, &RawKey::of(&self.configs[m]), axis))
+                {
+                    varied = true;
+                    let class = self.class_of[members[0]];
+                    if members.iter().any(|&m| self.class_of[m] != class) {
+                        all_uniform = false;
+                    }
+                }
+            }
+            if varied && all_uniform {
+                self.diagnostics.push(Diagnostic::new(
+                    Code::RedundantSweepAxis,
+                    "grid",
+                    format!(
+                        "axis `{axis}` is redundant: every pair of grid entries \
+                         differing only in {axis} is provably equivalent"
+                    ),
+                ));
+            }
+        }
+    }
+
+    fn lint_workloads(&mut self, workloads: &[PlanWorkload]) {
+        for w in workloads {
+            for (i, config) in self.configs.iter().enumerate() {
+                let warm_need = (config.current_window() as u64)
+                    .saturating_add(config.trailing_window() as u64);
+                // OPD-C102: the trace ends before the windows can warm.
+                if w.elements < warm_need {
+                    self.diagnostics.push(Diagnostic::new(
+                        Code::ProvablySilent,
+                        format!("config #{i}"),
+                        format!(
+                            "provably silent on workload `{}`: static element bound {} \
+                             is below cw + tw = {warm_need}, so the detector never warms \
+                             and emits zero phases",
+                            w.name, w.elements
+                        ),
+                    ));
+                }
+                // OPD-C105: the comparison-op bound is not representable.
+                if ConfigCost::of(config, w.elements, w.alphabet)
+                    .compare_ops()
+                    .is_none()
+                {
+                    self.diagnostics.push(Diagnostic::new(
+                        Code::CostBoundOverflow,
+                        format!("config #{i}"),
+                        format!(
+                            "comparison-op bound on workload `{}` overflows u64; the \
+                             static cost model cannot rank this config",
+                            w.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// The analyzed grid.
+    #[must_use]
+    pub fn configs(&self) -> &[DetectorConfig] {
+        &self.configs
+    }
+
+    /// The provable-equivalence classes, in representative order.
+    #[must_use]
+    pub fn classes(&self) -> &[EquivClass] {
+        &self.classes
+    }
+
+    /// Class index of config `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn class_of(&self, i: usize) -> usize {
+        self.class_of[i]
+    }
+
+    /// Classes merging at least two grid entries.
+    #[must_use]
+    pub fn nontrivial_classes(&self) -> usize {
+        self.classes.iter().filter(|c| c.is_nontrivial()).count()
+    }
+
+    /// Grid indices of the class representatives — the pruned grid.
+    #[must_use]
+    pub fn representatives(&self) -> Vec<usize> {
+        self.classes
+            .iter()
+            .map(EquivClass::representative)
+            .collect()
+    }
+
+    /// The pruned grid itself: one config per class.
+    #[must_use]
+    pub fn pruned_configs(&self) -> Vec<DetectorConfig> {
+        self.classes
+            .iter()
+            .map(|c| self.configs[c.representative()])
+            .collect()
+    }
+
+    /// Expands per-class results (indexed like [`Self::classes`])
+    /// back to per-config results: each member receives a clone of
+    /// its representative's result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_class` does not have one entry per class.
+    #[must_use]
+    pub fn expand<T: Clone>(&self, per_class: &[T]) -> Vec<T> {
+        assert_eq!(per_class.len(), self.classes.len(), "one result per class");
+        self.class_of
+            .iter()
+            .map(|&c| per_class[c].clone())
+            .collect()
+    }
+
+    /// The plan lints (`OPD-C101..C106`).
+    #[must_use]
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Error-severity plan lints.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == crate::Severity::Error)
+            .count()
+    }
+
+    /// Trace scans a sweep of the full grid performs, predicted
+    /// statically (matches `SweepEngine::total_scans()` exactly).
+    #[must_use]
+    pub fn predicted_scans_full(&self) -> usize {
+        self.predicted_scans_full
+    }
+
+    /// Trace scans a sweep of the pruned grid performs.
+    #[must_use]
+    pub fn predicted_scans_pruned(&self) -> usize {
+        self.predicted_scans_pruned
+    }
+
+    /// Renders the plan (sizes, classes, scans, diagnostics) as one
+    /// JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut classes = String::from("[");
+        for (i, class) in self.classes.iter().enumerate() {
+            if i > 0 {
+                classes.push(',');
+            }
+            let rules: Vec<String> = class
+                .rules()
+                .iter()
+                .map(|r| format!("\"{}\"", r.as_str()))
+                .collect();
+            classes.push_str(&format!(
+                "{{\"representative\":{},\"members\":{:?},\"rules\":[{}]}}",
+                class.representative(),
+                class.members(),
+                rules.join(",")
+            ));
+        }
+        classes.push(']');
+        format!(
+            concat!(
+                "{{\"grid\":{},\"pruned\":{},\"nontrivial_classes\":{},",
+                "\"predicted_scans_full\":{},\"predicted_scans_pruned\":{},",
+                "\"classes\":{},\"diagnostics\":{}}}"
+            ),
+            self.configs.len(),
+            self.classes.len(),
+            self.nontrivial_classes(),
+            self.predicted_scans_full,
+            self.predicted_scans_pruned,
+            classes,
+            lint::diagnostics_json(&self.diagnostics),
+        )
+    }
+
+    /// Probes every pair of class representatives differing in
+    /// exactly one sweep axis for a trace on which their outputs
+    /// diverge. Runs `O(pairs × probes)` short detector runs — meant
+    /// for report generation, not hot paths.
+    #[must_use]
+    pub fn axis_witnesses(&self) -> AxisWitnesses {
+        let reps = self.representatives();
+        let mut batteries: HashMap<(usize, usize), Vec<(String, InternedTrace)>> = HashMap::new();
+        let mut pairs = Vec::new();
+        for (x, &a) in reps.iter().enumerate() {
+            for &b in reps.iter().skip(x + 1) {
+                let (ca, cb) = (&self.configs[a], &self.configs[b]);
+                let axes = differing_axes(ca, cb);
+                if axes.len() != 1 {
+                    continue;
+                }
+                let shape_key = (ca.current_window().max(cb.current_window()), {
+                    ca.trailing_window().max(cb.trailing_window())
+                });
+                let battery = batteries
+                    .entry(shape_key)
+                    .or_insert_with(|| probe_battery(&self.configs, shape_key.0, shape_key.1));
+                let witness = battery
+                    .iter()
+                    .find(|(_, trace)| runs_differ(ca, cb, trace))
+                    .map(|(name, _)| name.clone());
+                pairs.push(AxisPairOutcome {
+                    a,
+                    b,
+                    axis: axes[0],
+                    witness,
+                });
+            }
+        }
+        AxisWitnesses { pairs }
+    }
+}
+
+/// Runs both configs over `trace` and reports whether their phase
+/// streams differ (a sound inequivalence certificate when they do).
+fn runs_differ(a: &DetectorConfig, b: &DetectorConfig, trace: &InternedTrace) -> bool {
+    let mut da = PhaseDetector::new(*a);
+    let _ = da.run_interned_phases_only(trace);
+    let mut db = PhaseDetector::new(*b);
+    let _ = db.run_interned_phases_only(trace);
+    da.take_phases() != db.take_phases()
+}
+
+fn intern(ids: &[u32]) -> InternedTrace {
+    InternedTrace::from_elements(
+        ids.iter()
+            .map(|&site| ProfileElement::new(MethodId::new(0), site, true)),
+    )
+}
+
+/// Emits `reps` segments of `w` elements each; every segment cycles
+/// `n` distinct sites of which `k` are carried over from the previous
+/// segment (new sites first). At each segment boundary of a
+/// `cw = tw = w` detector the CW/TW distinct-overlap is exactly
+/// `k / n`.
+fn push_overlap_segments(
+    out: &mut Vec<u32>,
+    next_site: &mut u32,
+    prev_sites: &mut Vec<u32>,
+    w: usize,
+    k: usize,
+    n: usize,
+    reps: usize,
+) {
+    for _ in 0..reps {
+        let carried: Vec<u32> = prev_sites.iter().copied().take(k).collect();
+        let mut sites: Vec<u32> = Vec::with_capacity(n);
+        for _ in 0..n.saturating_sub(carried.len()) {
+            sites.push(*next_site);
+            *next_site += 1;
+        }
+        sites.extend(carried);
+        for i in 0..w {
+            out.push(sites[i % sites.len()]);
+        }
+        *prev_sites = sites;
+    }
+}
+
+/// A trace whose similarity plateaus at `k / n` for several windows
+/// and then decays to zero: distinguishes entry thresholds straddling
+/// `k / n` at phase start, and exit behavior (threshold vs average)
+/// during the decay.
+fn overlap_probe(cw: usize, tw: usize, k: usize, n: usize) -> Vec<u32> {
+    let w = cw.max(tw);
+    let mut out = Vec::with_capacity(cw + tw + 8 * w);
+    let mut next = 0u32;
+    for _ in 0..cw + tw {
+        out.push(next);
+        next += 1;
+    }
+    let mut prev = Vec::new();
+    push_overlap_segments(&mut out, &mut next, &mut prev, w, k, n, 4);
+    push_overlap_segments(&mut out, &mut next, &mut prev, w, 0, n, 4);
+    out
+}
+
+/// A trace where the distinct-set overlap is `k / n` but the weighted
+/// overlap is tiny (one fresh site hogs the CW frequency mass):
+/// separates the unweighted and weighted models at a threshold at or
+/// below `fl(k / n)`.
+fn skew_probe(cw: usize, tw: usize, k: usize, n: usize) -> Option<Vec<u32>> {
+    let w = cw.max(tw);
+    if k == 0 || n < k + 1 || w < n {
+        return None;
+    }
+    let mut out = Vec::with_capacity(cw + tw + 2 * w);
+    let mut next = 0u32;
+    for _ in 0..cw + tw {
+        out.push(next);
+        next += 1;
+    }
+    // TW segment: cycle the k shared sites uniformly.
+    let shared: Vec<u32> = (0..k as u32).map(|i| next + i).collect();
+    next += k as u32;
+    for i in 0..w {
+        out.push(shared[i % k]);
+    }
+    // CW segment: one hog site takes all the slack, the k shared
+    // sites and n - 1 - k fresh sites appear once each.
+    let hog = next;
+    next += 1;
+    for _ in 0..w - (n - 1) {
+        out.push(hog);
+    }
+    out.extend(&shared);
+    for _ in 0..n - 1 - k {
+        out.push(next);
+        next += 1;
+    }
+    Some(out)
+}
+
+/// A slowly rotating working set: rich, irregular similarity
+/// trajectories that separate analyzer families with equal entry
+/// thresholds and most model pairs.
+fn drift_probe(cw: usize, tw: usize, set: usize, stride: usize) -> Vec<u32> {
+    let len = 6 * (cw + tw);
+    (0..len)
+        .map(|pos| (pos % set + pos / (set * stride)) as u32)
+        .collect()
+}
+
+/// The probe battery for a window shape: targeted boundary fractions
+/// for every entry threshold the grid uses, frequency-skew variants,
+/// and drift traces.
+fn probe_battery(configs: &[DetectorConfig], cw: usize, tw: usize) -> Vec<(String, InternedTrace)> {
+    // Denominators must fit in both windows so a segment can cycle
+    // all n sites; 64 caps probe size while separating thresholds
+    // 1/64 apart.
+    let denom = cw.min(tw).min(64) as u64;
+    let mut fractions: Vec<(u64, u64)> = Vec::new();
+    let mut entries: Vec<f64> = configs
+        .iter()
+        .map(|c| match c.analyzer() {
+            AnalyzerPolicy::Threshold(t) => t,
+            AnalyzerPolicy::Average { delta } => 1.0 - delta,
+        })
+        .collect();
+    entries.sort_by(f64::total_cmp);
+    entries.dedup();
+    // A fraction just clearing each entry value, and one in each gap
+    // between consecutive entry values.
+    for (i, &e) in entries.iter().enumerate() {
+        if let Some(f) = snap_fraction(e, denom) {
+            fractions.push(f);
+        }
+        if let Some(&hi) = entries.get(i + 1) {
+            if let Some(f) = snap_fraction(e, denom) {
+                let v = f.0 as f64 / f.1 as f64;
+                if v < hi {
+                    fractions.push(f);
+                }
+            }
+        }
+    }
+    // Generic plateaus covering the unit interval.
+    fractions.extend([(1, 2), (5, 8), (3, 4), (7, 8), (15, 16), (1, 4)]);
+    fractions.sort_unstable();
+    fractions.dedup();
+    let mut battery = Vec::new();
+    for &(k, n) in &fractions {
+        let (k, n) = (k as usize, n as usize);
+        if n == 0 || n > cw.min(tw) {
+            continue;
+        }
+        battery.push((
+            format!("overlap k={k} n={n}"),
+            intern(&overlap_probe(cw, tw, k, n)),
+        ));
+        if let Some(ids) = skew_probe(cw, tw, k, n) {
+            battery.push((format!("skew k={k} n={n}"), intern(&ids)));
+        }
+    }
+    for (set, stride) in [(8usize, 4usize), (24, 16), (4, 2)] {
+        battery.push((
+            format!("drift set={set} stride={stride}"),
+            intern(&drift_probe(cw, tw, set, stride)),
+        ));
+    }
+    battery
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(cw: usize, model: ModelPolicy, analyzer: AnalyzerPolicy) -> DetectorConfig {
+        DetectorConfig::builder()
+            .current_window(cw)
+            .model(model)
+            .analyzer(analyzer)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn duplicates_and_shadows_get_distinct_codes() {
+        let base = mk(
+            32,
+            ModelPolicy::UnweightedSet,
+            AnalyzerPolicy::Threshold(0.5),
+        );
+        let moved = DetectorConfig::builder()
+            .current_window(32)
+            .resize(ResizePolicy::Move)
+            .build()
+            .unwrap();
+        let plan = PlanAnalysis::of(&[base, base, moved], &[]);
+        let codes: Vec<Code> = plan.diagnostics().iter().map(Diagnostic::code).collect();
+        assert!(codes.contains(&Code::DuplicateConfig));
+        assert!(codes.contains(&Code::ShadowedRepresentative));
+        assert_eq!(plan.classes().len(), 1);
+        assert_eq!(plan.predicted_scans_full(), 1);
+        assert_eq!(plan.predicted_scans_pruned(), 1);
+    }
+
+    #[test]
+    fn skip_swallowing_and_silent_configs_are_flagged() {
+        let swallowing = DetectorConfig::builder()
+            .current_window(4)
+            .trailing_window(8)
+            .skip_factor(9)
+            .build()
+            .unwrap();
+        let plan = PlanAnalysis::of(
+            &[swallowing],
+            &[PlanWorkload {
+                name: "tiny".into(),
+                elements: 10,
+                alphabet: 4,
+            }],
+        );
+        let codes: Vec<Code> = plan.diagnostics().iter().map(Diagnostic::code).collect();
+        assert!(codes.contains(&Code::SkipSwallowsWindow));
+        assert!(codes.contains(&Code::ProvablySilent));
+    }
+
+    #[test]
+    fn cost_overflow_is_an_error_diagnostic() {
+        let heavy = DetectorConfig::builder()
+            .current_window(usize::MAX)
+            .model(ModelPolicy::WeightedSet)
+            .tw_policy(TwPolicy::Adaptive)
+            .build()
+            .unwrap();
+        let plan = PlanAnalysis::of(
+            &[heavy],
+            &[PlanWorkload {
+                name: "huge".into(),
+                elements: u64::MAX,
+                alphabet: u64::MAX,
+            }],
+        );
+        assert!(plan
+            .diagnostics()
+            .iter()
+            .any(|d| d.code() == Code::CostBoundOverflow));
+        assert!(plan.error_count() > 0);
+    }
+
+    #[test]
+    fn redundant_axis_is_reported() {
+        // Constant-TW grid varying only resize: the axis is dead.
+        let mut grid = Vec::new();
+        for resize in [ResizePolicy::Slide, ResizePolicy::Move] {
+            for t in [0.5, 0.7] {
+                grid.push(
+                    DetectorConfig::builder()
+                        .current_window(16)
+                        .resize(resize)
+                        .analyzer(AnalyzerPolicy::Threshold(t))
+                        .build()
+                        .unwrap(),
+                );
+            }
+        }
+        let plan = PlanAnalysis::of(&grid, &[]);
+        let redundant: Vec<&Diagnostic> = plan
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code() == Code::RedundantSweepAxis)
+            .collect();
+        assert_eq!(redundant.len(), 1, "{:?}", plan.diagnostics());
+        assert!(redundant[0].message().contains("resize"));
+        assert_eq!(plan.classes().len(), 2);
+        // The analyzer axis is NOT redundant: no such diagnostic
+        // names it.
+        assert!(!redundant.iter().any(|d| d.message().contains("analyzer")));
+    }
+
+    #[test]
+    fn expand_maps_class_results_back_to_members() {
+        let base = mk(
+            32,
+            ModelPolicy::UnweightedSet,
+            AnalyzerPolicy::Threshold(0.5),
+        );
+        let moved = DetectorConfig::builder()
+            .current_window(32)
+            .resize(ResizePolicy::Move)
+            .build()
+            .unwrap();
+        let other = mk(
+            64,
+            ModelPolicy::UnweightedSet,
+            AnalyzerPolicy::Threshold(0.5),
+        );
+        let plan = PlanAnalysis::of(&[base, other, moved], &[]);
+        assert_eq!(plan.classes().len(), 2);
+        assert_eq!(plan.representatives(), vec![0, 1]);
+        assert_eq!(plan.expand(&["a", "b"]), vec!["a", "b", "a"]);
+    }
+
+    #[test]
+    fn axis_witnesses_separate_threshold_and_model_pairs() {
+        let grid = vec![
+            mk(
+                16,
+                ModelPolicy::UnweightedSet,
+                AnalyzerPolicy::Threshold(0.5),
+            ),
+            mk(
+                16,
+                ModelPolicy::UnweightedSet,
+                AnalyzerPolicy::Threshold(0.75),
+            ),
+            mk(16, ModelPolicy::WeightedSet, AnalyzerPolicy::Threshold(0.5)),
+        ];
+        let plan = PlanAnalysis::of(&grid, &[]);
+        assert_eq!(plan.classes().len(), 3);
+        let report = plan.axis_witnesses();
+        // (0,1) differ in analyzer; (0,2) differ in model; (1,2)
+        // differ in two axes and are skipped.
+        assert_eq!(report.pairs.len(), 2);
+        assert_eq!(report.undecided(), 0, "{:?}", report.pairs);
+        let axes: Vec<SweepAxis> = report.pairs.iter().map(|p| p.axis).collect();
+        assert!(axes.contains(&SweepAxis::Analyzer));
+        assert!(axes.contains(&SweepAxis::Model));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let base = mk(
+            32,
+            ModelPolicy::UnweightedSet,
+            AnalyzerPolicy::Threshold(0.5),
+        );
+        let plan = PlanAnalysis::of(&[base, base], &[]);
+        let json = plan.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"grid\":2"));
+        assert!(json.contains("\"pruned\":1"));
+        assert!(json.contains("\"members\":[0, 1]") || json.contains("\"members\":[0,1]"));
+        assert!(json.contains("OPD-C101"));
+    }
+}

@@ -1,0 +1,270 @@
+//! Differential soundness of the equivalence prover: every pair of
+//! configs the prover claims equivalent must produce bit-identical
+//! `DetectedPhase` streams — over every built-in workload's trace and
+//! over proptest-generated traces. A single divergence would disprove
+//! a rule, so these tests run the claim against reality.
+
+use opd_analyze::{equivalence_classes, PlanAnalysis};
+use opd_core::{
+    AnalyzerPolicy, AnchorPolicy, DetectedPhase, DetectorConfig, InternedTrace, ModelPolicy,
+    PhaseDetector, ResizePolicy, SweepEngine, TwPolicy,
+};
+use opd_microvm::workloads::Workload;
+use opd_microvm::Interpreter;
+use opd_trace::{ExecutionTrace, MethodId, ProfileElement};
+use proptest::prelude::*;
+
+/// Branches per workload trace — enough to warm every grid config
+/// (largest cw + tw here is 128) thousands of times over.
+const FUEL: u64 = 40_000;
+
+fn workload_trace(w: Workload) -> InternedTrace {
+    let program = w.program(1);
+    let mut trace = ExecutionTrace::new();
+    Interpreter::new(&program, w.default_seed())
+        .with_fuel(FUEL)
+        .run(&mut trace)
+        .expect("workloads terminate");
+    InternedTrace::from(trace.branches())
+}
+
+fn phases(config: DetectorConfig, trace: &InternedTrace) -> Vec<DetectedPhase> {
+    let mut detector = PhaseDetector::new(config);
+    let _ = detector.run_interned_phases_only(trace);
+    detector.take_phases()
+}
+
+fn intern(ids: &[u32]) -> InternedTrace {
+    InternedTrace::from_elements(
+        ids.iter()
+            .map(|&site| ProfileElement::new(MethodId::new(0), site, true)),
+    )
+}
+
+/// A grid engineered so every prover rule merges something:
+/// dead-resize collapses, always-fire collapses (threshold 0 and
+/// delta 1 in several models and policies), threshold snapping in
+/// both the unweighted and the weighted fixed-denominator form, and
+/// exact duplicates.
+fn merging_grid() -> Vec<DetectorConfig> {
+    let mk = |cw: usize| {
+        DetectorConfig::builder()
+            .current_window(cw)
+            .trailing_window(cw)
+    };
+    let mut grid = vec![
+        // Dead resize: Constant TW never takes the resize path.
+        mk(64).resize(ResizePolicy::Slide).build().unwrap(),
+        mk(64).resize(ResizePolicy::Move).build().unwrap(),
+        mk(64)
+            .resize(ResizePolicy::Move)
+            .model(ModelPolicy::Pearson)
+            .anchor(AnchorPolicy::LeftmostNonNoisy)
+            .build()
+            .unwrap(),
+        mk(64)
+            .model(ModelPolicy::Pearson)
+            .anchor(AnchorPolicy::LeftmostNonNoisy)
+            .build()
+            .unwrap(),
+        // Always fire: threshold 0 and delta 1 collapse across models
+        // and TW policies (same shape and anchor).
+        mk(32)
+            .analyzer(AnalyzerPolicy::Threshold(0.0))
+            .build()
+            .unwrap(),
+        mk(32)
+            .analyzer(AnalyzerPolicy::Average { delta: 1.0 })
+            .build()
+            .unwrap(),
+        mk(32)
+            .model(ModelPolicy::Pearson)
+            .analyzer(AnalyzerPolicy::Threshold(0.0))
+            .build()
+            .unwrap(),
+        mk(32)
+            .model(ModelPolicy::WeightedSet)
+            .analyzer(AnalyzerPolicy::Threshold(0.0))
+            .build()
+            .unwrap(),
+        mk(32)
+            .tw_policy(TwPolicy::Adaptive)
+            .analyzer(AnalyzerPolicy::Threshold(0.0))
+            .build()
+            .unwrap(),
+        mk(32)
+            .tw_policy(TwPolicy::Adaptive)
+            .resize(ResizePolicy::Move)
+            .analyzer(AnalyzerPolicy::Average { delta: 1.0 })
+            .build()
+            .unwrap(),
+        // Threshold snapping, unweighted: a 49-element window cannot
+        // distinguish thresholds inside one Farey-49 gap.
+        mk(49)
+            .analyzer(AnalyzerPolicy::Threshold(0.501))
+            .build()
+            .unwrap(),
+        mk(49)
+            .analyzer(AnalyzerPolicy::Threshold(0.505))
+            .build()
+            .unwrap(),
+        // Threshold snapping, weighted fixed denominator cw * tw = 400.
+        mk(20)
+            .model(ModelPolicy::WeightedSet)
+            .analyzer(AnalyzerPolicy::Threshold(0.5001))
+            .build()
+            .unwrap(),
+        mk(20)
+            .model(ModelPolicy::WeightedSet)
+            .analyzer(AnalyzerPolicy::Threshold(0.5012))
+            .build()
+            .unwrap(),
+        // Exact duplicate of the first config.
+        mk(64).resize(ResizePolicy::Slide).build().unwrap(),
+        // Controls that must NOT merge with anything above.
+        mk(64)
+            .analyzer(AnalyzerPolicy::Threshold(0.7))
+            .build()
+            .unwrap(),
+        mk(128)
+            .analyzer(AnalyzerPolicy::Threshold(0.0))
+            .build()
+            .unwrap(),
+        mk(32)
+            .anchor(AnchorPolicy::LeftmostNonNoisy)
+            .analyzer(AnalyzerPolicy::Threshold(0.0))
+            .build()
+            .unwrap(),
+    ];
+    grid.push(grid[4]); // another duplicate, later in the grid
+    grid
+}
+
+#[test]
+fn the_merging_grid_actually_merges() {
+    let grid = merging_grid();
+    let classes = equivalence_classes(&grid);
+    assert!(
+        classes.len() < grid.len(),
+        "expected nontrivial classes, got {} classes for {} configs",
+        classes.len(),
+        grid.len()
+    );
+    // Dead resize: 0,1,14 merge; 2,3 merge. Always-fire: 4..=9,18
+    // merge. Snapping: 10,11 merge; 12,13 merge. Controls stay alone.
+    let class_of = |i: usize| {
+        classes
+            .iter()
+            .position(|c| c.members().contains(&i))
+            .unwrap()
+    };
+    assert_eq!(class_of(0), class_of(1));
+    assert_eq!(class_of(0), class_of(14));
+    assert_eq!(class_of(2), class_of(3));
+    assert_eq!(class_of(4), class_of(5));
+    assert_eq!(class_of(4), class_of(9));
+    assert_eq!(class_of(4), class_of(18));
+    assert_eq!(class_of(10), class_of(11));
+    assert_eq!(class_of(12), class_of(13));
+    assert_ne!(class_of(0), class_of(15));
+    assert_ne!(class_of(4), class_of(16)); // different shape
+    assert_ne!(class_of(4), class_of(17)); // different anchor
+}
+
+#[test]
+fn claimed_equivalences_hold_on_every_workload() {
+    let grid = merging_grid();
+    let classes = equivalence_classes(&grid);
+    for w in Workload::ALL {
+        let trace = workload_trace(w);
+        for class in classes.iter().filter(|c| c.is_nontrivial()) {
+            let reference = phases(grid[class.representative()], &trace);
+            for &m in class.members() {
+                assert_eq!(
+                    phases(grid[m], &trace),
+                    reference,
+                    "{w}: config #{m} diverges from representative #{} ({})",
+                    class.representative(),
+                    class.proof(),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pruned_grid_sweep_equals_full_grid_class_by_class() {
+    let grid = merging_grid();
+    let plan = PlanAnalysis::of(&grid, &[]);
+    let pruned = plan.pruned_configs();
+    assert!(pruned.len() < grid.len());
+    for w in [Workload::Lexgen, Workload::Querydb, Workload::Audiodec] {
+        let trace = workload_trace(w);
+        let full: Vec<Vec<DetectedPhase>> = SweepEngine::new(&grid).run_all(&trace);
+        let per_class: Vec<Vec<DetectedPhase>> = SweepEngine::new(&pruned).run_all(&trace);
+        let expanded = plan.expand(&per_class);
+        assert_eq!(expanded, full, "{w}");
+    }
+}
+
+#[test]
+fn predicted_scans_match_the_engine_on_both_grids() {
+    let grid = merging_grid();
+    let plan = PlanAnalysis::of(&grid, &[]);
+    assert_eq!(
+        plan.predicted_scans_full(),
+        SweepEngine::new(&grid).total_scans()
+    );
+    assert_eq!(
+        plan.predicted_scans_pruned(),
+        SweepEngine::new(&plan.pruned_configs()).total_scans()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random traces over small alphabets stress the rules where
+    /// engineered traces might be too regular: every claimed merge in
+    /// the grid must hold on arbitrary input.
+    #[test]
+    fn claimed_equivalences_hold_on_random_traces(
+        ids in proptest::collection::vec(0u32..24, 0..2_000),
+    ) {
+        let trace = intern(&ids);
+        let grid = merging_grid();
+        for class in equivalence_classes(&grid).iter().filter(|c| c.is_nontrivial()) {
+            let reference = phases(grid[class.representative()], &trace);
+            for &m in class.members() {
+                prop_assert_eq!(
+                    &phases(grid[m], &trace),
+                    &reference,
+                    "config #{} vs representative #{}",
+                    m,
+                    class.representative()
+                );
+            }
+        }
+    }
+
+    /// The snapped threshold is observationally identical on random
+    /// traces even for thresholds the grid does not use.
+    #[test]
+    fn snapping_preserves_behavior_on_random_traces(
+        ids in proptest::collection::vec(0u32..12, 0..1_200),
+        t in 0.0f64..1.0,
+        cw in 2usize..40,
+    ) {
+        let mk = |threshold| {
+            DetectorConfig::builder()
+                .current_window(cw)
+                .trailing_window(cw)
+                .analyzer(AnalyzerPolicy::Threshold(threshold))
+                .build()
+                .unwrap()
+        };
+        let snapped = opd_analyze::snap_threshold(t, cw as u64).unwrap();
+        let trace = intern(&ids);
+        prop_assert_eq!(phases(mk(t), &trace), phases(mk(snapped), &trace));
+    }
+}

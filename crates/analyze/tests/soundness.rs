@@ -124,12 +124,15 @@ fn u64_overflowing_loop_nest_is_rejected_with_e004() {
 #[test]
 fn structurally_invalid_listing_maps_to_e005() {
     // The parser funnels through the same shared `Program::validate`
-    // the builder uses, so a bad probability surfaces as a BuildError;
-    // its diagnostic mapping is the stable OPD-E005 code.
+    // the builder uses, so an inverted trip range (a defect the line
+    // scanner cannot see) surfaces as a BuildError; its diagnostic
+    // mapping is the stable OPD-E005 code.
     let listing = "\
-// program: 1 functions, 0 loops, 1 branch sites, entry f0 (arg 0)
+// program: 1 functions, 1 loops, 1 branch sites, entry f0 (arg 0)
 fn main (f0) // entry {
-  branch @0 p=1.5
+  loop L0 x[5..=2] {
+    branch @0 p=0.5
+  }
 }
 ";
     let err = match parse_program(listing) {
@@ -140,7 +143,11 @@ fn main (f0) // entry {
     let diag = Diagnostic::from_build_error(&probe, &err);
     assert_eq!(diag.code(), Code::InvalidStructure);
     assert_eq!(diag.severity(), Severity::Error);
-    assert!(diag.message().contains("probability"), "{}", diag.message());
+    assert!(
+        diag.message().contains("inverted range"),
+        "{}",
+        diag.message()
+    );
 }
 
 #[test]

@@ -468,7 +468,12 @@ mod tests {
             vec![Construct::Method(m(1)), Construct::Method(m(2))]
         );
         assert_eq!(f.max_depth(), 3);
-        assert_eq!(CallLoopForest::build(&ExecutionTrace::new()).unwrap().max_depth(), 0);
+        assert_eq!(
+            CallLoopForest::build(&ExecutionTrace::new())
+                .unwrap()
+                .max_depth(),
+            0
+        );
     }
 
     #[test]

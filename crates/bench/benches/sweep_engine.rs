@@ -10,17 +10,14 @@ use std::time::Instant;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
-use opd_core::{AnalyzerPolicy, DetectorConfig, InternedTrace, PhaseDetector, SweepEngine};
-use opd_experiments::grid::{config_for, policy_grid, TwKind};
+use opd_core::{DetectorConfig, InternedTrace, PhaseDetector, SweepEngine};
+use opd_experiments::grid::default_plan_grid;
 use opd_microvm::workloads::Workload;
 use opd_microvm::Interpreter;
 use opd_trace::ExecutionTrace;
 
 const TRACE_LEN: u64 = 60_000;
 const CW: usize = 500;
-/// Fixed-threshold analyzers beyond the paper's four, to grow the
-/// same-shape grid to 28 configs.
-const EXTRA_THRESHOLDS: [f64; 8] = [0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.9, 0.95];
 const JSON_SAMPLES: usize = 7;
 
 fn lexgen_trace() -> InternedTrace {
@@ -31,24 +28,6 @@ fn lexgen_trace() -> InternedTrace {
         .run(&mut trace)
         .expect("workloads terminate");
     InternedTrace::from(trace.branches())
-}
-
-/// 28 Constant-TW configs, all with shape (cw, tw, skip) = (500, 500, 1):
-/// the paper's 2 × 10 model/analyzer grid plus eight extra thresholds.
-fn same_shape_grid() -> Vec<DetectorConfig> {
-    let mut configs = policy_grid(TwKind::Constant, CW);
-    for &t in &EXTRA_THRESHOLDS {
-        configs.push(
-            config_for(
-                TwKind::Constant,
-                CW,
-                opd_core::ModelPolicy::UnweightedSet,
-                AnalyzerPolicy::Threshold(t),
-            )
-            .expect("valid config"),
-        );
-    }
-    configs
 }
 
 fn naive_pass(configs: &[DetectorConfig], trace: &InternedTrace) -> usize {
@@ -88,7 +67,9 @@ fn write_summary(configs: usize, trace_len: usize, naive_ms: f64, engine_ms: f64
 
 fn bench_sweep_engine(c: &mut Criterion) {
     let trace = lexgen_trace();
-    let configs = same_shape_grid();
+    // 28 Constant-TW configs, all with shape (500, 500, 1) — the same
+    // grid `opd plan` analyzes by default.
+    let configs = default_plan_grid();
     assert!(configs.len() >= 28, "grid too small: {}", configs.len());
     let engine = SweepEngine::new(&configs);
     assert_eq!(engine.total_scans(), 1, "grid must share one scan");

@@ -34,6 +34,50 @@ impl fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// A window shape `(cw, tw, skip)`: the part of a configuration that
+/// determines window evolution under the Constant TW policy.
+///
+/// This is the grouping key of the sweep engine ([`crate::SweepEngine`]
+/// shares one trace scan among all shareable configs of equal shape)
+/// and of the static sweep planner in `opd-analyze`, which predicts
+/// scan counts from shapes alone without running a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ConfigShape {
+    /// Current-window capacity, in profile elements.
+    pub cw: usize,
+    /// Trailing-window (initial) capacity, in profile elements.
+    pub tw: usize,
+    /// Elements consumed per detector step.
+    pub skip: usize,
+}
+
+impl ConfigShape {
+    /// The shape of `config`.
+    #[must_use]
+    pub fn of(config: &DetectorConfig) -> Self {
+        ConfigShape {
+            cw: config.current_window(),
+            tw: config.trailing_window(),
+            skip: config.skip_factor(),
+        }
+    }
+
+    /// Detector steps taken over a trace of `elements` profile
+    /// elements: one per (possibly partial) chunk of `skip` elements.
+    /// A zero skip (unreachable from a validated config) counts as 1.
+    #[must_use]
+    pub fn steps(&self, elements: u64) -> u64 {
+        elements.div_ceil((self.skip as u64).max(1))
+    }
+}
+
+impl fmt::Display for ConfigShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cw={} tw={} skip={}", self.cw, self.tw, self.skip)
+    }
+}
+
 /// A complete, validated parameterization of the phase detection
 /// framework.
 ///
@@ -155,6 +199,23 @@ impl DetectorConfig {
         self.tw_policy == TwPolicy::Constant
             && self.skip_factor == self.cw_size
             && self.tw_size == self.cw_size
+    }
+
+    /// The window shape `(cw, tw, skip)` of this configuration.
+    #[must_use]
+    pub fn shape(&self) -> ConfigShape {
+        ConfigShape::of(self)
+    }
+
+    /// Whether this config may share windows with same-shape configs
+    /// in a sweep: constant trailing window (adaptive windows mutate
+    /// per-config at phase starts) and `skip ≤ cw` (a flush keeping
+    /// more than `cw` elements transiently over-fills a private CW —
+    /// a state a shared window never visits). See the `sweep` module
+    /// docs for the full argument.
+    #[must_use]
+    pub fn shares_windows(&self) -> bool {
+        self.tw_policy == TwPolicy::Constant && self.skip_factor <= self.cw_size
     }
 }
 

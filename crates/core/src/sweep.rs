@@ -82,36 +82,11 @@ use opd_trace::PhaseState;
 
 use crate::analyzer::Analyzer;
 use crate::boundary::DetectedPhase;
-use crate::config::DetectorConfig;
+use crate::config::{ConfigShape, DetectorConfig};
 use crate::detector::PhaseDetector;
 use crate::intern::InternedTrace;
 use crate::model::ModelPolicy;
-use crate::window::{TwPolicy, Windows};
-
-/// A window shape: the part of a configuration that determines window
-/// evolution under the Constant TW policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct Shape {
-    cw: usize,
-    tw: usize,
-    skip: usize,
-}
-
-impl Shape {
-    fn of(config: &DetectorConfig) -> Self {
-        Shape {
-            cw: config.current_window(),
-            tw: config.trailing_window(),
-            skip: config.skip_factor(),
-        }
-    }
-}
-
-/// Whether `config` may share windows with same-shape configs (see
-/// the module docs for why both conditions are required).
-fn shareable(config: &DetectorConfig) -> bool {
-    config.tw_policy() == TwPolicy::Constant && config.skip_factor() <= config.current_window()
-}
+use crate::window::Windows;
 
 /// One schedulable piece of a sweep: either a shape group that scans
 /// the trace once for all members, or a single private-window config.
@@ -142,15 +117,6 @@ impl SweepUnit {
         } else {
             self.config_indices.len()
         }
-    }
-
-    /// Relative cost estimate for work distribution: scans weighted by
-    /// a small per-member residue term.
-    #[must_use]
-    pub fn cost(&self) -> u64 {
-        // Window maintenance dominates; the per-member residue is
-        // roughly an eighth of a scan's work per step.
-        self.scans() as u64 * 8 + self.config_indices.len() as u64
     }
 }
 
@@ -212,11 +178,11 @@ impl<'a> SweepEngine<'a> {
     /// private unit.
     #[must_use]
     pub fn new(configs: &'a [DetectorConfig]) -> Self {
-        let mut group_of: HashMap<Shape, usize> = HashMap::new();
+        let mut group_of: HashMap<ConfigShape, usize> = HashMap::new();
         let mut units: Vec<SweepUnit> = Vec::new();
         for (i, config) in configs.iter().enumerate() {
-            if shareable(config) {
-                let unit = *group_of.entry(Shape::of(config)).or_insert_with(|| {
+            if config.shares_windows() {
+                let unit = *group_of.entry(config.shape()).or_insert_with(|| {
                     units.push(SweepUnit {
                         config_indices: Vec::new(),
                         shared: true,
@@ -345,7 +311,7 @@ fn run_shared_group(
     debug_assert!(skip <= cw, "shared scan requires skip <= cw");
     debug_assert!(
         member_indices.iter().all(|&i| {
-            shareable(&configs[i])
+            configs[i].shares_windows()
                 && configs[i].current_window() == cw
                 && configs[i].trailing_window() == tw
                 && configs[i].skip_factor() == skip
@@ -443,13 +409,17 @@ mod tests {
     use super::*;
     use crate::analyzer::AnalyzerPolicy;
     use crate::boundary::{anchored_intervals, detected_intervals};
-    use crate::window::{AnchorPolicy, ResizePolicy};
+    use crate::window::{AnchorPolicy, ResizePolicy, TwPolicy};
     use opd_trace::{MethodId, ProfileElement};
 
     fn block_trace(blocks: u32, block_len: u32, sites_per_block: u32) -> InternedTrace {
         let elements = (0..blocks).flat_map(move |b| {
             (0..block_len).map(move |i| {
-                ProfileElement::new(MethodId::new(0), b * sites_per_block + i % sites_per_block, true)
+                ProfileElement::new(
+                    MethodId::new(0),
+                    b * sites_per_block + i % sites_per_block,
+                    true,
+                )
             })
         });
         InternedTrace::from_elements(elements)
@@ -519,15 +489,19 @@ mod tests {
         assert_eq!(engine.units().len(), 6 + 5);
         assert_eq!(engine.total_scans(), 6 + 5);
         assert!(engine.total_scans() < configs.len());
-        let covered: usize = engine.units().iter().map(|u| u.config_indices().len()).sum();
+        let covered: usize = engine
+            .units()
+            .iter()
+            .map(|u| u.config_indices().len())
+            .sum();
         assert_eq!(covered, configs.len());
         for unit in engine.units() {
-            assert!(unit.cost() > 0);
+            assert!(unit.scans() > 0);
             if unit.is_shared() {
-                let shape = Shape::of(&configs[unit.config_indices()[0]]);
+                let shape = configs[unit.config_indices()[0]].shape();
                 for &i in unit.config_indices() {
-                    assert_eq!(Shape::of(&configs[i]), shape);
-                    assert!(shareable(&configs[i]));
+                    assert_eq!(configs[i].shape(), shape);
+                    assert!(configs[i].shares_windows());
                 }
             }
         }
@@ -537,7 +511,11 @@ mod tests {
     fn engine_matches_sequential_detectors_exactly() {
         let configs = mixed_grid();
         let engine = SweepEngine::new(&configs);
-        for trace in [block_trace(3, 120, 4), block_trace(1, 50, 2), block_trace(5, 37, 6)] {
+        for trace in [
+            block_trace(3, 120, 4),
+            block_trace(1, 50, 2),
+            block_trace(5, 37, 6),
+        ] {
             let all = engine.run_all(&trace);
             for (i, config) in configs.iter().enumerate() {
                 let expected = reference(*config, &trace);

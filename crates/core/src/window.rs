@@ -642,13 +642,11 @@ mod tests {
     #[test]
     fn weighted_paper_example() {
         // CW {(a,5),(b,3),(c,2)}; TW {(a,25),(b,15),(c,10),(d,50)}.
-        let mut tw = Vec::new();
-        tw.extend(std::iter::repeat(0).take(25));
+        let mut tw = vec![0; 25];
         tw.extend(std::iter::repeat(1).take(15));
         tw.extend(std::iter::repeat(2).take(10));
         tw.extend(std::iter::repeat(3).take(50));
-        let mut cw = Vec::new();
-        cw.extend(std::iter::repeat(0).take(5));
+        let mut cw = vec![0; 5];
         cw.extend(std::iter::repeat(1).take(3));
         cw.extend(std::iter::repeat(2).take(2));
         let w = windows_with(&tw, &cw);

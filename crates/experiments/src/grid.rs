@@ -209,6 +209,32 @@ pub fn full_grid() -> Vec<DetectorConfig> {
     out
 }
 
+/// The fixed-threshold values the shared-window benchmark grid adds on
+/// top of [`paper_analyzers`].
+pub const EXTRA_THRESHOLDS: [f64; 8] = [0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.9, 0.95];
+
+/// The default plan/benchmark grid: 28 same-shape Constant-TW configs
+/// at CW 500 — the 20-config [`policy_grid`] plus eight extra
+/// unweighted thresholds ([`EXTRA_THRESHOLDS`]). Every member shares
+/// one trace scan in the sweep engine, and `opd plan` analyzes this
+/// grid by default.
+#[must_use]
+pub fn default_plan_grid() -> Vec<DetectorConfig> {
+    let mut configs = policy_grid(TwKind::Constant, 500);
+    for t in EXTRA_THRESHOLDS {
+        configs.push(
+            config_for(
+                TwKind::Constant,
+                500,
+                ModelPolicy::UnweightedSet,
+                AnalyzerPolicy::Threshold(t),
+            )
+            .expect("grid parameters are valid"),
+        );
+    }
+    configs
+}
+
 /// The CW size the analysis sections use: half the MPL (Section 4.2
 /// concludes CW = ½·MPL and uses it "for the remainder of the paper").
 #[must_use]
@@ -251,6 +277,20 @@ mod tests {
     fn full_grid_exceeds_ten_thousand() {
         let g = full_grid();
         assert!(g.len() > 10_000, "only {} configs", g.len());
+    }
+
+    #[test]
+    fn default_plan_grid_is_one_shared_shape() {
+        let g = default_plan_grid();
+        assert_eq!(g.len(), 28);
+        assert!(g.iter().all(|c| c.shares_windows()));
+        assert_eq!(
+            g.iter()
+                .map(DetectorConfig::shape)
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            1
+        );
     }
 
     #[test]

@@ -240,13 +240,19 @@ pub fn sweep_many(
     threads: usize,
 ) -> Vec<Vec<ConfigRun>> {
     let engine = SweepEngine::new(configs);
-    // One work item per (workload, unit), weighted by how many trace
-    // scans the unit performs on that workload's trace.
+    // One work item per (workload, unit), weighted by the static cost
+    // model: exact window-maintenance and comparison-op bounds from
+    // the unit's members, the trace length, and the workload's static
+    // alphabet bound.
     let mut items: Vec<(usize, usize, u64)> =
         Vec::with_capacity(prepared.len() * engine.units().len());
     for (wi, p) in prepared.iter().enumerate() {
         for (ui, unit) in engine.units().iter().enumerate() {
-            items.push((wi, ui, unit.cost().saturating_mul(p.total_elements().max(1))));
+            items.push((
+                wi,
+                ui,
+                opd_analyze::unit_cost(configs, unit, p.total_elements(), p.site_capacity() as u64),
+            ));
         }
     }
     let threads = threads.max(1).min(items.len().max(1));
@@ -272,22 +278,16 @@ pub fn sweep_many(
             }
         }
     } else {
-        // LPT bucket planning: heaviest items first, each onto the
-        // least-loaded bucket. One worker per bucket owns its own
-        // result vector; results are scattered after the join, so the
-        // outcome is independent of scheduling.
-        let mut order: Vec<usize> = (0..items.len()).collect();
-        order.sort_by_key(|&i| (std::cmp::Reverse(items[i].2), i));
-        let mut buckets: Vec<Vec<(usize, usize)>> = vec![Vec::new(); threads];
-        let mut loads = vec![0u64; threads];
-        for i in order {
-            let (wi, ui, cost) = items[i];
-            let t = (0..threads)
-                .min_by_key(|&t| loads[t])
-                .expect("at least one bucket");
-            loads[t] += cost;
-            buckets[t].push((wi, ui));
-        }
+        let costs: Vec<u64> = items.iter().map(|&(_, _, c)| c).collect();
+        let buckets: Vec<Vec<(usize, usize)>> = lpt_plan(&costs, threads)
+            .into_iter()
+            .map(|bucket| {
+                bucket
+                    .into_iter()
+                    .map(|i| (items[i].0, items[i].1))
+                    .collect()
+            })
+            .collect();
         let engine = &engine;
         let filled: Vec<Vec<(usize, usize, ConfigRun)>> = std::thread::scope(|s| {
             let handles: Vec<_> = buckets
@@ -325,6 +325,32 @@ pub fn sweep_many(
                 .collect()
         })
         .collect()
+}
+
+/// Longest-processing-time-first planning: places each item (heaviest
+/// first, index-stable among ties) onto the least-loaded bucket.
+/// Returns the item indices per bucket; [`sweep_many`] schedules from
+/// this plan, and the scheduling regression tests measure its load
+/// imbalance.
+///
+/// # Panics
+///
+/// Panics if `buckets` is zero.
+#[must_use]
+pub fn lpt_plan(costs: &[u64], buckets: usize) -> Vec<Vec<usize>> {
+    assert!(buckets > 0, "at least one bucket");
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(costs[i]), i));
+    let mut plan: Vec<Vec<usize>> = vec![Vec::new(); buckets];
+    let mut loads = vec![0u64; buckets];
+    for i in order {
+        let t = (0..buckets)
+            .min_by_key(|&t| loads[t])
+            .expect("at least one bucket");
+        loads[t] = loads[t].saturating_add(costs[i]);
+        plan[t].push(i);
+    }
+    plan
 }
 
 /// The best combined score among `runs` against one oracle.
@@ -441,6 +467,55 @@ mod tests {
         let prepared = prepare_all(&ws, 1, &[10_000], 80_000);
         assert_eq!(prepared[0].workload(), Workload::Lexgen);
         assert_eq!(prepared[1].workload(), Workload::Blockcomp);
+    }
+
+    #[test]
+    fn lpt_imbalance_stays_small_on_the_plan_grid() {
+        // The static-cost LPT plan for (8 workloads × the 28-config
+        // shared-scan grid) must spread load evenly: the heaviest
+        // bucket may exceed the mean by at most 15%.
+        let prepared = prepare_all(&Workload::ALL, 1, &[1_000], 60_000);
+        let configs = crate::grid::default_plan_grid();
+        let engine = SweepEngine::new(&configs);
+        let mut costs = Vec::new();
+        for p in &prepared {
+            for unit in engine.units() {
+                costs.push(opd_analyze::unit_cost(
+                    &configs,
+                    unit,
+                    p.total_elements(),
+                    p.site_capacity() as u64,
+                ));
+            }
+        }
+        assert_eq!(costs.len(), 8, "one shared unit per workload");
+        let threads = 4;
+        let plan = lpt_plan(&costs, threads);
+        let loads: Vec<u64> = plan
+            .iter()
+            .map(|bucket| bucket.iter().map(|&i| costs[i]).sum())
+            .collect();
+        let max = *loads.iter().max().unwrap() as f64;
+        let mean = loads.iter().sum::<u64>() as f64 / threads as f64;
+        assert!(
+            max <= mean * 1.15,
+            "LPT imbalance {:.1}% exceeds 15% (loads {loads:?})",
+            (max / mean - 1.0) * 100.0
+        );
+    }
+
+    #[test]
+    fn lpt_plan_covers_every_item_once() {
+        let costs = [5u64, 3, 8, 1, 1, 6];
+        let plan = lpt_plan(&costs, 3);
+        let mut seen: Vec<usize> = plan.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+        // The heaviest item goes to an otherwise-light bucket: no
+        // bucket holds both of the two heaviest items.
+        for bucket in &plan {
+            assert!(!(bucket.contains(&2) && bucket.contains(&5)));
+        }
     }
 
     #[test]

@@ -192,9 +192,14 @@ fn parse_dist(line: usize, text: &str) -> Result<TakenDist, ParseError> {
         _ => {}
     }
     if let Some(p) = text.strip_prefix("p=") {
-        let p = p
+        let p: f64 = p
             .parse()
             .map_err(|_| syntax(line, format!("bad probability `{p}`")))?;
+        // Validate here rather than deferring to the builder, so the
+        // diagnostic carries the offending line.
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(syntax(line, format!("probability {p} is outside [0, 1]")));
+        }
         return Ok(TakenDist::Bernoulli(p));
     }
     if let Some(n) = text.strip_prefix("period=") {
@@ -347,11 +352,18 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
         if index != headers.len() {
             return Err(syntax(
                 line,
-                format!("function index f{index} out of order (expected f{})", headers.len()),
+                format!(
+                    "function index f{index} out of order (expected f{})",
+                    headers.len()
+                ),
             ));
         }
+        let name = name.trim();
+        if headers.iter().any(|h| h.name == name) {
+            return Err(syntax(line, format!("duplicate function name `{name}`")));
+        }
         headers.push(Header {
-            name: name.trim().to_owned(),
+            name: name.to_owned(),
             entry,
             body_start_line: line,
         });
@@ -407,8 +419,7 @@ mod tests {
     fn round_trips_every_workload() {
         for w in Workload::ALL {
             let program = w.program(1);
-            let reparsed = parse_program(&program.dump())
-                .unwrap_or_else(|e| panic!("{w}: {e}"));
+            let reparsed = parse_program(&program.dump()).unwrap_or_else(|e| panic!("{w}: {e}"));
             assert_eq!(reparsed, program, "{w}");
         }
     }
@@ -457,15 +468,88 @@ fn main (f1) // entry {
 
     #[test]
     fn invalid_programs_surface_build_errors() {
+        // Defects the parser cannot see line-by-line still surface as
+        // build errors (here: a loop body emitting nothing).
         let src = "
 fn main (f0) // entry {
-  branch @0 p=1.5
+  loop L0 x3 {
+    loop L1 x2 {
+      branch @0 period=0
+    }
+  }
 }
 ";
         assert_eq!(
             parse_program(src),
-            Err(ParseError::Build(BuildError::BadProbability(1.5)))
+            Err(ParseError::Build(BuildError::ZeroPeriod))
         );
+    }
+
+    #[test]
+    fn out_of_range_probability_is_a_syntax_error_with_line() {
+        let base = "\nfn main (f0) // entry {\n  branch @0 p=0.5\n  branch @1 p=0.5\n  \
+                    branch @2 p=0.5\n  branch @3 p=0.5\n}\n";
+        for (p, line) in [("1.5", 3), ("-0.25", 4), ("inf", 5), ("NaN", 6)] {
+            let src = base.replacen(
+                &format!("branch @{} p=0.5", line - 3),
+                &format!("branch @{} p={p}", line - 3),
+                1,
+            );
+            match parse_program(&src) {
+                Err(ParseError::Syntax { line: at, message }) => {
+                    assert_eq!(at, line, "p={p}");
+                    assert!(message.contains("outside [0, 1]"), "p={p}: {message}");
+                }
+                other => panic!("p={p}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_function_names_are_rejected_with_line() {
+        let src = "
+fn worker (f0) {
+  branch @0 always
+}
+fn worker (f1) // entry {
+  branch @0 always
+  call f0(1)
+}
+";
+        match parse_program(src) {
+            Err(ParseError::Syntax { line, message }) => {
+                assert_eq!(line, 5);
+                assert!(
+                    message.contains("duplicate function name `worker`"),
+                    "{message}"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_dump_lines_are_rejected_with_line_not_panic() {
+        // Each case: (listing, expected 1-based line of the error).
+        let cases: [(&str, usize); 6] = [
+            ("fn main (f0) {\n  branch @0\n}\n", 2),
+            ("fn main (f0) {\n  branch @0 p=abc\n}\n", 2),
+            (
+                "fn main (f0) {\n  loop L0 x {\n    branch @0 always\n  }\n}\n",
+                2,
+            ),
+            ("fn main (f0) {\n  call f0(\n}\n", 2),
+            ("fn main (f0) {\n  branch @0 always\n}\nstray text\n", 4),
+            ("fn main (f9) {\n  branch @0 always\n}\n", 1),
+        ];
+        for (src, expected) in cases {
+            match parse_program(src) {
+                Err(ParseError::Syntax { line, .. }) => {
+                    assert_eq!(line, expected, "listing: {src:?}");
+                }
+                other => panic!("listing {src:?}: unexpected {other:?}"),
+            }
+        }
     }
 
     #[test]
@@ -488,10 +572,7 @@ fn main (f0) // entry {
     #[test]
     fn unclosed_block_rejected() {
         let src = "fn main (f0) {\n  loop L0 x2 {\n    branch @0 always\n";
-        assert!(matches!(
-            parse_program(src),
-            Err(ParseError::Syntax { .. })
-        ));
+        assert!(matches!(parse_program(src), Err(ParseError::Syntax { .. })));
     }
 
     #[test]

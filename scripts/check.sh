@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# The full local gate: release build, default test tier (includes the
-# sweep-engine equivalence tests), warning-free clippy, and a
-# deny-warnings static lint of every built-in workload.
+# The full local gate: release build, every workspace test suite, warning-free clippy across the
+# whole workspace, formatting, a deny-warnings static lint of every
+# built-in workload, and an `opd plan` smoke run on the default grid.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
-cargo test -q
-cargo clippy --all-targets -- -D warnings
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --check
 cargo run --release -q --bin opd -- lint --deny-warnings
+cargo run --release -q --bin opd -- plan --json > /dev/null
 echo "check.sh: all gates passed"

@@ -1,0 +1,103 @@
+//! End-to-end tests of the `opd plan` subcommand, the `opd lint
+//! --json` exit-code contract, and the committed `BENCH_plan.json`
+//! artifact's freshness.
+
+use std::process::Command;
+
+fn opd(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_opd"))
+        .args(args)
+        .output()
+        .expect("spawn opd")
+}
+
+#[test]
+fn plan_reports_classes_and_matching_scan_counts() {
+    let out = opd(&["plan"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("28 config(s)"), "{stdout}");
+    assert!(stdout.contains("28 equivalence class(es)"), "{stdout}");
+    // The cost model's scan prediction agreed with the engine; on
+    // mismatch the binary fails before printing this line.
+    assert!(
+        stdout.contains("predicted full=1 pruned=1, engine=1 (exact match)"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn plan_json_emits_the_grid_summary() {
+    let out = opd(&["plan", "--json"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"grid\":28"), "{stdout}");
+    assert!(stdout.contains("\"pruned\":28"), "{stdout}");
+    assert!(stdout.contains("\"predicted_scans_full\":1"), "{stdout}");
+    assert!(stdout.contains("\"diagnostics\":[]"), "{stdout}");
+}
+
+#[test]
+fn plan_prune_backs_irredundancy_with_axis_witnesses() {
+    let out = opd(&["plan", "--prune"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("pruned grid (28 config(s))"), "{stdout}");
+    // The default grid is provably irredundant, so the report must
+    // say so and certify distinctness dynamically, axis by axis.
+    assert!(stdout.contains("irredundant"), "{stdout}");
+    assert!(
+        stdout.contains("axis model: 10/10"),
+        "model-axis pairs must all be separated: {stdout}"
+    );
+    assert!(
+        stdout.contains("axis analyzer: 198/198"),
+        "analyzer-axis pairs must all be separated: {stdout}"
+    );
+    assert!(
+        stdout.contains("208 pair(s) witnessed, 0 undecided"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn plan_rejects_unknown_arguments() {
+    let out = opd(&["plan", "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = opd(&["plan", "extra"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn lint_json_still_fails_on_error_diagnostics() {
+    // `--json` changes the output format, not the exit-code contract:
+    // any OPD-E* diagnostic must fail the process.
+    let dir = std::env::temp_dir().join("opd_plan_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let listing = dir.join("unguarded.opd");
+    std::fs::write(
+        &listing,
+        "fn main (f0) // entry {\n  branch @0 p=1.0\n  call f0(5)\n}\n",
+    )
+    .unwrap();
+    let out = opd(&["lint", "--json", listing.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("OPD-E002"), "{stdout}");
+    assert!(stdout.contains("\"severity\":\"error\""), "{stdout}");
+    // A clean program under --json still exits 0.
+    let out = opd(&["lint", "--json", "lexgen"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn committed_plan_artifact_is_current() {
+    let committed =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_plan.json"))
+            .expect("BENCH_plan.json is committed at the repository root");
+    let regenerated = opd_experiments::analysis::plan_json(1);
+    assert_eq!(
+        committed, regenerated,
+        "BENCH_plan.json is stale; regenerate with `opd plan --write`"
+    );
+}
