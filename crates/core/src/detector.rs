@@ -10,6 +10,24 @@ use crate::config::DetectorConfig;
 use crate::intern::InternedTrace;
 use crate::window::{TwPolicy, Windows};
 
+/// Error returned by the fallible detector entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DetectorError {
+    /// A processing step carried zero profile elements.
+    EmptyStep,
+}
+
+impl core::fmt::Display for DetectorError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DetectorError::EmptyStep => f.write_str("a step needs at least one element"),
+        }
+    }
+}
+
+impl std::error::Error for DetectorError {}
+
 /// Receives the per-element state stream of a detector run.
 ///
 /// The detector itself only ever appends; a sink decides whether the
@@ -166,6 +184,25 @@ impl PhaseDetector {
             self.windows.push(id, tw_grows);
         }
         self.finish_step(elements.len())
+    }
+
+    /// Like [`process`](PhaseDetector::process), but rejects an empty
+    /// step with a typed error instead of panicking — for callers
+    /// feeding the detector from lossy or untrusted streams, where an
+    /// upstream resync skip can legitimately produce an empty step.
+    /// On error the detector state is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectorError::EmptyStep`] if `elements` is empty.
+    pub fn try_process(
+        &mut self,
+        elements: &[ProfileElement],
+    ) -> Result<PhaseState, DetectorError> {
+        if elements.is_empty() {
+            return Err(DetectorError::EmptyStep);
+        }
+        Ok(self.process(elements))
     }
 
     /// Runs the detector over a whole trace, returning one state per
@@ -386,6 +423,16 @@ mod tests {
             d.process(&[]);
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn try_process_rejects_empty_step_without_state_change() {
+        let mut d = PhaseDetector::new(config(4));
+        assert_eq!(d.try_process(&[]), Err(DetectorError::EmptyStep));
+        assert_eq!(d.elements_consumed(), 0);
+        let e = ProfileElement::new(MethodId::new(0), 0, true);
+        assert!(d.try_process(&[e]).is_ok());
+        assert_eq!(d.elements_consumed(), 1);
     }
 
     #[test]

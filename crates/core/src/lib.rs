@@ -58,7 +58,7 @@ mod window;
 pub use analyzer::{Analyzer, AnalyzerPolicy};
 pub use boundary::{anchored_intervals, detected_intervals, DetectedPhase};
 pub use config::{ConfigError, ConfigShape, DetectorConfig, DetectorConfigBuilder};
-pub use detector::{NullSink, PhaseDetector, StateSink};
+pub use detector::{DetectorError, NullSink, PhaseDetector, StateSink};
 pub use intern::InternedTrace;
 pub use model::ModelPolicy;
 pub use predict::{PhasePredictor, Prediction};

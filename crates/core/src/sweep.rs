@@ -149,12 +149,13 @@ impl SweepScratch {
     }
 
     fn detector_for(&mut self, config: DetectorConfig) -> &mut PhaseDetector {
-        if let Some(d) = &mut self.detector {
-            d.reconfigure(config);
-        } else {
-            self.detector = Some(PhaseDetector::new(config));
-        }
-        let detector = self.detector.as_mut().expect("detector just ensured");
+        let detector = match &mut self.detector {
+            Some(d) => {
+                d.reconfigure(config);
+                d
+            }
+            slot @ None => slot.insert(PhaseDetector::new(config)),
+        };
         detector.reserve_sites(self.site_capacity);
         detector
     }

@@ -313,12 +313,18 @@ impl Windows {
         *c -= 1;
         if *c == 0 {
             self.distinct_cw -= 1;
-            // Swap-remove the site from the distinct list.
+            // Swap-remove the site from the distinct list. Invariant:
+            // the count just fell 1 -> 0, so the site was appended to
+            // `cw_sites` when it rose 0 -> 1 and `pos` still indexes
+            // it (swap-removal keeps `cw_site_pos` current).
             let pos = self.cw_site_pos[site as usize] as usize;
-            let last = *self.cw_sites.last().expect("non-empty site list");
-            self.cw_sites.swap_remove(pos);
+            debug_assert!(pos < self.cw_sites.len() && self.cw_sites[pos] == site);
             if pos < self.cw_sites.len() {
-                self.cw_site_pos[last as usize] = pos as u32;
+                let last = self.cw_sites[self.cw_sites.len() - 1];
+                self.cw_sites.swap_remove(pos);
+                if pos < self.cw_sites.len() {
+                    self.cw_site_pos[last as usize] = pos as u32;
+                }
             }
             self.cw_site_pos[site as usize] = NO_POS;
             if self.tw_counts[site as usize] > 0 {
@@ -356,11 +362,16 @@ impl Windows {
         debug_assert!(*c > 0);
         *c -= 1;
         if *c == 0 {
+            // Invariant: mirrors `dec_cw` — a site whose TW count just
+            // reached zero is present in `tw_sites` at `pos`.
             let pos = self.tw_site_pos[site as usize] as usize;
-            let last = *self.tw_sites.last().expect("non-empty site list");
-            self.tw_sites.swap_remove(pos);
+            debug_assert!(pos < self.tw_sites.len() && self.tw_sites[pos] == site);
             if pos < self.tw_sites.len() {
-                self.tw_site_pos[last as usize] = pos as u32;
+                let last = self.tw_sites[self.tw_sites.len() - 1];
+                self.tw_sites.swap_remove(pos);
+                if pos < self.tw_sites.len() {
+                    self.tw_site_pos[last as usize] = pos as u32;
+                }
             }
             self.tw_site_pos[site as usize] = NO_POS;
             if self.cw_counts[site as usize] > 0 {
@@ -390,8 +401,13 @@ impl Windows {
             self.shift_cw_to_tw();
         }
         if !tw_grows {
+            // Invariant: `tw_len` counts a prefix of `buf`, so a
+            // positive `tw_len` means the deque is non-empty.
             while self.tw_len > self.tw_cap {
-                let evicted = self.buf.pop_front().expect("tw_len > 0");
+                debug_assert!(!self.buf.is_empty());
+                let Some(evicted) = self.buf.pop_front() else {
+                    break;
+                };
                 self.dec_tw(evicted);
                 self.tw_len -= 1;
                 self.front_offset += 1;
@@ -408,8 +424,13 @@ impl Windows {
     pub fn clear_keep_last(&mut self, keep: usize) {
         let total = self.buf.len();
         let drop = total.saturating_sub(keep);
+        // Invariant: `drop <= total`, so each of the `drop` pops finds
+        // an element.
         for _ in 0..drop {
-            let site = self.buf.pop_front().expect("non-empty buffer");
+            debug_assert!(!self.buf.is_empty());
+            let Some(site) = self.buf.pop_front() else {
+                break;
+            };
             if self.tw_len > 0 {
                 self.dec_tw(site);
                 self.tw_len -= 1;
@@ -467,8 +488,13 @@ impl Windows {
     /// element.
     pub fn anchor_and_resize(&mut self, anchor_idx: usize, resize: ResizePolicy) -> u64 {
         let anchor_offset = self.offset_of_index(anchor_idx);
+        // Invariant: the loop is bounded by `tw_len`, which counts a
+        // prefix of `buf`, so each pop finds an element.
         for _ in 0..anchor_idx.min(self.tw_len) {
-            let site = self.buf.pop_front().expect("anchor within TW");
+            debug_assert!(!self.buf.is_empty());
+            let Some(site) = self.buf.pop_front() else {
+                break;
+            };
             self.dec_tw(site);
             self.tw_len -= 1;
             self.front_offset += 1;

@@ -1,0 +1,740 @@
+//! Crash-safe checkpointing for long sweep runs.
+//!
+//! A full-grid sweep is hours of work at production scale; a crash at
+//! 95% must not mean starting over. The sweep engine's unit of work —
+//! one `(workload, engine unit)` bucket — is deterministic and
+//! scan-order independent, so completed buckets can be persisted and
+//! replayed: a resumed run recomputes only the missing buckets and is
+//! bit-identical to an uninterrupted one.
+//!
+//! # File format
+//!
+//! ```text
+//! magic  b"OPDK"
+//! version u16 LE           (currently 1)
+//! fingerprint u64 LE       (hash of configs + workloads + scale/fuel)
+//! then, per completed bucket (append-only):
+//!   marker 0xA5
+//!   payload_len u32 LE
+//!   payload                (bucket encoding, see below)
+//!   checksum u64 LE        (FNV-1a 64 of the payload)
+//! ```
+//!
+//! Each bucket payload holds `(workload index, unit index)` plus every
+//! member config's detected phases as exact `u64`s — no floats, so
+//! restoring is bit-identical by construction.
+//!
+//! Appends are one `write_all` of a fully-built record followed by a
+//! flush: a crash mid-write leaves a partial record at the tail. The
+//! reader accepts the longest valid prefix and reports the damaged
+//! tail, which the resuming writer truncates away before appending.
+//! A record whose declared length overruns the file (or a sanity cap)
+//! is treated as tail damage — the length field itself may be the
+//! corrupted byte.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use opd_core::{DetectedPhase, DetectorConfig, SweepEngine, SweepScratch};
+use opd_microvm::workloads::Workload;
+
+use crate::runner::{config_run, lpt_plan, ConfigRun, PreparedWorkload};
+
+/// The four magic bytes opening every checkpoint file.
+pub const CHECKPOINT_MAGIC: &[u8; 4] = b"OPDK";
+/// The checkpoint format version this build writes and reads.
+pub const CHECKPOINT_VERSION: u16 = 1;
+/// Header length: magic, version, fingerprint.
+pub const CHECKPOINT_HEADER_LEN: usize = 4 + 2 + 8;
+const RECORD_MARKER: u8 = 0xA5;
+/// Sanity cap on a record's declared payload length: anything larger
+/// is a corrupted length field, not a real bucket.
+const MAX_RECORD_LEN: u32 = 64 << 20;
+
+/// Errors reading a checkpoint file.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// The file could not be read or written.
+    Io(io::Error),
+    /// The file does not start with the `OPDK` magic.
+    BadMagic,
+    /// The file's format version is not supported.
+    BadVersion(u16),
+    /// The file was written by a run with different configs,
+    /// workloads, or parameters.
+    FingerprintMismatch {
+        /// Fingerprint of the current run.
+        expected: u64,
+        /// Fingerprint stored in the file.
+        found: u64,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io: {e}"),
+            CheckpointError::BadMagic => f.write_str("not a checkpoint file (missing OPDK magic)"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "checkpoint belongs to a different run (fingerprint {found:#x}, \
+                 this run is {expected:#x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit: tiny, dependency-free, and plenty for detecting
+/// torn writes (this is crash safety, not adversarial integrity).
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Fingerprints a sweep's parameters so a checkpoint is only ever
+/// resumed against the run that produced it.
+#[must_use]
+pub fn run_fingerprint(
+    configs: &[DetectorConfig],
+    workloads: &[Workload],
+    scale: u32,
+    fuel: u64,
+) -> u64 {
+    let mut text = format!("scale={scale};fuel={fuel};");
+    for c in configs {
+        text.push_str(&format!("{c:?};"));
+    }
+    for w in workloads {
+        text.push_str(w.name());
+        text.push(';');
+    }
+    fnv64(text.as_bytes())
+}
+
+/// The per-config phase lists of one completed `(workload, unit)`
+/// bucket, exactly as [`SweepEngine::run_unit`] returned them.
+pub type BucketRuns = Vec<(u32, Vec<DetectedPhase>)>;
+
+/// What [`read_checkpoint`] recovered from a (possibly torn) file.
+#[derive(Debug, Clone)]
+pub struct RecoveredCheckpoint {
+    /// The fingerprint stored in the header.
+    pub fingerprint: u64,
+    /// Completed buckets keyed by `(workload index, unit index)`.
+    pub buckets: BTreeMap<(u32, u32), BucketRuns>,
+    /// Length of the valid prefix; the resuming writer truncates the
+    /// file here before appending.
+    pub valid_len: u64,
+    /// Bytes of torn or corrupt data discarded after the prefix.
+    pub damaged_tail_bytes: u64,
+}
+
+/// An append-only checkpoint file.
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    file: File,
+}
+
+impl CheckpointWriter {
+    /// Creates (or overwrites) a checkpoint file for a new run.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn create(path: &Path, fingerprint: u64) -> io::Result<Self> {
+        let mut file = File::create(path)?;
+        let mut header = Vec::with_capacity(CHECKPOINT_HEADER_LEN);
+        header.extend_from_slice(CHECKPOINT_MAGIC);
+        header.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        header.extend_from_slice(&fingerprint.to_le_bytes());
+        file.write_all(&header)?;
+        file.flush()?;
+        Ok(CheckpointWriter { file })
+    }
+
+    /// Reopens an existing checkpoint for appending, first truncating
+    /// it to `valid_len` to drop a torn tail record.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn resume(path: &Path, valid_len: u64) -> io::Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(valid_len)?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        Ok(CheckpointWriter { file })
+    }
+
+    /// Appends one completed bucket as a single checksummed record.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn append_bucket(
+        &mut self,
+        workload: u32,
+        unit: u32,
+        runs: &[(usize, Vec<DetectedPhase>)],
+    ) -> io::Result<()> {
+        let payload = encode_bucket(workload, unit, runs);
+        let mut record = Vec::with_capacity(payload.len() + 13);
+        record.push(RECORD_MARKER);
+        #[allow(clippy::cast_possible_truncation)]
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&payload);
+        record.extend_from_slice(&fnv64(&payload).to_le_bytes());
+        // One write + flush per bucket: a kill can only tear the final
+        // record, which the reader discards.
+        self.file.write_all(&record)?;
+        self.file.flush()
+    }
+}
+
+fn encode_bucket(workload: u32, unit: u32, runs: &[(usize, Vec<DetectedPhase>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&workload.to_le_bytes());
+    out.extend_from_slice(&unit.to_le_bytes());
+    #[allow(clippy::cast_possible_truncation)]
+    out.extend_from_slice(&(runs.len() as u32).to_le_bytes());
+    for (ci, phases) in runs {
+        #[allow(clippy::cast_possible_truncation)]
+        out.extend_from_slice(&(*ci as u32).to_le_bytes());
+        #[allow(clippy::cast_possible_truncation)]
+        out.extend_from_slice(&(phases.len() as u32).to_le_bytes());
+        for p in phases {
+            out.extend_from_slice(&p.start.to_le_bytes());
+            out.extend_from_slice(&p.anchored_start.to_le_bytes());
+            match p.end {
+                Some(end) => {
+                    out.push(1);
+                    out.extend_from_slice(&end.to_le_bytes());
+                }
+                None => {
+                    out.push(0);
+                    out.extend_from_slice(&0u64.to_le_bytes());
+                }
+            }
+        }
+    }
+    out
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let out = self.buf.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(out)
+    }
+
+    fn u32_le(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    fn u64_le(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+}
+
+fn decode_bucket(payload: &[u8]) -> Option<((u32, u32), BucketRuns)> {
+    let mut c = Cursor {
+        buf: payload,
+        pos: 0,
+    };
+    let workload = c.u32_le()?;
+    let unit = c.u32_le()?;
+    let n_runs = c.u32_le()?;
+    let mut runs = Vec::with_capacity(n_runs.min(1 << 20) as usize);
+    for _ in 0..n_runs {
+        let ci = c.u32_le()?;
+        let n_phases = c.u32_le()?;
+        let mut phases = Vec::with_capacity(n_phases.min(1 << 20) as usize);
+        for _ in 0..n_phases {
+            let start = c.u64_le()?;
+            let anchored_start = c.u64_le()?;
+            let has_end = c.u8()?;
+            let end = c.u64_le()?;
+            phases.push(DetectedPhase {
+                start,
+                anchored_start,
+                end: (has_end == 1).then_some(end),
+            });
+        }
+        runs.push((ci, phases));
+    }
+    // Trailing garbage means the payload is not a bucket we wrote.
+    (c.pos == payload.len()).then_some(((workload, unit), runs))
+}
+
+/// Parses a checkpoint image, accepting the longest valid record
+/// prefix and discarding any torn or corrupt tail.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::BadMagic`] or
+/// [`CheckpointError::BadVersion`] for files this build cannot have
+/// written; tail damage is *not* an error (that is the crash being
+/// survived).
+pub fn parse_checkpoint(bytes: &[u8]) -> Result<RecoveredCheckpoint, CheckpointError> {
+    if bytes.len() < CHECKPOINT_HEADER_LEN || &bytes[..4] != CHECKPOINT_MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2-byte slice"));
+    if version != CHECKPOINT_VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let fingerprint = u64::from_le_bytes(bytes[6..14].try_into().expect("8-byte slice"));
+
+    let mut buckets = BTreeMap::new();
+    let mut pos = CHECKPOINT_HEADER_LEN;
+    while pos < bytes.len() {
+        let record = &bytes[pos..];
+        // Any structural damage from here on is a torn tail: stop at
+        // the last whole record.
+        if record[0] != RECORD_MARKER || record.len() < 5 {
+            break;
+        }
+        let len = u32::from_le_bytes(record[1..5].try_into().expect("4-byte slice"));
+        if len > MAX_RECORD_LEN {
+            break;
+        }
+        let len = len as usize;
+        if record.len() < 5 + len + 8 {
+            break;
+        }
+        let payload = &record[5..5 + len];
+        let checksum = u64::from_le_bytes(record[5 + len..5 + len + 8].try_into().expect("8"));
+        if fnv64(payload) != checksum {
+            break;
+        }
+        let Some((key, runs)) = decode_bucket(payload) else {
+            break;
+        };
+        buckets.insert(key, runs);
+        pos += 5 + len + 8;
+    }
+
+    Ok(RecoveredCheckpoint {
+        fingerprint,
+        buckets,
+        valid_len: pos as u64,
+        damaged_tail_bytes: (bytes.len() - pos) as u64,
+    })
+}
+
+/// Reads and parses a checkpoint file.
+///
+/// # Errors
+///
+/// Propagates I/O failures and the structural errors of
+/// [`parse_checkpoint`].
+pub fn read_checkpoint(path: &Path) -> Result<RecoveredCheckpoint, CheckpointError> {
+    parse_checkpoint(&std::fs::read(path)?)
+}
+
+/// How a checkpointed sweep's work split between restore and compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeSummary {
+    /// Buckets restored from the checkpoint file.
+    pub restored_buckets: usize,
+    /// Buckets computed (and appended) by this run.
+    pub computed_buckets: usize,
+    /// Torn bytes discarded from the file's tail before resuming.
+    pub damaged_tail_bytes: u64,
+}
+
+/// Like [`crate::runner::sweep_many`], but checkpointing each
+/// completed `(workload, unit)` bucket to `path` — and, when `resume`
+/// is set and the file exists, restoring completed buckets instead of
+/// recomputing them.
+///
+/// Results are bit-identical to an uninterrupted
+/// [`crate::runner::sweep_many`] run regardless of where (or whether)
+/// the previous run died: buckets are deterministic and phase records
+/// are exact integers.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] for I/O failures, for a checkpoint
+/// written by an incompatible build, or for one whose fingerprint does
+/// not match this run's `configs`/`prepared` parameters.
+pub fn sweep_many_checkpointed(
+    prepared: &[PreparedWorkload],
+    configs: &[DetectorConfig],
+    threads: usize,
+    path: &Path,
+    fingerprint: u64,
+    resume: bool,
+) -> Result<(Vec<Vec<ConfigRun>>, ResumeSummary), CheckpointError> {
+    let engine = SweepEngine::new(configs);
+
+    let (mut buckets, writer, damaged_tail_bytes) = if resume && path.exists() {
+        let recovered = read_checkpoint(path)?;
+        if recovered.fingerprint != fingerprint {
+            return Err(CheckpointError::FingerprintMismatch {
+                expected: fingerprint,
+                found: recovered.fingerprint,
+            });
+        }
+        let writer = CheckpointWriter::resume(path, recovered.valid_len)?;
+        (recovered.buckets, writer, recovered.damaged_tail_bytes)
+    } else {
+        (
+            BTreeMap::new(),
+            CheckpointWriter::create(path, fingerprint)?,
+            0,
+        )
+    };
+    let restored_buckets = buckets.len();
+
+    // Work items: every (workload, unit) pair not already restored.
+    #[allow(clippy::cast_possible_truncation)]
+    let items: Vec<(u32, u32, u64)> = prepared
+        .iter()
+        .enumerate()
+        .flat_map(|(wi, p)| {
+            engine.units().iter().enumerate().map(move |(ui, unit)| {
+                (
+                    wi as u32,
+                    ui as u32,
+                    opd_analyze::unit_cost(
+                        configs,
+                        unit,
+                        p.total_elements(),
+                        p.site_capacity() as u64,
+                    ),
+                )
+            })
+        })
+        .filter(|&(wi, ui, _)| !buckets.contains_key(&(wi, ui)))
+        .collect();
+    let computed_buckets = items.len();
+
+    let site_capacity = prepared
+        .iter()
+        .map(PreparedWorkload::site_capacity)
+        .max()
+        .unwrap_or(0);
+    let threads = threads.max(1).min(items.len().max(1));
+
+    if threads <= 1 {
+        let mut writer = writer;
+        let mut scratch = SweepScratch::with_site_capacity(site_capacity);
+        for &(wi, ui, _) in &items {
+            let runs = engine.run_unit(ui as usize, prepared[wi as usize].interned(), &mut scratch);
+            writer.append_bucket(wi, ui, &runs)?;
+            #[allow(clippy::cast_possible_truncation)]
+            buckets.insert(
+                (wi, ui),
+                runs.into_iter().map(|(ci, p)| (ci as u32, p)).collect(),
+            );
+        }
+    } else {
+        let costs: Vec<u64> = items.iter().map(|&(_, _, c)| c).collect();
+        let plan: Vec<Vec<(u32, u32)>> = lpt_plan(&costs, threads)
+            .into_iter()
+            .map(|b| b.into_iter().map(|i| (items[i].0, items[i].1)).collect())
+            .collect();
+        let engine = &engine;
+        let shared = std::sync::Mutex::new(writer);
+        let shared = &shared;
+        type WorkerOut = Vec<((u32, u32), BucketRuns)>;
+        let results: Vec<io::Result<WorkerOut>> = std::thread::scope(|s| {
+            let handles: Vec<_> = plan
+                .into_iter()
+                .map(|bucket| {
+                    s.spawn(move || {
+                        let mut scratch = SweepScratch::with_site_capacity(site_capacity);
+                        let mut local = Vec::new();
+                        for (wi, ui) in bucket {
+                            let runs = engine.run_unit(
+                                ui as usize,
+                                prepared[wi as usize].interned(),
+                                &mut scratch,
+                            );
+                            shared
+                                .lock()
+                                .expect("checkpoint writer lock")
+                                .append_bucket(wi, ui, &runs)?;
+                            #[allow(clippy::cast_possible_truncation)]
+                            local.push((
+                                (wi, ui),
+                                runs.into_iter()
+                                    .map(|(ci, p)| (ci as u32, p))
+                                    .collect::<BucketRuns>(),
+                            ));
+                        }
+                        Ok(local)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("checkpoint sweep worker panicked"))
+                .collect()
+        });
+        for worker in results {
+            for (key, runs) in worker? {
+                buckets.insert(key, runs);
+            }
+        }
+    }
+
+    // Assemble configs-ordered results per workload from the buckets.
+    let mut out: Vec<Vec<Option<ConfigRun>>> = prepared
+        .iter()
+        .map(|_| configs.iter().map(|_| None).collect())
+        .collect();
+    for ((wi, _), runs) in &buckets {
+        let p = &prepared[*wi as usize];
+        let total = p.interned().len() as u64;
+        for (ci, phases) in runs {
+            out[*wi as usize][*ci as usize] =
+                Some(config_run(configs[*ci as usize], phases, total));
+        }
+    }
+    let out = out
+        .into_iter()
+        .map(|w| {
+            w.into_iter()
+                .map(|o| o.expect("every (workload, config) cell restored or computed"))
+                .collect()
+        })
+        .collect();
+    Ok((
+        out,
+        ResumeSummary {
+            restored_buckets,
+            computed_buckets,
+            damaged_tail_bytes,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::default_plan_grid;
+    use crate::runner::{prepare_all, sweep_many};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("opd_checkpoint_tests");
+        std::fs::create_dir_all(&dir).expect("create tmp dir");
+        dir.join(name)
+    }
+
+    fn sample_phases() -> Vec<(usize, Vec<DetectedPhase>)> {
+        vec![
+            (
+                0,
+                vec![
+                    DetectedPhase {
+                        start: 10,
+                        anchored_start: 5,
+                        end: Some(40),
+                    },
+                    DetectedPhase {
+                        start: 50,
+                        anchored_start: 48,
+                        end: None,
+                    },
+                ],
+            ),
+            (3, vec![]),
+        ]
+    }
+
+    #[test]
+    fn bucket_roundtrips_through_the_record_format() {
+        let path = tmp("roundtrip.opdk");
+        let mut w = CheckpointWriter::create(&path, 0xDEAD).unwrap();
+        w.append_bucket(1, 2, &sample_phases()).unwrap();
+        w.append_bucket(7, 0, &[]).unwrap();
+        drop(w);
+
+        let recovered = read_checkpoint(&path).unwrap();
+        assert_eq!(recovered.fingerprint, 0xDEAD);
+        assert_eq!(recovered.damaged_tail_bytes, 0);
+        assert_eq!(recovered.buckets.len(), 2);
+        let runs = &recovered.buckets[&(1, 2)];
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].0, 0);
+        assert_eq!(runs[0].1[0].end, Some(40));
+        assert_eq!(runs[0].1[1].end, None);
+        assert!(recovered.buckets[&(7, 0)].is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_not_fatal() {
+        let path = tmp("torn.opdk");
+        let mut w = CheckpointWriter::create(&path, 1).unwrap();
+        w.append_bucket(0, 0, &sample_phases()).unwrap();
+        w.append_bucket(0, 1, &sample_phases()).unwrap();
+        drop(w);
+        // Simulate a kill mid-append: chop 5 bytes off the last record.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let recovered = read_checkpoint(&path).unwrap();
+        assert_eq!(recovered.buckets.len(), 1, "only the whole record");
+        assert!(recovered.buckets.contains_key(&(0, 0)));
+        assert!(recovered.damaged_tail_bytes > 0);
+        // Resuming truncates the tail and can append again.
+        let mut w = CheckpointWriter::resume(&path, recovered.valid_len).unwrap();
+        w.append_bucket(0, 1, &sample_phases()).unwrap();
+        drop(w);
+        let again = read_checkpoint(&path).unwrap();
+        assert_eq!(again.buckets.len(), 2);
+        assert_eq!(again.damaged_tail_bytes, 0);
+    }
+
+    #[test]
+    fn checkpointed_sweep_is_bit_identical_after_a_kill() {
+        // The tentpole acceptance test: full sweep, killed sweep +
+        // resume, and fresh checkpointed sweep must agree exactly.
+        let prepared = prepare_all(
+            &[Workload::Lexgen, Workload::Blockcomp],
+            1,
+            &[1_000],
+            30_000,
+        );
+        let configs = default_plan_grid();
+        let reference = sweep_many(&prepared, &configs, 2);
+        let fp = run_fingerprint(
+            &configs,
+            &[Workload::Lexgen, Workload::Blockcomp],
+            1,
+            30_000,
+        );
+
+        // Run once to completion with checkpointing.
+        let path = tmp("kill_resume.opdk");
+        let _ = std::fs::remove_file(&path);
+        let (full, summary) =
+            sweep_many_checkpointed(&prepared, &configs, 2, &path, fp, false).unwrap();
+        assert_eq!(summary.restored_buckets, 0);
+        assert_eq!(summary.computed_buckets, 2, "one shared unit per workload");
+
+        // Simulate the kill: drop the last 7 bytes (mid-record tear).
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+
+        // Resume: one bucket restored, one recomputed.
+        let (resumed, summary) =
+            sweep_many_checkpointed(&prepared, &configs, 2, &path, fp, true).unwrap();
+        assert_eq!(summary.restored_buckets, 1);
+        assert_eq!(summary.computed_buckets, 1);
+        assert!(summary.damaged_tail_bytes > 0);
+
+        for (w_ref, (w_full, w_res)) in reference.iter().zip(full.iter().zip(&resumed)) {
+            for (r_ref, (r_full, r_res)) in w_ref.iter().zip(w_full.iter().zip(w_res)) {
+                assert_eq!(r_ref.detected, r_full.detected);
+                assert_eq!(r_ref.anchored, r_full.anchored);
+                assert_eq!(r_ref.detected, r_res.detected);
+                assert_eq!(r_ref.anchored, r_res.anchored);
+            }
+        }
+
+        // A fully-restored resume computes nothing and still agrees.
+        let (restored, summary) =
+            sweep_many_checkpointed(&prepared, &configs, 2, &path, fp, true).unwrap();
+        assert_eq!(summary.computed_buckets, 0);
+        assert_eq!(summary.restored_buckets, 2);
+        for (w_ref, w_res) in reference.iter().zip(&restored) {
+            for (r_ref, r_res) in w_ref.iter().zip(w_res) {
+                assert_eq!(r_ref.detected, r_res.detected);
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_rejected() {
+        let prepared = prepare_all(&[Workload::Lexgen], 1, &[1_000], 10_000);
+        let configs = default_plan_grid();
+        let path = tmp("fingerprint.opdk");
+        let _ = std::fs::remove_file(&path);
+        let (_, _) = sweep_many_checkpointed(&prepared, &configs, 1, &path, 111, false).unwrap();
+        let err = sweep_many_checkpointed(&prepared, &configs, 1, &path, 222, true).unwrap_err();
+        assert!(matches!(
+            err,
+            CheckpointError::FingerprintMismatch {
+                expected: 222,
+                found: 111
+            }
+        ));
+    }
+
+    #[test]
+    fn structural_damage_is_rejected_with_typed_errors() {
+        assert!(matches!(
+            parse_checkpoint(b"not a checkpoint"),
+            Err(CheckpointError::BadMagic)
+        ));
+        let mut image = Vec::new();
+        image.extend_from_slice(CHECKPOINT_MAGIC);
+        image.extend_from_slice(&99u16.to_le_bytes());
+        image.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            parse_checkpoint(&image),
+            Err(CheckpointError::BadVersion(99))
+        ));
+        for e in [
+            CheckpointError::BadMagic,
+            CheckpointError::BadVersion(9),
+            CheckpointError::FingerprintMismatch {
+                expected: 1,
+                found: 2,
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn run_fingerprint_separates_parameters() {
+        let configs = default_plan_grid();
+        let a = run_fingerprint(&configs, &[Workload::Lexgen], 1, 100);
+        let b = run_fingerprint(&configs, &[Workload::Lexgen], 2, 100);
+        let c = run_fingerprint(&configs, &[Workload::Blockcomp], 1, 100);
+        let d = run_fingerprint(&configs[..1], &[Workload::Lexgen], 1, 100);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+}

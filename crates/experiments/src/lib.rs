@@ -30,8 +30,10 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod analysis;
+pub mod checkpoint;
 pub mod cli;
 pub mod exp;
+pub mod faults;
 pub mod grid;
 pub mod report;
 pub mod runner;

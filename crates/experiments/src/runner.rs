@@ -202,7 +202,11 @@ pub fn run_detector(config: DetectorConfig, trace: &InternedTrace) -> ConfigRun 
 }
 
 /// Builds interval views from one config's detected phases.
-fn config_run(config: DetectorConfig, phases: &[DetectedPhase], total: u64) -> ConfigRun {
+pub(crate) fn config_run(
+    config: DetectorConfig,
+    phases: &[DetectedPhase],
+    total: u64,
+) -> ConfigRun {
     ConfigRun {
         config,
         detected: detected_intervals(phases, total),

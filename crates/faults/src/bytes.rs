@@ -1,0 +1,277 @@
+//! Byte-level injectors: corruptions applied to an *encoded* trace
+//! buffer, exercising the resynchronizing decoder.
+//!
+//! Every injector draws one decision per candidate site from its own
+//! [`FaultRng`] stream *regardless of the fault rate*, and applies the
+//! fault iff the draw clears the rate. Under a fixed seed the faults
+//! injected at rate `r1` are therefore a subset of those at any
+//! `r2 >= r1` — degradation curves over rate are monotone in the
+//! injected-fault set by construction.
+
+use opd_trace::{BRANCH_RECORD_LEN, EVENT_COUNT_LEN, EVENT_RECORD_LEN, HEADER_LEN};
+
+use crate::{FaultLedger, FaultRng};
+
+/// First bit index (little-endian, within the packed `u64`) of the
+/// reserved region of a [`opd_trace::ProfileElement`]: flips at or
+/// above it are detectable, flips below it are silent.
+const RESERVED_BIT: u64 = 48;
+
+/// Reads the branch count from an encoded trace's header, clipped to
+/// the number of whole records the buffer actually holds.
+fn branch_records(buf: &[u8]) -> usize {
+    if buf.len() < HEADER_LEN {
+        return 0;
+    }
+    let declared = u64::from_le_bytes(buf[6..14].try_into().expect("8-byte slice"));
+    let available = (buf.len() - HEADER_LEN) / BRANCH_RECORD_LEN;
+    usize::try_from(declared)
+        .unwrap_or(usize::MAX)
+        .min(available)
+}
+
+/// Returns the byte offset of the event-count field, if present.
+fn event_count_at(buf: &[u8]) -> Option<usize> {
+    let at = HEADER_LEN + branch_records(buf) * BRANCH_RECORD_LEN;
+    (buf.len() >= at + EVENT_COUNT_LEN).then_some(at)
+}
+
+/// Flips one random bit in each selected branch record.
+///
+/// Per record, draws `(keep-or-fault, bit index)` and flips the bit
+/// iff the first draw clears `rate`. The ledger separates flips the
+/// decoder can detect (reserved bits, >= 48) from silent ones (the
+/// used 48 bits, which keep the record well-formed but change which
+/// branch it describes).
+pub fn flip_element_bits(buf: &mut [u8], rate: f64, seed: u64) -> FaultLedger {
+    let mut rng = FaultRng::new(seed);
+    let mut ledger = FaultLedger::new();
+    for record in 0..branch_records(buf) {
+        let u = rng.next_unit();
+        let bit = rng.next_below(64);
+        if u >= rate {
+            continue;
+        }
+        let at = HEADER_LEN + record * BRANCH_RECORD_LEN + (bit / 8) as usize;
+        buf[at] ^= 1 << (bit % 8);
+        if bit >= RESERVED_BIT {
+            ledger.detectable_element_flips += 1;
+        } else {
+            ledger.silent_element_flips += 1;
+        }
+    }
+    ledger
+}
+
+/// Swaps disjoint adjacent pairs of 13-byte event records.
+///
+/// Pairs `(0,1), (2,3), ...` are each swapped iff their draw clears
+/// `rate`. A swap between records with strictly increasing offsets
+/// breaks the non-decreasing order invariant and costs the decoder
+/// exactly one record (`order_breaking_swaps`); a swap between equal
+/// offsets is counted as benign.
+pub fn swap_adjacent_events(buf: &mut [u8], rate: f64, seed: u64) -> FaultLedger {
+    let mut rng = FaultRng::new(seed);
+    let mut ledger = FaultLedger::new();
+    let Some(count_at) = event_count_at(buf) else {
+        return ledger;
+    };
+    let declared = u64::from_le_bytes(
+        buf[count_at..count_at + 8]
+            .try_into()
+            .expect("8-byte slice"),
+    );
+    let region = count_at + EVENT_COUNT_LEN;
+    let available = (buf.len() - region) / EVENT_RECORD_LEN;
+    let n_events = usize::try_from(declared)
+        .unwrap_or(usize::MAX)
+        .min(available);
+
+    for pair in 0..n_events / 2 {
+        let u = rng.next_unit();
+        if u >= rate {
+            continue;
+        }
+        let a = region + 2 * pair * EVENT_RECORD_LEN;
+        let b = a + EVENT_RECORD_LEN;
+        let offset_of =
+            |at: usize| u64::from_le_bytes(buf[at + 5..at + 13].try_into().expect("8-byte slice"));
+        // Offsets are non-decreasing in a valid trace, so either the
+        // swap breaks order (strictly increasing pair) or it is a
+        // no-op on ordering (equal pair).
+        if offset_of(a) < offset_of(b) {
+            ledger.order_breaking_swaps += 1;
+        } else {
+            ledger.benign_swaps += 1;
+        }
+        for i in 0..EVENT_RECORD_LEN {
+            buf.swap(a + i, b + i);
+        }
+    }
+    ledger
+}
+
+/// Cuts `rate` of the buffer's body (everything after the header) off
+/// the end, simulating a connection dropped mid-transfer.
+///
+/// Deterministic in `rate` alone: a larger rate always cuts a superset
+/// of the bytes a smaller rate cuts.
+pub fn truncate_tail(buf: &mut Vec<u8>, rate: f64) -> FaultLedger {
+    let mut ledger = FaultLedger::new();
+    if buf.len() <= HEADER_LEN {
+        return ledger;
+    }
+    let body = buf.len() - HEADER_LEN;
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+    let cut = ((body as f64) * rate.clamp(0.0, 1.0)).floor() as usize;
+    buf.truncate(buf.len() - cut.min(body));
+    ledger.truncated_bytes = cut as u64;
+    ledger
+}
+
+/// Overwrites contiguous runs of branch records with detectably
+/// corrupt values (reserved byte forced nonzero), simulating burst
+/// loss on a link.
+///
+/// The branch region is divided into chunks of `burst_len` records;
+/// each chunk is corrupted wholesale iff its draw clears `rate`. Every
+/// corrupted record is detectable, so on a seeded run the decoder's
+/// `bad_elements` equals `corrupted_burst_records` exactly.
+pub fn corrupt_burst(buf: &mut [u8], rate: f64, seed: u64, burst_len: usize) -> FaultLedger {
+    let mut rng = FaultRng::new(seed);
+    let mut ledger = FaultLedger::new();
+    let n = branch_records(buf);
+    let burst_len = burst_len.max(1);
+    let mut record = 0;
+    while record < n {
+        let burst = burst_len.min(n - record);
+        let u = rng.next_unit();
+        if u < rate {
+            for r in record..record + burst {
+                // Force the top reserved byte nonzero: detectable.
+                buf[HEADER_LEN + r * BRANCH_RECORD_LEN + 7] = 0xFF;
+            }
+            ledger.corrupted_burst_records += burst as u64;
+        }
+        record += burst;
+    }
+    ledger
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opd_trace::{
+        decode_trace_resync, encode_trace, ExecutionTrace, LoopId, MethodId, ProfileElement,
+        TraceSink,
+    };
+
+    fn sample(branches: u32) -> ExecutionTrace {
+        let mut t = ExecutionTrace::new();
+        t.record_method_enter(MethodId::new(1));
+        for i in 0..branches {
+            if i % 10 == 0 {
+                t.record_loop_enter(LoopId::new(i / 10));
+            }
+            t.record_branch(ProfileElement::new(MethodId::new(1), i % 50, i % 3 == 0));
+            if i % 10 == 9 {
+                t.record_loop_exit(LoopId::new(i / 10));
+            }
+        }
+        t.record_method_exit(MethodId::new(1));
+        t
+    }
+
+    #[test]
+    fn reserved_bit_boundary_matches_element_packing() {
+        // The ledger's detectable/silent split relies on bit 48 being
+        // the first reserved bit of the packed element.
+        let e = ProfileElement::new(MethodId::new(MethodId::MAX), 1, true);
+        assert!(ProfileElement::try_from(e.raw() ^ (1 << RESERVED_BIT)).is_err());
+        assert!(ProfileElement::try_from(e.raw() ^ (1 << (RESERVED_BIT - 1))).is_ok());
+    }
+
+    #[test]
+    fn flip_ledger_matches_resync_report_exactly() {
+        let bytes = encode_trace(&sample(400));
+        for seed in 0..8 {
+            let mut corrupted = bytes.to_vec();
+            let ledger = flip_element_bits(&mut corrupted, 0.2, seed);
+            let (decoded, report) = decode_trace_resync(&corrupted);
+            assert_eq!(report.bad_elements, ledger.detectable_element_flips);
+            // Silent flips survive decoding: the element count only
+            // shrinks by the detectable flips.
+            assert_eq!(
+                decoded.branches().len() as u64,
+                400 - ledger.detectable_element_flips
+            );
+            assert!(ledger.total() > 0, "rate 0.2 over 400 records");
+        }
+    }
+
+    #[test]
+    fn swap_ledger_matches_resync_out_of_order_count() {
+        let bytes = encode_trace(&sample(400));
+        for seed in 0..8 {
+            let mut corrupted = bytes.to_vec();
+            let ledger = swap_adjacent_events(&mut corrupted, 0.5, seed);
+            let (_, report) = decode_trace_resync(&corrupted);
+            assert_eq!(report.out_of_order_events, ledger.order_breaking_swaps);
+            assert!(ledger.order_breaking_swaps + ledger.benign_swaps > 0);
+        }
+    }
+
+    #[test]
+    fn burst_ledger_matches_resync_bad_elements() {
+        let bytes = encode_trace(&sample(400));
+        for seed in 0..8 {
+            let mut corrupted = bytes.to_vec();
+            let ledger = corrupt_burst(&mut corrupted, 0.3, seed, 16);
+            let (_, report) = decode_trace_resync(&corrupted);
+            assert_eq!(report.bad_elements, ledger.corrupted_burst_records);
+        }
+    }
+
+    #[test]
+    fn truncation_is_monotone_and_decodes_lossily() {
+        let bytes = encode_trace(&sample(100));
+        let mut prev_cut = 0;
+        for rate in [0.0, 0.1, 0.5, 0.9] {
+            let mut cut = bytes.to_vec();
+            let ledger = truncate_tail(&mut cut, rate);
+            assert!(ledger.truncated_bytes >= prev_cut);
+            prev_cut = ledger.truncated_bytes;
+            // Whatever is left decodes without panicking.
+            let (_, report) = decode_trace_resync(&cut);
+            if rate == 0.0 {
+                assert!(report.is_clean());
+            }
+        }
+    }
+
+    #[test]
+    fn faults_nest_across_rates_under_one_seed() {
+        // The defining property for monotone degradation curves: a
+        // corruption present at a low rate is present at every higher
+        // rate with the same seed.
+        let bytes = encode_trace(&sample(300)).to_vec();
+        let mut low = bytes.clone();
+        let mut high = bytes.clone();
+        flip_element_bits(&mut low, 0.05, 99);
+        flip_element_bits(&mut high, 0.4, 99);
+        for (i, (l, h)) in low.iter().zip(&high).enumerate() {
+            if bytes[i] != *l {
+                assert_eq!(l, h, "byte {i}: low-rate fault missing at high rate");
+            }
+        }
+    }
+
+    #[test]
+    fn injectors_tolerate_headerless_buffers() {
+        let mut tiny = b"OP".to_vec();
+        assert!(flip_element_bits(&mut tiny, 1.0, 0).is_empty());
+        assert!(swap_adjacent_events(&mut tiny, 1.0, 0).is_empty());
+        assert!(truncate_tail(&mut tiny, 0.5).is_empty());
+        assert!(corrupt_burst(&mut tiny, 1.0, 0, 4).is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! The exact record of what an injector did.
+
+use core::fmt;
+
+/// Per-category counts of every fault an injector actually applied.
+///
+/// Each injector fills only its own categories; ledgers from composed
+/// injectors are combined with [`FaultLedger::merge`]. The categories
+/// mirror [`opd_trace::CorruptionReport`] so seeded runs can assert
+/// the resync decoder saw *exactly* what was injected.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct FaultLedger {
+    /// Bit flips landing in a packed element's reserved bits — the
+    /// decoder can (and must) detect these.
+    pub detectable_element_flips: u64,
+    /// Bit flips landing in the used 48 bits — the record stays
+    /// well-formed but describes the wrong branch.
+    pub silent_element_flips: u64,
+    /// Adjacent event-record swaps that broke offset order (the
+    /// decoder skips exactly one record per such swap).
+    pub order_breaking_swaps: u64,
+    /// Adjacent event-record swaps between equal offsets — harmless.
+    pub benign_swaps: u64,
+    /// Bytes removed from the end of the buffer.
+    pub truncated_bytes: u64,
+    /// Branch records overwritten by burst corruption (all
+    /// detectable).
+    pub corrupted_burst_records: u64,
+    /// Branch elements removed from the stream.
+    pub dropped_branches: u64,
+    /// Branch elements emitted twice.
+    pub duplicated_branches: u64,
+    /// Call-loop events removed from the stream.
+    pub dropped_events: u64,
+}
+
+impl FaultLedger {
+    /// A ledger with nothing injected.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` if no fault was applied.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Total faults applied, over all categories.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.detectable_element_flips
+            + self.silent_element_flips
+            + self.order_breaking_swaps
+            + self.benign_swaps
+            + self.truncated_bytes
+            + self.corrupted_burst_records
+            + self.dropped_branches
+            + self.duplicated_branches
+            + self.dropped_events
+    }
+
+    /// Folds another ledger into this one, category by category.
+    pub fn merge(&mut self, other: &FaultLedger) {
+        self.detectable_element_flips += other.detectable_element_flips;
+        self.silent_element_flips += other.silent_element_flips;
+        self.order_breaking_swaps += other.order_breaking_swaps;
+        self.benign_swaps += other.benign_swaps;
+        self.truncated_bytes += other.truncated_bytes;
+        self.corrupted_burst_records += other.corrupted_burst_records;
+        self.dropped_branches += other.dropped_branches;
+        self.duplicated_branches += other.duplicated_branches;
+        self.dropped_events += other.dropped_events;
+    }
+}
+
+impl fmt::Display for FaultLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("no faults");
+        }
+        write!(
+            f,
+            "{} fault(s): {} detectable flip(s), {} silent flip(s), {} order-breaking \
+             swap(s), {} benign swap(s), {} truncated byte(s), {} burst record(s), \
+             {} dropped branch(es), {} duplicate(s), {} dropped event(s)",
+            self.total(),
+            self.detectable_element_flips,
+            self.silent_element_flips,
+            self.order_breaking_swaps,
+            self.benign_swaps,
+            self.truncated_bytes,
+            self.corrupted_burst_records,
+            self.dropped_branches,
+            self.duplicated_branches,
+            self.dropped_events,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_per_category() {
+        let mut a = FaultLedger {
+            detectable_element_flips: 1,
+            dropped_branches: 2,
+            ..FaultLedger::default()
+        };
+        let b = FaultLedger {
+            detectable_element_flips: 3,
+            dropped_events: 5,
+            ..FaultLedger::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.detectable_element_flips, 4);
+        assert_eq!(a.dropped_branches, 2);
+        assert_eq!(a.dropped_events, 5);
+        assert_eq!(a.total(), 11);
+        assert!(!a.is_empty());
+        assert!(a.to_string().contains("11 fault(s)"));
+        assert_eq!(FaultLedger::new().to_string(), "no faults");
+    }
+}

@@ -1,0 +1,222 @@
+//! Stream-level injectors: faults applied to a *decoded* trace,
+//! producing a well-formed but lossy [`ExecutionTrace`].
+//!
+//! Byte-level faults (see [`crate::bytes`]) exercise the decoder;
+//! stream-level faults model what reaches the detector *after* a lossy
+//! transport or a resync pass — elements dropped, duplicated, or lost
+//! in bursts, events missing. Event offsets are remapped so the
+//! output trace always satisfies the trace invariants.
+//!
+//! All injectors share the draw-per-candidate discipline of the byte
+//! layer: the fault set at a low rate nests inside the fault set at
+//! any higher rate under the same seed.
+
+use opd_trace::{BranchTrace, CallLoopEvent, CallLoopTrace, ExecutionTrace};
+
+use crate::{FaultLedger, FaultRng};
+
+/// Rebuilds a trace emitting element `i` exactly `copies[i]` times,
+/// remapping each event offset to the number of emitted elements
+/// before it.
+fn rebuild(trace: &ExecutionTrace, copies: &[u32]) -> ExecutionTrace {
+    let elements = trace.branches().as_slice();
+    debug_assert_eq!(elements.len(), copies.len());
+
+    let mut branches = BranchTrace::with_capacity(elements.len());
+    // prefix[o] = emitted count among the first o elements: the new
+    // offset of an event that sat at offset o in the clean trace.
+    let mut prefix = Vec::with_capacity(elements.len() + 1);
+    prefix.push(0u64);
+    for (e, &c) in elements.iter().zip(copies) {
+        for _ in 0..c {
+            branches.push(*e);
+        }
+        prefix.push(prefix.last().copied().unwrap_or(0) + u64::from(c));
+    }
+
+    let mut events = CallLoopTrace::new();
+    for ev in trace.events() {
+        let o = usize::try_from(ev.offset()).unwrap_or(prefix.len() - 1);
+        let new_offset = prefix[o.min(prefix.len() - 1)];
+        // Invariant: prefix is non-decreasing, so remapped offsets are
+        // too — this push cannot fail.
+        let _ = events.try_push(CallLoopEvent::new(ev.kind(), new_offset));
+    }
+    ExecutionTrace::try_from_parts(branches, events)
+        .expect("remapped offsets are bounded by the emitted branch count")
+}
+
+/// Drops each branch element independently with probability `rate`,
+/// remapping event offsets onto the surviving stream.
+pub fn drop_branches(
+    trace: &ExecutionTrace,
+    rate: f64,
+    seed: u64,
+) -> (ExecutionTrace, FaultLedger) {
+    let mut rng = FaultRng::new(seed);
+    let copies: Vec<u32> = (0..trace.branches().len())
+        .map(|_| u32::from(rng.next_unit() >= rate))
+        .collect();
+    let mut ledger = FaultLedger::new();
+    ledger.dropped_branches = copies.iter().filter(|&&c| c == 0).count() as u64;
+    (rebuild(trace, &copies), ledger)
+}
+
+/// Duplicates each branch element independently with probability
+/// `rate` (the duplicate is emitted immediately after the original).
+pub fn duplicate_branches(
+    trace: &ExecutionTrace,
+    rate: f64,
+    seed: u64,
+) -> (ExecutionTrace, FaultLedger) {
+    let mut rng = FaultRng::new(seed);
+    let copies: Vec<u32> = (0..trace.branches().len())
+        .map(|_| if rng.next_unit() < rate { 2 } else { 1 })
+        .collect();
+    let mut ledger = FaultLedger::new();
+    ledger.duplicated_branches = copies.iter().filter(|&&c| c == 2).count() as u64;
+    (rebuild(trace, &copies), ledger)
+}
+
+/// Drops contiguous runs of `burst_len` branch elements: the branch
+/// stream is chunked and each chunk is lost wholesale with
+/// probability `rate`.
+pub fn burst_drop_branches(
+    trace: &ExecutionTrace,
+    rate: f64,
+    seed: u64,
+    burst_len: usize,
+) -> (ExecutionTrace, FaultLedger) {
+    let burst_len = burst_len.max(1);
+    let n = trace.branches().len();
+    let mut rng = FaultRng::new(seed);
+    let mut copies = vec![1u32; n];
+    let mut ledger = FaultLedger::new();
+    for chunk_start in (0..n).step_by(burst_len) {
+        if rng.next_unit() < rate {
+            let end = (chunk_start + burst_len).min(n);
+            copies[chunk_start..end].fill(0);
+            ledger.dropped_branches += (end - chunk_start) as u64;
+        }
+    }
+    (rebuild(trace, &copies), ledger)
+}
+
+/// Drops each call-loop event independently with probability `rate`.
+/// The branch stream is untouched.
+pub fn drop_events(trace: &ExecutionTrace, rate: f64, seed: u64) -> (ExecutionTrace, FaultLedger) {
+    let mut rng = FaultRng::new(seed);
+    let mut ledger = FaultLedger::new();
+    let mut events = CallLoopTrace::new();
+    for ev in trace.events() {
+        if rng.next_unit() < rate {
+            ledger.dropped_events += 1;
+        } else {
+            // Invariant: a subsequence of a non-decreasing sequence is
+            // non-decreasing — this push cannot fail.
+            let _ = events.try_push(*ev);
+        }
+    }
+    let out = ExecutionTrace::try_from_parts(trace.branches().clone(), events)
+        .expect("surviving events keep their in-range offsets");
+    (out, ledger)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opd_trace::{LoopId, MethodId, ProfileElement, TraceSink};
+
+    fn sample(branches: u32) -> ExecutionTrace {
+        let mut t = ExecutionTrace::new();
+        t.record_method_enter(MethodId::new(2));
+        for i in 0..branches {
+            if i % 8 == 0 {
+                t.record_loop_enter(LoopId::new(i / 8));
+            }
+            t.record_branch(ProfileElement::new(MethodId::new(2), i % 31, i % 2 == 0));
+            if i % 8 == 7 {
+                t.record_loop_exit(LoopId::new(i / 8));
+            }
+        }
+        t.record_method_exit(MethodId::new(2));
+        t
+    }
+
+    #[test]
+    fn drop_ledger_matches_shrinkage_and_stays_valid() {
+        let t = sample(500);
+        for seed in 0..6 {
+            let (out, ledger) = drop_branches(&t, 0.25, seed);
+            assert_eq!(out.branches().len() as u64, 500 - ledger.dropped_branches);
+            assert!(ledger.dropped_branches > 0);
+            assert_eq!(out.events().len(), t.events().len());
+        }
+    }
+
+    #[test]
+    fn duplicate_ledger_matches_growth() {
+        let t = sample(500);
+        let (out, ledger) = duplicate_branches(&t, 0.2, 3);
+        assert_eq!(
+            out.branches().len() as u64,
+            500 + ledger.duplicated_branches
+        );
+        assert!(ledger.duplicated_branches > 0);
+    }
+
+    #[test]
+    fn burst_drop_loses_whole_chunks() {
+        let t = sample(512);
+        let (out, ledger) = burst_drop_branches(&t, 0.3, 7, 64);
+        assert_eq!(ledger.dropped_branches % 64, 0);
+        assert_eq!(out.branches().len() as u64, 512 - ledger.dropped_branches);
+    }
+
+    #[test]
+    fn drop_events_keeps_branches_intact() {
+        let t = sample(256);
+        let (out, ledger) = drop_events(&t, 0.5, 11);
+        assert_eq!(out.branches(), t.branches());
+        assert_eq!(
+            out.events().len() as u64 + ledger.dropped_events,
+            t.events().len() as u64
+        );
+        assert!(ledger.dropped_events > 0);
+    }
+
+    #[test]
+    fn event_offsets_remap_onto_surviving_stream() {
+        // Three branches with a loop around the middle one; dropping
+        // the first branch must shift the loop's offsets left by one.
+        let mut t = ExecutionTrace::new();
+        t.record_branch(ProfileElement::new(MethodId::new(0), 0, true));
+        t.record_loop_enter(LoopId::new(0));
+        t.record_branch(ProfileElement::new(MethodId::new(0), 1, true));
+        t.record_loop_exit(LoopId::new(0));
+        t.record_branch(ProfileElement::new(MethodId::new(0), 2, true));
+
+        // Find a seed whose draws drop exactly the first branch.
+        for seed in 0..64 {
+            let mut rng = FaultRng::new(seed);
+            let drops: Vec<bool> = (0..3).map(|_| rng.next_unit() < 0.34).collect();
+            if drops == [true, false, false] {
+                let (out, ledger) = drop_branches(&t, 0.34, seed);
+                assert_eq!(ledger.dropped_branches, 1);
+                let offsets: Vec<u64> = out.events().iter().map(|e| e.offset()).collect();
+                assert_eq!(offsets, vec![0, 1]);
+                return;
+            }
+        }
+        panic!("no seed in 0..64 produced the [drop, keep, keep] pattern");
+    }
+
+    #[test]
+    fn rate_zero_is_identity_everywhere() {
+        let t = sample(128);
+        assert_eq!(drop_branches(&t, 0.0, 1).0, t);
+        assert_eq!(duplicate_branches(&t, 0.0, 1).0, t);
+        assert_eq!(burst_drop_branches(&t, 0.0, 1, 16).0, t);
+        assert_eq!(drop_events(&t, 0.0, 1).0, t);
+    }
+}

@@ -10,23 +10,38 @@
 //! branch_count u64 LE   then branch_count packed u64 elements
 //! event_count u64 LE    then per event: tag u8, id u32 LE, offset u64 LE
 //! ```
+//!
+//! [`decode_trace`] is strict: the first malformed byte aborts the
+//! decode with a typed [`CodecError`]. The resynchronizing decoder in
+//! [`crate::resync`] instead skips corrupt records and keeps going —
+//! use it when ingesting traces from unreliable transports.
 
 use core::fmt;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 
 use crate::{
     BranchTrace, CallLoopEvent, CallLoopEventKind, CallLoopTrace, ExecutionTrace, LoopId, MethodId,
     ProfileElement,
 };
 
-const MAGIC: &[u8; 4] = b"OPDT";
-const VERSION: u16 = 1;
+/// The four magic bytes opening every serialized trace.
+pub const MAGIC: &[u8; 4] = b"OPDT";
+/// The container version this build writes and reads.
+pub const VERSION: u16 = 1;
+/// Bytes before the branch records: magic, version, branch count.
+pub const HEADER_LEN: usize = 4 + 2 + 8;
+/// Bytes per packed branch record.
+pub const BRANCH_RECORD_LEN: usize = 8;
+/// Bytes per call-loop event record: tag, id, offset.
+pub const EVENT_RECORD_LEN: usize = 1 + 4 + 8;
+/// Bytes of the event-count field between the two record regions.
+pub const EVENT_COUNT_LEN: usize = 8;
 
-const TAG_LOOP_ENTER: u8 = 0;
-const TAG_LOOP_EXIT: u8 = 1;
-const TAG_METHOD_ENTER: u8 = 2;
-const TAG_METHOD_EXIT: u8 = 3;
+pub(crate) const TAG_LOOP_ENTER: u8 = 0;
+pub(crate) const TAG_LOOP_EXIT: u8 = 1;
+pub(crate) const TAG_METHOD_ENTER: u8 = 2;
+pub(crate) const TAG_METHOD_EXIT: u8 = 3;
 
 /// Error produced when decoding a malformed trace buffer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,8 +51,12 @@ pub enum CodecError {
     BadMagic,
     /// The container version is not supported.
     UnsupportedVersion(u16),
-    /// The buffer ended before the declared contents.
-    Truncated,
+    /// The buffer ended before the declared contents: `at_byte` is the
+    /// offset of the first missing byte (the truncation point).
+    Truncated {
+        /// Offset at which the buffer ran out.
+        at_byte: usize,
+    },
     /// A packed element had reserved bits set.
     BadElement(u64),
     /// An event record had an unknown tag byte.
@@ -51,7 +70,9 @@ impl fmt::Display for CodecError {
         match self {
             CodecError::BadMagic => f.write_str("missing OPDT magic bytes"),
             CodecError::UnsupportedVersion(v) => write!(f, "unsupported trace version {v}"),
-            CodecError::Truncated => f.write_str("trace buffer truncated"),
+            CodecError::Truncated { at_byte } => {
+                write!(f, "trace buffer truncated at byte {at_byte}")
+            }
             CodecError::BadElement(raw) => write!(f, "invalid packed element {raw:#x}"),
             CodecError::BadEventTag(t) => write!(f, "unknown event tag {t}"),
             CodecError::InconsistentEvents => {
@@ -79,7 +100,12 @@ impl std::error::Error for CodecError {}
 pub fn encode_trace(trace: &ExecutionTrace) -> Bytes {
     let branches = trace.branches();
     let events = trace.events();
-    let mut buf = BytesMut::with_capacity(4 + 2 + 16 + branches.len() * 8 + events.len() * 13);
+    let mut buf = BytesMut::with_capacity(
+        HEADER_LEN
+            + EVENT_COUNT_LEN
+            + branches.len() * BRANCH_RECORD_LEN
+            + events.len() * EVENT_RECORD_LEN,
+    );
 
     buf.put_slice(MAGIC);
     buf.put_u16_le(VERSION);
@@ -89,17 +115,95 @@ pub fn encode_trace(trace: &ExecutionTrace) -> Bytes {
     }
     buf.put_u64_le(events.len() as u64);
     for ev in events {
-        let (tag, id) = match ev.kind() {
-            CallLoopEventKind::LoopEnter(l) => (TAG_LOOP_ENTER, l.index()),
-            CallLoopEventKind::LoopExit(l) => (TAG_LOOP_EXIT, l.index()),
-            CallLoopEventKind::MethodEnter(m) => (TAG_METHOD_ENTER, m.index()),
-            CallLoopEventKind::MethodExit(m) => (TAG_METHOD_EXIT, m.index()),
-        };
+        let (tag, id) = encode_event_kind(ev.kind());
         buf.put_u8(tag);
         buf.put_u32_le(id);
         buf.put_u64_le(ev.offset());
     }
     buf.freeze()
+}
+
+pub(crate) fn encode_event_kind(kind: CallLoopEventKind) -> (u8, u32) {
+    match kind {
+        CallLoopEventKind::LoopEnter(l) => (TAG_LOOP_ENTER, l.index()),
+        CallLoopEventKind::LoopExit(l) => (TAG_LOOP_EXIT, l.index()),
+        CallLoopEventKind::MethodEnter(m) => (TAG_METHOD_ENTER, m.index()),
+        CallLoopEventKind::MethodExit(m) => (TAG_METHOD_EXIT, m.index()),
+    }
+}
+
+pub(crate) fn decode_event_kind(tag: u8, id: u32) -> Result<CallLoopEventKind, CodecError> {
+    match tag {
+        TAG_LOOP_ENTER => Ok(CallLoopEventKind::LoopEnter(LoopId::new(id))),
+        TAG_LOOP_EXIT => Ok(CallLoopEventKind::LoopExit(LoopId::new(id))),
+        TAG_METHOD_ENTER => Ok(CallLoopEventKind::MethodEnter(valid_method(id)?)),
+        TAG_METHOD_EXIT => Ok(CallLoopEventKind::MethodExit(valid_method(id)?)),
+        other => Err(CodecError::BadEventTag(other)),
+    }
+}
+
+/// A positioned little-endian reader over a byte slice; every failed
+/// read reports the exact truncation offset.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                at_byte: self.buf.len(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16_le(&mut self) -> Result<u16, CodecError> {
+        // Invariant: `take` returned exactly the requested length, so
+        // the try_into conversions below cannot fail.
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    pub(crate) fn u32_le(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn u64_le(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+}
+
+/// Reads and validates the header, returning the declared branch count.
+pub(crate) fn read_header(r: &mut Reader<'_>) -> Result<u64, CodecError> {
+    if r.remaining() < MAGIC.len() || &r.buf[..MAGIC.len()] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    r.pos = MAGIC.len();
+    let version = r.u16_le()?;
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    r.u64_le()
 }
 
 /// Decodes an execution trace from a byte buffer produced by
@@ -109,64 +213,47 @@ pub fn encode_trace(trace: &ExecutionTrace) -> Bytes {
 ///
 /// Returns a [`CodecError`] if the buffer is truncated, has a bad magic
 /// or version, or contains malformed records.
-pub fn decode_trace(mut buf: &[u8]) -> Result<ExecutionTrace, CodecError> {
-    if buf.remaining() < 4 || &buf[..4] != MAGIC {
-        return Err(CodecError::BadMagic);
-    }
-    buf.advance(4);
-    if buf.remaining() < 2 {
-        return Err(CodecError::Truncated);
-    }
-    let version = buf.get_u16_le();
-    if version != VERSION {
-        return Err(CodecError::UnsupportedVersion(version));
-    }
-
-    if buf.remaining() < 8 {
-        return Err(CodecError::Truncated);
-    }
-    let n_branches = buf.get_u64_le() as usize;
-    if buf.remaining() < n_branches.checked_mul(8).ok_or(CodecError::Truncated)? {
-        return Err(CodecError::Truncated);
+pub fn decode_trace(buf: &[u8]) -> Result<ExecutionTrace, CodecError> {
+    let mut r = Reader::new(buf);
+    let n_branches = read_header(&mut r)? as usize;
+    // Validate the declared count against the remaining bytes *before*
+    // allocating: each branch record is exactly 8 bytes, so a corrupted
+    // count would otherwise request an absurd capacity.
+    let truncated = || CodecError::Truncated { at_byte: buf.len() };
+    if r.remaining()
+        < n_branches
+            .checked_mul(BRANCH_RECORD_LEN)
+            .ok_or_else(truncated)?
+    {
+        return Err(truncated());
     }
     let mut branches = BranchTrace::with_capacity(n_branches);
     for _ in 0..n_branches {
-        let raw = buf.get_u64_le();
+        let raw = r.u64_le()?;
         let elem = ProfileElement::try_from(raw).map_err(|_| CodecError::BadElement(raw))?;
         branches.push(elem);
     }
 
-    if buf.remaining() < 8 {
-        return Err(CodecError::Truncated);
-    }
-    let n_events = buf.get_u64_le() as usize;
-    // Validate the declared count against the remaining bytes *before*
-    // allocating: each event record is exactly 13 bytes, so a
-    // corrupted count would otherwise request an absurd capacity.
-    if buf.remaining() < n_events.checked_mul(13).ok_or(CodecError::Truncated)? {
-        return Err(CodecError::Truncated);
+    let n_events = r.u64_le()? as usize;
+    // Same pre-allocation guard for the 13-byte event records.
+    if r.remaining()
+        < n_events
+            .checked_mul(EVENT_RECORD_LEN)
+            .ok_or_else(truncated)?
+    {
+        return Err(truncated());
     }
     let mut events = Vec::with_capacity(n_events);
     let mut last_offset = 0u64;
     for _ in 0..n_events {
-        if buf.remaining() < 13 {
-            return Err(CodecError::Truncated);
-        }
-        let tag = buf.get_u8();
-        let id = buf.get_u32_le();
-        let offset = buf.get_u64_le();
+        let tag = r.u8()?;
+        let id = r.u32_le()?;
+        let offset = r.u64_le()?;
         if offset < last_offset || offset > n_branches as u64 {
             return Err(CodecError::InconsistentEvents);
         }
         last_offset = offset;
-        let kind = match tag {
-            TAG_LOOP_ENTER => CallLoopEventKind::LoopEnter(LoopId::new(id)),
-            TAG_LOOP_EXIT => CallLoopEventKind::LoopExit(LoopId::new(id)),
-            TAG_METHOD_ENTER => CallLoopEventKind::MethodEnter(valid_method(id)?),
-            TAG_METHOD_EXIT => CallLoopEventKind::MethodExit(valid_method(id)?),
-            other => return Err(CodecError::BadEventTag(other)),
-        };
-        events.push(CallLoopEvent::new(kind, offset));
+        events.push(CallLoopEvent::new(decode_event_kind(tag, id)?, offset));
     }
 
     let events: CallLoopTrace = events.into_iter().collect();
@@ -218,14 +305,20 @@ mod tests {
     }
 
     #[test]
-    fn truncated_rejected() {
+    fn every_truncation_offset_reports_the_exact_cut_point() {
+        // The regression the resilience layer is built on: a partial
+        // final record anywhere in the container must produce a typed
+        // `Truncated { at_byte }` (or `BadMagic` while still inside the
+        // magic bytes) — never a slice-index panic.
         let bytes = encode_trace(&sample());
-        for cut in [5, 8, 20, bytes.len() - 1] {
-            let err = decode_trace(&bytes[..cut]).unwrap_err();
-            assert!(
-                matches!(err, CodecError::Truncated | CodecError::InconsistentEvents),
-                "cut at {cut} gave {err}"
-            );
+        for cut in 0..bytes.len() {
+            match decode_trace(&bytes[..cut]) {
+                Err(CodecError::BadMagic) => assert!(cut < MAGIC.len(), "cut {cut}"),
+                Err(CodecError::Truncated { at_byte }) => {
+                    assert_eq!(at_byte, cut, "cut {cut} misreported");
+                }
+                other => panic!("cut at {cut} gave {other:?}"),
+            }
         }
     }
 
@@ -240,10 +333,23 @@ mod tests {
     }
 
     #[test]
+    fn layout_constants_match_the_encoder() {
+        let t = sample();
+        let bytes = encode_trace(&t);
+        assert_eq!(
+            bytes.len(),
+            HEADER_LEN
+                + t.branches().len() * BRANCH_RECORD_LEN
+                + EVENT_COUNT_LEN
+                + t.events().len() * EVENT_RECORD_LEN
+        );
+    }
+
+    #[test]
     fn errors_display() {
         let msgs = [
             CodecError::BadMagic.to_string(),
-            CodecError::Truncated.to_string(),
+            CodecError::Truncated { at_byte: 12 }.to_string(),
             CodecError::BadEventTag(9).to_string(),
         ];
         for m in msgs {

@@ -2,6 +2,8 @@
 
 use core::fmt;
 
+use crate::TraceError;
+
 /// Identifier of a (virtual) method, as minted by an instrumenting
 /// compiler or by the MicroVM program builder.
 ///
@@ -32,6 +34,21 @@ impl MethodId {
     pub fn new(index: u32) -> Self {
         assert!(index <= Self::MAX, "method index {index} out of range");
         MethodId(index)
+    }
+
+    /// Creates a method id from untrusted input, rejecting indices
+    /// outside the 24-bit range instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::MethodIdRange`] if `index` exceeds
+    /// [`MethodId::MAX`].
+    pub fn try_new(index: u32) -> Result<Self, TraceError> {
+        if index > Self::MAX {
+            Err(TraceError::MethodIdRange { index })
+        } else {
+            Ok(MethodId(index))
+        }
     }
 
     /// Returns the raw method index.
@@ -90,6 +107,21 @@ impl BranchSite {
             "bytecode offset {offset} out of range"
         );
         BranchSite { method, offset }
+    }
+
+    /// Creates a branch site from untrusted input, rejecting offsets
+    /// outside the 23-bit range instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::OffsetRange`] if `offset` exceeds
+    /// [`BranchSite::MAX_OFFSET`].
+    pub fn try_new(method: MethodId, offset: u32) -> Result<Self, TraceError> {
+        if offset > Self::MAX_OFFSET {
+            Err(TraceError::OffsetRange { offset })
+        } else {
+            Ok(BranchSite { method, offset })
+        }
     }
 
     /// Returns the enclosing method.
@@ -294,6 +326,21 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn offset_range_checked() {
         let _ = BranchSite::new(MethodId::new(0), BranchSite::MAX_OFFSET + 1);
+    }
+
+    #[test]
+    fn try_constructors_reject_out_of_range() {
+        assert!(MethodId::try_new(MethodId::MAX).is_ok());
+        assert!(matches!(
+            MethodId::try_new(MethodId::MAX + 1),
+            Err(TraceError::MethodIdRange { index }) if index == MethodId::MAX + 1
+        ));
+        let m = MethodId::new(0);
+        assert!(BranchSite::try_new(m, BranchSite::MAX_OFFSET).is_ok());
+        assert!(matches!(
+            BranchSite::try_new(m, BranchSite::MAX_OFFSET + 1),
+            Err(TraceError::OffsetRange { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! The typed error hierarchy for trace construction and ingestion.
+//!
+//! Production traces arrive truncated, corrupted, or mid-stream; every
+//! fallible trace operation reports one of these errors instead of
+//! panicking. The panicking constructors (`MethodId::new`,
+//! `CallLoopTrace::push`, ...) remain for code whose inputs are
+//! program-generated and therefore valid by construction; anything
+//! ingesting *external* data should use the `try_*` counterparts,
+//! which return [`TraceError`].
+
+use core::fmt;
+
+use crate::codec::CodecError;
+use crate::element::ParseElementError;
+
+/// Any error arising while building or ingesting trace data.
+///
+/// # Examples
+///
+/// ```
+/// use opd_trace::{MethodId, TraceError};
+///
+/// let err = MethodId::try_new(u32::MAX).unwrap_err();
+/// assert!(matches!(err, TraceError::MethodIdRange { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// A serialized trace buffer was malformed.
+    Codec(CodecError),
+    /// A raw `u64` had reserved profile-element bits set.
+    Element(ParseElementError),
+    /// A method index exceeded the 24-bit [`MethodId`](crate::MethodId)
+    /// range.
+    MethodIdRange {
+        /// The rejected index.
+        index: u32,
+    },
+    /// A bytecode offset exceeded the 23-bit
+    /// [`BranchSite`](crate::BranchSite) range.
+    OffsetRange {
+        /// The rejected offset.
+        offset: u32,
+    },
+    /// A call-loop event's offset decreased relative to the previous
+    /// event: the stream is not in execution order.
+    OutOfOrderEvent {
+        /// Offset of the previously accepted event.
+        prev: u64,
+        /// The smaller offset that followed it.
+        next: u64,
+    },
+    /// A call-loop event's offset pointed beyond the end of the branch
+    /// trace it is correlated with.
+    EventBeyondEnd {
+        /// The event's branch offset.
+        offset: u64,
+        /// Number of branches actually in the trace.
+        branches: u64,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Codec(e) => write!(f, "codec: {e}"),
+            TraceError::Element(e) => write!(f, "element: {e}"),
+            TraceError::MethodIdRange { index } => {
+                write!(f, "method index {index} out of 24-bit range")
+            }
+            TraceError::OffsetRange { offset } => {
+                write!(f, "bytecode offset {offset} out of 23-bit range")
+            }
+            TraceError::OutOfOrderEvent { prev, next } => {
+                write!(
+                    f,
+                    "event offset {next} after {prev}: not in execution order"
+                )
+            }
+            TraceError::EventBeyondEnd { offset, branches } => {
+                write!(
+                    f,
+                    "event offset {offset} beyond the {branches}-branch trace"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Codec(e) => Some(e),
+            TraceError::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for TraceError {
+    fn from(e: CodecError) -> Self {
+        TraceError::Codec(e)
+    }
+}
+
+impl From<ParseElementError> for TraceError {
+    fn from(e: ParseElementError) -> Self {
+        TraceError::Element(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty_and_sources_propagate() {
+        let errors: Vec<TraceError> = vec![
+            CodecError::BadMagic.into(),
+            TraceError::MethodIdRange { index: 1 << 30 },
+            TraceError::OffsetRange { offset: 1 << 24 },
+            TraceError::OutOfOrderEvent { prev: 9, next: 3 },
+            TraceError::EventBeyondEnd {
+                offset: 10,
+                branches: 5,
+            },
+        ];
+        for e in &errors {
+            assert!(!e.to_string().is_empty());
+        }
+        let codec: TraceError = CodecError::BadMagic.into();
+        assert!(std::error::Error::source(&codec).is_some());
+        assert!(std::error::Error::source(&errors[1]).is_none());
+    }
+}

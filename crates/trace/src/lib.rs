@@ -36,21 +36,28 @@
 mod codec;
 mod derive;
 mod element;
+mod error;
 mod event;
 mod phase;
+mod resync;
 mod sample;
 mod stats;
 mod threaded;
 mod trace;
 
-pub use codec::{decode_trace, encode_trace, CodecError};
+pub use codec::{
+    decode_trace, encode_trace, CodecError, BRANCH_RECORD_LEN, EVENT_COUNT_LEN, EVENT_RECORD_LEN,
+    HEADER_LEN, MAGIC, VERSION,
+};
 pub use derive::{method_profile, method_profile_offsets, site_profile};
 pub use element::{BranchSite, MethodId, ParseElementError, ProfileElement};
+pub use error::TraceError;
 pub use event::{CallLoopEvent, CallLoopEventKind, LoopId};
 pub use phase::{
     boundaries_of, intervals_of, states_from_intervals, Boundary, BoundaryKind, PhaseInterval,
     PhaseState, StateSeq,
 };
+pub use resync::{decode_trace_resync, CorruptionReport};
 pub use sample::{subsample, upsample_intervals};
 pub use stats::{StatsSink, TraceStats};
 pub use threaded::{interleave, ThreadId, ThreadSink, ThreadedRecord, ThreadedTrace};

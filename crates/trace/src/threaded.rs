@@ -184,8 +184,8 @@ pub fn interleave(traces: Vec<ExecutionTrace>, quantum: usize) -> ThreadedTrace 
             let mut records = Vec::with_capacity(branches.len() + events.len());
             let mut ev = events.as_slice().iter().peekable();
             for (i, b) in branches.iter().enumerate() {
-                while ev.peek().is_some_and(|e| e.offset() <= i as u64) {
-                    records.push(ThreadedRecord::Event(ev.next().expect("peeked").kind()));
+                while let Some(e) = ev.next_if(|e| e.offset() <= i as u64) {
+                    records.push(ThreadedRecord::Event(e.kind()));
                 }
                 records.push(ThreadedRecord::Branch(*b));
             }

@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use crate::{CallLoopEvent, CallLoopEventKind, LoopId, MethodId, ProfileElement};
+use crate::{CallLoopEvent, CallLoopEventKind, LoopId, MethodId, ProfileElement, TraceError};
 
 /// A sink that receives the two correlated profile streams as a program
 /// executes.
@@ -148,15 +148,29 @@ impl CallLoopTrace {
     /// Panics if `event` is out of order: offsets must be
     /// non-decreasing.
     pub fn push(&mut self, event: CallLoopEvent) {
+        if let Err(e) = self.try_push(event) {
+            panic!("call-loop events must have non-decreasing offsets: {e}");
+        }
+    }
+
+    /// Appends one event from untrusted input, rejecting out-of-order
+    /// offsets instead of panicking. On error the trace is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::OutOfOrderEvent`] if `event.offset()` is
+    /// smaller than the last recorded offset.
+    pub fn try_push(&mut self, event: CallLoopEvent) -> Result<(), TraceError> {
         if let Some(last) = self.events.last() {
-            assert!(
-                last.offset() <= event.offset(),
-                "call-loop events must have non-decreasing offsets ({} then {})",
-                last.offset(),
-                event.offset()
-            );
+            if last.offset() > event.offset() {
+                return Err(TraceError::OutOfOrderEvent {
+                    prev: last.offset(),
+                    next: event.offset(),
+                });
+            }
         }
         self.events.push(event);
+        Ok(())
     }
 
     /// Returns the number of recorded events.
@@ -240,14 +254,33 @@ impl ExecutionTrace {
     /// Panics if any event offset exceeds the branch count.
     #[must_use]
     pub fn from_parts(branches: BranchTrace, events: CallLoopTrace) -> Self {
+        match Self::try_from_parts(branches, events) {
+            Ok(t) => t,
+            Err(e) => panic!("event beyond the end of the branch trace: {e}"),
+        }
+    }
+
+    /// Assembles a trace from untrusted streams, rejecting events that
+    /// point past the end of the branch trace instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::EventBeyondEnd`] for the first event whose
+    /// offset exceeds the branch count.
+    pub fn try_from_parts(
+        branches: BranchTrace,
+        events: CallLoopTrace,
+    ) -> Result<Self, TraceError> {
         let n = branches.len() as u64;
         for ev in &events {
-            assert!(
-                ev.offset() <= n,
-                "event {ev} beyond the end of the branch trace ({n} branches)"
-            );
+            if ev.offset() > n {
+                return Err(TraceError::EventBeyondEnd {
+                    offset: ev.offset(),
+                    branches: n,
+                });
+            }
         }
-        ExecutionTrace { branches, events }
+        Ok(ExecutionTrace { branches, events })
     }
 
     /// Returns the branch trace.
@@ -376,6 +409,42 @@ mod tests {
             4,
         ));
         let _ = ExecutionTrace::from_parts(branches, events);
+    }
+
+    #[test]
+    fn try_push_rejects_and_leaves_trace_unchanged() {
+        let mut t = CallLoopTrace::new();
+        t.try_push(CallLoopEvent::new(
+            CallLoopEventKind::LoopEnter(LoopId::new(0)),
+            5,
+        ))
+        .unwrap();
+        let err = t
+            .try_push(CallLoopEvent::new(
+                CallLoopEventKind::LoopExit(LoopId::new(0)),
+                4,
+            ))
+            .unwrap_err();
+        assert_eq!(err, crate::TraceError::OutOfOrderEvent { prev: 5, next: 4 });
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn try_from_parts_rejects_dangling_events() {
+        let branches: BranchTrace = (0..3).map(elem).collect();
+        let mut events = CallLoopTrace::new();
+        events.push(CallLoopEvent::new(
+            CallLoopEventKind::LoopEnter(LoopId::new(0)),
+            4,
+        ));
+        let err = ExecutionTrace::try_from_parts(branches, events).unwrap_err();
+        assert_eq!(
+            err,
+            crate::TraceError::EventBeyondEnd {
+                offset: 4,
+                branches: 3
+            }
+        );
     }
 
     #[test]

@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # The full local gate: release build, every workspace test suite, warning-free clippy across the
 # whole workspace, formatting, a deny-warnings static lint of every
-# built-in workload, and an `opd plan` smoke run on the default grid.
+# built-in workload, an `opd plan` smoke run on the default grid, and
+# the fault-injection smoke pass (injector ledgers vs decoder reports).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
-cargo test -q --workspace
+RUST_BACKTRACE=1 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 cargo run --release -q --bin opd -- lint --deny-warnings
 cargo run --release -q --bin opd -- plan --json > /dev/null
+cargo run --release -q --bin opd -- faults --smoke > /dev/null
 echo "check.sh: all gates passed"

@@ -14,6 +14,16 @@
 //!   `--prune` prints the pruned grid and, when the grid is proven
 //!   irredundant, per-axis distinctness witnesses; `--write` updates
 //!   `BENCH_plan.json`.
+//! * `opd faults [--smoke] [--scale N] [--write]` — the
+//!   fault-injection degradation study: accuracy of the default sweep
+//!   grid on corrupted traces vs the clean-trace oracle, per fault
+//!   kind and rate; `--write` updates `BENCH_faults.json`; `--smoke`
+//!   runs a fast ledger-vs-decoder consistency pass for CI.
+//! * `opd sweep [--scale N] [--fuel N] [--threads N]
+//!   [--checkpoint PATH] [--resume]` — run the default grid over all
+//!   workloads; with `--checkpoint`, completed (workload, unit)
+//!   buckets stream to a crash-safe file, and `--resume` restores
+//!   them after an interrupted run instead of recomputing.
 //!
 //! Exit codes: 0 clean, 1 lint findings at the failing severity,
 //! 2 usage/input errors.
@@ -30,6 +40,9 @@ const USAGE: &str = "\
 usage: opd lint [--json] [--deny-warnings] [--scale N] [TARGET...]
        opd bounds [--write]
        opd plan [--json] [--prune] [--scale N] [--write]
+       opd faults [--smoke] [--scale N] [--write]
+       opd sweep [--scale N] [--fuel N] [--threads N]
+                 [--checkpoint PATH] [--resume]
 
 TARGET is a built-in workload name (blockcomp, ruleng, tracer,
 querydb, srccomp, audiodec, parsegen, lexgen) or a path to a program
@@ -65,6 +78,14 @@ fn main() -> ExitCode {
         },
         Some("plan") => match parse_plan_args(&args[1..]) {
             Ok(opts) => plan(&opts),
+            Err(message) => fail(&message),
+        },
+        Some("faults") => match parse_faults_args(&args[1..]) {
+            Ok(opts) => faults(&opts),
+            Err(message) => fail(&message),
+        },
+        Some("sweep") => match parse_sweep_args(&args[1..]) {
+            Ok(opts) => sweep(&opts),
             Err(message) => fail(&message),
         },
         Some("help" | "--help" | "-h") | None => {
@@ -335,6 +356,176 @@ fn render_plan(analysis: &PlanAnalysis, actual_scans: usize, prune: bool) -> Str
         }
     }
     out
+}
+
+struct FaultsOpts {
+    smoke: bool,
+    write: bool,
+    scale: u32,
+}
+
+fn parse_faults_args(args: &[String]) -> Result<FaultsOpts, String> {
+    let mut opts = FaultsOpts {
+        smoke: false,
+        write: false,
+        scale: 1,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--write" => opts.write = true,
+            "--scale" => {
+                let value = iter.next().ok_or("missing value for --scale")?;
+                opts.scale = value
+                    .parse()
+                    .map_err(|e| format!("bad --scale `{value}`: {e}"))?;
+            }
+            other => return Err(format!("unknown faults argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn faults(opts: &FaultsOpts) -> ExitCode {
+    if opts.smoke {
+        // The smoke pass asserts internally that injector ledgers and
+        // decoder corruption reports agree exactly.
+        println!("{}", opd_experiments::faults::smoke(opts.scale));
+        println!("faults --smoke: ok");
+        return ExitCode::SUCCESS;
+    }
+    let json = opd_experiments::faults::faults_json(opts.scale);
+    if opts.write {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_faults.json");
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote {path}");
+    } else {
+        print!("{json}");
+    }
+    ExitCode::SUCCESS
+}
+
+struct SweepOpts {
+    scale: u32,
+    fuel: u64,
+    threads: usize,
+    checkpoint: Option<String>,
+    resume: bool,
+}
+
+fn parse_sweep_args(args: &[String]) -> Result<SweepOpts, String> {
+    let mut opts = SweepOpts {
+        scale: 1,
+        fuel: opd_experiments::faults::STUDY_FUEL,
+        threads: 1,
+        checkpoint: None,
+        resume: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--resume" => opts.resume = true,
+            "--scale" => {
+                let value = iter.next().ok_or("missing value for --scale")?;
+                opts.scale = value
+                    .parse()
+                    .map_err(|e| format!("bad --scale `{value}`: {e}"))?;
+            }
+            "--fuel" => {
+                let value = iter.next().ok_or("missing value for --fuel")?;
+                opts.fuel = value
+                    .parse()
+                    .map_err(|e| format!("bad --fuel `{value}`: {e}"))?;
+            }
+            "--threads" => {
+                let value = iter.next().ok_or("missing value for --threads")?;
+                opts.threads = value
+                    .parse()
+                    .map_err(|e| format!("bad --threads `{value}`: {e}"))?;
+            }
+            "--checkpoint" => {
+                let value = iter.next().ok_or("missing value for --checkpoint")?;
+                opts.checkpoint = Some(value.clone());
+            }
+            other => return Err(format!("unknown sweep argument `{other}`")),
+        }
+    }
+    if opts.resume && opts.checkpoint.is_none() {
+        return Err("--resume requires --checkpoint PATH".to_owned());
+    }
+    Ok(opts)
+}
+
+fn sweep(opts: &SweepOpts) -> ExitCode {
+    use opd_experiments::faults::STUDY_MPL;
+
+    let configs = opd_experiments::grid::default_plan_grid();
+    let prepared =
+        opd_experiments::runner::prepare_all(&Workload::ALL, opts.scale, &[STUDY_MPL], opts.fuel);
+
+    let runs = if let Some(path) = &opts.checkpoint {
+        let fingerprint = opd_experiments::checkpoint::run_fingerprint(
+            &configs,
+            &Workload::ALL,
+            opts.scale,
+            opts.fuel,
+        );
+        match opd_experiments::checkpoint::sweep_many_checkpointed(
+            &prepared,
+            &configs,
+            opts.threads,
+            std::path::Path::new(path),
+            fingerprint,
+            opts.resume,
+        ) {
+            Ok((runs, summary)) => {
+                println!(
+                    "checkpoint: {} bucket(s) restored, {} computed{}",
+                    summary.restored_buckets,
+                    summary.computed_buckets,
+                    if summary.damaged_tail_bytes > 0 {
+                        format!(
+                            " ({} damaged tail byte(s) discarded)",
+                            summary.damaged_tail_bytes
+                        )
+                    } else {
+                        String::new()
+                    },
+                );
+                runs
+            }
+            Err(e) => {
+                eprintln!("error: checkpoint {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        opd_experiments::runner::sweep_many(&prepared, &configs, opts.threads)
+    };
+
+    for (p, config_runs) in prepared.iter().zip(&runs) {
+        let oracle = p.oracle(STUDY_MPL);
+        let mean = if config_runs.is_empty() {
+            0.0
+        } else {
+            config_runs
+                .iter()
+                .map(|r| r.score(oracle).combined())
+                .sum::<f64>()
+                / config_runs.len() as f64
+        };
+        println!(
+            "{:<10} {:>9} element(s)  mean combined accuracy {:.4}",
+            p.workload().name(),
+            p.total_elements(),
+            mean,
+        );
+    }
+    ExitCode::SUCCESS
 }
 
 fn write_bounds_artifact() -> ExitCode {

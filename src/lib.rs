@@ -21,6 +21,8 @@
 //! * [`client`] — phase-aware optimization clients: cost models, net-benefit
 //!   simulation, and MPL selection/adaptation (the paper's Section 7
 //!   future work)
+//! * [`faults`] — seeded fault injectors over trace byte and event
+//!   streams, with exact injected-fault ledgers
 //! * [`experiments`] — configuration grids, the parallel sweep runner,
 //!   and per-table/figure experiment generators
 //!
@@ -58,6 +60,7 @@ pub use opd_baseline as baseline;
 pub use opd_client as client;
 pub use opd_core as core;
 pub use opd_experiments as experiments;
+pub use opd_faults as faults;
 pub use opd_microvm as microvm;
 pub use opd_scoring as scoring;
 pub use opd_trace as trace;

@@ -1,0 +1,119 @@
+//! End-to-end tests of the `opd faults` and `opd sweep` subcommands
+//! and the committed `BENCH_faults.json` artifact: freshness,
+//! monotone degradation curves, and CLI-level crash-safe resume.
+
+use std::process::Command;
+
+use opd_experiments::faults::{fault_study, FaultStudy, STUDY_FUEL, STUDY_KINDS, STUDY_RATES};
+
+fn opd(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_opd"))
+        .args(args)
+        .output()
+        .expect("spawn opd")
+}
+
+#[test]
+fn committed_faults_artifact_is_current() {
+    let committed =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_faults.json"))
+            .expect("BENCH_faults.json is committed at the repository root");
+    let regenerated = opd_experiments::faults::faults_json(1);
+    assert_eq!(
+        committed, regenerated,
+        "BENCH_faults.json is stale; regenerate with `opd faults --write`"
+    );
+}
+
+#[test]
+fn degradation_curves_are_monotone_non_increasing() {
+    // The injected-fault sets nest across rates under the study's
+    // fixed seeds, so more corruption can only hurt (or at worst not
+    // help) mean detection accuracy against the clean-trace oracle.
+    let study: FaultStudy = fault_study(1, STUDY_FUEL);
+    for &kind in &STUDY_KINDS {
+        let curve = study.curve(kind);
+        assert_eq!(curve.len(), STUDY_RATES.len());
+        for window in curve.windows(2) {
+            assert!(
+                window[1] <= window[0] + 1e-9,
+                "{kind} curve is not monotone non-increasing: {curve:?}"
+            );
+        }
+        // And the harshest rate must actually cost accuracy — a flat
+        // curve would mean the injector did nothing.
+        assert!(
+            curve[STUDY_RATES.len() - 1] < curve[0],
+            "{kind} curve is flat: {curve:?}"
+        );
+    }
+}
+
+#[test]
+fn faults_smoke_passes_and_covers_both_fault_layers() {
+    let out = opd(&["faults", "--smoke"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("faults --smoke: ok"), "{stdout}");
+    // One byte-level and one stream-level injector at least.
+    assert!(stdout.contains("bitflip"), "{stdout}");
+    assert!(stdout.contains("dropbranch"), "{stdout}");
+}
+
+#[test]
+fn faults_rejects_unknown_arguments() {
+    let out = opd(&["faults", "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = opd(&["sweep", "--resume"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "resume needs --checkpoint: {out:?}"
+    );
+}
+
+#[test]
+fn sweep_resume_via_cli_matches_the_uninterrupted_run() {
+    let dir = std::env::temp_dir().join("opd_faults_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ck = dir.join("sweep.ck");
+    let ck_str = ck.to_str().unwrap();
+    let _ = std::fs::remove_file(&ck);
+
+    let full = opd(&["sweep", "--fuel", "4000", "--checkpoint", ck_str]);
+    assert!(full.status.success(), "{full:?}");
+    let full_out = String::from_utf8(full.stdout).unwrap();
+    assert!(full_out.contains("0 bucket(s) restored"), "{full_out}");
+
+    // Simulate a kill: tear the checkpoint mid-record, then resume.
+    let mut bytes = std::fs::read(&ck).unwrap();
+    let torn = bytes.len() - 5;
+    bytes.truncate(torn);
+    std::fs::write(&ck, &bytes).unwrap();
+
+    let resumed = opd(&[
+        "sweep",
+        "--fuel",
+        "4000",
+        "--checkpoint",
+        ck_str,
+        "--resume",
+    ]);
+    assert!(resumed.status.success(), "{resumed:?}");
+    let resumed_out = String::from_utf8(resumed.stdout).unwrap();
+    assert!(resumed_out.contains("1 computed"), "{resumed_out}");
+    assert!(resumed_out.contains("damaged tail"), "{resumed_out}");
+
+    // Every per-workload accuracy line must be bit-identical to the
+    // uninterrupted run's.
+    let table = |s: &str| {
+        s.lines()
+            .filter(|l| l.contains("mean combined accuracy"))
+            .map(str::to_owned)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(table(&full_out), table(&resumed_out));
+    assert_eq!(table(&full_out).len(), 8);
+
+    let _ = std::fs::remove_file(&ck);
+}

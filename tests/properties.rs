@@ -11,8 +11,9 @@ use opd::core::{
 use opd::microvm::{ArgExpr, Interpreter, ProgramBuilder, TakenDist, Trip};
 use opd::scoring::{correlation, match_phases, score_intervals};
 use opd::trace::{
-    boundaries_of, decode_trace, encode_trace, intervals_of, states_from_intervals, BranchTrace,
-    ExecutionTrace, MethodId, PhaseInterval, PhaseState, ProfileElement, StateSeq, TraceSink,
+    boundaries_of, decode_trace, decode_trace_resync, encode_trace, intervals_of,
+    states_from_intervals, BranchTrace, ExecutionTrace, MethodId, PhaseInterval, PhaseState,
+    ProfileElement, StateSeq, TraceSink, BRANCH_RECORD_LEN,
 };
 
 fn arb_element() -> impl Strategy<Value = ProfileElement> {
@@ -270,5 +271,78 @@ proptest! {
         // Labels from any MPL cover only in-phase elements.
         let sol = forest.solve(10);
         prop_assert!(sol.in_phase_elements() <= sol.total_elements());
+    }
+}
+
+// Panic-freedom over untrusted input: the trace decoders and the
+// MicroVM program parser must reject (or lossily recover from)
+// arbitrary bytes with typed results, never a panic. These run at a
+// much higher case count than the structural properties above —
+// they are the regression net for the error-handling paths.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10_000))]
+
+    #[test]
+    fn trace_decoders_never_panic_on_byte_soup(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // Strict decoding: typed error or success, never a panic.
+        let strict = decode_trace(&bytes);
+        // Lossy decoding: always yields a trace plus a report.
+        let (decoded, report) = decode_trace_resync(&bytes);
+        if report.is_clean() {
+            // A clean report promises the strict decoder agrees.
+            prop_assert_eq!(strict.expect("clean input"), decoded);
+        } else {
+            prop_assert!(strict.is_err());
+        }
+    }
+
+    #[test]
+    fn resync_never_panics_on_corrupted_encodings(
+        trace in arb_trace(64),
+        corruptions in prop::collection::vec((any::<u16>(), any::<u8>()), 1..8),
+    ) {
+        let mut t = ExecutionTrace::new();
+        for e in &trace {
+            t.record_branch(*e);
+        }
+        let mut bytes = encode_trace(&t).to_vec();
+        for (pos, mask) in corruptions {
+            if !bytes.is_empty() {
+                let i = pos as usize % bytes.len();
+                bytes[i] ^= mask;
+            }
+        }
+        let (decoded, _report) = decode_trace_resync(&bytes);
+        // Every decoded branch record consumed 8 bytes of input (a
+        // corrupt header count cannot conjure records from nothing).
+        prop_assert!(decoded.branches().len() * BRANCH_RECORD_LEN <= bytes.len());
+    }
+
+    #[test]
+    fn microvm_parser_never_panics_on_arbitrary_text(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = opd::microvm::parse_program(&text);
+    }
+
+    #[test]
+    fn microvm_parser_never_panics_on_keyword_soup(
+        fragments in prop::collection::vec(
+            prop_oneof![
+                Just("fn "), Just("main"), Just("(f0)"), Just("// entry"),
+                Just("{"), Just("}"), Just("\n"), Just(" "),
+                Just("branch @"), Just("p="), Just("0.5"), Just("call "),
+                Just("repeat "), Just("x"), Just("7"), Just("-1"),
+            ],
+            0..64,
+        ),
+    ) {
+        // Near-miss programs built from real grammar tokens reach much
+        // deeper into the parser than raw byte soup does.
+        let text: String = fragments.concat();
+        let _ = opd::microvm::parse_program(&text);
     }
 }
