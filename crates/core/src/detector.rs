@@ -352,6 +352,198 @@ impl PhaseDetector {
     }
 }
 
+/// Comparison ops one judged step costs at runtime, mirroring the
+/// static cost model's accounting (`opd-analyze`'s `per_step_ops`)
+/// against the *actual* window state: the unweighted model and the
+/// tracked weighted fast path read O(1) counters, the weighted slow
+/// path walks the CW's distinct sites, and Pearson walks the distinct
+/// sites of both windows.
+#[cfg(feature = "obs")]
+pub(crate) fn runtime_compare_ops(model: crate::ModelPolicy, windows: &Windows) -> u64 {
+    match model {
+        crate::ModelPolicy::UnweightedSet => 2,
+        crate::ModelPolicy::WeightedSet => {
+            // `weighted_similarity`'s fast path: tracked windows at
+            // exactly their capacities use the integer min-sum.
+            if windows.cw_len() == windows.cw_cap() && windows.tw_len() == windows.tw_cap() {
+                2
+            } else {
+                windows.distinct_cw() as u64 + 2
+            }
+        }
+        crate::ModelPolicy::Pearson => {
+            windows.distinct_cw() as u64 + windows.tw_sites().len() as u64 + 2
+        }
+    }
+}
+
+/// The instrumented twins of the detector's run paths, available with
+/// the `obs` feature.
+///
+/// Each twin duplicates its uninstrumented counterpart's state
+/// machine and adds event emission guarded by
+/// [`DetectorObserver::ACTIVE`] — with [`opd_obs::NullObserver`] the
+/// guards are compile-time `false`, so the twin monomorphizes back to
+/// the plain path (the observer-equivalence suite asserts the results
+/// are bit-identical and the steady state allocation-free). Keep any
+/// change to [`PhaseDetector::run_interned_with`] or `finish_step`
+/// mirrored here; the equivalence suite fails loudly if they drift.
+#[cfg(feature = "obs")]
+impl PhaseDetector {
+    /// Like [`run_interned_with`](PhaseDetector::run_interned_with),
+    /// but emitting structured [`DetectorEvent`](opd_obs::DetectorEvent)s
+    /// into `observer`.
+    pub fn run_interned_with_observer<S: StateSink, O: opd_obs::DetectorObserver>(
+        &mut self,
+        trace: &InternedTrace,
+        sink: &mut S,
+        observer: &mut O,
+    ) {
+        self.windows.ensure_sites(trace.distinct_count() as usize);
+        let mut step = 0u64;
+        for chunk in trace.ids().chunks(self.config.skip_factor()) {
+            let tw_grows = self.tw_grows();
+            for &id in chunk {
+                self.windows.push(id, tw_grows);
+            }
+            let state = self.finish_step_observed(chunk.len(), step, observer);
+            sink.record(state, chunk.len());
+            step += 1;
+        }
+        if O::ACTIVE {
+            if let Some(open) = self.phases.last() {
+                if open.end.is_none() {
+                    observer.on_event(&opd_obs::DetectorEvent::PhaseEnd {
+                        step,
+                        end: self.consumed,
+                    });
+                }
+            }
+        }
+        self.close_open_phase();
+    }
+
+    /// Like
+    /// [`run_interned_phases_only`](PhaseDetector::run_interned_phases_only),
+    /// but observed — the instrumented zero-allocation sweep path.
+    pub fn run_interned_phases_observed<O: opd_obs::DetectorObserver>(
+        &mut self,
+        trace: &InternedTrace,
+        observer: &mut O,
+    ) -> &[DetectedPhase] {
+        self.run_interned_with_observer(trace, &mut NullSink, observer);
+        self.detected_phases()
+    }
+
+    /// `finish_step` with event emission; the state transitions are a
+    /// line-for-line mirror of [`finish_step`](Self::finish_step).
+    fn finish_step_observed<O: opd_obs::DetectorObserver>(
+        &mut self,
+        step_len: usize,
+        step: u64,
+        observer: &mut O,
+    ) -> PhaseState {
+        use opd_obs::DetectorEvent;
+
+        let step_start = self.consumed;
+        self.consumed += step_len as u64;
+
+        let warm = self.windows.is_warm();
+        if O::ACTIVE {
+            observer.on_event(&DetectorEvent::Step {
+                step,
+                start: step_start,
+                len: step_len as u32,
+                warm,
+            });
+        }
+        let new_state = if warm {
+            let sim = self.config.model().similarity(&self.windows);
+            self.last_similarity = Some(sim);
+            if O::ACTIVE {
+                observer.on_event(&DetectorEvent::Similarity {
+                    step,
+                    value: sim,
+                    threshold: self.analyzer.effective_threshold(),
+                    ops: runtime_compare_ops(self.config.model(), &self.windows),
+                });
+            }
+            self.analyzer.judge(sim)
+        } else {
+            PhaseState::Transition
+        };
+        if O::ACTIVE {
+            observer.on_event(&DetectorEvent::Decision {
+                step,
+                prev: self.state,
+                state: new_state,
+            });
+        }
+
+        match (self.state, new_state) {
+            (PhaseState::Transition, PhaseState::Phase) => {
+                let anchor_idx = self.windows.anchor_index(self.config.anchor());
+                let anchored_start = if self.config.tw_policy() == TwPolicy::Adaptive {
+                    let offset = self
+                        .windows
+                        .anchor_and_resize(anchor_idx, self.config.resize());
+                    if O::ACTIVE {
+                        observer.on_event(&DetectorEvent::WindowResize {
+                            step,
+                            kind: match self.config.resize() {
+                                crate::ResizePolicy::Slide => opd_obs::ResizeKind::Slide,
+                                crate::ResizePolicy::Move => opd_obs::ResizeKind::Move,
+                            },
+                            tw_len: self.windows.tw_len() as u64,
+                        });
+                    }
+                    offset
+                } else {
+                    self.windows.offset_of_index(anchor_idx)
+                };
+                self.analyzer.reset();
+                if O::ACTIVE {
+                    observer.on_event(&DetectorEvent::PhaseStart {
+                        step,
+                        start: step_start,
+                        anchored_start,
+                    });
+                }
+                self.phases.push(DetectedPhase {
+                    start: step_start,
+                    anchored_start,
+                    end: None,
+                });
+            }
+            (PhaseState::Phase, PhaseState::Transition) => {
+                self.windows.clear_keep_last(self.config.skip_factor());
+                if O::ACTIVE {
+                    observer.on_event(&DetectorEvent::PhaseEnd {
+                        step,
+                        end: step_start,
+                    });
+                    observer.on_event(&DetectorEvent::WindowFlush {
+                        step,
+                        kept: self.config.skip_factor() as u32,
+                    });
+                }
+                if let Some(open) = self.phases.last_mut() {
+                    open.end = Some(step_start);
+                }
+            }
+            (PhaseState::Phase, PhaseState::Phase) => {
+                if let Some(sim) = self.last_similarity {
+                    self.analyzer.update(sim);
+                }
+            }
+            (PhaseState::Transition, PhaseState::Transition) => {}
+        }
+
+        self.state = new_state;
+        new_state
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -64,5 +64,5 @@ pub use model::ModelPolicy;
 pub use predict::{PhasePredictor, Prediction};
 pub use recur::{PhaseId, PhaseRegistry, PhaseSignature, RecurringPhase, RecurringPhaseDetector};
 pub use related::{run_online, OnlineDetector, PcRangeDetector};
-pub use sweep::{SweepEngine, SweepScratch, SweepUnit};
+pub use sweep::{SweepEngine, SweepError, SweepScratch, SweepUnit};
 pub use window::{AnchorPolicy, ResizePolicy, TwPolicy, Windows};

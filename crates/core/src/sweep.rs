@@ -88,6 +88,32 @@ use crate::intern::InternedTrace;
 use crate::model::ModelPolicy;
 use crate::window::Windows;
 
+/// Error from the fallible sweep entry points
+/// ([`SweepEngine::try_run_unit`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepError {
+    /// The requested unit index does not exist in this plan.
+    UnitOutOfRange {
+        /// The index the caller asked for.
+        unit_index: usize,
+        /// How many units the plan actually has.
+        units: usize,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            SweepError::UnitOutOfRange { unit_index, units } => write!(
+                f,
+                "sweep unit index {unit_index} out of range: plan has {units} unit(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
 /// One schedulable piece of a sweep: either a shape group that scans
 /// the trace once for all members, or a single private-window config.
 #[derive(Debug, Clone)]
@@ -226,7 +252,8 @@ impl<'a> SweepEngine<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `unit_index` is out of range.
+    /// Panics if `unit_index` is out of range; [`try_run_unit`]
+    /// (Self::try_run_unit) is the non-panicking form.
     #[must_use]
     pub fn run_unit(
         &self,
@@ -234,8 +261,36 @@ impl<'a> SweepEngine<'a> {
         trace: &InternedTrace,
         scratch: &mut SweepScratch,
     ) -> Vec<(usize, Vec<DetectedPhase>)> {
-        let unit = &self.units[unit_index];
-        if unit.shared {
+        match self.try_run_unit(unit_index, trace, scratch) {
+            Ok(results) => results,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs one planned unit over `trace`, returning
+    /// [`SweepError::UnitOutOfRange`] instead of panicking when
+    /// `unit_index` does not name a planned unit — the entry point
+    /// for callers driving the engine from external indices
+    /// (checkpoint resume, work queues).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::UnitOutOfRange`] if `unit_index >=
+    /// self.units().len()`.
+    pub fn try_run_unit(
+        &self,
+        unit_index: usize,
+        trace: &InternedTrace,
+        scratch: &mut SweepScratch,
+    ) -> Result<Vec<(usize, Vec<DetectedPhase>)>, SweepError> {
+        let unit = self
+            .units
+            .get(unit_index)
+            .ok_or(SweepError::UnitOutOfRange {
+                unit_index,
+                units: self.units.len(),
+            })?;
+        Ok(if unit.shared {
             run_shared_group(
                 self.configs,
                 &unit.config_indices,
@@ -251,7 +306,7 @@ impl<'a> SweepEngine<'a> {
                     (i, detector.take_phases())
                 })
                 .collect()
-        }
+        })
     }
 
     /// Runs the whole plan sequentially, returning phases in config
@@ -266,6 +321,55 @@ impl<'a> SweepEngine<'a> {
             }
         }
         out
+    }
+}
+
+/// The instrumented sweep entry point, available with the `obs`
+/// feature. Metering duplicates the unmetered scan loops (guarded by
+/// the observer-equivalence suite) so [`SweepEngine::run_unit`] stays
+/// untouched and overhead-free.
+#[cfg(feature = "obs")]
+impl SweepEngine<'_> {
+    /// [`run_unit`](Self::run_unit) plus accounting: accumulates what
+    /// the unit actually did (scans, steps, judged steps, comparison
+    /// ops, elements) into `metrics`, for cross-checking against the
+    /// static cost model's bounds. Results are identical to
+    /// `run_unit`'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit_index` is out of range.
+    #[must_use]
+    pub fn run_unit_metered(
+        &self,
+        unit_index: usize,
+        trace: &InternedTrace,
+        scratch: &mut SweepScratch,
+        metrics: &mut opd_obs::UnitMetrics,
+    ) -> Vec<(usize, Vec<DetectedPhase>)> {
+        let unit = &self.units[unit_index];
+        if unit.shared {
+            run_shared_group_metered(
+                self.configs,
+                &unit.config_indices,
+                trace,
+                scratch.site_capacity,
+                metrics,
+            )
+        } else {
+            unit.config_indices
+                .iter()
+                .map(|&i| {
+                    let detector = scratch.detector_for(self.configs[i]);
+                    let mut meter = opd_obs::MeterObserver::new();
+                    let _ = detector.run_interned_phases_observed(trace, &mut meter);
+                    metrics.scans += 1;
+                    metrics.elements += trace.len() as u64;
+                    metrics.merge(&meter.metrics);
+                    (i, detector.take_phases())
+                })
+                .collect()
+        }
     }
 }
 
@@ -379,6 +483,115 @@ fn run_shared_group(
                     // Phase end: a private detector would flush its
                     // windows here; tracking the refill point is
                     // equivalent and keeps the scan shared.
+                    m.warm_from = consumed + refill;
+                    if let Some(open) = m.phases.last_mut() {
+                        open.end = Some(step_start);
+                    }
+                }
+                (PhaseState::Phase, PhaseState::Phase) => {
+                    m.analyzer.update(sim);
+                }
+                (PhaseState::Transition, PhaseState::Transition) => {}
+            }
+            m.state = new_state;
+        }
+    }
+    members
+        .into_iter()
+        .map(|mut m| {
+            if let Some(open) = m.phases.last_mut() {
+                if open.end.is_none() {
+                    open.end = Some(consumed);
+                }
+            }
+            (m.config_index, m.phases)
+        })
+        .collect()
+}
+
+/// [`run_shared_group`] plus accounting — a line-for-line mirror of
+/// the unmetered scan (the observer-equivalence suite asserts matching
+/// results; keep any change to the scan loop mirrored here). A fresh
+/// model-slot computation charges the full runtime comparison cost;
+/// every further member judging the memoized similarity charges only
+/// the fixed judge overhead — so shared-scan comparison ops are always
+/// at or below the static per-member bound.
+#[cfg(feature = "obs")]
+fn run_shared_group_metered(
+    configs: &[DetectorConfig],
+    member_indices: &[usize],
+    trace: &InternedTrace,
+    site_capacity: usize,
+    metrics: &mut opd_obs::UnitMetrics,
+) -> Vec<(usize, Vec<DetectedPhase>)> {
+    use crate::detector::runtime_compare_ops;
+
+    let first = &configs[member_indices[0]];
+    let (cw, tw, skip) = (
+        first.current_window(),
+        first.trailing_window(),
+        first.skip_factor(),
+    );
+    let refill = (cw + tw - skip) as u64;
+    let track = member_indices
+        .iter()
+        .any(|&i| configs[i].model() == ModelPolicy::WeightedSet);
+    let mut windows = Windows::with_weighted_tracking(cw, tw, track);
+    windows.ensure_sites((trace.distinct_count() as usize).max(site_capacity));
+
+    let mut members: Vec<Member> = member_indices
+        .iter()
+        .map(|&i| Member {
+            config_index: i,
+            config: configs[i],
+            analyzer: Analyzer::new(configs[i].analyzer()),
+            state: PhaseState::Transition,
+            warm_from: 0,
+            phases: Vec::new(),
+        })
+        .collect();
+
+    metrics.scans += 1;
+    metrics.elements += trace.len() as u64;
+    let mut consumed = 0u64;
+    let mut sims = [0.0f64; 3];
+    for chunk in trace.ids().chunks(skip) {
+        for &id in chunk {
+            windows.push(id, false);
+        }
+        let step_start = consumed;
+        consumed += chunk.len() as u64;
+        metrics.steps += 1;
+        let shared_warm = windows.is_warm();
+        let mut have = [false; 3];
+        for m in &mut members {
+            let (new_state, sim) = if shared_warm && consumed >= m.warm_from {
+                let slot = model_slot(m.config.model());
+                if have[slot] {
+                    // Memoized similarity: this member pays only the
+                    // analyzer's judge overhead.
+                    metrics.compare_ops += 2;
+                } else {
+                    sims[slot] = m.config.model().similarity(&windows);
+                    have[slot] = true;
+                    metrics.compare_ops += runtime_compare_ops(m.config.model(), &windows);
+                }
+                metrics.judged_steps += 1;
+                (m.analyzer.judge(sims[slot]), sims[slot])
+            } else {
+                (PhaseState::Transition, 0.0)
+            };
+            match (m.state, new_state) {
+                (PhaseState::Transition, PhaseState::Phase) => {
+                    let anchor_idx = windows.anchor_index(m.config.anchor());
+                    m.analyzer.reset();
+                    m.phases.push(DetectedPhase {
+                        start: step_start,
+                        anchored_start: windows.offset_of_index(anchor_idx),
+                        end: None,
+                    });
+                }
+                (PhaseState::Phase, PhaseState::Transition) => {
                     m.warm_from = consumed + refill;
                     if let Some(open) = m.phases.last_mut() {
                         open.end = Some(step_start);
@@ -545,6 +758,48 @@ mod tests {
         // Shorter than cw + tw: never warm, no phases.
         let short = block_trace(1, 10, 2);
         assert_eq!(engine.run_all(&short), vec![Vec::new()]);
+    }
+
+    #[test]
+    fn out_of_range_unit_is_a_typed_error() {
+        let configs = vec![DetectorConfig::builder().current_window(8).build().unwrap()];
+        let engine = SweepEngine::new(&configs);
+        let trace = block_trace(1, 40, 2);
+        let mut scratch = SweepScratch::new();
+        let err = engine.try_run_unit(7, &trace, &mut scratch).unwrap_err();
+        assert_eq!(
+            err,
+            SweepError::UnitOutOfRange {
+                unit_index: 7,
+                units: 1
+            }
+        );
+        assert!(err.to_string().contains("out of range"));
+        // In-range requests still succeed through the fallible path.
+        let ok = engine.try_run_unit(0, &trace, &mut scratch).unwrap();
+        assert_eq!(ok.len(), 1);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn metered_units_match_unmetered_results() {
+        let configs = mixed_grid();
+        let engine = SweepEngine::new(&configs);
+        let trace = block_trace(3, 120, 4);
+        let mut scratch = SweepScratch::new();
+        let mut metrics = opd_obs::UnitMetrics::new();
+        for unit_index in 0..engine.units().len() {
+            let plain = engine.run_unit(unit_index, &trace, &mut scratch);
+            let metered = engine.run_unit_metered(unit_index, &trace, &mut scratch, &mut metrics);
+            assert_eq!(plain, metered, "unit {unit_index}");
+        }
+        assert_eq!(metrics.scans as usize, engine.total_scans());
+        assert_eq!(
+            metrics.elements,
+            engine.total_scans() as u64 * trace.len() as u64
+        );
+        assert!(metrics.judged_steps <= metrics.steps * configs.len() as u64);
+        assert!(metrics.compare_ops >= 2 * metrics.judged_steps);
     }
 
     #[test]

@@ -402,6 +402,35 @@ pub fn sweep_many_checkpointed(
     fingerprint: u64,
     resume: bool,
 ) -> Result<(Vec<Vec<ConfigRun>>, ResumeSummary), CheckpointError> {
+    sweep_many_checkpointed_with_progress(
+        prepared,
+        configs,
+        threads,
+        path,
+        fingerprint,
+        resume,
+        &|_, _| {},
+    )
+}
+
+/// [`sweep_many_checkpointed`] with a progress callback: `progress(
+/// completed, total)` fires once per bucket append (after the durable
+/// write), with `completed` counting restored buckets too. The CLI's
+/// heartbeat line for long runs hangs off this; the callback runs
+/// under the writer lock, so keep it cheap.
+///
+/// # Errors
+///
+/// Same as [`sweep_many_checkpointed`].
+pub fn sweep_many_checkpointed_with_progress(
+    prepared: &[PreparedWorkload],
+    configs: &[DetectorConfig],
+    threads: usize,
+    path: &Path,
+    fingerprint: u64,
+    resume: bool,
+    progress: &(dyn Fn(usize, usize) + Sync),
+) -> Result<(Vec<Vec<ConfigRun>>, ResumeSummary), CheckpointError> {
     let engine = SweepEngine::new(configs);
 
     let (mut buckets, writer, damaged_tail_bytes) = if resume && path.exists() {
@@ -452,6 +481,9 @@ pub fn sweep_many_checkpointed(
         .max()
         .unwrap_or(0);
     let threads = threads.max(1).min(items.len().max(1));
+    let total_buckets = restored_buckets + items.len();
+    let completed = std::sync::atomic::AtomicUsize::new(restored_buckets);
+    let completed = &completed;
 
     if threads <= 1 {
         let mut writer = writer;
@@ -459,6 +491,8 @@ pub fn sweep_many_checkpointed(
         for &(wi, ui, _) in &items {
             let runs = engine.run_unit(ui as usize, prepared[wi as usize].interned(), &mut scratch);
             writer.append_bucket(wi, ui, &runs)?;
+            let done = completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            progress(done, total_buckets);
             #[allow(clippy::cast_possible_truncation)]
             buckets.insert(
                 (wi, ui),
@@ -488,10 +522,14 @@ pub fn sweep_many_checkpointed(
                                 prepared[wi as usize].interned(),
                                 &mut scratch,
                             );
-                            shared
-                                .lock()
-                                .expect("checkpoint writer lock")
-                                .append_bucket(wi, ui, &runs)?;
+                            {
+                                let mut writer = shared.lock().expect("checkpoint writer lock");
+                                writer.append_bucket(wi, ui, &runs)?;
+                                let done = completed
+                                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                                    + 1;
+                                progress(done, total_buckets);
+                            }
                             #[allow(clippy::cast_possible_truncation)]
                             local.push((
                                 (wi, ui),
@@ -681,6 +719,54 @@ mod tests {
                 assert_eq!(r_ref.detected, r_res.detected);
             }
         }
+    }
+
+    #[test]
+    fn progress_fires_once_per_computed_bucket() {
+        let prepared = prepare_all(
+            &[Workload::Lexgen, Workload::Blockcomp],
+            1,
+            &[1_000],
+            20_000,
+        );
+        let configs = default_plan_grid();
+        let fp = run_fingerprint(
+            &configs,
+            &[Workload::Lexgen, Workload::Blockcomp],
+            1,
+            20_000,
+        );
+        let path = tmp("progress.opdk");
+        let _ = std::fs::remove_file(&path);
+        let ticks = std::sync::Mutex::new(Vec::new());
+        let (_, summary) = sweep_many_checkpointed_with_progress(
+            &prepared,
+            &configs,
+            2,
+            &path,
+            fp,
+            false,
+            &|done, total| ticks.lock().unwrap().push((done, total)),
+        )
+        .unwrap();
+        let mut ticks = ticks.into_inner().unwrap();
+        ticks.sort_unstable();
+        assert_eq!(summary.computed_buckets, 2);
+        assert_eq!(ticks, vec![(1, 2), (2, 2)]);
+        // A fully-restored resume has nothing to report.
+        let quiet = std::sync::Mutex::new(0usize);
+        let (_, summary) = sweep_many_checkpointed_with_progress(
+            &prepared,
+            &configs,
+            2,
+            &path,
+            fp,
+            true,
+            &|_, _| *quiet.lock().unwrap() += 1,
+        )
+        .unwrap();
+        assert_eq!(summary.computed_buckets, 0);
+        assert_eq!(quiet.into_inner().unwrap(), 0);
     }
 
     #[test]

@@ -1,8 +1,125 @@
-//! Tiny command-line parsing shared by the experiment binaries.
+//! Tiny command-line parsing shared by the experiment binaries, plus
+//! the output [`Reporter`] keeping `--json` stdout machine-parseable.
 
 use core::fmt;
 
+use opd_core::{AnalyzerPolicy, AnchorPolicy, DetectorConfig, ModelPolicy, ResizePolicy, TwPolicy};
+
 use crate::runner::default_threads;
+
+/// Routes CLI output so machines and humans never share a stream: in
+/// `--json` mode, stdout carries exactly one JSON document
+/// ([`payload`](Reporter::payload)) and every human-readable line
+/// ([`human`](Reporter::human)) goes to stderr; otherwise human lines
+/// go to stdout as usual.
+#[derive(Debug, Clone, Copy)]
+pub struct Reporter {
+    json: bool,
+}
+
+impl Reporter {
+    /// A reporter for a subcommand invocation; `json` is the
+    /// `--json` flag.
+    #[must_use]
+    pub fn new(json: bool) -> Self {
+        Reporter { json }
+    }
+
+    /// Whether this invocation is in JSON mode.
+    #[must_use]
+    pub fn json_mode(&self) -> bool {
+        self.json
+    }
+
+    /// Prints a human-readable line: stdout normally, stderr in JSON
+    /// mode (so parsers of stdout never see it).
+    pub fn human(&self, text: impl fmt::Display) {
+        if self.json {
+            eprintln!("{text}");
+        } else {
+            println!("{text}");
+        }
+    }
+
+    /// Prints the machine-readable payload to stdout. In JSON mode
+    /// this must be the only stdout write of the invocation.
+    pub fn payload(&self, text: impl fmt::Display) {
+        println!("{text}");
+    }
+}
+
+/// Parses a detector config spec of comma-separated `key=value`
+/// pairs: `cw`, `tw`, `skip` (sizes), `policy` (`constant` |
+/// `adaptive`), `anchor` (`rn` | `lnn`), `resize` (`slide` | `move`),
+/// `model` (`unweighted` | `weighted` | `pearson`), and `threshold`
+/// or `delta` (analyzer). Unset keys take the builder's defaults
+/// (cw 500, tw = cw, skip 1).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unknown keys, unparsable values, or a
+/// combination the config builder rejects.
+///
+/// # Examples
+///
+/// ```
+/// use opd_experiments::cli::parse_config_spec;
+///
+/// let config = parse_config_spec("cw=200,model=weighted,threshold=0.7")?;
+/// assert_eq!(config.current_window(), 200);
+/// # Ok::<(), opd_experiments::cli::CliError>(())
+/// ```
+pub fn parse_config_spec(spec: &str) -> Result<DetectorConfig, CliError> {
+    let mut builder = DetectorConfig::builder().current_window(500);
+    for pair in spec.split(',').filter(|p| !p.trim().is_empty()) {
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| CliError(format!("config spec `{pair}` is not key=value")))?;
+        let (key, value) = (key.trim(), value.trim());
+        let size = |v: &str, k: &str| {
+            v.parse::<usize>()
+                .map_err(|e| CliError(format!("bad {k}: {e}")))
+        };
+        let real = |v: &str, k: &str| {
+            v.parse::<f64>()
+                .map_err(|e| CliError(format!("bad {k}: {e}")))
+        };
+        builder = match key {
+            "cw" => builder.current_window(size(value, "cw")?),
+            "tw" => builder.trailing_window(size(value, "tw")?),
+            "skip" => builder.skip_factor(size(value, "skip")?),
+            "policy" => builder.tw_policy(match value {
+                "constant" => TwPolicy::Constant,
+                "adaptive" => TwPolicy::Adaptive,
+                other => return Err(CliError(format!("unknown policy `{other}`"))),
+            }),
+            "anchor" => builder.anchor(match value {
+                "rn" => AnchorPolicy::RightmostNoisy,
+                "lnn" => AnchorPolicy::LeftmostNonNoisy,
+                other => return Err(CliError(format!("unknown anchor `{other}`"))),
+            }),
+            "resize" => builder.resize(match value {
+                "slide" => ResizePolicy::Slide,
+                "move" => ResizePolicy::Move,
+                other => return Err(CliError(format!("unknown resize `{other}`"))),
+            }),
+            "model" => builder.model(match value {
+                "unweighted" => ModelPolicy::UnweightedSet,
+                "weighted" => ModelPolicy::WeightedSet,
+                "pearson" => ModelPolicy::Pearson,
+                other => return Err(CliError(format!("unknown model `{other}`"))),
+            }),
+            "threshold" => builder.analyzer(AnalyzerPolicy::Threshold(real(value, "threshold")?)),
+            "delta" => builder.analyzer(AnalyzerPolicy::Average {
+                delta: real(value, "delta")?,
+            }),
+            other => return Err(CliError(format!("unknown config key `{other}`"))),
+        };
+    }
+    builder
+        .build()
+        .map_err(|e| CliError(format!("invalid config: {e}")))
+}
 
 /// Options every experiment binary accepts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,5 +238,41 @@ mod tests {
         assert!(parse(&["--scale", "x"]).is_err());
         assert!(parse(&["--wat"]).is_err());
         assert!(!parse(&["--wat"]).unwrap_err().to_string().is_empty());
+    }
+
+    #[test]
+    fn config_spec_parses_every_key() {
+        let c = parse_config_spec(
+            "cw=100,tw=50,skip=5,policy=adaptive,anchor=lnn,resize=move,model=pearson,delta=0.2",
+        )
+        .unwrap();
+        assert_eq!(c.current_window(), 100);
+        assert_eq!(c.trailing_window(), 50);
+        assert_eq!(c.skip_factor(), 5);
+        assert_eq!(c.tw_policy(), TwPolicy::Adaptive);
+        assert_eq!(c.anchor(), AnchorPolicy::LeftmostNonNoisy);
+        assert_eq!(c.resize(), ResizePolicy::Move);
+        assert_eq!(c.model(), ModelPolicy::Pearson);
+        assert_eq!(c.analyzer(), AnalyzerPolicy::Average { delta: 0.2 });
+    }
+
+    #[test]
+    fn config_spec_defaults_and_errors() {
+        let c = parse_config_spec("").unwrap();
+        assert_eq!(c.current_window(), 500);
+        let c = parse_config_spec("threshold=0.7").unwrap();
+        assert_eq!(c.analyzer(), AnalyzerPolicy::Threshold(0.7));
+        for bad in [
+            "cw",
+            "cw=zero",
+            "policy=sometimes",
+            "anchor=up",
+            "resize=grow",
+            "model=psychic",
+            "volume=11",
+            "cw=0",
+        ] {
+            assert!(parse_config_spec(bad).is_err(), "accepted {bad}");
+        }
     }
 }

@@ -35,5 +35,6 @@ pub mod cli;
 pub mod exp;
 pub mod faults;
 pub mod grid;
+pub mod obs;
 pub mod report;
 pub mod runner;

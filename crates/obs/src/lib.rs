@@ -1,0 +1,40 @@
+//! Observability for the phase-detection stack: structured detector
+//! events, a lock-free metrics registry, and per-unit sweep profiling.
+//!
+//! This crate is a *leaf*: it depends only on `opd-trace`, so
+//! `opd-core` can depend on it **optionally** (behind its `obs`
+//! feature) without a cycle. The contract is zero overhead when off,
+//! twice over:
+//!
+//! * **Compile-time off** — `opd-core` built without `obs` does not
+//!   link this crate at all (`scripts/check.sh` guards the dependency
+//!   edge with `cargo tree`).
+//! * **Runtime off** — the [`DetectorObserver`] trait carries a
+//!   `const ACTIVE: bool`; instrumented code guards every event
+//!   construction with `if O::ACTIVE`, so the [`NullObserver`]
+//!   monomorphizes the instrumented run paths back to the
+//!   uninstrumented machine code (asserted allocation-free and within
+//!   noise of the plain path by the repository's observer suite and
+//!   `BENCH_obs.json`).
+//!
+//! [`DetectorEvent`] is the event vocabulary (window slides/moves,
+//! similarity scores, analyzer decisions, phase transitions);
+//! [`MetricsRegistry`] is the sharded counter/histogram registry the
+//! sweep paths record into; [`UnitMetrics`] is the plain per-unit
+//! accumulator cross-checked against the static cost model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod event;
+mod metrics;
+mod observer;
+
+pub use event::{DetectorEvent, ResizeKind};
+pub use metrics::{
+    CounterId, HistogramId, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, UnitMetrics,
+    HISTOGRAM_BUCKETS,
+};
+pub use observer::{
+    DetectorObserver, FnObserver, MeterObserver, NullObserver, RecordedPhase, RecordingObserver,
+};

@@ -1,0 +1,363 @@
+//! A lock-free, sharded metrics registry: counters and fixed-bucket
+//! log2 histograms, snapshot-on-demand.
+//!
+//! Writers never contend on a lock: every metric is an array of
+//! cache-line-padded shards, and each thread picks its shard by
+//! SplitMix64-mixing a per-thread tag — uniform shard spread without
+//! any coordination. All updates are `Relaxed` atomics; a snapshot
+//! sums the shards, so it is eventually consistent while writers are
+//! live and exact once they have quiesced (the sweep paths snapshot
+//! after joining their workers).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets: bucket 0 holds zero values and bucket
+/// `1 + floor(log2(v))` holds value `v`, so all of `u64` is covered.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A cache-line-padded atomic cell: one shard of one metric.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedU64(AtomicU64);
+
+/// SplitMix64's finalizer: mixes a per-thread tag into a uniformly
+/// distributed shard selector.
+#[must_use]
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+thread_local! {
+    static THREAD_TAG: u64 = {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        splitmix64(NEXT.fetch_add(1, Ordering::Relaxed))
+    };
+}
+
+fn shard_of(shards: usize) -> usize {
+    debug_assert!(shards.is_power_of_two());
+    THREAD_TAG.with(|&tag| (tag as usize) & (shards - 1))
+}
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+#[derive(Debug)]
+struct CounterFamily {
+    name: &'static str,
+    shards: Box<[PaddedU64]>,
+}
+
+#[derive(Debug)]
+struct HistogramFamily {
+    name: &'static str,
+    /// `shards × HISTOGRAM_BUCKETS`, shard-major.
+    buckets: Box<[PaddedU64]>,
+}
+
+/// The registry: metrics are registered up front (while the registry
+/// is still exclusively owned), then shared by reference across
+/// worker threads for lock-free recording.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    shards: usize,
+    counters: Vec<CounterFamily>,
+    histograms: Vec<HistogramFamily>,
+}
+
+impl MetricsRegistry {
+    /// A registry with `shards` shards per metric (rounded up to a
+    /// power of two, at least 1).
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        MetricsRegistry {
+            shards: shards.max(1).next_power_of_two(),
+            counters: Vec::new(),
+            histograms: Vec::new(),
+        }
+    }
+
+    /// A registry sharded for the machine's available parallelism.
+    #[must_use]
+    pub fn for_host() -> Self {
+        let n = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+        Self::new(n)
+    }
+
+    /// Registers a counter and returns its handle.
+    pub fn counter(&mut self, name: &'static str) -> CounterId {
+        let shards = (0..self.shards).map(|_| PaddedU64::default()).collect();
+        self.counters.push(CounterFamily { name, shards });
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers a histogram and returns its handle.
+    pub fn histogram(&mut self, name: &'static str) -> HistogramId {
+        let buckets = (0..self.shards * HISTOGRAM_BUCKETS)
+            .map(|_| PaddedU64::default())
+            .collect();
+        self.histograms.push(HistogramFamily { name, buckets });
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Adds `n` to a counter (lock-free; callable from any thread).
+    pub fn add(&self, id: CounterId, n: u64) {
+        let shard = shard_of(self.shards);
+        self.counters[id.0].shards[shard]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one observation of `value` into a histogram.
+    pub fn record(&self, id: HistogramId, value: u64) {
+        let bucket = if value == 0 {
+            0
+        } else {
+            1 + value.ilog2() as usize
+        };
+        let shard = shard_of(self.shards);
+        self.histograms[id.0].buckets[shard * HISTOGRAM_BUCKETS + bucket]
+            .0
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sums every metric's shards into a point-in-time snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|c| {
+                let total = c
+                    .shards
+                    .iter()
+                    .map(|s| s.0.load(Ordering::Relaxed))
+                    .sum::<u64>();
+                (c.name, total)
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|h| {
+                let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+                for (i, cell) in h.buckets.iter().enumerate() {
+                    buckets[i % HISTOGRAM_BUCKETS] += cell.0.load(Ordering::Relaxed);
+                }
+                (h.name, HistogramSnapshot { buckets })
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+/// A summed view of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observation counts per log2 bucket (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Total observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Inclusive lower bound of the values in bucket `i` (0 for the
+    /// zero bucket, otherwise `2^(i-1)`).
+    #[must_use]
+    pub fn bucket_floor(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// The highest non-empty bucket's index, if any observation was
+    /// recorded.
+    #[must_use]
+    pub fn max_bucket(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&c| c > 0)
+    }
+}
+
+/// A point-in-time view of every registered metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, total)` per counter, in registration order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(name, buckets)` per histogram, in registration order.
+    pub histograms: Vec<(&'static str, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks a counter up by name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks a histogram up by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+/// Plain (non-atomic) per-unit sweep accounting: what one
+/// `SweepEngine` unit run actually did, accumulated on the worker
+/// thread and cross-checked against the static cost model.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct UnitMetrics {
+    /// Trace scans performed (1 per shared group, 1 per private
+    /// member).
+    pub scans: u64,
+    /// Detector steps taken across all scans.
+    pub steps: u64,
+    /// `(member, step)` pairs that were actually judged (windows warm
+    /// and refilled).
+    pub judged_steps: u64,
+    /// Comparison ops spent on similarity computation and judging —
+    /// the runtime counterpart of `ConfigCost::compare_ops`.
+    pub compare_ops: u64,
+    /// Profile elements consumed across all scans.
+    pub elements: u64,
+}
+
+impl UnitMetrics {
+    /// An all-zero accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        UnitMetrics::default()
+    }
+
+    /// Adds another accumulator's totals into this one.
+    pub fn merge(&mut self, other: &UnitMetrics) {
+        self.scans += other.scans;
+        self.steps += other.steps;
+        self.judged_steps += other.judged_steps;
+        self.compare_ops += other.compare_ops;
+        self.elements += other.elements;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_sum_across_threads() {
+        let mut r = MetricsRegistry::new(8);
+        let c = r.counter("ops");
+        let r = &r;
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        r.add(c, 3);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.snapshot().counter("ops"), Some(8 * 10_000 * 3));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut r = MetricsRegistry::new(1);
+        let h = r.histogram("lat");
+        for v in [0u64, 1, 2, 3, 4, 1023, 1024, u64::MAX] {
+            r.record(h, v);
+        }
+        let snap = r.snapshot();
+        let hist = snap.histogram("lat").unwrap();
+        assert_eq!(hist.count(), 8);
+        assert_eq!(hist.buckets[0], 1); // 0
+        assert_eq!(hist.buckets[1], 1); // 1
+        assert_eq!(hist.buckets[2], 2); // 2, 3
+        assert_eq!(hist.buckets[3], 1); // 4
+        assert_eq!(hist.buckets[10], 1); // 1023
+        assert_eq!(hist.buckets[11], 1); // 1024
+        assert_eq!(hist.buckets[64], 1); // u64::MAX
+        assert_eq!(hist.max_bucket(), Some(64));
+        assert_eq!(HistogramSnapshot::bucket_floor(0), 0);
+        assert_eq!(HistogramSnapshot::bucket_floor(11), 1024);
+        assert_eq!(snap.histogram("nope"), None);
+        assert_eq!(snap.counter("nope"), None);
+    }
+
+    #[test]
+    fn histograms_sum_across_threads() {
+        let mut r = MetricsRegistry::new(4);
+        let h = r.histogram("v");
+        let r = &r;
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                s.spawn(move || {
+                    for i in 0..1_000 {
+                        r.record(h, t * 1_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.snapshot().histogram("v").unwrap().count(), 4_000);
+    }
+
+    #[test]
+    fn splitmix_spreads_sequential_tags() {
+        // Sequential thread tags must not all land in one shard.
+        let shards: std::collections::HashSet<u64> =
+            (0..16u64).map(|t| splitmix64(t) & 7).collect();
+        assert!(shards.len() >= 4, "poor spread: {shards:?}");
+    }
+
+    #[test]
+    fn unit_metrics_merge_adds_fields() {
+        let mut a = UnitMetrics {
+            scans: 1,
+            steps: 10,
+            judged_steps: 5,
+            compare_ops: 100,
+            elements: 1_000,
+        };
+        a.merge(&a.clone());
+        assert_eq!(
+            a,
+            UnitMetrics {
+                scans: 2,
+                steps: 20,
+                judged_steps: 10,
+                compare_ops: 200,
+                elements: 2_000,
+            }
+        );
+    }
+
+    #[test]
+    fn registry_for_host_has_power_of_two_shards() {
+        let r = MetricsRegistry::for_host();
+        assert!(r.shards.is_power_of_two());
+        let r3 = MetricsRegistry::new(3);
+        assert_eq!(r3.shards, 4);
+    }
+}

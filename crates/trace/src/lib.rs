@@ -60,5 +60,8 @@ pub use phase::{
 pub use resync::{decode_trace_resync, CorruptionReport};
 pub use sample::{subsample, upsample_intervals};
 pub use stats::{StatsSink, TraceStats};
-pub use threaded::{interleave, ThreadId, ThreadSink, ThreadedRecord, ThreadedTrace};
+pub use threaded::{
+    interleave, try_interleave, InterleaveError, ThreadId, ThreadSink, ThreadedRecord,
+    ThreadedTrace,
+};
 pub use trace::{BranchTrace, CallLoopTrace, ExecutionTrace, TraceSink};

@@ -165,16 +165,54 @@ impl TraceSink for ThreadSink<'_> {
     }
 }
 
+/// Error from [`try_interleave`]: the requested schedule is not
+/// executable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterleaveError {
+    /// The scheduling quantum was zero — no scheduler can make
+    /// progress handing out zero records per turn.
+    ZeroQuantum,
+}
+
+impl fmt::Display for InterleaveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            InterleaveError::ZeroQuantum => write!(f, "scheduling quantum must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for InterleaveError {}
+
 /// Merges per-thread traces into one tagged stream, round-robin with
 /// the given scheduling `quantum` (records per turn) — the shape a
 /// time-sliced VM's merged profile buffer would have.
 ///
 /// # Panics
 ///
-/// Panics if `quantum` is zero.
+/// Panics if `quantum` is zero; [`try_interleave`] is the
+/// non-panicking form for externally supplied quanta.
 #[must_use]
 pub fn interleave(traces: Vec<ExecutionTrace>, quantum: usize) -> ThreadedTrace {
-    assert!(quantum > 0, "scheduling quantum must be positive");
+    match try_interleave(traces, quantum) {
+        Ok(merged) => merged,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`interleave`], but returning a typed error instead of panicking on
+/// an unschedulable quantum.
+///
+/// # Errors
+///
+/// Returns [`InterleaveError::ZeroQuantum`] if `quantum == 0`.
+pub fn try_interleave(
+    traces: Vec<ExecutionTrace>,
+    quantum: usize,
+) -> Result<ThreadedTrace, InterleaveError> {
+    if quantum == 0 {
+        return Err(InterleaveError::ZeroQuantum);
+    }
     // Flatten each trace into its record sequence (branches and
     // events in offset order).
     let mut streams: Vec<std::vec::IntoIter<ThreadedRecord>> = traces
@@ -217,7 +255,7 @@ pub fn interleave(traces: Vec<ExecutionTrace>, quantum: usize) -> ThreadedTrace 
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -300,5 +338,15 @@ mod tests {
     #[should_panic(expected = "quantum")]
     fn zero_quantum_rejected() {
         let _ = interleave(vec![], 0);
+    }
+
+    #[test]
+    fn zero_quantum_is_a_typed_error() {
+        let err = try_interleave(vec![trace(0, 5)], 0).unwrap_err();
+        assert_eq!(err, InterleaveError::ZeroQuantum);
+        assert!(err.to_string().contains("quantum"));
+        // Valid quanta still succeed through the fallible path.
+        let merged = try_interleave(vec![trace(0, 5)], 2).unwrap();
+        assert_eq!(merged.demux().len(), 1);
     }
 }

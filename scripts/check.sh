@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # The full local gate: release build, every workspace test suite, warning-free clippy across the
 # whole workspace, formatting, a deny-warnings static lint of every
-# built-in workload, an `opd plan` smoke run on the default grid, and
-# the fault-injection smoke pass (injector ledgers vs decoder reports).
+# built-in workload, an `opd plan` smoke run on the default grid, the
+# fault-injection smoke pass (injector ledgers vs decoder reports), an
+# `opd trace` smoke run, and the feature-gate guard keeping opd-core
+# free of opd-obs when `obs` is off.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,4 +15,13 @@ cargo fmt --check
 cargo run --release -q --bin opd -- lint --deny-warnings
 cargo run --release -q --bin opd -- plan --json > /dev/null
 cargo run --release -q --bin opd -- faults --smoke > /dev/null
+cargo run --release -q --bin opd -- trace lexgen --limit 5 --fuel 20000 > /dev/null
+# Zero-overhead-when-off also means zero-dependency-when-off: opd-core
+# without its `obs` feature must not pull in opd-obs at all. (The
+# BENCH_obs.json freshness/overhead acceptance tests run in the
+# workspace test suite above.)
+if (cd crates/core && cargo tree -e features) | grep -q "opd-obs"; then
+    echo "check.sh: opd-core depends on opd-obs without the obs feature" >&2
+    exit 1
+fi
 echo "check.sh: all gates passed"

@@ -20,10 +20,22 @@
 //!   kind and rate; `--write` updates `BENCH_faults.json`; `--smoke`
 //!   runs a fast ledger-vs-decoder consistency pass for CI.
 //! * `opd sweep [--scale N] [--fuel N] [--threads N]
-//!   [--checkpoint PATH] [--resume]` — run the default grid over all
-//!   workloads; with `--checkpoint`, completed (workload, unit)
-//!   buckets stream to a crash-safe file, and `--resume` restores
-//!   them after an interrupted run instead of recomputing.
+//!   [--checkpoint PATH] [--resume] [--stats [--json] [--write]]` —
+//!   run the default grid over all workloads; with `--checkpoint`,
+//!   completed (workload, unit) buckets stream to a crash-safe file
+//!   (with a heartbeat line per bucket on stderr), and `--resume`
+//!   restores them after an interrupted run instead of recomputing.
+//!   `--stats` runs the metered sweep and prints a per-bucket profile
+//!   plus the NullObserver overhead measurement; `--write` updates
+//!   `BENCH_obs.json`.
+//! * `opd trace TARGET [--config SPEC] [--json] [--limit N]
+//!   [--scale N] [--fuel N]` — stream one detector run's structured
+//!   event log (window slides, similarity scores, analyzer decisions,
+//!   phase transitions) for a workload or program listing.
+//!
+//! In `--json` modes stdout carries exactly one JSON document; all
+//! human-readable output moves to stderr (see
+//! [`opd_experiments::cli::Reporter`]).
 //!
 //! Exit codes: 0 clean, 1 lint findings at the failing severity,
 //! 2 usage/input errors.
@@ -33,6 +45,7 @@ use std::process::ExitCode;
 
 use opd_analyze::{Analysis, PlanAnalysis};
 use opd_core::SweepEngine;
+use opd_experiments::cli::Reporter;
 use opd_microvm::workloads::Workload;
 use opd_microvm::{parse_program, Program};
 
@@ -43,11 +56,19 @@ usage: opd lint [--json] [--deny-warnings] [--scale N] [TARGET...]
        opd faults [--smoke] [--scale N] [--write]
        opd sweep [--scale N] [--fuel N] [--threads N]
                  [--checkpoint PATH] [--resume]
+                 [--stats [--json] [--write]]
+       opd trace TARGET [--config SPEC] [--json] [--limit N]
+                 [--scale N] [--fuel N]
 
 TARGET is a built-in workload name (blockcomp, ruleng, tracer,
 querydb, srccomp, audiodec, parsegen, lexgen) or a path to a program
 listing in the MicroVM dump format. With no targets, all eight
-workloads are linted.";
+workloads are linted.
+
+A trace --config SPEC is comma-separated key=value pairs: cw, tw,
+skip, policy (constant|adaptive), anchor (rn|lnn), resize
+(slide|move), model (unweighted|weighted|pearson), threshold or
+delta.";
 
 struct LintOpts {
     json: bool,
@@ -70,7 +91,8 @@ fn main() -> ExitCode {
         },
         Some("bounds") => match args[1..] {
             [] => {
-                print!("{}", opd_experiments::analysis::static_bounds_json(1));
+                Reporter::new(false)
+                    .payload(opd_experiments::analysis::static_bounds_json(1).trim_end());
                 ExitCode::SUCCESS
             }
             [ref flag] if flag == "--write" => write_bounds_artifact(),
@@ -86,6 +108,10 @@ fn main() -> ExitCode {
         },
         Some("sweep") => match parse_sweep_args(&args[1..]) {
             Ok(opts) => sweep(&opts),
+            Err(message) => fail(&message),
+        },
+        Some("trace") => match parse_trace_args(&args[1..]) {
+            Ok(opts) => trace(&opts),
             Err(message) => fail(&message),
         },
         Some("help" | "--help" | "-h") | None => {
@@ -155,6 +181,7 @@ fn lint(opts: &LintOpts) -> ExitCode {
         Err(message) => return fail(&message),
     };
 
+    let reporter = Reporter::new(opts.json);
     let mut errors = 0usize;
     let mut warnings = 0usize;
     let mut json_entries = Vec::new();
@@ -165,21 +192,21 @@ fn lint(opts: &LintOpts) -> ExitCode {
         if opts.json {
             json_entries.push(format!(" \"{name}\": {}", analysis.to_json()));
         } else {
-            print!("{}", render_target(name, &analysis));
+            reporter.human(render_target(name, &analysis).trim_end());
         }
     }
     if opts.json {
-        println!("{{\n{}\n}}", json_entries.join(",\n"));
+        reporter.payload(format_args!("{{\n{}\n}}", json_entries.join(",\n")));
     } else {
         let verdict = if errors > 0 || (opts.deny_warnings && warnings > 0) {
             "FAIL"
         } else {
             "ok"
         };
-        println!(
+        reporter.human(format_args!(
             "lint: {} target(s), {errors} error(s), {warnings} warning(s): {verdict}",
             named.len()
-        );
+        ));
     }
     if errors > 0 || (opts.deny_warnings && warnings > 0) {
         ExitCode::FAILURE
@@ -267,19 +294,22 @@ fn plan(opts: &PlanOpts) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let reporter = Reporter::new(opts.json);
     if opts.write {
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_plan.json");
         if let Err(e) = std::fs::write(path, opd_experiments::analysis::plan_json(opts.scale)) {
             eprintln!("error: cannot write {path}: {e}");
             return ExitCode::from(2);
         }
-        println!("wrote {path}");
+        // Through the reporter: with --json this lands on stderr, so
+        // `--json --write` stdout stays one parseable document.
+        reporter.human(format_args!("wrote {path}"));
     }
 
     if opts.json {
-        print!("{}", opd_experiments::analysis::plan_json(opts.scale));
+        reporter.payload(opd_experiments::analysis::plan_json(opts.scale).trim_end());
     } else {
-        print!("{}", render_plan(&analysis, actual_scans, opts.prune));
+        reporter.human(render_plan(&analysis, actual_scans, opts.prune).trim_end());
     }
     if analysis.error_count() > 0 {
         ExitCode::FAILURE
@@ -388,11 +418,12 @@ fn parse_faults_args(args: &[String]) -> Result<FaultsOpts, String> {
 }
 
 fn faults(opts: &FaultsOpts) -> ExitCode {
+    let reporter = Reporter::new(false);
     if opts.smoke {
         // The smoke pass asserts internally that injector ledgers and
         // decoder corruption reports agree exactly.
-        println!("{}", opd_experiments::faults::smoke(opts.scale));
-        println!("faults --smoke: ok");
+        reporter.human(opd_experiments::faults::smoke(opts.scale));
+        reporter.human("faults --smoke: ok");
         return ExitCode::SUCCESS;
     }
     let json = opd_experiments::faults::faults_json(opts.scale);
@@ -402,9 +433,9 @@ fn faults(opts: &FaultsOpts) -> ExitCode {
             eprintln!("error: cannot write {path}: {e}");
             return ExitCode::from(2);
         }
-        println!("wrote {path}");
+        reporter.human(format_args!("wrote {path}"));
     } else {
-        print!("{json}");
+        reporter.payload(json.trim_end());
     }
     ExitCode::SUCCESS
 }
@@ -415,6 +446,9 @@ struct SweepOpts {
     threads: usize,
     checkpoint: Option<String>,
     resume: bool,
+    stats: bool,
+    json: bool,
+    write: bool,
 }
 
 fn parse_sweep_args(args: &[String]) -> Result<SweepOpts, String> {
@@ -424,11 +458,17 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepOpts, String> {
         threads: 1,
         checkpoint: None,
         resume: false,
+        stats: false,
+        json: false,
+        write: false,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--resume" => opts.resume = true,
+            "--stats" => opts.stats = true,
+            "--json" => opts.json = true,
+            "--write" => opts.write = true,
             "--scale" => {
                 let value = iter.next().ok_or("missing value for --scale")?;
                 opts.scale = value
@@ -457,16 +497,24 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepOpts, String> {
     if opts.resume && opts.checkpoint.is_none() {
         return Err("--resume requires --checkpoint PATH".to_owned());
     }
+    if opts.stats && opts.checkpoint.is_some() {
+        return Err("--stats cannot be combined with --checkpoint".to_owned());
+    }
+    if (opts.json || opts.write) && !opts.stats {
+        return Err("sweep --json/--write require --stats".to_owned());
+    }
     Ok(opts)
 }
 
 fn sweep(opts: &SweepOpts) -> ExitCode {
     use opd_experiments::faults::STUDY_MPL;
 
+    let reporter = Reporter::new(opts.json);
     let configs = opd_experiments::grid::default_plan_grid();
     let prepared =
         opd_experiments::runner::prepare_all(&Workload::ALL, opts.scale, &[STUDY_MPL], opts.fuel);
 
+    let mut profile = None;
     let runs = if let Some(path) = &opts.checkpoint {
         let fingerprint = opd_experiments::checkpoint::run_fingerprint(
             &configs,
@@ -474,16 +522,21 @@ fn sweep(opts: &SweepOpts) -> ExitCode {
             opts.scale,
             opts.fuel,
         );
-        match opd_experiments::checkpoint::sweep_many_checkpointed(
+        // The heartbeat goes to stderr unconditionally: it is
+        // progress reporting for long runs, not output.
+        let heartbeat =
+            |done: usize, total: usize| eprintln!("sweep: checkpoint bucket {done}/{total}");
+        match opd_experiments::checkpoint::sweep_many_checkpointed_with_progress(
             &prepared,
             &configs,
             opts.threads,
             std::path::Path::new(path),
             fingerprint,
             opts.resume,
+            &heartbeat,
         ) {
             Ok((runs, summary)) => {
-                println!(
+                reporter.human(format_args!(
                     "checkpoint: {} bucket(s) restored, {} computed{}",
                     summary.restored_buckets,
                     summary.computed_buckets,
@@ -495,7 +548,7 @@ fn sweep(opts: &SweepOpts) -> ExitCode {
                     } else {
                         String::new()
                     },
-                );
+                ));
                 runs
             }
             Err(e) => {
@@ -503,6 +556,11 @@ fn sweep(opts: &SweepOpts) -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+    } else if opts.stats {
+        let (runs, p) =
+            opd_experiments::obs::sweep_many_profiled(&prepared, &configs, opts.threads);
+        profile = Some(p);
+        runs
     } else {
         opd_experiments::runner::sweep_many(&prepared, &configs, opts.threads)
     };
@@ -518,12 +576,196 @@ fn sweep(opts: &SweepOpts) -> ExitCode {
                 .sum::<f64>()
                 / config_runs.len() as f64
         };
-        println!(
+        reporter.human(format_args!(
             "{:<10} {:>9} element(s)  mean combined accuracy {:.4}",
             p.workload().name(),
             p.total_elements(),
             mean,
+        ));
+    }
+
+    if let Some(profile) = profile {
+        // Measure the zero-overhead-when-off claim on the densest
+        // trace at hand (lexgen by convention, first otherwise).
+        let bench = prepared
+            .iter()
+            .find(|p| p.workload().name() == "lexgen")
+            .unwrap_or(&prepared[0]);
+        let overhead = opd_experiments::obs::null_observer_overhead(
+            bench,
+            &configs,
+            opd_experiments::obs::OBS_SAMPLES,
         );
+        reporter.human(profile.table().to_string().trim_end());
+        reporter.human(format_args!(
+            "lpt imbalance {:.3} over {} thread(s); null-observer overhead {:.2}% \
+             ({} samples, {:.2} ms plain vs {:.2} ms instrumented)",
+            profile.imbalance(),
+            profile.threads,
+            (overhead.ratio() - 1.0) * 100.0,
+            overhead.samples,
+            overhead.plain_nanos as f64 / 1e6,
+            overhead.instrumented_nanos as f64 / 1e6,
+        ));
+        let json = opd_experiments::obs::obs_json(
+            opts.scale,
+            opts.fuel,
+            configs.len(),
+            &overhead,
+            &profile,
+        );
+        if opts.write {
+            let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_obs.json");
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            reporter.human(format_args!("wrote {path}"));
+        }
+        if opts.json {
+            reporter.payload(json.trim_end());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+struct TraceOpts {
+    target: String,
+    config: String,
+    json: bool,
+    limit: Option<usize>,
+    scale: u32,
+    fuel: u64,
+}
+
+fn parse_trace_args(args: &[String]) -> Result<TraceOpts, String> {
+    let mut opts = TraceOpts {
+        target: String::new(),
+        config: String::new(),
+        json: false,
+        limit: None,
+        scale: 1,
+        fuel: opd_experiments::faults::STUDY_FUEL,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_for = |name: &str| {
+            iter.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--config" => opts.config = value_for("--config")?.to_owned(),
+            "--limit" => {
+                let value = value_for("--limit")?;
+                opts.limit = Some(
+                    value
+                        .parse()
+                        .map_err(|e| format!("bad --limit `{value}`: {e}"))?,
+                );
+            }
+            "--scale" => {
+                let value = value_for("--scale")?;
+                opts.scale = value
+                    .parse()
+                    .map_err(|e| format!("bad --scale `{value}`: {e}"))?;
+            }
+            "--fuel" => {
+                let value = value_for("--fuel")?;
+                opts.fuel = value
+                    .parse()
+                    .map_err(|e| format!("bad --fuel `{value}`: {e}"))?;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown trace flag `{flag}`")),
+            target if opts.target.is_empty() => opts.target = target.to_owned(),
+            extra => return Err(format!("unexpected trace argument `{extra}`")),
+        }
+    }
+    if opts.target.is_empty() {
+        return Err("trace requires a TARGET".to_owned());
+    }
+    Ok(opts)
+}
+
+fn trace(opts: &TraceOpts) -> ExitCode {
+    use opd_core::{InternedTrace, NullSink, PhaseDetector};
+    use opd_obs::{DetectorEvent, FnObserver};
+
+    let config = match opd_experiments::cli::parse_config_spec(&opts.config) {
+        Ok(config) => config,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let (name, program) = match resolve(&opts.target, opts.scale) {
+        Ok(resolved) => resolved,
+        Err(message) => return fail(&message),
+    };
+    let seed = Workload::ALL
+        .iter()
+        .find(|w| w.name() == opts.target)
+        .map_or(0, |w| w.default_seed());
+    let mut execution = opd_trace::ExecutionTrace::new();
+    if let Err(e) = opd_microvm::Interpreter::new(&program, seed)
+        .with_fuel(opts.fuel)
+        .run(&mut execution)
+    {
+        eprintln!("error: `{name}` failed to execute: {e}");
+        return ExitCode::FAILURE;
+    }
+    let interned = InternedTrace::from_elements(execution.branches().iter().copied());
+
+    let reporter = Reporter::new(opts.json);
+    let limit = opts.limit.unwrap_or(usize::MAX);
+    let mut emitted = 0usize;
+    let mut total = 0usize;
+    let mut json_events: Vec<String> = Vec::new();
+    let mut detector = PhaseDetector::new(config);
+    {
+        let mut observer = FnObserver(|event: &DetectorEvent| {
+            total += 1;
+            if emitted < limit {
+                emitted += 1;
+                if opts.json {
+                    json_events.push(format!("    {}", event.to_json()));
+                } else {
+                    reporter.human(event);
+                }
+            }
+        });
+        detector.run_interned_with_observer(&interned, &mut NullSink, &mut observer);
+    }
+    let phases = detector.detected_phases().len();
+
+    if opts.json {
+        let mut doc = String::new();
+        let _ = writeln!(doc, "{{");
+        let _ = writeln!(doc, "  \"target\": \"{name}\",");
+        let _ = writeln!(
+            doc,
+            "  \"config\": {{\"cw\": {}, \"tw\": {}, \"skip\": {}}},",
+            config.current_window(),
+            config.trailing_window(),
+            config.skip_factor(),
+        );
+        let _ = writeln!(doc, "  \"events\": [");
+        let _ = writeln!(doc, "{}", json_events.join(",\n"));
+        let _ = writeln!(doc, "  ],");
+        let _ = writeln!(
+            doc,
+            "  \"summary\": {{\"events\": {total}, \"shown\": {emitted}, \
+             \"elements\": {}, \"phases\": {phases}}}",
+            interned.len(),
+        );
+        let _ = write!(doc, "}}");
+        reporter.payload(doc);
+    } else {
+        if total > emitted {
+            reporter.human(format_args!("... {} more event(s)", total - emitted));
+        }
+        reporter.human(format_args!(
+            "trace: {name}: {} element(s), {total} event(s), {phases} phase(s)",
+            interned.len(),
+        ));
     }
     ExitCode::SUCCESS
 }
