@@ -5,8 +5,10 @@
 //! must *do* with those events, without running anything:
 //!
 //! * **Exact scan counts** — [`predicted_scans`] replicates the sweep
-//!   engine's grouping rule (one scan per distinct shape among
-//!   window-sharing configs, one per private config) and therefore
+//!   engine's grouping rule (one scan per distinct shape per TW
+//!   policy among window-sharing configs — Constant groups share
+//!   directly, Adaptive groups through the forking scan — and one per
+//!   private config) and therefore
 //!   matches [`opd_core::SweepEngine::total_scans`] exactly; the
 //!   `opd plan` CLI asserts this agreement on every run.
 //! * **Comparison-op upper bounds** — per config × workload, from the
@@ -17,45 +19,49 @@
 //!   `SweepUnit::cost()` (a fixed 8:1 scan-to-member weighting that
 //!   ignored trace length, skip factor, and model entirely).
 //!
-//! The per-step op counts mirror the implementation: the unweighted
-//! model and the tracked weighted fast path read O(1) incremental
-//! counters per judged step, the untracked weighted slow path walks
-//! the CW's distinct sites, and Pearson walks the distinct sites of
-//! both windows. Window maintenance costs a constant per element
-//! (deque push, eviction, two site-table updates, distinct-set
-//! upkeep) — once per scan for a shared group, once per member
-//! otherwise.
+//! The per-step op counts mirror the *default* (SWAR) window kernel
+//! of `opd-core` — the one every sweep runs on unless explicitly
+//! switched to the scalar reference. Below the rank-mode skip cutoff
+//! the kernel judges densely: the unweighted model popcounts the
+//! membership bit lanes (one `u64` per 64 alphabet sites), the
+//! weighted model min-sums the per-site count columns, and Pearson
+//! pays both a count pass and a lane pass. From
+//! [`opd_core::RANK_MODE_MIN_SKIP`] upward the kernel may answer each
+//! judge from the per-trace rank index instead — three rank lookups
+//! and a reduction per site, for every model — which dominates the
+//! dense costs, so that regime is bounded by the rank cost whether or
+//! not the trace is rank-eligible. Window maintenance costs a
+//! constant per element (count/bit updates over the dirty spans) —
+//! once per scan for a shared group, once per member otherwise.
 
 use std::collections::HashSet;
 
-use opd_core::{DetectorConfig, ModelPolicy, SweepUnit, TwPolicy};
+use opd_core::{DetectorConfig, ModelPolicy, SweepUnit, RANK_MODE_MIN_SKIP};
 
-/// Relative weight of one element's window maintenance (deque push,
-/// eviction, site-table updates, distinct-set upkeep).
+/// Relative weight of one element's window maintenance (count and
+/// membership-bit updates over the dirty spans, warm tracking).
 const WINDOW_OPS_PER_ELEMENT: u64 = 8;
 
 /// Comparison ops one judged step costs for `config` against a trace
-/// whose alphabet (distinct-site count) is at most `alphabet`.
+/// whose alphabet (distinct-site count) is at most `alphabet`,
+/// modeling the default (SWAR) kernel; degenerate zero bounds still
+/// cost the fixed judge overhead.
 fn per_step_ops(config: &DetectorConfig, alphabet: u64) -> u64 {
-    let cw = config.current_window() as u64;
-    let tw = config.trailing_window() as u64;
-    // A window over a trace with `alphabet` distinct sites holds at
-    // most min(capacity, alphabet) distinct entries; degenerate zero
-    // bounds still cost the fixed judge overhead.
-    let distinct = |cap: u64| cap.min(alphabet).max(1);
+    let d = alphabet.max(1);
+    if config.skip_factor() >= RANK_MODE_MIN_SKIP {
+        // Rank mode (or the dense judging it dominates): three rank
+        // lookups and a reduction per site, every model.
+        return d.saturating_mul(4).saturating_add(2);
+    }
+    let lanes = d.div_ceil(64);
     match config.model() {
-        // Incremental counters: O(1) per similarity read.
-        ModelPolicy::UnweightedSet => 2,
-        ModelPolicy::WeightedSet => match config.tw_policy() {
-            // Warm constant-TW windows use the tracked integer
-            // min-sum fast path.
-            TwPolicy::Constant => 2,
-            // Adaptive windows judge over capacity: the slow path
-            // walks the CW's distinct sites.
-            TwPolicy::Adaptive => distinct(cw).saturating_add(2),
-        },
-        // Pearson walks the distinct sites of both windows.
-        ModelPolicy::Pearson => distinct(cw).saturating_add(distinct(tw)).saturating_add(2),
+        // One popcount pass over the membership bit lanes.
+        ModelPolicy::UnweightedSet => lanes.saturating_add(2),
+        // One min-sum pass over the per-site count columns.
+        ModelPolicy::WeightedSet => d.saturating_add(2),
+        // A count pass for the moment sums plus a lane pass for the
+        // union and shared supports.
+        ModelPolicy::Pearson => d.saturating_add(lanes).saturating_add(2),
     }
 }
 
@@ -109,16 +115,24 @@ impl ConfigCost {
 }
 
 /// Trace scans a sweep over `configs` performs, predicted statically:
-/// one per distinct shape among window-sharing configs plus one per
-/// private config. Matches `SweepEngine::total_scans()` exactly — the
-/// grouping rule here is the engine's planning rule.
+/// one per distinct shape among Constant-TW window-sharing configs,
+/// one per distinct shape among adaptively sharing configs (the
+/// forking scan), plus one per private config. Matches
+/// `SweepEngine::total_scans()` exactly — the grouping rule here is
+/// the engine's planning rule, including its separate shape maps per
+/// TW policy.
 #[must_use]
 pub fn predicted_scans(configs: &[DetectorConfig]) -> usize {
-    let mut shapes = HashSet::new();
+    let mut constant_shapes = HashSet::new();
+    let mut adaptive_shapes = HashSet::new();
     let mut scans = 0usize;
     for config in configs {
         if config.shares_windows() {
-            if shapes.insert(config.shape()) {
+            if constant_shapes.insert(config.shape()) {
+                scans += 1;
+            }
+        } else if config.shares_windows_adaptively() {
+            if adaptive_shapes.insert(config.shape()) {
                 scans += 1;
             }
         } else {
@@ -140,25 +154,42 @@ pub fn unit_cost(
     elements: u64,
     alphabet: u64,
 ) -> u64 {
-    let mut cost = if unit.is_shared() {
+    let (window, compare) = unit_cost_parts(configs, unit, elements, alphabet);
+    window.saturating_add(compare)
+}
+
+/// [`unit_cost`] split into its `(window maintenance, comparison)`
+/// parts. The comparison part is a worst case assuming *every* step is
+/// judged; a scheduler with a measured judged-step density for the
+/// trace at hand can scale it before summing (the experiment runner's
+/// calibrated LPT pricing does exactly that).
+#[must_use]
+pub fn unit_cost_parts(
+    configs: &[DetectorConfig],
+    unit: &SweepUnit,
+    elements: u64,
+    alphabet: u64,
+) -> (u64, u64) {
+    let mut window = if unit.is_shared() {
         elements.saturating_mul(WINDOW_OPS_PER_ELEMENT)
     } else {
         0
     };
+    let mut compare = 0u64;
     for &i in unit.config_indices() {
         let member = ConfigCost::of(&configs[i], elements, alphabet);
         if !unit.is_shared() {
-            cost = cost.saturating_add(member.window_ops());
+            window = window.saturating_add(member.window_ops());
         }
-        cost = cost.saturating_add(member.compare_ops().unwrap_or(u64::MAX));
+        compare = compare.saturating_add(member.compare_ops().unwrap_or(u64::MAX));
     }
-    cost
+    (window, compare)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use opd_core::{AnalyzerPolicy, SweepEngine};
+    use opd_core::{AnalyzerPolicy, SweepEngine, TwPolicy};
 
     fn grid() -> Vec<DetectorConfig> {
         let mut configs = Vec::new();
@@ -195,7 +226,8 @@ mod tests {
         let configs = grid();
         let engine = SweepEngine::new(&configs);
         assert_eq!(predicted_scans(&configs), engine.total_scans());
-        assert_eq!(predicted_scans(&configs), 4); // 2 shapes + 2 private
+        // 2 constant shapes + 1 adaptive shape + 1 private (skip>cw).
+        assert_eq!(predicted_scans(&configs), 4);
         assert_eq!(predicted_scans(&[]), 0);
     }
 
@@ -208,19 +240,37 @@ mod tests {
             .unwrap();
         let c = ConfigCost::of(&unweighted, 100, 1_000);
         assert_eq!(c.steps(), 34); // ceil(100 / 3)
-        assert_eq!(c.compare_ops(), Some(68));
+                                   // 16 lanes cover a 1000-site alphabet: 34 * (16 + 2).
+        assert_eq!(c.compare_ops(), Some(612));
         let pearson = DetectorConfig::builder()
             .current_window(10)
             .trailing_window(20)
             .model(ModelPolicy::Pearson)
             .build()
             .unwrap();
-        // Alphabet of 5 caps both windows' distinct walks.
-        assert_eq!(ConfigCost::of(&pearson, 100, 5).compare_ops(), Some(1_200));
+        // 5 count columns + 1 lane + 2 per step, 100 steps.
+        assert_eq!(ConfigCost::of(&pearson, 100, 5).compare_ops(), Some(800));
         assert!(
             ConfigCost::of(&pearson, 100, 5).total().unwrap()
                 > ConfigCost::of(&unweighted, 100, 5).total().unwrap()
         );
+    }
+
+    #[test]
+    fn rank_mode_skips_are_priced_per_site() {
+        // At skip >= RANK_MODE_MIN_SKIP the kernel may judge through
+        // the rank index: 4 ops per site + 2, regardless of model.
+        for model in ModelPolicy::ALL_EXTENDED {
+            let config = DetectorConfig::builder()
+                .current_window(100)
+                .skip_factor(50)
+                .model(model)
+                .build()
+                .unwrap();
+            let c = ConfigCost::of(&config, 100, 5);
+            assert_eq!(c.steps(), 2);
+            assert_eq!(c.compare_ops(), Some(2 * (4 * 5 + 2)), "{model}");
+        }
     }
 
     #[test]

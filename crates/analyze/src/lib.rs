@@ -53,7 +53,7 @@ mod plan;
 
 pub use bounds::StaticBounds;
 pub use callgraph::{CallEdge, CallGraph, RecursionCycle};
-pub use cost::{predicted_scans, unit_cost, ConfigCost};
+pub use cost::{predicted_scans, unit_cost, unit_cost_parts, ConfigCost};
 pub use diag::{Code, Diagnostic, Severity};
 pub use equiv::{
     always_fires, canonicalize, equivalence_classes, snap_threshold, snap_threshold_fixed,

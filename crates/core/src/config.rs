@@ -207,15 +207,29 @@ impl DetectorConfig {
         ConfigShape::of(self)
     }
 
-    /// Whether this config may share windows with same-shape configs
-    /// in a sweep: constant trailing window (adaptive windows mutate
-    /// per-config at phase starts) and `skip ≤ cw` (a flush keeping
-    /// more than `cw` elements transiently over-fills a private CW —
-    /// a state a shared window never visits). See the `sweep` module
-    /// docs for the full argument.
+    /// Whether this config may share windows *directly* with
+    /// same-shape configs in a sweep: constant trailing window (the
+    /// windows evolve as a pure FIFO regardless of phase decisions)
+    /// and `skip ≤ cw` (a flush keeping more than `cw` elements
+    /// transiently over-fills a private CW — a state a shared window
+    /// never visits). See the `sweep` module docs for the full
+    /// argument.
     #[must_use]
     pub fn shares_windows(&self) -> bool {
         self.tw_policy == TwPolicy::Constant && self.skip_factor <= self.cw_size
+    }
+
+    /// Whether this config may share windows through the *forking*
+    /// adaptive scan: an adaptive-TW config deviates from the
+    /// same-shape FIFO only while inside a phase (the anchor/resize
+    /// mutation at phase entry, then TW growth), and after the
+    /// phase-exit flush its refilled state is again FIFO-identical —
+    /// so in-Transition members can judge off one shared FIFO and
+    /// in-Phase members off copy-on-entry forks. Needs the same
+    /// `skip ≤ cw` bound as [`shares_windows`](Self::shares_windows).
+    #[must_use]
+    pub fn shares_windows_adaptively(&self) -> bool {
+        self.tw_policy == TwPolicy::Adaptive && self.skip_factor <= self.cw_size
     }
 }
 

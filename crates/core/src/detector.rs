@@ -8,6 +8,7 @@ use crate::analyzer::Analyzer;
 use crate::boundary::DetectedPhase;
 use crate::config::DetectorConfig;
 use crate::intern::InternedTrace;
+use crate::kernel::{KernelKind, SwarKernelState, SwarWindows, WindowKernel};
 use crate::window::{TwPolicy, Windows};
 
 /// Error returned by the fallible detector entry points.
@@ -57,6 +58,114 @@ impl StateSink for StateSeq {
     }
 }
 
+/// The kernel-independent half of a detector: configuration, analyzer,
+/// the `P`/`T` state machine, and the detected-phase ledger. Split out
+/// of [`PhaseDetector`] so the per-step logic is generic over the
+/// [`WindowKernel`] while the detector owns the storage of both
+/// kernels.
+#[derive(Debug, Clone)]
+struct DetectorCore {
+    config: DetectorConfig,
+    analyzer: Analyzer,
+    state: PhaseState,
+    consumed: u64,
+    last_similarity: Option<f64>,
+    phases: Vec<DetectedPhase>,
+}
+
+impl DetectorCore {
+    fn new(config: DetectorConfig) -> Self {
+        DetectorCore {
+            analyzer: Analyzer::new(config.analyzer()),
+            state: PhaseState::Transition,
+            consumed: 0,
+            last_similarity: None,
+            phases: Vec::new(),
+            config,
+        }
+    }
+
+    fn tw_grows(&self) -> bool {
+        self.config.tw_policy() == TwPolicy::Adaptive && self.state.is_phase()
+    }
+
+    fn finish_step<K: WindowKernel>(&mut self, windows: &mut K, step_len: usize) -> PhaseState {
+        let step_start = self.consumed;
+        self.consumed += step_len as u64;
+
+        let new_state = if windows.is_warm() {
+            let sim = windows.similarity(self.config.model());
+            self.last_similarity = Some(sim);
+            self.analyzer.judge(sim)
+        } else {
+            PhaseState::Transition
+        };
+
+        match (self.state, new_state) {
+            (PhaseState::Transition, PhaseState::Phase) => {
+                // Start of a phase: place the anchor, optionally resize
+                // the windows (adaptive TW), and reset the analyzer's
+                // phase statistics.
+                let anchor_idx = windows.anchor_index(self.config.anchor());
+                let anchored_start = if self.config.tw_policy() == TwPolicy::Adaptive {
+                    windows.anchor_and_resize(anchor_idx, self.config.resize())
+                } else {
+                    windows.offset_of_index(anchor_idx)
+                };
+                self.analyzer.reset();
+                self.phases.push(DetectedPhase {
+                    start: step_start,
+                    anchored_start,
+                    end: None,
+                });
+            }
+            (PhaseState::Phase, PhaseState::Transition) => {
+                // End of a phase: flush the windows, re-seeding the CW
+                // with this step's elements.
+                windows.clear_keep_last(self.config.skip_factor());
+                if let Some(open) = self.phases.last_mut() {
+                    open.end = Some(step_start);
+                }
+            }
+            (PhaseState::Phase, PhaseState::Phase) => {
+                if let Some(sim) = self.last_similarity {
+                    self.analyzer.update(sim);
+                }
+            }
+            (PhaseState::Transition, PhaseState::Transition) => {}
+        }
+
+        self.state = new_state;
+        new_state
+    }
+
+    fn close_open_phase(&mut self) {
+        let consumed = self.consumed;
+        if let Some(open) = self.phases.last_mut() {
+            if open.end.is_none() {
+                open.end = Some(consumed);
+            }
+        }
+    }
+}
+
+/// The chunk loop of an interned-trace run: one kernel advance and one
+/// state-machine step per `skip_factor` elements.
+fn drive<K: WindowKernel, S: StateSink>(
+    core: &mut DetectorCore,
+    windows: &mut K,
+    trace: &InternedTrace,
+    sink: &mut S,
+) {
+    for chunk in trace.ids().chunks(core.config.skip_factor()) {
+        let tw_grows = core.tw_grows();
+        windows.advance(chunk, tw_grows);
+        let state = core.finish_step(windows, chunk.len());
+        sink.record(state, chunk.len());
+    }
+    core.close_open_phase();
+}
+
 /// An online phase detector: one instantiation of the framework.
 ///
 /// The detector consumes `skip_factor` profile elements per step and
@@ -65,6 +174,16 @@ impl StateSink for StateSeq {
 /// analyzer decides `P` or `T`, with the phase start/end actions of
 /// Figure 3 (anchor the trailing window, reset analyzer statistics,
 /// flush windows) applied at state changes.
+///
+/// Two interchangeable window kernels back the detector (see
+/// [`KernelKind`] and the `kernel` module docs): the scalar deque
+/// reference and the default SoA/bitset (SWAR) kernel. The kernel
+/// choice affects only the interned-trace run paths
+/// ([`run_interned`](PhaseDetector::run_interned) and friends) —
+/// streaming input via [`process`](PhaseDetector::process)/
+/// [`run`](PhaseDetector::run) always uses the scalar kernel, which is
+/// the only one that works without the whole trace up front. Both
+/// kernels produce bit-identical similarity and state streams.
 ///
 /// # Examples
 ///
@@ -82,66 +201,82 @@ impl StateSink for StateSeq {
 /// ```
 #[derive(Debug, Clone)]
 pub struct PhaseDetector {
-    config: DetectorConfig,
+    core: DetectorCore,
     windows: Windows,
-    analyzer: Analyzer,
-    state: PhaseState,
     interner: HashMap<u64, u32>,
-    consumed: u64,
-    last_similarity: Option<f64>,
-    phases: Vec<DetectedPhase>,
+    kernel: KernelKind,
+    swar: SwarKernelState,
 }
 
 impl PhaseDetector {
-    /// Creates a detector for the given configuration.
+    /// Creates a detector for the given configuration, on the default
+    /// kernel.
     #[must_use]
     pub fn new(config: DetectorConfig) -> Self {
+        Self::with_kernel(config, KernelKind::default())
+    }
+
+    /// Creates a detector for the given configuration on an explicit
+    /// window kernel (see the type docs for what the choice affects).
+    #[must_use]
+    pub fn with_kernel(config: DetectorConfig, kernel: KernelKind) -> Self {
         PhaseDetector {
             windows: Windows::with_weighted_tracking(
                 config.current_window(),
                 config.trailing_window(),
                 config.model() == crate::ModelPolicy::WeightedSet,
             ),
-            analyzer: Analyzer::new(config.analyzer()),
-            state: PhaseState::Transition,
             interner: HashMap::new(),
-            consumed: 0,
-            last_similarity: None,
-            phases: Vec::new(),
-            config,
+            kernel,
+            swar: SwarKernelState::default(),
+            core: DetectorCore::new(config),
         }
     }
 
     /// Returns the detector's configuration.
     #[must_use]
     pub fn config(&self) -> &DetectorConfig {
-        &self.config
+        &self.core.config
     }
 
     /// Returns the current output state.
     #[must_use]
     pub fn state(&self) -> PhaseState {
-        self.state
+        self.core.state
     }
 
-    /// Returns the window state (for inspection and tests).
+    /// Returns the scalar-kernel window state (for inspection and
+    /// tests of the streaming paths; interned runs on the default SWAR
+    /// kernel do not populate it).
     #[must_use]
     pub fn windows(&self) -> &Windows {
         &self.windows
     }
 
+    /// The window kernel this detector's interned runs use.
+    #[must_use]
+    pub fn kernel(&self) -> KernelKind {
+        self.kernel
+    }
+
+    /// Switches the window kernel for subsequent interned runs.
+    pub fn set_kernel(&mut self, kernel: KernelKind) {
+        self.kernel = kernel;
+    }
+
     /// The similarity value computed at the most recent warm step.
     #[must_use]
     pub fn last_similarity(&self) -> Option<f64> {
-        self.last_similarity
+        self.core.last_similarity
     }
 
-    /// Pre-sizes the per-site window tables for `n_sites` distinct
-    /// elements — typically a static alphabet bound from the
-    /// `opd-analyze` crate — so a run over any trace with at most that
-    /// many distinct elements never grows them mid-scan.
+    /// Pre-sizes the per-site window tables (of both kernels) for
+    /// `n_sites` distinct elements — typically a static alphabet bound
+    /// from the `opd-analyze` crate — so a run over any trace with at
+    /// most that many distinct elements never grows them mid-scan.
     pub fn reserve_sites(&mut self, n_sites: usize) {
         self.windows.ensure_sites(n_sites);
+        self.swar.ensure_sites(n_sites);
     }
 
     /// The detector's confidence in its current state, in `[0, 1]`:
@@ -150,21 +285,22 @@ impl PhaseDetector {
     /// filled for the first time.
     #[must_use]
     pub fn confidence(&self) -> Option<f64> {
-        self.last_similarity
-            .map(|sim| self.analyzer.confidence(sim))
+        self.core
+            .last_similarity
+            .map(|sim| self.core.analyzer.confidence(sim))
     }
 
     /// Total profile elements consumed so far.
     #[must_use]
     pub fn elements_consumed(&self) -> u64 {
-        self.consumed
+        self.core.consumed
     }
 
     /// The phases detected so far, in order. The last phase has
     /// `end == None` while the detector is still in it.
     #[must_use]
     pub fn detected_phases(&self) -> &[DetectedPhase] {
-        &self.phases
+        &self.core.phases
     }
 
     /// `processProfile`: consumes one step of profile elements
@@ -177,13 +313,13 @@ impl PhaseDetector {
     /// Panics if `elements` is empty.
     pub fn process(&mut self, elements: &[ProfileElement]) -> PhaseState {
         assert!(!elements.is_empty(), "a step needs at least one element");
-        let tw_grows = self.tw_grows();
+        let tw_grows = self.core.tw_grows();
         for e in elements {
             let next = self.interner.len() as u32;
             let id = *self.interner.entry(e.raw()).or_insert(next);
             self.windows.push(id, tw_grows);
         }
-        self.finish_step(elements.len())
+        self.core.finish_step(&mut self.windows, elements.len())
     }
 
     /// Like [`process`](PhaseDetector::process), but rejects an empty
@@ -211,7 +347,7 @@ impl PhaseDetector {
     /// is closed at the trace length.
     pub fn run(&mut self, trace: &BranchTrace) -> StateSeq {
         let mut seq = StateSeq::with_capacity(trace.len());
-        for chunk in trace.as_slice().chunks(self.config.skip_factor()) {
+        for chunk in trace.as_slice().chunks(self.core.config.skip_factor()) {
             let state = self.process(chunk);
             seq.push_n(state, chunk.len());
         }
@@ -237,16 +373,22 @@ impl PhaseDetector {
     /// path: nothing is allocated per element, only the detected phase
     /// list grows (one entry per phase).
     pub fn run_interned_with<S: StateSink>(&mut self, trace: &InternedTrace, sink: &mut S) {
-        self.windows.ensure_sites(trace.distinct_count() as usize);
-        for chunk in trace.ids().chunks(self.config.skip_factor()) {
-            let tw_grows = self.tw_grows();
-            for &id in chunk {
-                self.windows.push(id, tw_grows);
+        match self.kernel {
+            KernelKind::Scalar => {
+                self.windows.ensure_sites(trace.distinct_count() as usize);
+                drive(&mut self.core, &mut self.windows, trace, sink);
             }
-            let state = self.finish_step(chunk.len());
-            sink.record(state, chunk.len());
+            KernelKind::Swar => {
+                let config = &self.core.config;
+                let (skip, cw, tw) = (
+                    config.skip_factor(),
+                    config.current_window(),
+                    config.trailing_window(),
+                );
+                let mut windows = SwarWindows::begin(&mut self.swar, trace, skip, cw, tw);
+                drive(&mut self.core, &mut windows, trace, sink);
+            }
         }
-        self.close_open_phase();
     }
 
     /// Runs over a pre-interned trace discarding the state stream and
@@ -258,23 +400,24 @@ impl PhaseDetector {
     }
 
     /// Resets this detector to a fresh run of `config`, reusing the
-    /// window allocations (per-site tables, element deque, distinct
-    /// lists) sized by previous runs. Equivalent to
-    /// `*self = PhaseDetector::new(config)` but without reallocating —
-    /// the sweep engine's per-thread scratch path.
+    /// allocations of both kernels (per-site tables, element deque,
+    /// distinct lists) sized by previous runs and keeping the kernel
+    /// choice. Equivalent to `*self = PhaseDetector::new(config)` but
+    /// without reallocating — the sweep engine's per-thread scratch
+    /// path.
     pub fn reconfigure(&mut self, config: DetectorConfig) {
         self.windows.reset_shape(
             config.current_window(),
             config.trailing_window(),
             config.model() == crate::ModelPolicy::WeightedSet,
         );
-        self.analyzer = Analyzer::new(config.analyzer());
-        self.state = PhaseState::Transition;
+        self.core.analyzer = Analyzer::new(config.analyzer());
+        self.core.state = PhaseState::Transition;
         self.interner.clear();
-        self.consumed = 0;
-        self.last_similarity = None;
-        self.phases.clear();
-        self.config = config;
+        self.core.consumed = 0;
+        self.core.last_similarity = None;
+        self.core.phases.clear();
+        self.core.config = config;
     }
 
     /// Takes ownership of the detected phase list, leaving the
@@ -282,98 +425,13 @@ impl PhaseDetector {
     /// [`reconfigure`](PhaseDetector::reconfigure) for scratch reuse).
     #[must_use]
     pub fn take_phases(&mut self) -> Vec<DetectedPhase> {
-        std::mem::take(&mut self.phases)
-    }
-
-    fn tw_grows(&self) -> bool {
-        self.config.tw_policy() == TwPolicy::Adaptive && self.state.is_phase()
-    }
-
-    fn finish_step(&mut self, step_len: usize) -> PhaseState {
-        let step_start = self.consumed;
-        self.consumed += step_len as u64;
-
-        let new_state = if self.windows.is_warm() {
-            let sim = self.config.model().similarity(&self.windows);
-            self.last_similarity = Some(sim);
-            self.analyzer.judge(sim)
-        } else {
-            PhaseState::Transition
-        };
-
-        match (self.state, new_state) {
-            (PhaseState::Transition, PhaseState::Phase) => {
-                // Start of a phase: place the anchor, optionally resize
-                // the windows (adaptive TW), and reset the analyzer's
-                // phase statistics.
-                let anchor_idx = self.windows.anchor_index(self.config.anchor());
-                let anchored_start = if self.config.tw_policy() == TwPolicy::Adaptive {
-                    self.windows
-                        .anchor_and_resize(anchor_idx, self.config.resize())
-                } else {
-                    self.windows.offset_of_index(anchor_idx)
-                };
-                self.analyzer.reset();
-                self.phases.push(DetectedPhase {
-                    start: step_start,
-                    anchored_start,
-                    end: None,
-                });
-            }
-            (PhaseState::Phase, PhaseState::Transition) => {
-                // End of a phase: flush the windows, re-seeding the CW
-                // with this step's elements.
-                self.windows.clear_keep_last(self.config.skip_factor());
-                if let Some(open) = self.phases.last_mut() {
-                    open.end = Some(step_start);
-                }
-            }
-            (PhaseState::Phase, PhaseState::Phase) => {
-                if let Some(sim) = self.last_similarity {
-                    self.analyzer.update(sim);
-                }
-            }
-            (PhaseState::Transition, PhaseState::Transition) => {}
-        }
-
-        self.state = new_state;
-        new_state
+        std::mem::take(&mut self.core.phases)
     }
 
     /// Closes a phase left open at end-of-trace, using the current
     /// element count as its end.
     pub fn close_open_phase(&mut self) {
-        let consumed = self.consumed;
-        if let Some(open) = self.phases.last_mut() {
-            if open.end.is_none() {
-                open.end = Some(consumed);
-            }
-        }
-    }
-}
-
-/// Comparison ops one judged step costs at runtime, mirroring the
-/// static cost model's accounting (`opd-analyze`'s `per_step_ops`)
-/// against the *actual* window state: the unweighted model and the
-/// tracked weighted fast path read O(1) counters, the weighted slow
-/// path walks the CW's distinct sites, and Pearson walks the distinct
-/// sites of both windows.
-#[cfg(feature = "obs")]
-pub(crate) fn runtime_compare_ops(model: crate::ModelPolicy, windows: &Windows) -> u64 {
-    match model {
-        crate::ModelPolicy::UnweightedSet => 2,
-        crate::ModelPolicy::WeightedSet => {
-            // `weighted_similarity`'s fast path: tracked windows at
-            // exactly their capacities use the integer min-sum.
-            if windows.cw_len() == windows.cw_cap() && windows.tw_len() == windows.tw_cap() {
-                2
-            } else {
-                windows.distinct_cw() as u64 + 2
-            }
-        }
-        crate::ModelPolicy::Pearson => {
-            windows.distinct_cw() as u64 + windows.tw_sites().len() as u64 + 2
-        }
+        self.core.close_open_phase();
     }
 }
 
@@ -386,59 +444,16 @@ pub(crate) fn runtime_compare_ops(model: crate::ModelPolicy, windows: &Windows) 
 /// guards are compile-time `false`, so the twin monomorphizes back to
 /// the plain path (the observer-equivalence suite asserts the results
 /// are bit-identical and the steady state allocation-free). Keep any
-/// change to [`PhaseDetector::run_interned_with`] or `finish_step`
-/// mirrored here; the equivalence suite fails loudly if they drift.
+/// change to [`drive`] or [`DetectorCore::finish_step`] mirrored in
+/// the observed twins; the equivalence suite fails loudly if they
+/// drift.
 #[cfg(feature = "obs")]
-impl PhaseDetector {
-    /// Like [`run_interned_with`](PhaseDetector::run_interned_with),
-    /// but emitting structured [`DetectorEvent`](opd_obs::DetectorEvent)s
-    /// into `observer`.
-    pub fn run_interned_with_observer<S: StateSink, O: opd_obs::DetectorObserver>(
-        &mut self,
-        trace: &InternedTrace,
-        sink: &mut S,
-        observer: &mut O,
-    ) {
-        self.windows.ensure_sites(trace.distinct_count() as usize);
-        let mut step = 0u64;
-        for chunk in trace.ids().chunks(self.config.skip_factor()) {
-            let tw_grows = self.tw_grows();
-            for &id in chunk {
-                self.windows.push(id, tw_grows);
-            }
-            let state = self.finish_step_observed(chunk.len(), step, observer);
-            sink.record(state, chunk.len());
-            step += 1;
-        }
-        if O::ACTIVE {
-            if let Some(open) = self.phases.last() {
-                if open.end.is_none() {
-                    observer.on_event(&opd_obs::DetectorEvent::PhaseEnd {
-                        step,
-                        end: self.consumed,
-                    });
-                }
-            }
-        }
-        self.close_open_phase();
-    }
-
-    /// Like
-    /// [`run_interned_phases_only`](PhaseDetector::run_interned_phases_only),
-    /// but observed — the instrumented zero-allocation sweep path.
-    pub fn run_interned_phases_observed<O: opd_obs::DetectorObserver>(
-        &mut self,
-        trace: &InternedTrace,
-        observer: &mut O,
-    ) -> &[DetectedPhase] {
-        self.run_interned_with_observer(trace, &mut NullSink, observer);
-        self.detected_phases()
-    }
-
+impl DetectorCore {
     /// `finish_step` with event emission; the state transitions are a
     /// line-for-line mirror of [`finish_step`](Self::finish_step).
-    fn finish_step_observed<O: opd_obs::DetectorObserver>(
+    fn finish_step_observed<K: WindowKernel, O: opd_obs::DetectorObserver>(
         &mut self,
+        windows: &mut K,
         step_len: usize,
         step: u64,
         observer: &mut O,
@@ -448,7 +463,7 @@ impl PhaseDetector {
         let step_start = self.consumed;
         self.consumed += step_len as u64;
 
-        let warm = self.windows.is_warm();
+        let warm = windows.is_warm();
         if O::ACTIVE {
             observer.on_event(&DetectorEvent::Step {
                 step,
@@ -458,14 +473,14 @@ impl PhaseDetector {
             });
         }
         let new_state = if warm {
-            let sim = self.config.model().similarity(&self.windows);
+            let sim = windows.similarity(self.config.model());
             self.last_similarity = Some(sim);
             if O::ACTIVE {
                 observer.on_event(&DetectorEvent::Similarity {
                     step,
                     value: sim,
                     threshold: self.analyzer.effective_threshold(),
-                    ops: runtime_compare_ops(self.config.model(), &self.windows),
+                    ops: windows.judge_ops(self.config.model()),
                 });
             }
             self.analyzer.judge(sim)
@@ -482,11 +497,9 @@ impl PhaseDetector {
 
         match (self.state, new_state) {
             (PhaseState::Transition, PhaseState::Phase) => {
-                let anchor_idx = self.windows.anchor_index(self.config.anchor());
+                let anchor_idx = windows.anchor_index(self.config.anchor());
                 let anchored_start = if self.config.tw_policy() == TwPolicy::Adaptive {
-                    let offset = self
-                        .windows
-                        .anchor_and_resize(anchor_idx, self.config.resize());
+                    let offset = windows.anchor_and_resize(anchor_idx, self.config.resize());
                     if O::ACTIVE {
                         observer.on_event(&DetectorEvent::WindowResize {
                             step,
@@ -494,12 +507,12 @@ impl PhaseDetector {
                                 crate::ResizePolicy::Slide => opd_obs::ResizeKind::Slide,
                                 crate::ResizePolicy::Move => opd_obs::ResizeKind::Move,
                             },
-                            tw_len: self.windows.tw_len() as u64,
+                            tw_len: windows.tw_len() as u64,
                         });
                     }
                     offset
                 } else {
-                    self.windows.offset_of_index(anchor_idx)
+                    windows.offset_of_index(anchor_idx)
                 };
                 self.analyzer.reset();
                 if O::ACTIVE {
@@ -516,7 +529,7 @@ impl PhaseDetector {
                 });
             }
             (PhaseState::Phase, PhaseState::Transition) => {
-                self.windows.clear_keep_last(self.config.skip_factor());
+                windows.clear_keep_last(self.config.skip_factor());
                 if O::ACTIVE {
                     observer.on_event(&DetectorEvent::PhaseEnd {
                         step,
@@ -541,6 +554,82 @@ impl PhaseDetector {
 
         self.state = new_state;
         new_state
+    }
+}
+
+/// The observed twin of [`drive`].
+#[cfg(feature = "obs")]
+fn drive_observed<K, S, O>(
+    core: &mut DetectorCore,
+    windows: &mut K,
+    trace: &InternedTrace,
+    sink: &mut S,
+    observer: &mut O,
+) where
+    K: WindowKernel,
+    S: StateSink,
+    O: opd_obs::DetectorObserver,
+{
+    let mut step = 0u64;
+    for chunk in trace.ids().chunks(core.config.skip_factor()) {
+        let tw_grows = core.tw_grows();
+        windows.advance(chunk, tw_grows);
+        let state = core.finish_step_observed(windows, chunk.len(), step, observer);
+        sink.record(state, chunk.len());
+        step += 1;
+    }
+    if O::ACTIVE {
+        if let Some(open) = core.phases.last() {
+            if open.end.is_none() {
+                observer.on_event(&opd_obs::DetectorEvent::PhaseEnd {
+                    step,
+                    end: core.consumed,
+                });
+            }
+        }
+    }
+    core.close_open_phase();
+}
+
+#[cfg(feature = "obs")]
+impl PhaseDetector {
+    /// Like [`run_interned_with`](PhaseDetector::run_interned_with),
+    /// but emitting structured [`DetectorEvent`](opd_obs::DetectorEvent)s
+    /// into `observer`.
+    pub fn run_interned_with_observer<S: StateSink, O: opd_obs::DetectorObserver>(
+        &mut self,
+        trace: &InternedTrace,
+        sink: &mut S,
+        observer: &mut O,
+    ) {
+        match self.kernel {
+            KernelKind::Scalar => {
+                self.windows.ensure_sites(trace.distinct_count() as usize);
+                drive_observed(&mut self.core, &mut self.windows, trace, sink, observer);
+            }
+            KernelKind::Swar => {
+                let config = &self.core.config;
+                let (skip, cw, tw) = (
+                    config.skip_factor(),
+                    config.current_window(),
+                    config.trailing_window(),
+                );
+                let mut windows = SwarWindows::begin(&mut self.swar, trace, skip, cw, tw);
+                drive_observed(&mut self.core, &mut windows, trace, sink, observer);
+            }
+        }
+    }
+
+    /// Like
+    /// [`run_interned_phases_only`](PhaseDetector::run_interned_phases_only),
+    /// but observed — the instrumented zero-allocation sweep path.
+    pub fn run_interned_phases_observed<O: opd_obs::DetectorObserver>(
+        &mut self,
+        trace: &InternedTrace,
+        observer: &mut O,
+    ) -> &[DetectedPhase] {
+        self.run_interned_with_observer(trace, &mut NullSink, observer);
+        self.detected_phases()
     }
 }
 
@@ -643,6 +732,27 @@ mod tests {
                 let interned = InternedTrace::from(&trace);
                 let states_b = PhaseDetector::new(cfg).run_interned(&interned);
                 assert_eq!(states_a, states_b, "{tw_policy} {model}");
+            }
+        }
+    }
+
+    #[test]
+    fn interned_runs_agree_across_kernels() {
+        for kernel in [KernelKind::Scalar, KernelKind::Swar] {
+            for model in ModelPolicy::ALL_EXTENDED {
+                let cfg = DetectorConfig::builder()
+                    .current_window(16)
+                    .model(model)
+                    .build()
+                    .unwrap();
+                let trace = block_trace(4, 200, 5);
+                let interned = InternedTrace::from(&trace);
+                let mut d = PhaseDetector::with_kernel(cfg, kernel);
+                assert_eq!(d.kernel(), kernel);
+                let states = d.run_interned(&interned);
+                let reference =
+                    PhaseDetector::with_kernel(cfg, KernelKind::Scalar).run_interned(&interned);
+                assert_eq!(states, reference, "{kernel} {model}");
             }
         }
     }

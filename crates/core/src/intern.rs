@@ -2,6 +2,7 @@
 //! through thousands of detector configurations without re-hashing.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use opd_trace::ProfileElement;
 
@@ -26,11 +27,22 @@ use opd_trace::ProfileElement;
 /// assert_eq!(interned.distinct_count(), 2);
 /// assert_eq!(interned.ids(), &[0, 1, 0, 0]);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct InternedTrace {
     ids: Vec<u32>,
     distinct: u32,
+    /// Lazily built per-site occurrence index for the rank-mode SWAR
+    /// kernel; pure cache, so excluded from equality.
+    site_index: OnceLock<SiteIndex>,
 }
+
+impl PartialEq for InternedTrace {
+    fn eq(&self, other: &Self) -> bool {
+        self.ids == other.ids && self.distinct == other.distinct
+    }
+}
+
+impl Eq for InternedTrace {}
 
 impl InternedTrace {
     /// Interns a sequence of profile elements.
@@ -64,6 +76,7 @@ impl InternedTrace {
         InternedTrace {
             ids,
             distinct: map.len() as u32,
+            site_index: OnceLock::new(),
         }
     }
 
@@ -89,6 +102,113 @@ impl InternedTrace {
     #[must_use]
     pub fn ids(&self) -> &[u32] {
         &self.ids
+    }
+
+    /// The per-site occurrence index, built on first use and cached,
+    /// or `None` when the trace is outside the rank-mode envelope
+    /// (empty, too many distinct sites, or an index too large to be
+    /// worth the memory).
+    pub(crate) fn try_site_index(&self) -> Option<&SiteIndex> {
+        if !SiteIndex::eligible(self) {
+            return None;
+        }
+        Some(self.site_index.get_or_init(|| SiteIndex::build(self)))
+    }
+}
+
+/// Per-site occurrence bitmaps over a whole interned trace, with
+/// per-word prefix ranks: `rank(s, x)` — how many of `trace[..x]` are
+/// site `s` — in O(1). The rank-mode SWAR kernel derives both window
+/// count vectors of any trace run `[a, b, c)` from six rank lookups
+/// per site, paying zero work per consumed element.
+///
+/// Layout is site-minor: word `w` of site `s` lives at
+/// `words[w * sites + s]`, so the per-judge loop over all sites at a
+/// fixed trace position walks one contiguous cache line run.
+#[derive(Debug, Clone)]
+pub(crate) struct SiteIndex {
+    sites: usize,
+    words: Vec<u64>,
+    ranks: Vec<u32>,
+}
+
+/// Rank mode caps: more distinct sites than this and the per-judge
+/// site loop outgrows the dense kernel's per-element work...
+pub(crate) const MAX_RANK_SITES: u32 = 512;
+/// ...and an index bigger than this many u64 words (32 MiB of bitmap
+/// plus 16 MiB of ranks) is not worth caching per trace.
+const MAX_RANK_WORDS: usize = 1 << 22;
+
+impl SiteIndex {
+    /// Whether `trace` is within the rank-mode envelope.
+    fn eligible(trace: &InternedTrace) -> bool {
+        let sites = trace.distinct_count();
+        if sites == 0 || sites > MAX_RANK_SITES || trace.is_empty() {
+            return false;
+        }
+        Self::words_per_site(trace.len())
+            .checked_mul(sites as usize)
+            .is_some_and(|w| w <= MAX_RANK_WORDS)
+    }
+
+    /// Words per site: one per 64 trace positions, plus a sentinel so
+    /// the rank at position `len` itself stays a plain lookup.
+    fn words_per_site(len: usize) -> usize {
+        len / 64 + 1
+    }
+
+    fn build(trace: &InternedTrace) -> Self {
+        let sites = trace.distinct_count() as usize;
+        let words_per = Self::words_per_site(trace.len());
+        let mut words = vec![0u64; words_per * sites];
+        for (pos, &site) in trace.ids().iter().enumerate() {
+            words[(pos >> 6) * sites + site as usize] |= 1u64 << (pos & 63);
+        }
+        let mut ranks = vec![0u32; words_per * sites];
+        let mut running = vec![0u32; sites];
+        for w in 0..words_per {
+            let base = w * sites;
+            ranks[base..base + sites].copy_from_slice(&running);
+            for s in 0..sites {
+                running[s] += words[base + s].count_ones();
+            }
+        }
+        SiteIndex {
+            sites,
+            words,
+            ranks,
+        }
+    }
+
+    /// A cursor answering `rank(s, x)` for every site at one fixed
+    /// trace position `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via slice indexing) if `x` exceeds the trace length.
+    pub(crate) fn ranker(&self, x: usize) -> SiteRanker<'_> {
+        let base = (x >> 6) * self.sites;
+        SiteRanker {
+            words: &self.words[base..base + self.sites],
+            ranks: &self.ranks[base..base + self.sites],
+            mask: (1u64 << (x & 63)) - 1,
+        }
+    }
+}
+
+/// See [`SiteIndex::ranker`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SiteRanker<'a> {
+    words: &'a [u64],
+    ranks: &'a [u32],
+    mask: u64,
+}
+
+impl SiteRanker<'_> {
+    /// How many of `trace[..x]` are site `s`.
+    #[inline]
+    pub(crate) fn rank(&self, s: usize) -> u32 {
+        self.ranks[s] + (self.words[s] & self.mask).count_ones()
     }
 }
 

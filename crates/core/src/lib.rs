@@ -42,12 +42,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
+#![cfg_attr(feature = "portable-simd", feature(portable_simd))]
 
 mod analyzer;
 mod boundary;
 mod config;
 mod detector;
 mod intern;
+mod kernel;
 mod model;
 mod predict;
 mod recur;
@@ -60,9 +62,10 @@ pub use boundary::{anchored_intervals, detected_intervals, DetectedPhase};
 pub use config::{ConfigError, ConfigShape, DetectorConfig, DetectorConfigBuilder};
 pub use detector::{DetectorError, NullSink, PhaseDetector, StateSink};
 pub use intern::InternedTrace;
+pub use kernel::{KernelKind, RANK_MODE_MIN_SKIP};
 pub use model::ModelPolicy;
 pub use predict::{PhasePredictor, Prediction};
 pub use recur::{PhaseId, PhaseRegistry, PhaseSignature, RecurringPhase, RecurringPhaseDetector};
 pub use related::{run_online, OnlineDetector, PcRangeDetector};
-pub use sweep::{SweepEngine, SweepError, SweepScratch, SweepUnit};
+pub use sweep::{SweepEngine, SweepError, SweepScratch, SweepUnit, UnitKind};
 pub use window::{AnchorPolicy, ResizePolicy, TwPolicy, Windows};

@@ -37,13 +37,40 @@
 //! window never visits. Such configs (rare: `full_grid` uses
 //! `skip ∈ {1, cw/10, cw}`) simply run on the private path.
 //!
-//! **Adaptive-TW configs cannot share windows at all**: at each phase
-//! start they mutate the windows ([`Windows::anchor_and_resize`]) and
-//! while in phase they suppress TW eviction, so their window contents
-//! depend on their own detection history — each config's windows
-//! evolve differently even for identical shapes. They keep private
-//! windows (with scratch reuse) but run through the same engine and
-//! its work distribution.
+//! # Adaptive-TW groups: the forking shared scan
+//!
+//! An Adaptive-TW config's windows deviate from the pure FIFO only
+//! *while the config is inside a phase*: at phase entry it mutates
+//! the windows ([`Windows::anchor_and_resize`]) and while in phase it
+//! suppresses TW eviction, so in-phase window contents depend on the
+//! config's own detection history. But outside a phase the same FIFO
+//! argument as above applies — in Transition the TW policy never
+//! fires (`tw_grows` is false), and after the phase-exit flush the
+//! refill path is push-for-push identical to a Constant-TW refill, so
+//! the refilled state is again bit-identical to the never-flushed
+//! FIFO at the same offset. The engine therefore runs one shared FIFO
+//! per adaptive shape group too, and handles phases by **forking**:
+//! at a member's phase entry the FIFO state is snapshotted
+//! ([`ForkableKernel::fork`]), `anchor_and_resize` is applied to the
+//! snapshot, and the member judges that *phase class* (advanced with
+//! TW growth each step) until its phase ends — at which point the
+//! member records its refill point and rejoins the FIFO pool, exactly
+//! like a Constant-TW flush. Members entering on the same step whose
+//! anchor and resize policies produce the *same resulting window
+//! boundaries* — computed in closed form before forking, since
+//! windows are always contiguous trace slices — share one class: the
+//! four `(anchor, resize)` pairs routinely degenerate to one fork
+//! (both anchors return index 0 when every TW site also occurs in
+//! the CW; Slide equals Move when the anchored TW is at capacity).
+//! A class is freed as soon as its last member leaves. In the worst
+//! case — every member permanently in a phase of its own — this
+//! degrades to one windows-advance per member per step, i.e. parity
+//! with private runs; in practice members cluster into few classes
+//! and the shared FIFO carries all Transition time.
+//!
+//! Only `skip > cw` configs keep fully private windows (with scratch
+//! reuse), for the over-full-CW reason above; they run through the
+//! same engine and its work distribution.
 //!
 //! Mixed-model groups are also exact: the shared windows enable
 //! weighted min-sum tracking iff some member uses the weighted model.
@@ -85,8 +112,9 @@ use crate::boundary::DetectedPhase;
 use crate::config::{ConfigShape, DetectorConfig};
 use crate::detector::PhaseDetector;
 use crate::intern::InternedTrace;
+use crate::kernel::{ForkableKernel, KernelKind, SwarKernelState, SwarWindows, WindowKernel};
 use crate::model::ModelPolicy;
-use crate::window::Windows;
+use crate::window::{AnchorPolicy, ResizePolicy, Windows};
 
 /// Error from the fallible sweep entry points
 /// ([`SweepEngine::try_run_unit`]).
@@ -114,12 +142,24 @@ impl std::fmt::Display for SweepError {
 
 impl std::error::Error for SweepError {}
 
+/// How a planned [`SweepUnit`] scans the trace (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitKind {
+    /// A same-shape Constant-TW group: one shared FIFO scan.
+    SharedConstant,
+    /// A same-shape Adaptive-TW group: one shared FIFO scan with
+    /// copy-on-phase-entry forks.
+    SharedAdaptive,
+    /// One private detector run per config (`skip > cw`).
+    Private,
+}
+
 /// One schedulable piece of a sweep: either a shape group that scans
 /// the trace once for all members, or a single private-window config.
 #[derive(Debug, Clone)]
 pub struct SweepUnit {
     config_indices: Vec<usize>,
-    shared: bool,
+    kind: UnitKind,
 }
 
 impl SweepUnit {
@@ -129,16 +169,22 @@ impl SweepUnit {
         &self.config_indices
     }
 
+    /// How this unit scans the trace.
+    #[must_use]
+    pub fn kind(&self) -> UnitKind {
+        self.kind
+    }
+
     /// `true` if this unit advances one shared window for all members.
     #[must_use]
     pub fn is_shared(&self) -> bool {
-        self.shared
+        self.kind != UnitKind::Private
     }
 
     /// Trace scans this unit performs (1 for shared groups).
     #[must_use]
     pub fn scans(&self) -> usize {
-        if self.shared {
+        if self.is_shared() {
             1
         } else {
             self.config_indices.len()
@@ -152,6 +198,10 @@ impl SweepUnit {
 #[derive(Debug, Default)]
 pub struct SweepScratch {
     detector: Option<PhaseDetector>,
+    /// SWAR-kernel state for the shared scan path (the private path's
+    /// lives inside `detector`); like the detector, its per-site
+    /// allocations persist across units.
+    shared_swar: SwarKernelState,
     site_capacity: usize,
 }
 
@@ -170,11 +220,12 @@ impl SweepScratch {
     pub fn with_site_capacity(n_sites: usize) -> Self {
         SweepScratch {
             detector: None,
+            shared_swar: SwarKernelState::default(),
             site_capacity: n_sites,
         }
     }
 
-    fn detector_for(&mut self, config: DetectorConfig) -> &mut PhaseDetector {
+    fn detector_for(&mut self, config: DetectorConfig, kernel: KernelKind) -> &mut PhaseDetector {
         let detector = match &mut self.detector {
             Some(d) => {
                 d.reconfigure(config);
@@ -182,6 +233,7 @@ impl SweepScratch {
             }
             slot @ None => slot.insert(PhaseDetector::new(config)),
         };
+        detector.set_kernel(kernel);
         detector.reserve_sites(self.site_capacity);
         detector
     }
@@ -197,40 +249,73 @@ impl SweepScratch {
 pub struct SweepEngine<'a> {
     configs: &'a [DetectorConfig],
     units: Vec<SweepUnit>,
+    kernel: KernelKind,
 }
 
 impl<'a> SweepEngine<'a> {
     /// Plans a sweep over `configs`: groups shareable configs by
     /// window shape (first-seen order) and gives every other config a
-    /// private unit.
+    /// private unit. Runs use the default window kernel; see
+    /// [`with_kernel`](Self::with_kernel).
     #[must_use]
     pub fn new(configs: &'a [DetectorConfig]) -> Self {
-        let mut group_of: HashMap<ConfigShape, usize> = HashMap::new();
+        Self::with_kernel(configs, KernelKind::default())
+    }
+
+    /// Like [`new`](Self::new), but running every unit (shared scans
+    /// and private detectors) on an explicit window kernel. Both
+    /// kernels produce bit-identical results; the scalar kernel exists
+    /// as the differential-testing reference.
+    #[must_use]
+    pub fn with_kernel(configs: &'a [DetectorConfig], kernel: KernelKind) -> Self {
+        // Constant-TW and Adaptive-TW groups are keyed separately:
+        // identical shapes under different TW policies cannot share a
+        // scan (the adaptive scan forks, the constant one never does).
+        let mut constant_group: HashMap<ConfigShape, usize> = HashMap::new();
+        let mut adaptive_group: HashMap<ConfigShape, usize> = HashMap::new();
         let mut units: Vec<SweepUnit> = Vec::new();
         for (i, config) in configs.iter().enumerate() {
-            if config.shares_windows() {
-                let unit = *group_of.entry(config.shape()).or_insert_with(|| {
-                    units.push(SweepUnit {
-                        config_indices: Vec::new(),
-                        shared: true,
-                    });
-                    units.len() - 1
-                });
-                units[unit].config_indices.push(i);
+            let group = if config.shares_windows() {
+                Some((&mut constant_group, UnitKind::SharedConstant))
+            } else if config.shares_windows_adaptively() {
+                Some((&mut adaptive_group, UnitKind::SharedAdaptive))
             } else {
-                units.push(SweepUnit {
+                None
+            };
+            match group {
+                Some((group_of, kind)) => {
+                    let unit = *group_of.entry(config.shape()).or_insert_with(|| {
+                        units.push(SweepUnit {
+                            config_indices: Vec::new(),
+                            kind,
+                        });
+                        units.len() - 1
+                    });
+                    units[unit].config_indices.push(i);
+                }
+                None => units.push(SweepUnit {
                     config_indices: vec![i],
-                    shared: false,
-                });
+                    kind: UnitKind::Private,
+                }),
             }
         }
-        SweepEngine { configs, units }
+        SweepEngine {
+            configs,
+            units,
+            kernel,
+        }
     }
 
     /// The configs this engine plans over.
     #[must_use]
     pub fn configs(&self) -> &'a [DetectorConfig] {
         self.configs
+    }
+
+    /// The window kernel this engine's runs use.
+    #[must_use]
+    pub fn kernel(&self) -> KernelKind {
+        self.kernel
     }
 
     /// The planned units, in deterministic planning order.
@@ -290,22 +375,30 @@ impl<'a> SweepEngine<'a> {
                 unit_index,
                 units: self.units.len(),
             })?;
-        Ok(if unit.shared {
-            run_shared_group(
+        Ok(match unit.kind {
+            UnitKind::SharedConstant => run_shared_group(
                 self.configs,
                 &unit.config_indices,
                 trace,
-                scratch.site_capacity,
-            )
-        } else {
-            unit.config_indices
+                scratch,
+                self.kernel,
+            ),
+            UnitKind::SharedAdaptive => run_shared_adaptive_group(
+                self.configs,
+                &unit.config_indices,
+                trace,
+                scratch,
+                self.kernel,
+            ),
+            UnitKind::Private => unit
+                .config_indices
                 .iter()
                 .map(|&i| {
-                    let detector = scratch.detector_for(self.configs[i]);
+                    let detector = scratch.detector_for(self.configs[i], self.kernel);
                     let _ = detector.run_interned_phases_only(trace);
                     (i, detector.take_phases())
                 })
-                .collect()
+                .collect(),
         })
     }
 
@@ -348,19 +441,28 @@ impl SweepEngine<'_> {
         metrics: &mut opd_obs::UnitMetrics,
     ) -> Vec<(usize, Vec<DetectedPhase>)> {
         let unit = &self.units[unit_index];
-        if unit.shared {
-            run_shared_group_metered(
+        match unit.kind {
+            UnitKind::SharedConstant => run_shared_group_metered(
                 self.configs,
                 &unit.config_indices,
                 trace,
-                scratch.site_capacity,
+                scratch,
+                self.kernel,
                 metrics,
-            )
-        } else {
-            unit.config_indices
+            ),
+            UnitKind::SharedAdaptive => run_shared_adaptive_group_metered(
+                self.configs,
+                &unit.config_indices,
+                trace,
+                scratch,
+                self.kernel,
+                metrics,
+            ),
+            UnitKind::Private => unit
+                .config_indices
                 .iter()
                 .map(|&i| {
-                    let detector = scratch.detector_for(self.configs[i]);
+                    let detector = scratch.detector_for(self.configs[i], self.kernel);
                     let mut meter = opd_obs::MeterObserver::new();
                     let _ = detector.run_interned_phases_observed(trace, &mut meter);
                     metrics.scans += 1;
@@ -368,7 +470,7 @@ impl SweepEngine<'_> {
                     metrics.merge(&meter.metrics);
                     (i, detector.take_phases())
                 })
-                .collect()
+                .collect(),
         }
     }
 }
@@ -394,24 +496,17 @@ struct Member {
     phases: Vec<DetectedPhase>,
 }
 
-/// One scan of `trace` evaluating every member of a same-shape
-/// Constant-TW group against shared windows. See the module docs for
-/// the exactness argument.
-fn run_shared_group(
-    configs: &[DetectorConfig],
-    member_indices: &[usize],
-    trace: &InternedTrace,
-    site_capacity: usize,
-) -> Vec<(usize, Vec<DetectedPhase>)> {
+/// Builds the member residue states of a shared group and checks the
+/// shared-path invariants: the planner only groups shareable configs
+/// of identical shape, and sharing is exact only when a flush's kept
+/// elements fit in the CW (`skip <= cw`, module docs).
+fn shared_members(configs: &[DetectorConfig], member_indices: &[usize]) -> Vec<Member> {
     let first = &configs[member_indices[0]];
     let (cw, tw, skip) = (
         first.current_window(),
         first.trailing_window(),
         first.skip_factor(),
     );
-    // Shared-path invariants: the planner only groups shareable
-    // configs of identical shape, and sharing is exact only when a
-    // flush's kept elements fit in the CW (`skip <= cw`, module docs).
     debug_assert!(skip >= 1 && cw >= 1 && tw >= 1, "windows have capacity");
     debug_assert!(skip <= cw, "shared scan requires skip <= cw");
     debug_assert!(
@@ -423,16 +518,7 @@ fn run_shared_group(
         }),
         "shared group members must be shareable and same-shape"
     );
-    // After a flush keeps `skip` elements, a private window is full
-    // (warm) again `cw + tw - skip` elements later.
-    let refill = (cw + tw - skip) as u64;
-    let track = member_indices
-        .iter()
-        .any(|&i| configs[i].model() == ModelPolicy::WeightedSet);
-    let mut windows = Windows::with_weighted_tracking(cw, tw, track);
-    windows.ensure_sites((trace.distinct_count() as usize).max(site_capacity));
-
-    let mut members: Vec<Member> = member_indices
+    member_indices
         .iter()
         .map(|&i| Member {
             config_index: i,
@@ -442,16 +528,62 @@ fn run_shared_group(
             warm_from: 0,
             phases: Vec::new(),
         })
-        .collect();
+        .collect()
+}
 
+/// One scan of `trace` evaluating every member of a same-shape
+/// Constant-TW group against shared windows, dispatched to the
+/// engine's kernel. See the module docs for the exactness argument.
+fn run_shared_group(
+    configs: &[DetectorConfig],
+    member_indices: &[usize],
+    trace: &InternedTrace,
+    scratch: &mut SweepScratch,
+    kernel: KernelKind,
+) -> Vec<(usize, Vec<DetectedPhase>)> {
+    let first = &configs[member_indices[0]];
+    let (cw, tw, skip) = (
+        first.current_window(),
+        first.trailing_window(),
+        first.skip_factor(),
+    );
+    let members = shared_members(configs, member_indices);
+    let sites = (trace.distinct_count() as usize).max(scratch.site_capacity);
+    match kernel {
+        KernelKind::Scalar => {
+            let track = member_indices
+                .iter()
+                .any(|&i| configs[i].model() == ModelPolicy::WeightedSet);
+            let mut windows = Windows::with_site_capacity(cw, tw, track, sites);
+            run_shared_group_scan(members, trace, skip, &mut windows)
+        }
+        KernelKind::Swar => {
+            scratch.shared_swar.ensure_sites(sites);
+            let mut windows = SwarWindows::begin(&mut scratch.shared_swar, trace, skip, cw, tw);
+            run_shared_group_scan(members, trace, skip, &mut windows)
+        }
+    }
+}
+
+/// The kernel-generic shared scan loop: one window advance per step,
+/// every member evaluating only its cheap residue against the memoized
+/// per-model similarities.
+fn run_shared_group_scan<K: WindowKernel>(
+    mut members: Vec<Member>,
+    trace: &InternedTrace,
+    skip: usize,
+    windows: &mut K,
+) -> Vec<(usize, Vec<DetectedPhase>)> {
+    let first = &members[0].config;
+    // After a flush keeps `skip` elements, a private window is full
+    // (warm) again `cw + tw - skip` elements later.
+    let refill = (first.current_window() + first.trailing_window() - skip) as u64;
     let mut consumed = 0u64;
     // Per-step memo of each distinct model's similarity against the
     // shared windows: computed once per step, judged by every member.
     let mut sims = [0.0f64; 3];
     for chunk in trace.ids().chunks(skip) {
-        for &id in chunk {
-            windows.push(id, false);
-        }
+        windows.advance(chunk, false);
         let step_start = consumed;
         consumed += chunk.len() as u64;
         let shared_warm = windows.is_warm();
@@ -460,7 +592,7 @@ fn run_shared_group(
             let (new_state, sim) = if shared_warm && consumed >= m.warm_from {
                 let slot = model_slot(m.config.model());
                 if !have[slot] {
-                    sims[slot] = m.config.model().similarity(&windows);
+                    sims[slot] = windows.similarity(m.config.model());
                     have[slot] = true;
                 }
                 (m.analyzer.judge(sims[slot]), sims[slot])
@@ -509,10 +641,285 @@ fn run_shared_group(
         .collect()
 }
 
-/// [`run_shared_group`] plus accounting — a line-for-line mirror of
-/// the unmetered scan (the observer-equivalence suite asserts matching
-/// results; keep any change to the scan loop mirrored here). A fresh
-/// model-slot computation charges the full runtime comparison cost;
+/// A member's slot when it currently judges the shared FIFO (not a
+/// phase class).
+const NO_CLASS: usize = usize::MAX;
+
+/// A member config's residue state within a forking adaptive scan.
+struct AdaptiveMember {
+    config_index: usize,
+    config: DetectorConfig,
+    analyzer: Analyzer,
+    state: PhaseState,
+    /// Index into the scan's class table while in Phase; [`NO_CLASS`]
+    /// while in Transition (judging the shared FIFO).
+    class: usize,
+    /// As in [`Member`]: element count from which this member's
+    /// (virtual) private windows are full again after its last
+    /// phase-exit flush.
+    warm_from: u64,
+    phases: Vec<DetectedPhase>,
+}
+
+/// One forked window state shared by every member that entered a
+/// phase on the same step and whose anchor/resize policies produced
+/// the same post-fork window boundaries.
+struct PhaseClass<F> {
+    windows: F,
+    members: usize,
+    /// Per-model similarity memo against `windows`, reset each step.
+    sims: [f64; 3],
+    have: [bool; 3],
+}
+
+fn anchor_slot(policy: AnchorPolicy) -> usize {
+    match policy {
+        AnchorPolicy::RightmostNoisy => 0,
+        AnchorPolicy::LeftmostNonNoisy => 1,
+    }
+}
+
+/// Builds the member residue states of an adaptive shape group,
+/// checking the forking-scan invariants (adaptively shareable,
+/// identical shape).
+fn adaptive_members(configs: &[DetectorConfig], member_indices: &[usize]) -> Vec<AdaptiveMember> {
+    let first = &configs[member_indices[0]];
+    let (cw, tw, skip) = (
+        first.current_window(),
+        first.trailing_window(),
+        first.skip_factor(),
+    );
+    debug_assert!(skip >= 1 && cw >= 1 && tw >= 1, "windows have capacity");
+    debug_assert!(skip <= cw, "shared scan requires skip <= cw");
+    debug_assert!(
+        member_indices.iter().all(|&i| {
+            configs[i].shares_windows_adaptively()
+                && configs[i].current_window() == cw
+                && configs[i].trailing_window() == tw
+                && configs[i].skip_factor() == skip
+        }),
+        "adaptive group members must be adaptively shareable and same-shape"
+    );
+    member_indices
+        .iter()
+        .map(|&i| AdaptiveMember {
+            config_index: i,
+            config: configs[i],
+            analyzer: Analyzer::new(configs[i].analyzer()),
+            state: PhaseState::Transition,
+            class: NO_CLASS,
+            warm_from: 0,
+            phases: Vec::new(),
+        })
+        .collect()
+}
+
+/// One scan of `trace` evaluating every member of a same-shape
+/// Adaptive-TW group against a shared FIFO with copy-on-phase-entry
+/// forks, dispatched to the engine's kernel. See the module docs for
+/// the exactness argument.
+fn run_shared_adaptive_group(
+    configs: &[DetectorConfig],
+    member_indices: &[usize],
+    trace: &InternedTrace,
+    scratch: &mut SweepScratch,
+    kernel: KernelKind,
+) -> Vec<(usize, Vec<DetectedPhase>)> {
+    let first = &configs[member_indices[0]];
+    let (cw, tw, skip) = (
+        first.current_window(),
+        first.trailing_window(),
+        first.skip_factor(),
+    );
+    let members = adaptive_members(configs, member_indices);
+    let sites = (trace.distinct_count() as usize).max(scratch.site_capacity);
+    match kernel {
+        KernelKind::Scalar => {
+            let track = member_indices
+                .iter()
+                .any(|&i| configs[i].model() == ModelPolicy::WeightedSet);
+            let mut windows = Windows::with_site_capacity(cw, tw, track, sites);
+            run_shared_adaptive_scan(members, trace, skip, &mut windows)
+        }
+        KernelKind::Swar => {
+            scratch.shared_swar.ensure_sites(sites);
+            let mut windows = SwarWindows::begin(&mut scratch.shared_swar, trace, skip, cw, tw);
+            run_shared_adaptive_scan(members, trace, skip, &mut windows)
+        }
+    }
+}
+
+/// The kernel-generic forking scan loop: one FIFO advance plus one
+/// advance per live phase class per step, every member judging either
+/// the memoized FIFO similarities (in Transition) or its class's (in
+/// Phase).
+fn run_shared_adaptive_scan<K: ForkableKernel>(
+    mut members: Vec<AdaptiveMember>,
+    trace: &InternedTrace,
+    skip: usize,
+    fifo: &mut K,
+) -> Vec<(usize, Vec<DetectedPhase>)> {
+    let first = &members[0].config;
+    let refill = (first.current_window() + first.trailing_window() - skip) as u64;
+    let tw_cap = first.trailing_window() as u64;
+    let mut consumed = 0u64;
+    // Phase classes, with freed slots recycled so the table stays at
+    // the peak number of *live* classes.
+    let mut classes: Vec<PhaseClass<K::Forked>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut fifo_sims = [0.0f64; 3];
+    for chunk in trace.ids().chunks(skip) {
+        // Members still in a phase pushed this step's elements with
+        // TW growth (they were in Phase when the step began); the
+        // class advance must precede the member loop for the same
+        // reason the FIFO advance does.
+        fifo.advance(chunk, false);
+        for class in &mut classes {
+            if class.members > 0 {
+                class.windows.advance(chunk, true);
+                class.have = [false; 3];
+            }
+        }
+        let step_start = consumed;
+        consumed += chunk.len() as u64;
+        let fifo_warm = fifo.is_warm();
+        let mut fifo_have = [false; 3];
+        // Per-step memos: the FIFO anchor index per anchor policy,
+        // and the forked class (with its anchored start offset) per
+        // *resulting window boundary*. Distinct (anchor, resize)
+        // pairs routinely coincide — both anchors return index 0 when
+        // every TW site also appears in the CW, and Slide equals Move
+        // when the anchored TW is already at capacity — and since
+        // windows are contiguous trace slices, same-step forks with
+        // equal boundaries are bit-identical forever, so those
+        // members share one class.
+        let mut anchor_memo: [Option<usize>; 2] = [None; 2];
+        let mut forks: [Option<((u64, u64), usize)>; 4] = [None; 4];
+        for m in &mut members {
+            if m.state == PhaseState::Phase {
+                // In Phase the member's windows are its class's fork.
+                let class = &mut classes[m.class];
+                let slot = model_slot(m.config.model());
+                if !class.have[slot] {
+                    class.sims[slot] = class.windows.similarity(m.config.model());
+                    class.have[slot] = true;
+                }
+                let sim = class.sims[slot];
+                let new_state = m.analyzer.judge(sim);
+                if new_state == PhaseState::Phase {
+                    m.analyzer.update(sim);
+                } else {
+                    // Phase end: a private detector would flush its
+                    // windows here; the member leaves its class and
+                    // tracks the refill point instead.
+                    class.members -= 1;
+                    if class.members == 0 {
+                        free.push(m.class);
+                    }
+                    m.class = NO_CLASS;
+                    m.warm_from = consumed + refill;
+                    if let Some(open) = m.phases.last_mut() {
+                        open.end = Some(step_start);
+                    }
+                }
+                m.state = new_state;
+            } else {
+                // In Transition the member's (virtual) private
+                // windows coincide with the shared FIFO once
+                // refilled, exactly as in the Constant-TW scan.
+                let new_state = if fifo_warm && consumed >= m.warm_from {
+                    let slot = model_slot(m.config.model());
+                    if !fifo_have[slot] {
+                        fifo_sims[slot] = fifo.similarity(m.config.model());
+                        fifo_have[slot] = true;
+                    }
+                    m.analyzer.judge(fifo_sims[slot])
+                } else {
+                    PhaseState::Transition
+                };
+                if new_state == PhaseState::Phase {
+                    // Phase start: fork the FIFO and anchor/resize
+                    // the fork — unless a same-step entrant already
+                    // built a fork with the same resulting boundaries,
+                    // computed here in closed form. Both kernels pop
+                    // `anchor_idx` elements from the TW front; Slide
+                    // then tops the TW back up from the CW, whose last
+                    // element (offset `consumed - 1`) never moves.
+                    let a_slot = anchor_slot(m.config.anchor());
+                    let anchor_idx = *anchor_memo[a_slot]
+                        .get_or_insert_with(|| fifo.anchor_index(m.config.anchor()));
+                    let a0 = fifo.offset_of_index(0);
+                    let b0 = a0 + fifo.tw_len() as u64;
+                    let a2 = a0 + anchor_idx as u64;
+                    let b2 = if m.config.resize() == ResizePolicy::Slide {
+                        b0.max((a2 + tw_cap).min(consumed - 1))
+                    } else {
+                        b0
+                    };
+                    let class_idx = match forks.iter().flatten().find(|(key, _)| *key == (a2, b2)) {
+                        Some(&(_, idx)) => idx,
+                        None => {
+                            let mut windows = fifo.fork();
+                            let anchored_start =
+                                windows.anchor_and_resize(anchor_idx, m.config.resize());
+                            debug_assert_eq!(anchored_start, a2);
+                            debug_assert_eq!(windows.offset_of_index(0), a2);
+                            debug_assert_eq!(windows.tw_len() as u64, b2 - a2);
+                            let fresh = PhaseClass {
+                                windows,
+                                members: 0,
+                                sims: [0.0; 3],
+                                have: [false; 3],
+                            };
+                            let class_idx = match free.pop() {
+                                Some(idx) => {
+                                    classes[idx] = fresh;
+                                    idx
+                                }
+                                None => {
+                                    classes.push(fresh);
+                                    classes.len() - 1
+                                }
+                            };
+                            let slot = forks
+                                .iter_mut()
+                                .find(|s| s.is_none())
+                                .expect("at most four (anchor, resize) pairs per step");
+                            *slot = Some(((a2, b2), class_idx));
+                            class_idx
+                        }
+                    };
+                    classes[class_idx].members += 1;
+                    m.class = class_idx;
+                    m.analyzer.reset();
+                    m.phases.push(DetectedPhase {
+                        start: step_start,
+                        anchored_start: a2,
+                        end: None,
+                    });
+                }
+                m.state = new_state;
+            }
+        }
+    }
+    members
+        .into_iter()
+        .map(|mut m| {
+            if let Some(open) = m.phases.last_mut() {
+                if open.end.is_none() {
+                    open.end = Some(consumed);
+                }
+            }
+            (m.config_index, m.phases)
+        })
+        .collect()
+}
+
+/// [`run_shared_group`] plus accounting — the scan loop is a
+/// line-for-line mirror of [`run_shared_group_scan`] (the
+/// observer-equivalence suite asserts matching results; keep any
+/// change to the scan loop mirrored here). A fresh model-slot
+/// computation charges the kernel's full runtime comparison cost;
 /// every further member judging the memoized similarity charges only
 /// the fixed judge overhead — so shared-scan comparison ops are always
 /// at or below the static per-member bound.
@@ -521,44 +928,51 @@ fn run_shared_group_metered(
     configs: &[DetectorConfig],
     member_indices: &[usize],
     trace: &InternedTrace,
-    site_capacity: usize,
+    scratch: &mut SweepScratch,
+    kernel: KernelKind,
     metrics: &mut opd_obs::UnitMetrics,
 ) -> Vec<(usize, Vec<DetectedPhase>)> {
-    use crate::detector::runtime_compare_ops;
-
     let first = &configs[member_indices[0]];
     let (cw, tw, skip) = (
         first.current_window(),
         first.trailing_window(),
         first.skip_factor(),
     );
-    let refill = (cw + tw - skip) as u64;
-    let track = member_indices
-        .iter()
-        .any(|&i| configs[i].model() == ModelPolicy::WeightedSet);
-    let mut windows = Windows::with_weighted_tracking(cw, tw, track);
-    windows.ensure_sites((trace.distinct_count() as usize).max(site_capacity));
+    let members = shared_members(configs, member_indices);
+    let sites = (trace.distinct_count() as usize).max(scratch.site_capacity);
+    match kernel {
+        KernelKind::Scalar => {
+            let track = member_indices
+                .iter()
+                .any(|&i| configs[i].model() == ModelPolicy::WeightedSet);
+            let mut windows = Windows::with_site_capacity(cw, tw, track, sites);
+            run_shared_group_scan_metered(members, trace, skip, &mut windows, metrics)
+        }
+        KernelKind::Swar => {
+            scratch.shared_swar.ensure_sites(sites);
+            let mut windows = SwarWindows::begin(&mut scratch.shared_swar, trace, skip, cw, tw);
+            run_shared_group_scan_metered(members, trace, skip, &mut windows, metrics)
+        }
+    }
+}
 
-    let mut members: Vec<Member> = member_indices
-        .iter()
-        .map(|&i| Member {
-            config_index: i,
-            config: configs[i],
-            analyzer: Analyzer::new(configs[i].analyzer()),
-            state: PhaseState::Transition,
-            warm_from: 0,
-            phases: Vec::new(),
-        })
-        .collect();
-
+/// The metered twin of [`run_shared_group_scan`].
+#[cfg(feature = "obs")]
+fn run_shared_group_scan_metered<K: WindowKernel>(
+    mut members: Vec<Member>,
+    trace: &InternedTrace,
+    skip: usize,
+    windows: &mut K,
+    metrics: &mut opd_obs::UnitMetrics,
+) -> Vec<(usize, Vec<DetectedPhase>)> {
+    let first = &members[0].config;
+    let refill = (first.current_window() + first.trailing_window() - skip) as u64;
     metrics.scans += 1;
     metrics.elements += trace.len() as u64;
     let mut consumed = 0u64;
     let mut sims = [0.0f64; 3];
     for chunk in trace.ids().chunks(skip) {
-        for &id in chunk {
-            windows.push(id, false);
-        }
+        windows.advance(chunk, false);
         let step_start = consumed;
         consumed += chunk.len() as u64;
         metrics.steps += 1;
@@ -572,9 +986,9 @@ fn run_shared_group_metered(
                     // analyzer's judge overhead.
                     metrics.compare_ops += 2;
                 } else {
-                    sims[slot] = m.config.model().similarity(&windows);
+                    sims[slot] = windows.similarity(m.config.model());
                     have[slot] = true;
-                    metrics.compare_ops += runtime_compare_ops(m.config.model(), &windows);
+                    metrics.compare_ops += windows.judge_ops(m.config.model());
                 }
                 metrics.judged_steps += 1;
                 (m.analyzer.judge(sims[slot]), sims[slot])
@@ -603,6 +1017,194 @@ fn run_shared_group_metered(
                 (PhaseState::Transition, PhaseState::Transition) => {}
             }
             m.state = new_state;
+        }
+    }
+    members
+        .into_iter()
+        .map(|mut m| {
+            if let Some(open) = m.phases.last_mut() {
+                if open.end.is_none() {
+                    open.end = Some(consumed);
+                }
+            }
+            (m.config_index, m.phases)
+        })
+        .collect()
+}
+
+/// [`run_shared_adaptive_group`] plus accounting — mirrors
+/// [`run_shared_adaptive_scan`] the way the constant twin above
+/// mirrors its plain scan; keep changes mirrored.
+#[cfg(feature = "obs")]
+fn run_shared_adaptive_group_metered(
+    configs: &[DetectorConfig],
+    member_indices: &[usize],
+    trace: &InternedTrace,
+    scratch: &mut SweepScratch,
+    kernel: KernelKind,
+    metrics: &mut opd_obs::UnitMetrics,
+) -> Vec<(usize, Vec<DetectedPhase>)> {
+    let first = &configs[member_indices[0]];
+    let (cw, tw, skip) = (
+        first.current_window(),
+        first.trailing_window(),
+        first.skip_factor(),
+    );
+    let members = adaptive_members(configs, member_indices);
+    let sites = (trace.distinct_count() as usize).max(scratch.site_capacity);
+    match kernel {
+        KernelKind::Scalar => {
+            let track = member_indices
+                .iter()
+                .any(|&i| configs[i].model() == ModelPolicy::WeightedSet);
+            let mut windows = Windows::with_site_capacity(cw, tw, track, sites);
+            run_shared_adaptive_scan_metered(members, trace, skip, &mut windows, metrics)
+        }
+        KernelKind::Swar => {
+            scratch.shared_swar.ensure_sites(sites);
+            let mut windows = SwarWindows::begin(&mut scratch.shared_swar, trace, skip, cw, tw);
+            run_shared_adaptive_scan_metered(members, trace, skip, &mut windows, metrics)
+        }
+    }
+}
+
+/// The metered twin of [`run_shared_adaptive_scan`]. A fresh
+/// class-or-FIFO model-slot computation charges the kernel's full
+/// runtime comparison cost; every further member judging a memoized
+/// similarity charges only the fixed judge overhead. Each fresh
+/// computation is attributable to the distinct member that triggered
+/// it (a member judges exactly one window state per step), so
+/// shared-scan comparison ops stay at or below the static per-member
+/// bound.
+#[cfg(feature = "obs")]
+fn run_shared_adaptive_scan_metered<K: ForkableKernel>(
+    mut members: Vec<AdaptiveMember>,
+    trace: &InternedTrace,
+    skip: usize,
+    fifo: &mut K,
+    metrics: &mut opd_obs::UnitMetrics,
+) -> Vec<(usize, Vec<DetectedPhase>)> {
+    let first = &members[0].config;
+    let refill = (first.current_window() + first.trailing_window() - skip) as u64;
+    let tw_cap = first.trailing_window() as u64;
+    metrics.scans += 1;
+    metrics.elements += trace.len() as u64;
+    let mut consumed = 0u64;
+    let mut classes: Vec<PhaseClass<K::Forked>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut fifo_sims = [0.0f64; 3];
+    for chunk in trace.ids().chunks(skip) {
+        fifo.advance(chunk, false);
+        for class in &mut classes {
+            if class.members > 0 {
+                class.windows.advance(chunk, true);
+                class.have = [false; 3];
+            }
+        }
+        let step_start = consumed;
+        consumed += chunk.len() as u64;
+        metrics.steps += 1;
+        let fifo_warm = fifo.is_warm();
+        let mut fifo_have = [false; 3];
+        let mut anchor_memo: [Option<usize>; 2] = [None; 2];
+        let mut forks: [Option<((u64, u64), usize)>; 4] = [None; 4];
+        for m in &mut members {
+            if m.state == PhaseState::Phase {
+                let class = &mut classes[m.class];
+                let slot = model_slot(m.config.model());
+                if class.have[slot] {
+                    metrics.compare_ops += 2;
+                } else {
+                    class.sims[slot] = class.windows.similarity(m.config.model());
+                    class.have[slot] = true;
+                    metrics.compare_ops += class.windows.judge_ops(m.config.model());
+                }
+                metrics.judged_steps += 1;
+                let sim = class.sims[slot];
+                let new_state = m.analyzer.judge(sim);
+                if new_state == PhaseState::Phase {
+                    m.analyzer.update(sim);
+                } else {
+                    class.members -= 1;
+                    if class.members == 0 {
+                        free.push(m.class);
+                    }
+                    m.class = NO_CLASS;
+                    m.warm_from = consumed + refill;
+                    if let Some(open) = m.phases.last_mut() {
+                        open.end = Some(step_start);
+                    }
+                }
+                m.state = new_state;
+            } else {
+                let new_state = if fifo_warm && consumed >= m.warm_from {
+                    let slot = model_slot(m.config.model());
+                    if fifo_have[slot] {
+                        metrics.compare_ops += 2;
+                    } else {
+                        fifo_sims[slot] = fifo.similarity(m.config.model());
+                        fifo_have[slot] = true;
+                        metrics.compare_ops += fifo.judge_ops(m.config.model());
+                    }
+                    metrics.judged_steps += 1;
+                    m.analyzer.judge(fifo_sims[slot])
+                } else {
+                    PhaseState::Transition
+                };
+                if new_state == PhaseState::Phase {
+                    let a_slot = anchor_slot(m.config.anchor());
+                    let anchor_idx = *anchor_memo[a_slot]
+                        .get_or_insert_with(|| fifo.anchor_index(m.config.anchor()));
+                    let a0 = fifo.offset_of_index(0);
+                    let b0 = a0 + fifo.tw_len() as u64;
+                    let a2 = a0 + anchor_idx as u64;
+                    let b2 = if m.config.resize() == ResizePolicy::Slide {
+                        b0.max((a2 + tw_cap).min(consumed - 1))
+                    } else {
+                        b0
+                    };
+                    let class_idx = match forks.iter().flatten().find(|(key, _)| *key == (a2, b2)) {
+                        Some(&(_, idx)) => idx,
+                        None => {
+                            let mut windows = fifo.fork();
+                            let anchored_start =
+                                windows.anchor_and_resize(anchor_idx, m.config.resize());
+                            debug_assert_eq!(anchored_start, a2);
+                            let fresh = PhaseClass {
+                                windows,
+                                members: 0,
+                                sims: [0.0; 3],
+                                have: [false; 3],
+                            };
+                            let class_idx = match free.pop() {
+                                Some(idx) => {
+                                    classes[idx] = fresh;
+                                    idx
+                                }
+                                None => {
+                                    classes.push(fresh);
+                                    classes.len() - 1
+                                }
+                            };
+                            let slot = forks
+                                .iter_mut()
+                                .find(|s| s.is_none())
+                                .expect("at most four (anchor, resize) pairs per step");
+                            *slot = Some(((a2, b2), class_idx));
+                            class_idx
+                        }
+                    };
+                    classes[class_idx].members += 1;
+                    m.class = class_idx;
+                    m.analyzer.reset();
+                    m.phases.push(DetectedPhase {
+                        start: step_start,
+                        anchored_start: a2,
+                        end: None,
+                    });
+                }
+                m.state = new_state;
+            }
         }
     }
     members
@@ -669,20 +1271,44 @@ mod tests {
                 }
             }
         }
-        // Adaptive configs: private path through the same engine.
+        // Adaptive configs: the forking shared-scan path. Spreading
+        // models, analyzers, and both policy pairs makes members
+        // enter and leave phases on different steps, exercising
+        // same-step class sharing, divergent class evolution, class
+        // retirement, and slot recycling.
         for anchor in [AnchorPolicy::RightmostNoisy, AnchorPolicy::LeftmostNonNoisy] {
             for resize in [ResizePolicy::Slide, ResizePolicy::Move] {
-                configs.push(
-                    DetectorConfig::builder()
-                        .current_window(12)
-                        .tw_policy(TwPolicy::Adaptive)
-                        .anchor(anchor)
-                        .resize(resize)
-                        .build()
-                        .unwrap(),
-                );
+                for model in ModelPolicy::ALL_EXTENDED {
+                    for analyzer in [
+                        AnalyzerPolicy::Threshold(0.3),
+                        AnalyzerPolicy::Threshold(0.7),
+                        AnalyzerPolicy::Average { delta: 0.2 },
+                    ] {
+                        configs.push(
+                            DetectorConfig::builder()
+                                .current_window(12)
+                                .tw_policy(TwPolicy::Adaptive)
+                                .anchor(anchor)
+                                .resize(resize)
+                                .model(model)
+                                .analyzer(analyzer)
+                                .build()
+                                .unwrap(),
+                        );
+                    }
+                }
             }
         }
+        // A second adaptive shape, with skip > 1.
+        configs.push(
+            DetectorConfig::builder()
+                .current_window(8)
+                .trailing_window(6)
+                .skip_factor(3)
+                .tw_policy(TwPolicy::Adaptive)
+                .build()
+                .unwrap(),
+        );
         // A skip > cw config: shareable() must route it privately.
         configs.push(
             DetectorConfig::builder()
@@ -699,9 +1325,10 @@ mod tests {
     fn plan_groups_by_shape() {
         let configs = mixed_grid();
         let engine = SweepEngine::new(&configs);
-        // 2 cw × 3 skip shared groups + 4 adaptive + 1 skip>cw.
-        assert_eq!(engine.units().len(), 6 + 5);
-        assert_eq!(engine.total_scans(), 6 + 5);
+        // 2 cw × 3 skip constant groups + 2 adaptive shape groups
+        // + 1 private skip>cw.
+        assert_eq!(engine.units().len(), 6 + 2 + 1);
+        assert_eq!(engine.total_scans(), 6 + 2 + 1);
         assert!(engine.total_scans() < configs.len());
         let covered: usize = engine
             .units()
@@ -711,11 +1338,18 @@ mod tests {
         assert_eq!(covered, configs.len());
         for unit in engine.units() {
             assert!(unit.scans() > 0);
+            assert_eq!(unit.is_shared(), unit.kind() != UnitKind::Private);
             if unit.is_shared() {
                 let shape = configs[unit.config_indices()[0]].shape();
                 for &i in unit.config_indices() {
                     assert_eq!(configs[i].shape(), shape);
-                    assert!(configs[i].shares_windows());
+                    match unit.kind() {
+                        UnitKind::SharedConstant => assert!(configs[i].shares_windows()),
+                        UnitKind::SharedAdaptive => {
+                            assert!(configs[i].shares_windows_adaptively());
+                        }
+                        UnitKind::Private => unreachable!(),
+                    }
                 }
             }
         }
@@ -821,10 +1455,19 @@ mod tests {
         })
         .collect();
         for config in configs {
-            let d = scratch.detector_for(config);
+            let d = scratch.detector_for(config, KernelKind::default());
             let _ = d.run_interned_phases_only(&trace);
             let reused = d.take_phases();
             assert_eq!(reused, reference(config, &trace), "{config:?}");
         }
+    }
+
+    #[test]
+    fn engine_kernels_agree() {
+        let configs = mixed_grid();
+        let trace = block_trace(3, 120, 4);
+        let swar = SweepEngine::with_kernel(&configs, KernelKind::Swar).run_all(&trace);
+        let scalar = SweepEngine::with_kernel(&configs, KernelKind::Scalar).run_all(&trace);
+        assert_eq!(swar, scalar);
     }
 }

@@ -10,6 +10,8 @@
 use core::fmt;
 use std::collections::VecDeque;
 
+use crate::model::exact;
+
 /// Trailing-window management policy (Section 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -208,6 +210,22 @@ impl Windows {
         self.track_min_sum = track;
     }
 
+    /// Creates empty windows with every per-site table pre-sized for
+    /// `n_sites` sites — the construction path for callers that know a
+    /// static alphabet bound up front, so the steady state is
+    /// allocation-free from the first element (not just after a
+    /// warm-up run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is zero.
+    #[must_use]
+    pub fn with_site_capacity(cw_cap: usize, tw_cap: usize, track: bool, n_sites: usize) -> Self {
+        let mut w = Self::with_weighted_tracking(cw_cap, tw_cap, track);
+        w.ensure_sites(n_sites);
+        w
+    }
+
     /// Grows the per-site tables to cover ids `0..n_sites`.
     pub fn ensure_sites(&mut self, n_sites: usize) {
         if self.cw_counts.len() < n_sites {
@@ -215,6 +233,13 @@ impl Windows {
             self.tw_counts.resize(n_sites, 0);
             self.cw_site_pos.resize(n_sites, NO_POS);
             self.tw_site_pos.resize(n_sites, NO_POS);
+            // The distinct-site lists hold at most one entry per site;
+            // sizing them here (rather than as they grow) keeps every
+            // later push allocation-free.
+            let reserve = n_sites - self.cw_sites.len();
+            self.cw_sites.reserve(reserve);
+            let reserve = n_sites - self.tw_sites.len();
+            self.tw_sites.reserve(reserve);
         }
     }
 
@@ -532,17 +557,17 @@ impl Windows {
         // Fast path: with both windows exactly at capacity, the
         // incrementally maintained integer min-sum is exact.
         if self.track_min_sum && cw_len == self.cw_cap && tw_len == self.tw_cap {
-            return self.min_sum as f64 / (self.cw_cap as u64 * self.tw_cap as u64) as f64;
+            return exact::weighted(self.min_sum, self.cw_cap, self.tw_cap);
         }
-        let cw_total = cw_len as f64;
-        let tw_total = tw_len as f64;
-        let mut sum = 0.0;
+        // Sites absent from the CW contribute min(0, ·) = 0, so the
+        // CW support covers every non-zero term.
+        let mut sum: u64 = 0;
         for &site in &self.cw_sites {
-            let wc = f64::from(self.cw_counts[site as usize]) / cw_total;
-            let wt = f64::from(self.tw_counts[site as usize]) / tw_total;
+            let wc = u64::from(self.cw_counts[site as usize]) * tw_len as u64;
+            let wt = u64::from(self.tw_counts[site as usize]) * cw_len as u64;
             sum += wc.min(wt);
         }
-        sum
+        exact::weighted(sum, cw_len, tw_len)
     }
 
     /// Pearson correlation of the two windows' site-count vectors over
@@ -560,42 +585,21 @@ impl Windows {
         if self.cw_len() == 0 || self.tw_len == 0 {
             return 0.0;
         }
-        // Union iteration: all CW sites, then TW-only sites.
-        let tw_only = self
-            .tw_sites
-            .iter()
-            .filter(|&&s| self.cw_counts[s as usize] == 0);
-        let union: Vec<u32> = self
-            .cw_sites
-            .iter()
-            .copied()
-            .chain(tw_only.copied())
-            .collect();
-        let n = union.len() as f64;
-        if union.is_empty() {
-            return 0.0;
+        // Union iteration: all CW sites, then TW-only sites. Integer
+        // sums are order-independent, so the iteration order (unlike
+        // the SWAR kernel's) does not affect the result.
+        let mut n: u64 = self.cw_sites.len() as u64;
+        let mut sums = exact::PearsonSums::default();
+        for &site in &self.cw_sites {
+            sums.add(self.cw_counts[site as usize], self.tw_counts[site as usize]);
         }
-        let (mut sa, mut sb, mut saa, mut sbb, mut sab) = (0.0, 0.0, 0.0, 0.0, 0.0);
-        for &site in &union {
-            let a = f64::from(self.cw_counts[site as usize]);
-            let b = f64::from(self.tw_counts[site as usize]);
-            sa += a;
-            sb += b;
-            saa += a * a;
-            sbb += b * b;
-            sab += a * b;
+        for &site in &self.tw_sites {
+            if self.cw_counts[site as usize] == 0 {
+                n += 1;
+                sums.add(0, self.tw_counts[site as usize]);
+            }
         }
-        let var_a = n * saa - sa * sa;
-        let var_b = n * sbb - sb * sb;
-        if var_a <= 0.0 || var_b <= 0.0 {
-            return if self.distinct_shared == union.len() {
-                1.0
-            } else {
-                0.0
-            };
-        }
-        let r = (n * sab - sa * sb) / (var_a.sqrt() * var_b.sqrt());
-        r.clamp(0.0, 1.0)
+        exact::pearson(n, sums, self.distinct_shared as u64)
     }
 }
 

@@ -110,9 +110,17 @@ proptest! {
         for unit in engine.units() {
             if unit.is_shared() {
                 let first = configs[unit.config_indices()[0]];
-                prop_assert_eq!(first.tw_policy(), TwPolicy::Constant);
+                // Both TW policies share scans now; only skip > cw
+                // routes privately.
                 prop_assert!(first.skip_factor() <= first.current_window());
+                let shape = first.shape();
+                for &i in unit.config_indices() {
+                    prop_assert_eq!(configs[i].tw_policy(), first.tw_policy());
+                    prop_assert_eq!(configs[i].shape(), shape);
+                }
             } else {
+                let first = configs[unit.config_indices()[0]];
+                prop_assert!(first.skip_factor() > first.current_window());
                 prop_assert_eq!(unit.config_indices().len(), 1);
             }
         }

@@ -2,29 +2,68 @@
 //! prints the ten most accurate detectors per MPL value.
 //!
 //! Flags: `--scale N --threads N` (the workload is fixed to `ruleng`,
-//! a mid-sized benchmark; edit here to sweep another).
+//! a mid-sized benchmark; edit here to sweep another), plus
+//! `--write-bench`: additionally re-sweep the grid on the scalar
+//! reference kernel, assert both kernels produced identical results,
+//! and write the timing comparison to `BENCH_kernel.json` at the
+//! repository root.
 
 use opd_experiments::cli;
 use opd_experiments::grid::{full_grid, MPLS_TABLE1};
+use opd_experiments::kernel_bench::run_kernel_bench;
 use opd_experiments::report::{fmt_mpl, fmt_score, Table};
 use opd_experiments::runner::{sweep, PreparedWorkload};
 use opd_microvm::workloads::Workload;
 
 fn main() {
-    let opts = cli::parse_env();
+    // `--write-bench` is this binary's own flag; everything else goes
+    // to the shared parser (which rejects unknown flags).
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let write_bench = args.iter().any(|a| a == "--write-bench");
+    args.retain(|a| a != "--write-bench");
+    let opts = match cli::parse_args(args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
     let workload = Workload::Ruleng;
-    let started = std::time::Instant::now();
 
     eprintln!("preparing {workload} at scale {} ...", opts.scale);
+    let prepare_started = std::time::Instant::now();
     let prepared = PreparedWorkload::prepare(workload, opts.scale, &MPLS_TABLE1);
+    let prepare_seconds = prepare_started.elapsed().as_secs_f64();
     let configs = full_grid();
     eprintln!(
-        "sweeping {} configurations over {} elements on {} threads ...",
-        configs.len(),
+        "prepared {} elements in {prepare_seconds:.1}s; sweeping {} configurations on {} threads ...",
         prepared.total_elements(),
+        configs.len(),
         opts.threads
     );
+
+    if write_bench {
+        let report = run_kernel_bench(&prepared, &configs, opts.threads, prepare_seconds);
+        assert!(
+            report.results_identical,
+            "scalar and SWAR kernels diverged on the full grid"
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernel.json");
+        std::fs::write(path, report.to_json()).expect("write BENCH_kernel.json");
+        eprintln!(
+            "swar sweep {:.1}s ({:.1}x vs baseline), scalar sweep {:.1}s ({:.1}x vs scalar); \
+             results identical; wrote BENCH_kernel.json",
+            report.swar().sweep_seconds,
+            report.swar().speedup_vs_baseline(),
+            report.scalar().sweep_seconds,
+            report.swar_speedup_vs_scalar(),
+        );
+        return;
+    }
+
+    let sweep_started = std::time::Instant::now();
     let runs = sweep(&prepared, &configs, opts.threads);
+    let sweep_seconds = sweep_started.elapsed().as_secs_f64();
 
     for &mpl in &MPLS_TABLE1 {
         let oracle = prepared.oracle(mpl);
@@ -42,5 +81,5 @@ fn main() {
         }
         println!("{t}");
     }
-    eprintln!("(sweep completed in {:.1?})", started.elapsed());
+    eprintln!("(prepare {prepare_seconds:.1}s, sweep {sweep_seconds:.1}s)");
 }

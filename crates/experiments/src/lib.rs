@@ -10,6 +10,8 @@
 //! * [`report`] — fixed-width table rendering for experiment output;
 //! * [`analysis`] — the per-workload static-bounds artifact
 //!   (`BENCH_static_bounds.json`) regress-checking runtime pre-sizing;
+//! * [`kernel_bench`] — the two-kernel sweep benchmark behind
+//!   `BENCH_kernel.json` (SWAR vs the scalar reference);
 //! * [`exp`] — one module per paper artifact: Table 1, Table 2, and
 //!   Figures 4–8, each with a `run` entry point and a printable
 //!   result.
@@ -35,6 +37,7 @@ pub mod cli;
 pub mod exp;
 pub mod faults;
 pub mod grid;
+pub mod kernel_bench;
 pub mod obs;
 pub mod report;
 pub mod runner;

@@ -17,12 +17,12 @@
 
 use std::time::Instant;
 
-use opd_analyze::{unit_cost, ConfigCost};
-use opd_core::{DetectorConfig, PhaseDetector, SweepEngine, SweepScratch};
+use opd_analyze::ConfigCost;
+use opd_core::{DetectorConfig, KernelKind, PhaseDetector, SweepEngine, SweepScratch};
 use opd_obs::{MetricsRegistry, MetricsSnapshot, NullObserver, UnitMetrics};
 
 use crate::report::Table;
-use crate::runner::{config_run, lpt_plan, ConfigRun, PreparedWorkload};
+use crate::runner::{calibrated_unit_cost, config_run, lpt_plan, ConfigRun, PreparedWorkload};
 
 /// Fuel for the overhead benchmark's workload trace.
 pub const OBS_FUEL: u64 = 60_000;
@@ -38,13 +38,15 @@ pub struct BucketProfile {
     pub workload_index: usize,
     /// Index into the engine's unit list.
     pub unit_index: usize,
+    /// The window kernel the bucket ran on (`"swar"` or `"scalar"`).
+    pub kernel: &'static str,
     /// Whether the unit ran one shared scan for all members.
     pub shared: bool,
     /// Member configs in the unit.
     pub members: usize,
     /// Runtime accounting from the metered engine.
     pub metrics: UnitMetrics,
-    /// The static cost model's LPT weight for this bucket.
+    /// The calibrated cost model's LPT weight for this bucket.
     pub static_cost: u64,
     /// Static upper bound on the bucket's comparison ops (`None` if
     /// the checked arithmetic overflowed).
@@ -53,10 +55,26 @@ pub struct BucketProfile {
     pub wall_nanos: u64,
 }
 
+impl BucketProfile {
+    /// Measured comparison-op throughput (ops/second) of this bucket —
+    /// the number that separates the SWAR kernel from the scalar
+    /// reference in the committed artifacts. `0.0` if the bucket ran
+    /// too fast to time.
+    #[must_use]
+    pub fn compare_ops_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.metrics.compare_ops as f64 * 1e9 / self.wall_nanos as f64
+    }
+}
+
 /// The profile of one metered sweep: per-bucket accounting plus the
 /// registry snapshot and per-worker busy time.
 #[derive(Debug, Clone)]
 pub struct SweepProfile {
+    /// The window kernel every bucket ran on.
+    pub kernel: KernelKind,
     /// Worker threads the sweep ran on.
     pub threads: usize,
     /// End-to-end wall-clock of the sweep.
@@ -111,14 +129,15 @@ impl SweepProfile {
         let mut t = Table::new(
             "Sweep profile (per bucket)",
             &[
-                "workload", "unit", "kind", "members", "scans", "steps", "judged", "cmp ops",
-                "bound", "wall ms",
+                "workload", "unit", "kernel", "kind", "members", "scans", "steps", "judged",
+                "cmp ops", "bound", "cmp/s", "wall ms",
             ],
         );
         for b in &self.buckets {
             t.row(vec![
                 b.workload.to_owned(),
                 b.unit_index.to_string(),
+                b.kernel.to_owned(),
                 if b.shared { "shared" } else { "private" }.to_owned(),
                 b.members.to_string(),
                 b.metrics.scans.to_string(),
@@ -127,6 +146,7 @@ impl SweepProfile {
                 b.metrics.compare_ops.to_string(),
                 b.static_compare_bound
                     .map_or_else(|| "overflow".to_owned(), |v| v.to_string()),
+                format!("{:.3e}", b.compare_ops_per_sec()),
                 format!("{:.2}", b.wall_nanos as f64 / 1e6),
             ]);
         }
@@ -144,7 +164,20 @@ pub fn sweep_many_profiled(
     configs: &[DetectorConfig],
     threads: usize,
 ) -> (Vec<Vec<ConfigRun>>, SweepProfile) {
-    let engine = SweepEngine::new(configs);
+    sweep_many_profiled_with_kernel(prepared, configs, threads, KernelKind::default())
+}
+
+/// [`sweep_many_profiled`] on an explicit window kernel, so `opd
+/// sweep --stats` artifacts can record both the SWAR default and the
+/// scalar reference.
+#[must_use]
+pub fn sweep_many_profiled_with_kernel(
+    prepared: &[PreparedWorkload],
+    configs: &[DetectorConfig],
+    threads: usize,
+    kernel: KernelKind,
+) -> (Vec<Vec<ConfigRun>>, SweepProfile) {
+    let engine = SweepEngine::with_kernel(configs, kernel);
     let started = Instant::now();
 
     let mut registry = MetricsRegistry::for_host();
@@ -161,11 +194,7 @@ pub fn sweep_many_profiled(
         Vec::with_capacity(prepared.len() * engine.units().len());
     for (wi, p) in prepared.iter().enumerate() {
         for (ui, unit) in engine.units().iter().enumerate() {
-            items.push((
-                wi,
-                ui,
-                unit_cost(configs, unit, p.total_elements(), p.site_capacity() as u64),
-            ));
+            items.push((wi, ui, calibrated_unit_cost(configs, unit, p)));
         }
     }
     let threads = threads.max(1).min(items.len().max(1));
@@ -206,6 +235,7 @@ pub fn sweep_many_profiled(
             workload: p.workload().name(),
             workload_index: wi,
             unit_index: ui,
+            kernel: engine.kernel().as_str(),
             shared: unit.is_shared(),
             members: unit.config_indices().len(),
             metrics,
@@ -280,6 +310,7 @@ pub fn sweep_many_profiled(
     buckets.sort_by_key(|b| (b.workload_index, b.unit_index));
 
     let profile = SweepProfile {
+        kernel: engine.kernel(),
         threads,
         wall_nanos: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
         thread_busy_nanos,
@@ -387,9 +418,10 @@ pub fn obs_json(
     let totals = profile.totals();
     let mut out = String::with_capacity(4096);
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"opd-bench-obs-v1\",\n");
+    out.push_str("  \"schema\": \"opd-bench-obs-v2\",\n");
     out.push_str(&format!("  \"scale\": {scale},\n"));
     out.push_str(&format!("  \"fuel\": {fuel},\n"));
+    out.push_str(&format!("  \"kernel\": \"{}\",\n", profile.kernel.as_str()));
     out.push_str(&format!("  \"threads\": {},\n", profile.threads));
     out.push_str(&format!("  \"grid_configs\": {grid_configs},\n"));
     out.push_str("  \"overhead\": {\n");
@@ -421,11 +453,13 @@ pub fn obs_json(
     out.push_str("  \"buckets\": [\n");
     for (i, b) in profile.buckets.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"unit\": {}, \"shared\": {}, \"members\": {}, \
-             \"scans\": {}, \"steps\": {}, \"judged_steps\": {}, \"compare_ops\": {}, \
-             \"elements\": {}, \"static_compare_bound\": {}, \"wall_nanos\": {}}}{}\n",
+            "    {{\"workload\": \"{}\", \"unit\": {}, \"kernel\": \"{}\", \"shared\": {}, \
+             \"members\": {}, \"scans\": {}, \"steps\": {}, \"judged_steps\": {}, \
+             \"compare_ops\": {}, \"elements\": {}, \"static_compare_bound\": {}, \
+             \"compare_ops_per_sec\": {:.1}, \"wall_nanos\": {}}}{}\n",
             b.workload,
             b.unit_index,
+            b.kernel,
             b.shared,
             b.members,
             b.metrics.scans,
@@ -435,6 +469,7 @@ pub fn obs_json(
             b.metrics.elements,
             b.static_compare_bound
                 .map_or_else(|| "null".to_owned(), |v| v.to_string()),
+            b.compare_ops_per_sec(),
             b.wall_nanos,
             if i + 1 == profile.buckets.len() {
                 ""
@@ -499,6 +534,26 @@ mod tests {
     }
 
     #[test]
+    fn profiled_sweep_records_the_kernel_variant() {
+        let prepared = prepare_all(&[Workload::Lexgen], 1, &[1_000], 10_000);
+        let configs = default_plan_grid();
+        let (swar_runs, swar) = sweep_many_profiled(&prepared, &configs, 1);
+        assert_eq!(swar.kernel, KernelKind::Swar);
+        assert!(swar.buckets.iter().all(|b| b.kernel == "swar"));
+        let (scalar_runs, scalar) =
+            sweep_many_profiled_with_kernel(&prepared, &configs, 1, KernelKind::Scalar);
+        assert_eq!(scalar.kernel, KernelKind::Scalar);
+        assert!(scalar.buckets.iter().all(|b| b.kernel == "scalar"));
+        // Same decisions, same step accounting — the kernels differ
+        // only in per-judge op counts and speed.
+        for (a, b) in swar_runs[0].iter().zip(&scalar_runs[0]) {
+            assert_eq!(a.detected, b.detected);
+            assert_eq!(a.anchored, b.anchored);
+        }
+        assert_eq!(swar.totals().judged_steps, scalar.totals().judged_steps);
+    }
+
+    #[test]
     fn overhead_report_is_sane() {
         let prepared = &prepare_all(&[Workload::Lexgen], 1, &[1_000], 10_000)[0];
         let configs = &default_plan_grid()[..4];
@@ -524,11 +579,13 @@ mod tests {
         };
         let json = obs_json(1, 10_000, configs.len(), &overhead, &profile);
         for key in [
-            "\"schema\": \"opd-bench-obs-v1\"",
+            "\"schema\": \"opd-bench-obs-v2\"",
+            "\"kernel\": \"swar\"",
             "\"overhead\"",
             "\"ratio\"",
             "\"totals\"",
             "\"static_compare_bound\"",
+            "\"compare_ops_per_sec\"",
             "\"lpt_imbalance\"",
             "\"buckets\"",
             "\"workload\": \"lexgen\"",

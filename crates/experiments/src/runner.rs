@@ -6,7 +6,7 @@ use opd_analyze::Analysis;
 use opd_baseline::{BaselineSolution, CallLoopForest};
 use opd_core::{
     anchored_intervals, detected_intervals, DetectedPhase, DetectorConfig, InternedTrace,
-    PhaseDetector, SweepEngine, SweepScratch,
+    KernelKind, PhaseDetector, SweepEngine, SweepScratch, SweepUnit,
 };
 use opd_microvm::workloads::Workload;
 use opd_scoring::{score_intervals, AccuracyScore};
@@ -23,6 +23,34 @@ pub struct PreparedWorkload {
     total: u64,
     oracles: BTreeMap<u64, BaselineSolution>,
     analysis: Analysis,
+    probe_density: f64,
+}
+
+/// The detector configuration one calibration probe runs at prepare
+/// time: the default shape of the shared plan grid, so the measured
+/// judged-step density reflects the sweeps it will price.
+fn probe_config() -> DetectorConfig {
+    DetectorConfig::builder()
+        .current_window(500)
+        .build()
+        .expect("probe config is valid")
+}
+
+/// Measured judged-step density of `trace`: the fraction of detector
+/// steps the probe config actually judged (windows warm and refilled).
+/// The static cost model assumes every step is judged; this one cheap
+/// metered run at prepare time tells the LPT scheduler how far below
+/// that ceiling the workload really sits. Falls back to `1.0`
+/// (worst case) for degenerate traces.
+fn measure_probe_density(trace: &InternedTrace) -> f64 {
+    let mut detector = PhaseDetector::new(probe_config());
+    let mut meter = opd_obs::MeterObserver::new();
+    let _ = detector.run_interned_phases_observed(trace, &mut meter);
+    let m = &meter.metrics;
+    if m.steps == 0 {
+        return 1.0;
+    }
+    (m.judged_steps as f64 / m.steps as f64).clamp(0.0, 1.0)
 }
 
 impl PreparedWorkload {
@@ -66,6 +94,7 @@ impl PreparedWorkload {
             analysis.flow().alphabet_bound() as usize,
         );
         debug_assert!(u64::from(interned.distinct_count()) <= analysis.flow().alphabet_bound());
+        let probe_density = measure_probe_density(&interned);
         let total = trace.branches().len() as u64;
         let (branches, _) = trace.into_parts();
         PreparedWorkload {
@@ -76,6 +105,7 @@ impl PreparedWorkload {
             total,
             oracles,
             analysis,
+            probe_density,
         }
     }
 
@@ -141,6 +171,38 @@ impl PreparedWorkload {
     pub fn site_capacity(&self) -> usize {
         self.analysis.flow().alphabet_bound() as usize
     }
+
+    /// Measured judged-step density (judged steps / total steps) of
+    /// the calibration probe run over this trace, in `0.0..=1.0`. The
+    /// sweep scheduler scales the static comparison-op bound by this
+    /// factor when pricing LPT buckets.
+    #[must_use]
+    pub fn probe_density(&self) -> f64 {
+        self.probe_density
+    }
+}
+
+/// The calibrated LPT price of one sweep unit on one prepared
+/// workload: the static window-maintenance part at face value (every
+/// element is always consumed) plus the static comparison part scaled
+/// by the workload's measured judged-step density. Uses the *measured*
+/// distinct-site count — not the static alphabet bound — so two
+/// workloads with identical bounds but different live alphabets price
+/// differently.
+#[must_use]
+pub fn calibrated_unit_cost(
+    configs: &[DetectorConfig],
+    unit: &SweepUnit,
+    prepared: &PreparedWorkload,
+) -> u64 {
+    let (window, compare) = opd_analyze::unit_cost_parts(
+        configs,
+        unit,
+        prepared.total_elements(),
+        u64::from(prepared.interned().distinct_count()),
+    );
+    let scaled = (compare as f64 * prepared.probe_density()).round() as u64;
+    window.saturating_add(scaled)
 }
 
 /// Prepares several workloads in parallel (one thread each). `fuel`
@@ -225,7 +287,20 @@ pub fn sweep(
     configs: &[DetectorConfig],
     threads: usize,
 ) -> Vec<ConfigRun> {
-    let mut per_workload = sweep_many(std::slice::from_ref(prepared), configs, threads);
+    sweep_with_kernel(prepared, configs, threads, KernelKind::default())
+}
+
+/// [`sweep`] on an explicit window kernel — the benchmark harness runs
+/// the same grid on both kernels and diffs the results.
+#[must_use]
+pub fn sweep_with_kernel(
+    prepared: &PreparedWorkload,
+    configs: &[DetectorConfig],
+    threads: usize,
+    kernel: KernelKind,
+) -> Vec<ConfigRun> {
+    let mut per_workload =
+        sweep_many_with_kernel(std::slice::from_ref(prepared), configs, threads, kernel);
     per_workload.pop().expect("one workload in, one out")
 }
 
@@ -243,20 +318,28 @@ pub fn sweep_many(
     configs: &[DetectorConfig],
     threads: usize,
 ) -> Vec<Vec<ConfigRun>> {
-    let engine = SweepEngine::new(configs);
-    // One work item per (workload, unit), weighted by the static cost
-    // model: exact window-maintenance and comparison-op bounds from
-    // the unit's members, the trace length, and the workload's static
-    // alphabet bound.
+    sweep_many_with_kernel(prepared, configs, threads, KernelKind::default())
+}
+
+/// [`sweep_many`] on an explicit window kernel.
+#[must_use]
+pub fn sweep_many_with_kernel(
+    prepared: &[PreparedWorkload],
+    configs: &[DetectorConfig],
+    threads: usize,
+    kernel: KernelKind,
+) -> Vec<Vec<ConfigRun>> {
+    let engine = SweepEngine::with_kernel(configs, kernel);
+    // One work item per (workload, unit), priced by the calibrated
+    // cost model: static window-maintenance and comparison-op bounds
+    // from the unit's members and the trace length, with the
+    // comparison part scaled by the workload's measured judged-step
+    // density (the probe run at prepare time).
     let mut items: Vec<(usize, usize, u64)> =
         Vec::with_capacity(prepared.len() * engine.units().len());
     for (wi, p) in prepared.iter().enumerate() {
         for (ui, unit) in engine.units().iter().enumerate() {
-            items.push((
-                wi,
-                ui,
-                opd_analyze::unit_cost(configs, unit, p.total_elements(), p.site_capacity() as u64),
-            ));
+            items.push((wi, ui, calibrated_unit_cost(configs, unit, p)));
         }
     }
     let threads = threads.max(1).min(items.len().max(1));
@@ -408,6 +491,16 @@ mod tests {
     }
 
     #[test]
+    fn probe_density_is_a_measured_fraction() {
+        let p = small_prepared();
+        let d = p.probe_density();
+        assert!((0.0..=1.0).contains(&d), "{d}");
+        // A real trace at 60k elements warms the probe's windows and
+        // judges at least some steps.
+        assert!(d > 0.0, "{d}");
+    }
+
+    #[test]
     #[should_panic(expected = "was not prepared")]
     fn missing_mpl_panics() {
         let p = small_prepared();
@@ -505,6 +598,73 @@ mod tests {
             max <= mean * 1.15,
             "LPT imbalance {:.1}% exceeds 15% (loads {loads:?})",
             (max / mean - 1.0) * 100.0
+        );
+    }
+
+    #[test]
+    fn calibrated_lpt_imbalance_stays_small_under_measured_load() {
+        // Satellite check for the calibrated scheduler: build the LPT
+        // plan from the *calibrated* unit prices (static bounds ×
+        // measured judged-step density, measured alphabet), then
+        // re-weigh every bucket with what the units actually cost when
+        // run — metered comparison ops plus the static
+        // window-maintenance part. The heaviest bucket may exceed the
+        // mean by at most 20%. The uncalibrated static plan fails this
+        // measure (BENCH_obs recorded 1.28 before calibration).
+        let prepared = prepare_all(&Workload::ALL, 1, &[1_000], 60_000);
+        let configs = crate::grid::default_plan_grid();
+        let engine = SweepEngine::new(&configs);
+        let mut items = Vec::new();
+        let mut calibrated = Vec::new();
+        for (wi, p) in prepared.iter().enumerate() {
+            for (ui, unit) in engine.units().iter().enumerate() {
+                items.push((wi, ui));
+                calibrated.push(calibrated_unit_cost(&configs, unit, p));
+            }
+        }
+        assert_eq!(items.len(), 8, "one shared unit per workload");
+        // Deterministic measured proxy per item.
+        let measured: Vec<u64> = items
+            .iter()
+            .map(|&(wi, ui)| {
+                let p = &prepared[wi];
+                let mut scratch = SweepScratch::with_site_capacity(p.site_capacity());
+                let mut metrics = opd_obs::UnitMetrics::new();
+                let _ = engine.run_unit_metered(ui, p.interned(), &mut scratch, &mut metrics);
+                let (window, _) = opd_analyze::unit_cost_parts(
+                    &configs,
+                    &engine.units()[ui],
+                    p.total_elements(),
+                    u64::from(p.interned().distinct_count()),
+                );
+                window + metrics.compare_ops
+            })
+            .collect();
+        let threads = 4;
+        let plan = lpt_plan(&calibrated, threads);
+        let loads: Vec<u64> = plan
+            .iter()
+            .map(|bucket| bucket.iter().map(|&i| measured[i]).sum())
+            .collect();
+        let max = *loads.iter().max().unwrap() as f64;
+        let mean = loads.iter().sum::<u64>() as f64 / threads as f64;
+        assert!(
+            max <= mean * 1.20,
+            "calibrated LPT imbalance {:.1}% exceeds 20% (loads {loads:?})",
+            (max / mean - 1.0) * 100.0
+        );
+        // And the calibrated prices must themselves track the measured
+        // loads: a plan built directly from the measured proxy should
+        // not beat the calibrated plan by much on its heaviest bucket.
+        let ideal = lpt_plan(&measured, threads);
+        let ideal_max = ideal
+            .iter()
+            .map(|bucket| bucket.iter().map(|&i| measured[i]).sum::<u64>())
+            .max()
+            .unwrap() as f64;
+        assert!(
+            max <= ideal_max * 1.20,
+            "calibrated plan max {max} vs measured-optimal max {ideal_max}"
         );
     }
 

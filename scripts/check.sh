@@ -3,8 +3,10 @@
 # whole workspace, formatting, a deny-warnings static lint of every
 # built-in workload, an `opd plan` smoke run on the default grid, the
 # fault-injection smoke pass (injector ledgers vs decoder reports), an
-# `opd trace` smoke run, and the feature-gate guard keeping opd-core
-# free of opd-obs when `obs` is off.
+# `opd trace` smoke run, a release-mode kernel-equivalence smoke, the
+# BENCH_kernel.json acceptance/freshness tests, and the feature-gate
+# guards keeping opd-core free of opd-obs when `obs` is off and
+# portable-simd out of default builds.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,12 +18,27 @@ cargo run --release -q --bin opd -- lint --deny-warnings
 cargo run --release -q --bin opd -- plan --json > /dev/null
 cargo run --release -q --bin opd -- faults --smoke > /dev/null
 cargo run --release -q --bin opd -- trace lexgen --limit 5 --fuel 20000 > /dev/null
+# Kernel equivalence smoke: the SWAR and scalar kernels must agree
+# bit-for-bit under release codegen too (the workspace run above
+# exercises the same differential + proptest suite in debug; release
+# is where the SWAR closed forms actually vectorise).
+RUST_BACKTRACE=1 cargo test -q --release -p opd --test kernel_equivalence kernels_agree
+# The committed kernel benchmark artifact must be structurally valid,
+# meet the acceptance lines (budget, speedup, identical results), and
+# be fresh for the current grid and workload.
+RUST_BACKTRACE=1 cargo test -q -p opd --test kernel_artifact
 # Zero-overhead-when-off also means zero-dependency-when-off: opd-core
 # without its `obs` feature must not pull in opd-obs at all. (The
 # BENCH_obs.json freshness/overhead acceptance tests run in the
 # workspace test suite above.)
 if (cd crates/core && cargo tree -e features) | grep -q "opd-obs"; then
     echo "check.sh: opd-core depends on opd-obs without the obs feature" >&2
+    exit 1
+fi
+# The `portable-simd` feature is nightly-only scaffolding: the default
+# build must never enable it, and stable CI must not try to compile it.
+if (cd crates/core && cargo tree -e features -f '{f}') | tr ',' '\n' | grep -q "portable-simd"; then
+    echo "check.sh: portable-simd must stay off in default builds (nightly-only)" >&2
     exit 1
 fi
 echo "check.sh: all gates passed"

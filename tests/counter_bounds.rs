@@ -8,7 +8,7 @@
 //! detector only judges warm ones.
 
 use opd_analyze::{predicted_scans, ConfigCost};
-use opd_core::{SweepEngine, SweepScratch};
+use opd_core::{SweepEngine, SweepScratch, UnitKind};
 use opd_experiments::grid::{default_plan_grid, policy_grid, TwKind};
 use opd_experiments::obs::sweep_many_profiled;
 use opd_experiments::runner::{prepare_all, PreparedWorkload};
@@ -85,10 +85,12 @@ fn metered_counters_match_static_predictions_on_the_default_grid() {
 }
 
 #[test]
-fn metered_counters_are_exact_on_a_private_adaptive_unit() {
-    // Adaptive-TW configs get private (one-scan-per-member) units;
-    // scans, steps, and elements stay exactly predictable even though
-    // the comparison-op bound only applies to tracked-window shapes.
+fn metered_counters_are_exact_on_a_shared_adaptive_unit() {
+    // Adaptive-TW configs share one forking scan per shape: scans,
+    // steps, and elements stay exactly predictable, and comparison
+    // ops respect the static per-member bound — every fresh
+    // class-or-FIFO similarity is attributable to the distinct member
+    // whose judgement triggered it.
     let configs = policy_grid(TwKind::Adaptive, 400);
     let engine = SweepEngine::new(&configs);
     let p = &prepare_all(&[Workload::Lexgen], 1, &[1_000], FUEL)[0];
@@ -96,18 +98,30 @@ fn metered_counters_are_exact_on_a_private_adaptive_unit() {
     let alphabet = p.site_capacity() as u64;
     let mut scratch = SweepScratch::with_site_capacity(p.site_capacity());
     let mut total = UnitMetrics::new();
+    assert_eq!(engine.units().len(), 1, "one shape, one forking scan");
     for (ui, unit) in engine.units().iter().enumerate() {
-        assert!(!unit.is_shared());
+        assert_eq!(unit.kind(), UnitKind::SharedAdaptive);
+        assert!(unit.is_shared());
         let mut metrics = UnitMetrics::new();
         let _ = engine.run_unit_metered(ui, p.interned(), &mut scratch, &mut metrics);
-        let predicted_steps: u64 = unit
+        let costs: Vec<ConfigCost> = unit
             .config_indices()
             .iter()
-            .map(|&ci| ConfigCost::of(&configs[ci], elements, alphabet).steps())
-            .sum();
-        assert_eq!(metrics.steps, predicted_steps);
-        assert_eq!(metrics.scans, unit.scans() as u64);
+            .map(|&ci| ConfigCost::of(&configs[ci], elements, alphabet))
+            .collect();
+        assert_eq!(metrics.scans, 1);
+        assert_eq!(metrics.steps, costs[0].steps());
         assert_eq!(metrics.elements, metrics.scans * elements);
+        let bound: u64 = costs
+            .iter()
+            .map(|c| c.compare_ops().expect("no overflow at this fuel"))
+            .sum();
+        assert!(
+            metrics.compare_ops <= bound,
+            "{} compare ops exceed static bound {bound}",
+            metrics.compare_ops
+        );
+        assert!(metrics.compare_ops > 0);
         total.merge(&metrics);
     }
     assert_eq!(total.scans, predicted_scans(&configs) as u64);

@@ -11,8 +11,8 @@ use opd_experiments::runner::{prepare_all, run_detector, sweep, sweep_many, Prep
 use opd_microvm::workloads::Workload;
 
 /// The paper's 20-config model × analyzer grid for every strategy:
-/// Adaptive TW (private windows), Constant TW (shared windows), and
-/// Fixed Interval (shared windows with skip = cw).
+/// Adaptive TW (the forking shared scan), Constant TW (the plain
+/// shared scan), and Fixed Interval (shared windows with skip = cw).
 fn full_policy_grid(cw: usize) -> Vec<DetectorConfig> {
     let mut configs = Vec::new();
     for kind in TwKind::ALL {
@@ -35,10 +35,10 @@ fn engine_matches_sequential_over_full_policy_grid() {
     let prepared = workloads();
     let configs = full_policy_grid(500);
     let engine = SweepEngine::new(&configs);
-    // The Constant and FixedInterval sub-grids (20 configs each) must
-    // collapse into one shared scan apiece; only the 20 Adaptive
-    // configs need private scans.
-    assert_eq!(engine.total_scans(), 20 + 1 + 1);
+    // Every sub-grid (20 configs each) must collapse into one shared
+    // scan apiece: the Adaptive one through the forking scan, the
+    // Constant and FixedInterval ones through the plain shared scan.
+    assert_eq!(engine.total_scans(), 1 + 1 + 1);
     for p in &prepared {
         let total = p.interned().len() as u64;
         let all = engine.run_all(p.interned());

@@ -1,0 +1,155 @@
+//! Allocation discipline of the window kernels: a steady-state
+//! detector run allocates nothing on either kernel — including
+//! Pearson on the SWAR kernel, whose scalar counterpart needs a
+//! per-judgement site union — and pre-sizing the site tables from the
+//! static alphabet bound (`reserve_sites`, backed by
+//! `Windows::with_site_capacity`) moves every site-table growth out of
+//! the first run. A counting global allocator wraps the system one;
+//! this file holds only these tests so no concurrent case perturbs
+//! the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use opd_core::{DetectorConfig, InternedTrace, KernelKind, ModelPolicy, PhaseDetector};
+use opd_microvm::workloads::Workload;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations_during(mut run: impl FnMut()) -> u64 {
+    let before = ALLOCATIONS.load(Relaxed);
+    run();
+    ALLOCATIONS.load(Relaxed) - before
+}
+
+fn workload_branches(fuel: u64) -> opd_trace::BranchTrace {
+    let workload = Workload::Lexgen;
+    let program = workload.program(1);
+    let mut execution = opd_trace::ExecutionTrace::new();
+    opd_microvm::Interpreter::new(&program, workload.default_seed())
+        .with_fuel(fuel)
+        .run(&mut execution)
+        .expect("workload executes");
+    let (branches, _) = execution.into_parts();
+    branches
+}
+
+fn workload_trace(fuel: u64) -> InternedTrace {
+    InternedTrace::from_elements(workload_branches(fuel).iter().copied())
+}
+
+fn config_for(model: ModelPolicy) -> DetectorConfig {
+    DetectorConfig::builder()
+        .current_window(500)
+        .model(model)
+        .build()
+        .expect("valid config")
+}
+
+#[test]
+fn swar_steady_state_allocates_nothing_for_every_model() {
+    let trace = workload_trace(20_000);
+    for model in ModelPolicy::ALL_EXTENDED {
+        let config = config_for(model);
+        let mut detector = PhaseDetector::with_kernel(config, KernelKind::Swar);
+        // Warm-up sizes the SWAR count/bit lanes and the phase buffer;
+        // `reconfigure` clears state but keeps every capacity.
+        let _ = detector.run_interned_phases_only(&trace);
+        detector.reconfigure(config);
+        let steady = allocations_during(|| {
+            let _ = detector.run_interned_phases_only(&trace);
+        });
+        assert_eq!(steady, 0, "{model:?}: SWAR steady state allocated");
+    }
+}
+
+#[test]
+fn scalar_steady_state_allocates_nothing_for_set_models() {
+    let trace = workload_trace(20_000);
+    // Scalar Pearson builds a per-judgement site union, so the
+    // scalar guarantee covers the set models only — one of the
+    // reasons the SWAR kernel is the default.
+    for model in [ModelPolicy::UnweightedSet, ModelPolicy::WeightedSet] {
+        let config = config_for(model);
+        let mut detector = PhaseDetector::with_kernel(config, KernelKind::Scalar);
+        let _ = detector.run_interned_phases_only(&trace);
+        detector.reconfigure(config);
+        let steady = allocations_during(|| {
+            let _ = detector.run_interned_phases_only(&trace);
+        });
+        assert_eq!(steady, 0, "{model:?}: scalar steady state allocated");
+    }
+}
+
+#[test]
+fn reserving_sites_up_front_moves_growth_out_of_the_first_streaming_run() {
+    // The streaming path interns sites one at a time, so an
+    // unreserved detector grows its site tables incrementally as new
+    // sites appear mid-trace. `reserve_sites` (backed by
+    // `Windows::with_site_capacity`) pre-sizes them in one shot; both
+    // arms still pay the same interner and state-sequence
+    // allocations.
+    let branches = workload_branches(20_000);
+    let distinct = workload_trace(20_000).distinct_count() as usize;
+    let config = config_for(ModelPolicy::WeightedSet);
+    let cold = allocations_during(|| {
+        let mut detector = PhaseDetector::new(config);
+        let _ = detector.run(&branches);
+    });
+    let presized = allocations_during(|| {
+        let mut detector = PhaseDetector::new(config);
+        detector.reserve_sites(distinct);
+        let _ = detector.run(&branches);
+    });
+    assert!(
+        presized < cold,
+        "pre-sizing did not remove first-run growth (cold {cold}, presized {presized})"
+    );
+}
+
+#[test]
+fn interned_first_runs_size_their_tables_in_one_shot() {
+    // The interned paths pre-size from the trace's distinct count on
+    // entry (SWAR lanes and counts, scalar site lists), so even a
+    // cold first run performs a small constant number of allocations
+    // — table sizing plus the phase buffer — never per-site growth.
+    let trace = workload_trace(20_000);
+    let config = config_for(ModelPolicy::WeightedSet);
+    for kernel in [KernelKind::Swar, KernelKind::Scalar] {
+        let cold = allocations_during(|| {
+            let mut detector = PhaseDetector::with_kernel(config, kernel);
+            let _ = detector.run_interned_phases_only(&trace);
+        });
+        assert!(
+            cold <= 16,
+            "{kernel}: cold interned run allocated {cold} times; \
+             site tables are growing incrementally"
+        );
+    }
+}

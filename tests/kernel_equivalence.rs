@@ -1,0 +1,168 @@
+//! The kernel-differential suite: the SWAR (default) window kernel
+//! must be bit-identical to the scalar reference — same per-element
+//! state sequence, same detected and anchored phases, same final
+//! similarity — on every MicroVM workload and on arbitrary traces.
+//! The grids cross all three similarity models with both TW policies,
+//! both anchors, both resize policies, and skip factors on both sides
+//! of the rank-mode cutoff, so the dense incremental path, the
+//! rank-index path, mid-phase flushes (`clear_keep_last`), and
+//! adaptive TW growth are all exercised against the reference.
+
+use proptest::prelude::*;
+
+use opd_core::{
+    AnalyzerPolicy, AnchorPolicy, DetectorConfig, InternedTrace, KernelKind, ModelPolicy,
+    PhaseDetector, ResizePolicy, TwPolicy, RANK_MODE_MIN_SKIP,
+};
+use opd_microvm::workloads::Workload;
+use opd_trace::{BranchTrace, MethodId, ProfileElement};
+
+const FUEL: u64 = 12_000;
+
+fn interned(workload: Workload) -> InternedTrace {
+    let program = workload.program(1);
+    let mut execution = opd_trace::ExecutionTrace::new();
+    opd_microvm::Interpreter::new(&program, workload.default_seed())
+        .with_fuel(FUEL)
+        .run(&mut execution)
+        .expect("workload executes");
+    InternedTrace::from_elements(execution.branches().iter().copied())
+}
+
+/// Every policy axis crossed, with skip factors below and above the
+/// rank-mode cutoff.
+fn differential_grid() -> Vec<DetectorConfig> {
+    let mut configs = Vec::new();
+    for model in ModelPolicy::ALL_EXTENDED {
+        for tw_policy in [TwPolicy::Constant, TwPolicy::Adaptive] {
+            for anchor in [AnchorPolicy::RightmostNoisy, AnchorPolicy::LeftmostNonNoisy] {
+                for resize in [ResizePolicy::Slide, ResizePolicy::Move] {
+                    for skip in [1, 7, RANK_MODE_MIN_SKIP, 50] {
+                        configs.push(
+                            DetectorConfig::builder()
+                                .current_window(400)
+                                .trailing_window(300)
+                                .skip_factor(skip)
+                                .tw_policy(tw_policy)
+                                .anchor(anchor)
+                                .resize(resize)
+                                .model(model)
+                                .build()
+                                .expect("valid config"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    configs
+}
+
+fn assert_kernels_agree(trace: &InternedTrace, config: DetectorConfig, context: &str) {
+    let mut scalar = PhaseDetector::with_kernel(config, KernelKind::Scalar);
+    let scalar_seq = scalar.run_interned(trace);
+    let mut swar = PhaseDetector::with_kernel(config, KernelKind::Swar);
+    let swar_seq = swar.run_interned(trace);
+
+    assert_eq!(scalar_seq, swar_seq, "{context}: state sequence");
+    assert_eq!(
+        scalar.detected_phases(),
+        swar.detected_phases(),
+        "{context}: phases"
+    );
+    assert_eq!(
+        scalar.last_similarity(),
+        swar.last_similarity(),
+        "{context}: last similarity"
+    );
+    assert_eq!(scalar.state(), swar.state(), "{context}: final state");
+}
+
+#[test]
+fn kernels_agree_on_every_workload() {
+    let configs = differential_grid();
+    for &workload in &Workload::ALL {
+        let trace = interned(workload);
+        for &config in &configs {
+            assert_kernels_agree(&trace, config, &format!("{workload:?} {config:?}"));
+        }
+    }
+}
+
+#[test]
+fn kernels_agree_on_degenerate_traces() {
+    let config = differential_grid()[0];
+    // Empty trace, single element, single repeated site.
+    let e = |o| ProfileElement::new(MethodId::new(0), o, false);
+    for elements in [
+        vec![],
+        vec![e(0)],
+        vec![e(0); 1_000],
+        (0..700u32).map(|i| e(i % 3)).collect(),
+    ] {
+        let trace = InternedTrace::from_elements(elements);
+        for &cfg in &[config, differential_grid()[47]] {
+            assert_kernels_agree(&trace, cfg, &format!("degenerate {cfg:?}"));
+        }
+    }
+}
+
+fn arb_element() -> impl Strategy<Value = ProfileElement> {
+    // 13 methods × 10 offsets × taken-bit: up to 260 distinct sites,
+    // comfortably crossing the 64-site lane boundary (and a second
+    // one) so multi-lane bitset handling is exercised.
+    (0u32..13, 0u32..10, any::<bool>())
+        .prop_map(|(m, o, t)| ProfileElement::new(MethodId::new(m), o, t))
+}
+
+fn arb_trace(max_len: usize) -> impl Strategy<Value = BranchTrace> {
+    prop::collection::vec(arb_element(), 0..max_len).prop_map(BranchTrace::from)
+}
+
+fn arb_config() -> impl Strategy<Value = DetectorConfig> {
+    (
+        1usize..50,
+        1usize..50,
+        // Crosses RANK_MODE_MIN_SKIP so both judging modes appear.
+        1usize..48,
+        prop_oneof![Just(TwPolicy::Constant), Just(TwPolicy::Adaptive)],
+        prop_oneof![
+            Just(AnchorPolicy::RightmostNoisy),
+            Just(AnchorPolicy::LeftmostNonNoisy)
+        ],
+        prop_oneof![Just(ResizePolicy::Slide), Just(ResizePolicy::Move)],
+        prop_oneof![
+            Just(ModelPolicy::UnweightedSet),
+            Just(ModelPolicy::WeightedSet),
+            Just(ModelPolicy::Pearson)
+        ],
+        prop_oneof![
+            (0.0f64..=1.0).prop_map(AnalyzerPolicy::Threshold),
+            (0.0f64..=1.0).prop_map(|delta| AnalyzerPolicy::Average { delta }),
+        ],
+    )
+        .prop_map(|(cw, tw, skip, twp, anchor, resize, model, analyzer)| {
+            DetectorConfig::builder()
+                .current_window(cw)
+                .trailing_window(tw)
+                .skip_factor(skip)
+                .tw_policy(twp)
+                .anchor(anchor)
+                .resize(resize)
+                .model(model)
+                .analyzer(analyzer)
+                .build()
+                .expect("generated parameters are valid")
+        })
+}
+
+proptest! {
+    #[test]
+    fn kernels_agree_on_arbitrary_traces(
+        trace in arb_trace(600),
+        config in arb_config(),
+    ) {
+        let interned = InternedTrace::from_elements(trace.iter().copied());
+        assert_kernels_agree(&interned, config, &format!("{config:?}"));
+    }
+}
