@@ -58,11 +58,23 @@ pub enum Code {
     /// entry (its class representative) on every trace, beyond exact
     /// duplication — it is shadowed and can be pruned.
     ShadowedRepresentative,
+    /// `OPD-R201`: a declared shared atomic was never touched by any
+    /// schedule exploration — its concurrency behavior is unverified.
+    UnexploredAtomic,
+    /// `OPD-R202`: an atomic written with `Relaxed` read-modify-writes
+    /// is read with `Acquire` (or stronger) — the reader expects a
+    /// happens-before edge the writer never publishes, the classic
+    /// "relaxed RMW used as a release flag" bug.
+    RelaxedReleaseFlag,
+    /// `OPD-R203`: a multi-shard metric family had a snapshot read
+    /// race one of its shard updates — the summed snapshot is torn
+    /// across shards and must not be treated as a point-in-time value.
+    TornSnapshot,
 }
 
 impl Code {
     /// Every code, in numeric order.
-    pub const ALL: [Code; 13] = [
+    pub const ALL: [Code; 16] = [
         Code::UnreachableFunction,
         Code::UnguardedRecursion,
         Code::DegenerateDistribution,
@@ -76,6 +88,9 @@ impl Code {
         Code::RedundantSweepAxis,
         Code::CostBoundOverflow,
         Code::ShadowedRepresentative,
+        Code::UnexploredAtomic,
+        Code::RelaxedReleaseFlag,
+        Code::TornSnapshot,
     ];
 
     /// The stable textual form, e.g. `OPD-E002`.
@@ -95,12 +110,15 @@ impl Code {
             Code::RedundantSweepAxis => "OPD-C104",
             Code::CostBoundOverflow => "OPD-C105",
             Code::ShadowedRepresentative => "OPD-C106",
+            Code::UnexploredAtomic => "OPD-R201",
+            Code::RelaxedReleaseFlag => "OPD-R202",
+            Code::TornSnapshot => "OPD-R203",
         }
     }
 
     /// The severity this code is reported at. (`OPD-C*` plan codes
-    /// carry a `C` letter regardless of severity; program codes use
-    /// `W`/`E` matching their severity.)
+    /// and `OPD-R*` race-audit codes carry their own letter at either
+    /// severity; program codes use `W`/`E` matching their severity.)
     #[must_use]
     pub fn severity(self) -> Severity {
         match self {
@@ -112,7 +130,10 @@ impl Code {
             | Code::ProvablySilent
             | Code::SkipSwallowsWindow
             | Code::RedundantSweepAxis
-            | Code::ShadowedRepresentative => Severity::Warning,
+            | Code::ShadowedRepresentative
+            | Code::UnexploredAtomic
+            | Code::RelaxedReleaseFlag
+            | Code::TornSnapshot => Severity::Warning,
             Code::UnguardedRecursion
             | Code::BoundOverflow
             | Code::InvalidStructure
@@ -137,6 +158,9 @@ impl Code {
             Code::RedundantSweepAxis => "sweep axis is provably redundant",
             Code::CostBoundOverflow => "comparison-op cost bound overflows u64",
             Code::ShadowedRepresentative => "config shadowed by an equivalent representative",
+            Code::UnexploredAtomic => "shared atomic never covered by schedule exploration",
+            Code::RelaxedReleaseFlag => "relaxed RMW flag read with acquire ordering",
+            Code::TornSnapshot => "snapshot torn across metric shards",
         }
     }
 }
@@ -261,9 +285,10 @@ mod tests {
     fn severity_matches_code_letter() {
         for code in Code::ALL {
             let letter = code.as_str().as_bytes()[4];
-            // Plan-lint codes use the `C` letter at either severity;
-            // program codes encode their severity in the letter.
-            if letter == b'C' {
+            // Plan-lint (`C`) and race-audit (`R`) codes use their own
+            // letter at either severity; program codes encode their
+            // severity in the letter.
+            if letter == b'C' || letter == b'R' {
                 continue;
             }
             match code.severity() {
@@ -288,6 +313,21 @@ mod tests {
         }
         assert_eq!(Code::CostBoundOverflow.severity(), Severity::Error);
         assert_eq!(Code::ShadowedRepresentative.severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn race_codes_use_the_r_prefix_and_200_range() {
+        let race: Vec<Code> = Code::ALL
+            .iter()
+            .copied()
+            .filter(|c| c.as_str().as_bytes()[4] == b'R')
+            .collect();
+        assert_eq!(race.len(), 3);
+        for code in race {
+            let n: u32 = code.as_str()[5..].parse().unwrap();
+            assert!((201..=203).contains(&n), "{code}");
+            assert_eq!(code.severity(), Severity::Warning, "{code}");
+        }
     }
 
     #[test]

@@ -50,6 +50,7 @@ mod flow;
 mod lint;
 mod nesting;
 mod plan;
+mod sched;
 
 pub use bounds::StaticBounds;
 pub use callgraph::{CallEdge, CallGraph, RecursionCycle};
@@ -62,6 +63,7 @@ pub use equiv::{
 pub use flow::{DeadKind, DeadSite, FlowInfo};
 pub use nesting::NestingTree;
 pub use plan::{AxisPairOutcome, AxisWitnesses, PlanAnalysis, PlanWorkload, SweepAxis};
+pub use sched::{race_lints, SubsystemSyncProfile, SyncSite};
 
 use opd_microvm::Program;
 

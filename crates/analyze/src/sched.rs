@@ -1,0 +1,225 @@
+//! The `OPD-R` race-audit lint family: rules over synchronization
+//! profiles observed by schedule exploration.
+//!
+//! `opd-analyze` stays dependency-light, so the profile arrives as
+//! plain data ([`SubsystemSyncProfile`]/[`SyncSite`]) rather than as
+//! `opd-sched` types; `opd-experiments` converts the explorer's
+//! output and a declared coverage list into this shape and feeds it
+//! to [`race_lints`]. The rules:
+//!
+//! - **`OPD-R201` unexplored atomic** — a shared atomic declared in
+//!   the subsystem's expected-object list was never touched by any
+//!   exploration: its concurrency behavior is unverified.
+//! - **`OPD-R202` relaxed release flag** — an atomic whose writes are
+//!   all `Relaxed` read-modify-writes but which some thread reads
+//!   with `Acquire` (or stronger): the reader is paying for a
+//!   happens-before edge the writer never publishes.
+//! - **`OPD-R203` torn snapshot** — a multi-member shard family
+//!   (labels `name[0]`, `name[1]`, …) in which some member's reads
+//!   and writes were observed concurrent: a summed snapshot of the
+//!   family is torn across shards and is not a point-in-time value.
+
+use std::collections::BTreeSet;
+
+use crate::diag::{Code, Diagnostic};
+
+/// Everything the lints need to know about one shared object, as
+/// observed across a subsystem's explorations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SyncSite {
+    /// The object's label (`progress`, `ops[3]`, …).
+    pub label: String,
+    /// Whether the object is an atomic (cells race instead of
+    /// profiling, so lints only see them through findings).
+    pub atomic: bool,
+    /// Total accesses observed across every explored schedule.
+    pub accesses: u64,
+    /// Whether every observed write was a `Relaxed` read-modify-write.
+    pub writes_all_relaxed_rmw: bool,
+    /// Whether any thread read the object with `Acquire` or stronger.
+    pub has_acquire_read: bool,
+    /// Whether any explored schedule had a read and a write of this
+    /// object unordered by happens-before.
+    pub concurrent_rw: bool,
+}
+
+impl SyncSite {
+    /// The shard-family part of the label: `ops[3]` -> `ops`; labels
+    /// without an index are their own family.
+    #[must_use]
+    pub fn family(&self) -> &str {
+        self.label.split('[').next().unwrap_or(&self.label)
+    }
+}
+
+/// One audited subsystem: its name, the objects exploration actually
+/// observed, and the objects its models declare they must cover.
+#[derive(Debug, Clone, Default)]
+pub struct SubsystemSyncProfile {
+    /// Subsystem name, used as the diagnostic location.
+    pub name: String,
+    /// Observed shared objects.
+    pub sites: Vec<SyncSite>,
+    /// Labels the subsystem's models are expected to exercise.
+    pub expected: Vec<String>,
+}
+
+/// Runs the `OPD-R` rules over one subsystem profile. Deterministic:
+/// diagnostics come out ordered by rule then label.
+#[must_use]
+pub fn race_lints(profile: &SubsystemSyncProfile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let observed: BTreeSet<&str> = profile.sites.iter().map(|s| s.label.as_str()).collect();
+    for label in &profile.expected {
+        if !observed.contains(label.as_str()) {
+            out.push(Diagnostic::new(
+                Code::UnexploredAtomic,
+                &profile.name,
+                format!("shared object `{label}` is declared but never explored"),
+            ));
+        }
+    }
+    for site in &profile.sites {
+        if site.atomic && site.accesses > 0 && site.writes_all_relaxed_rmw && site.has_acquire_read
+        {
+            out.push(Diagnostic::new(
+                Code::RelaxedReleaseFlag,
+                &profile.name,
+                format!(
+                    "`{}` is written only by Relaxed RMWs but read with Acquire: \
+                     the acquire can never synchronize with those writes",
+                    site.label
+                ),
+            ));
+        }
+    }
+    // Torn snapshots are a family property: group multi-member shard
+    // families and flag the ones with any concurrent member.
+    let mut torn_families: BTreeSet<&str> = BTreeSet::new();
+    for site in &profile.sites {
+        let family = site.family();
+        if family.len() == site.label.len() {
+            continue; // not an indexed shard label
+        }
+        let members = profile
+            .sites
+            .iter()
+            .filter(|s| s.family() == family && s.family().len() != s.label.len())
+            .count();
+        if members >= 2 && site.concurrent_rw {
+            torn_families.insert(family);
+        }
+    }
+    for family in torn_families {
+        out.push(Diagnostic::new(
+            Code::TornSnapshot,
+            &profile.name,
+            format!(
+                "shard family `{family}[..]` was snapshotted while writers were live: \
+                 the summed value is torn across shards"
+            ),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(label: &str) -> SyncSite {
+        SyncSite {
+            label: label.to_owned(),
+            atomic: true,
+            accesses: 4,
+            writes_all_relaxed_rmw: false,
+            has_acquire_read: false,
+            concurrent_rw: false,
+        }
+    }
+
+    #[test]
+    fn clean_profile_lints_clean() {
+        let profile = SubsystemSyncProfile {
+            name: "runner".to_owned(),
+            sites: vec![site("progress"), site("results[0]"), site("results[1]")],
+            expected: vec!["progress".to_owned(), "results[0]".to_owned()],
+        };
+        assert!(race_lints(&profile).is_empty());
+    }
+
+    #[test]
+    fn r201_fires_on_missing_coverage() {
+        let profile = SubsystemSyncProfile {
+            name: "runner".to_owned(),
+            sites: vec![site("progress")],
+            expected: vec!["progress".to_owned(), "results[0]".to_owned()],
+        };
+        let diags = race_lints(&profile);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code(), Code::UnexploredAtomic);
+        assert!(diags[0].message().contains("results[0]"));
+        assert_eq!(diags[0].location(), "runner");
+    }
+
+    #[test]
+    fn r202_fires_on_relaxed_rmw_with_acquire_reader() {
+        let mut flag = site("committed");
+        flag.writes_all_relaxed_rmw = true;
+        flag.has_acquire_read = true;
+        let profile = SubsystemSyncProfile {
+            name: "checkpoint".to_owned(),
+            sites: vec![flag],
+            expected: vec![],
+        };
+        let diags = race_lints(&profile);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code(), Code::RelaxedReleaseFlag);
+        assert!(diags[0].message().contains("committed"));
+    }
+
+    #[test]
+    fn r202_needs_both_halves() {
+        for (rmw, acq) in [(true, false), (false, true), (false, false)] {
+            let mut flag = site("committed");
+            flag.writes_all_relaxed_rmw = rmw;
+            flag.has_acquire_read = acq;
+            let profile = SubsystemSyncProfile {
+                name: "checkpoint".to_owned(),
+                sites: vec![flag],
+                expected: vec![],
+            };
+            assert!(race_lints(&profile).is_empty(), "rmw={rmw} acq={acq}");
+        }
+    }
+
+    #[test]
+    fn r203_fires_on_torn_multi_shard_family() {
+        let mut s0 = site("ops[0]");
+        s0.concurrent_rw = true;
+        let s1 = site("ops[1]");
+        // A single-member "family" and a concurrent scalar must not
+        // trigger the rule.
+        let mut scalar = site("progress");
+        scalar.concurrent_rw = true;
+        let profile = SubsystemSyncProfile {
+            name: "metrics".to_owned(),
+            sites: vec![s0, s1, scalar],
+            expected: vec![],
+        };
+        let diags = race_lints(&profile);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code(), Code::TornSnapshot);
+        assert!(diags[0].message().contains("ops[..]"));
+    }
+
+    #[test]
+    fn r203_ignores_quiesced_families() {
+        let profile = SubsystemSyncProfile {
+            name: "metrics".to_owned(),
+            sites: vec![site("ops[0]"), site("ops[1]")],
+            expected: vec![],
+        };
+        assert!(race_lints(&profile).is_empty());
+    }
+}

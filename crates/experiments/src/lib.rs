@@ -41,3 +41,4 @@ pub mod kernel_bench;
 pub mod obs;
 pub mod report;
 pub mod runner;
+pub mod sched;

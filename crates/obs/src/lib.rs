@@ -29,6 +29,8 @@
 mod event;
 mod metrics;
 mod observer;
+#[cfg(feature = "sched")]
+pub mod sched_model;
 
 pub use event::{DetectorEvent, ResizeKind};
 pub use metrics::{

@@ -4,12 +4,48 @@
 //! Writers never contend on a lock: every metric is an array of
 //! cache-line-padded shards, and each thread picks its shard by
 //! SplitMix64-mixing a per-thread tag — uniform shard spread without
-//! any coordination. All updates are `Relaxed` atomics; a snapshot
-//! sums the shards, so it is eventually consistent while writers are
-//! live and exact once they have quiesced (the sweep paths snapshot
-//! after joining their workers).
+//! any coordination.
+//!
+//! # Ordering contract
+//!
+//! Every shard cell is updated and read with `Relaxed` ordering, and
+//! that is a *contract*, not an accident:
+//!
+//! - Updates are always `fetch_add` (never load-then-store), so no
+//!   increment can be lost regardless of interleaving — each shard's
+//!   value is monotone non-decreasing.
+//! - A snapshot sums the shards with `Relaxed` loads and therefore
+//!   carries no happens-before edge of its own: while writers are
+//!   live it may be *torn across shards* (the sum need not equal the
+//!   registry's state at any single instant), but it is always
+//!   monotone between two snapshots by one thread, and never exceeds
+//!   what has been written.
+//! - Exactness comes from the caller's synchronization, not the
+//!   registry's: the sweep paths snapshot only after joining their
+//!   workers, and the join edge is what makes the quiesced snapshot
+//!   exact.
+//!
+//! Both halves of the contract — quiesced exactness and live
+//! monotonicity — are explored exhaustively by the schedule explorer
+//! over the real registry code (see [`sched_model`], `sched` feature)
+//! and stress-tested under the OS scheduler.
+//!
+//! Under the `sched` feature the shard cells become instrumented
+//! [`opd_sched::SyncAtomicU64`]s and the thread tag is derived from
+//! the deterministic model-thread index whenever a schedule
+//! exploration is active, so shard selection (and with it the whole
+//! registry) replays identically across runs.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
+
+#[cfg(not(feature = "sched"))]
+use std::sync::atomic::AtomicU64 as AtomicCell;
+
+#[cfg(feature = "sched")]
+use opd_sched::SyncAtomicU64 as AtomicCell;
+
+#[cfg(not(feature = "sched"))]
+use std::sync::atomic::AtomicU64;
 
 /// Number of histogram buckets: bucket 0 holds zero values and bucket
 /// `1 + floor(log2(v))` holds value `v`, so all of `u64` is covered.
@@ -18,7 +54,7 @@ pub const HISTOGRAM_BUCKETS: usize = 65;
 /// A cache-line-padded atomic cell: one shard of one metric.
 #[repr(align(64))]
 #[derive(Debug, Default)]
-struct PaddedU64(AtomicU64);
+struct PaddedU64(AtomicCell);
 
 /// SplitMix64's finalizer: mixes a per-thread tag into a uniformly
 /// distributed shard selector.
@@ -30,6 +66,7 @@ pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+#[cfg(not(feature = "sched"))]
 thread_local! {
     static THREAD_TAG: u64 = {
         static NEXT: AtomicU64 = AtomicU64::new(0);
@@ -37,9 +74,38 @@ thread_local! {
     };
 }
 
-fn shard_of(shards: usize) -> usize {
+/// The calling thread's shard tag. On ordinary threads this is a
+/// SplitMix64-mixed process-wide counter (assigned once per thread,
+/// `Relaxed` is sufficient: the counter is only ever incremented and
+/// uniqueness, not ordering, is what shard spread needs). Inside an
+/// active schedule exploration it is the mixed model-thread index, so
+/// shard selection is deterministic and replays exactly.
+#[cfg(not(feature = "sched"))]
+fn thread_tag() -> u64 {
+    THREAD_TAG.with(|&tag| tag)
+}
+
+/// See the non-`sched` variant. Under the explorer the tag comes from
+/// the deterministic model-thread index; the thread-local counter
+/// fallback covers ordinary threads when the feature is compiled in
+/// but no exploration is active.
+#[cfg(feature = "sched")]
+fn thread_tag() -> u64 {
+    if let Some(t) = opd_sched::current_thread_index() {
+        return splitmix64(t as u64);
+    }
+    thread_local! {
+        static THREAD_TAG: u64 = {
+            static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+            splitmix64(NEXT.fetch_add(1, Ordering::Relaxed))
+        };
+    }
+    THREAD_TAG.with(|&tag| tag)
+}
+
+fn shard_for_tag(tag: u64, shards: usize) -> usize {
     debug_assert!(shards.is_power_of_two());
-    THREAD_TAG.with(|&tag| (tag as usize) & (shards - 1))
+    (tag as usize) & (shards - 1)
 }
 
 /// Handle to a registered counter.
@@ -94,23 +160,39 @@ impl MetricsRegistry {
 
     /// Registers a counter and returns its handle.
     pub fn counter(&mut self, name: &'static str) -> CounterId {
-        let shards = (0..self.shards).map(|_| PaddedU64::default()).collect();
+        let shards: Box<[PaddedU64]> = (0..self.shards).map(|_| PaddedU64::default()).collect();
+        #[cfg(feature = "sched")]
+        for (i, cell) in shards.iter().enumerate() {
+            cell.0.set_label(format!("{name}[{i}]"));
+        }
         self.counters.push(CounterFamily { name, shards });
         CounterId(self.counters.len() - 1)
     }
 
     /// Registers a histogram and returns its handle.
     pub fn histogram(&mut self, name: &'static str) -> HistogramId {
-        let buckets = (0..self.shards * HISTOGRAM_BUCKETS)
+        let buckets: Box<[PaddedU64]> = (0..self.shards * HISTOGRAM_BUCKETS)
             .map(|_| PaddedU64::default())
             .collect();
+        #[cfg(feature = "sched")]
+        for (i, cell) in buckets.iter().enumerate() {
+            cell.0.set_label(format!("{name}[{i}]"));
+        }
         self.histograms.push(HistogramFamily { name, buckets });
         HistogramId(self.histograms.len() - 1)
     }
 
     /// Adds `n` to a counter (lock-free; callable from any thread).
     pub fn add(&self, id: CounterId, n: u64) {
-        let shard = shard_of(self.shards);
+        self.add_tagged(id, thread_tag(), n);
+    }
+
+    /// [`add`](Self::add) with an explicit shard tag — the injectable
+    /// seam the explorer models use to pin updates to known shards.
+    /// `Relaxed` suffices: increments are RMWs (nothing is lost) and
+    /// snapshot exactness comes from the caller's join edge.
+    pub fn add_tagged(&self, id: CounterId, tag: u64, n: u64) {
+        let shard = shard_for_tag(tag, self.shards);
         self.counters[id.0].shards[shard]
             .0
             .fetch_add(n, Ordering::Relaxed);
@@ -118,12 +200,18 @@ impl MetricsRegistry {
 
     /// Records one observation of `value` into a histogram.
     pub fn record(&self, id: HistogramId, value: u64) {
+        self.record_tagged(id, thread_tag(), value);
+    }
+
+    /// [`record`](Self::record) with an explicit shard tag (see
+    /// [`add_tagged`](Self::add_tagged)).
+    pub fn record_tagged(&self, id: HistogramId, tag: u64, value: u64) {
         let bucket = if value == 0 {
             0
         } else {
             1 + value.ilog2() as usize
         };
-        let shard = shard_of(self.shards);
+        let shard = shard_for_tag(tag, self.shards);
         self.histograms[id.0].buckets[shard * HISTOGRAM_BUCKETS + bucket]
             .0
             .fetch_add(1, Ordering::Relaxed);
@@ -321,6 +409,54 @@ mod tests {
             }
         });
         assert_eq!(r.snapshot().histogram("v").unwrap().count(), 4_000);
+    }
+
+    #[test]
+    fn live_snapshots_are_monotone_under_stress() {
+        // The OS-scheduler half of the snapshot-consistency story
+        // (the exhaustive half runs under the explorer, see
+        // `sched_model`): concurrent writers + a snapshotter never
+        // observe a non-monotone or overshooting total.
+        let mut r = MetricsRegistry::new(4);
+        let c = r.counter("ops");
+        let r = &r;
+        const PER_THREAD: u64 = 20_000;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        r.add(c, 1);
+                    }
+                });
+            }
+            let mut last = 0;
+            for _ in 0..1_000 {
+                let now = r.snapshot().counter("ops").unwrap();
+                assert!(now >= last, "non-monotone snapshot: {last} -> {now}");
+                assert!(now <= 4 * PER_THREAD, "snapshot overshoots: {now}");
+                last = now;
+            }
+        });
+        assert_eq!(r.snapshot().counter("ops"), Some(4 * PER_THREAD));
+    }
+
+    #[test]
+    fn tagged_updates_pin_shards() {
+        let mut r = MetricsRegistry::new(4);
+        let c = r.counter("ops");
+        let h = r.histogram("lat");
+        for tag in 0..8u64 {
+            r.add_tagged(c, tag, 1);
+            r.record_tagged(h, tag, 5);
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("ops"), Some(8));
+        assert_eq!(snap.histogram("lat").unwrap().count(), 8);
+        // Tags reduce mod the shard count: tag and tag+4 share a
+        // shard, so exactly 4 shards were touched with 2 each.
+        for shard in 0..4 {
+            assert_eq!(r.counters[c.0].shards[shard].0.load(Ordering::Relaxed), 2);
+        }
     }
 
     #[test]

@@ -1,0 +1,418 @@
+//! The deterministic schedule explorer: depth-first search over
+//! thread interleavings with dynamic partial-order reduction (DPOR),
+//! an optional preemption bound, seeded search order, and replayable
+//! schedule witnesses.
+//!
+//! Exploration is *stateless*: every schedule reruns the model
+//! closure from scratch, with the controller forcing the recorded
+//! choice at each replayed step and branching at the frontier. A
+//! choice point is one granted scheduling step; DPOR adds backtrack
+//! choices only where two concurrent, conflicting accesses prove the
+//! commutation is not free, so the explored set covers every
+//! Mazurkiewicz trace (exhaustive up to commuting independent steps)
+//! while visiting far fewer interleavings than naive DFS — the
+//! pruning ratio is part of `BENCH_sched.json`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::profile::SyncProfile;
+use crate::runtime::{Event, Execution, FindingKind};
+
+/// A replayable schedule: the thread chosen at every step, plus the
+/// rendered event trace for humans.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleWitness {
+    /// The thread granted at each scheduling step, in order. Feeding
+    /// this to [`Explorer::replay`] reproduces the execution exactly.
+    pub choices: Vec<usize>,
+    /// The rendered event trace (one line per step).
+    pub trace: Vec<String>,
+}
+
+impl fmt::Display for ScheduleWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "schedule: {:?}", self.choices)?;
+        for (i, line) in self.trace.iter().enumerate() {
+            writeln!(f, "  #{i}: {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A violation found by the auditor, with the schedule that exhibits
+/// it.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// What went wrong.
+    pub kind: FindingKind,
+    /// The exact schedule and event trace exhibiting it.
+    pub witness: ScheduleWitness,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.kind)?;
+        write!(f, "{}", self.witness)
+    }
+}
+
+/// The result of exploring one model.
+#[derive(Debug)]
+pub struct ExplorationReport {
+    /// Schedules (maximal interleavings) executed.
+    pub executions: u64,
+    /// Total scheduling steps across all executions.
+    pub transitions: u64,
+    /// Whether the `max_executions` cap stopped the search early.
+    pub truncated: bool,
+    /// The first violation found, if any (the search stops at it).
+    pub finding: Option<Finding>,
+    /// Everything observed about the model's shared objects.
+    pub profile: SyncProfile,
+    /// The deepest execution, in scheduling steps.
+    pub max_depth: usize,
+}
+
+impl ExplorationReport {
+    /// `true` when the search completed with no violation.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.finding.is_none() && !self.truncated
+    }
+}
+
+/// SplitMix64's finalizer, used only to vary the (complete) search
+/// order by seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One node of the DFS stack: the state reached by the prefix, which
+/// thread ran from it, and which alternatives remain.
+#[derive(Debug)]
+struct ChoicePoint {
+    enabled: Vec<usize>,
+    chosen: usize,
+    done: BTreeSet<usize>,
+    backtrack: BTreeSet<usize>,
+    prev: Option<usize>,
+    /// Preemptions in the prefix *before* this choice.
+    prefix_preemptions: u32,
+}
+
+impl ChoicePoint {
+    /// Whether choosing `t` here preempts a still-runnable previous
+    /// thread.
+    fn is_preemption(&self, t: usize) -> bool {
+        match self.prev {
+            Some(p) => t != p && self.enabled.contains(&p),
+            None => false,
+        }
+    }
+}
+
+/// The schedule explorer. Fields are the search configuration; the
+/// defaults give seeded, exhaustive DPOR search.
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    /// Hard cap on executed schedules; the report marks truncation.
+    pub max_executions: u64,
+    /// `Some(n)`: only schedules with at most `n` preemptive context
+    /// switches are explored (a bug-finding heuristic, not
+    /// exhaustive). `None`: unbounded, exhaustive.
+    pub preemption_bound: Option<u32>,
+    /// Seed permuting the search order (the explored set is identical
+    /// for every seed; witnesses record the seed's choices verbatim).
+    pub seed: u64,
+    /// Dynamic partial-order reduction on (default). Off explores
+    /// every interleaving — the baseline for the pruning ratio.
+    pub dpor: bool,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer {
+            max_executions: 1 << 20,
+            preemption_bound: None,
+            seed: 0,
+            dpor: true,
+        }
+    }
+}
+
+impl Explorer {
+    /// An exhaustive DPOR explorer with default limits.
+    #[must_use]
+    pub fn new() -> Self {
+        Explorer::default()
+    }
+
+    /// The same search without partial-order reduction (every
+    /// interleaving): the denominator of the DPOR pruning ratio.
+    #[must_use]
+    pub fn naive(mut self) -> Self {
+        self.dpor = false;
+        self
+    }
+
+    /// Explores every schedule of `model` (up to the configured
+    /// bounds), stopping at the first violation.
+    ///
+    /// The model closure is rerun once per schedule; it must create
+    /// its shared state inside the closure and be deterministic apart
+    /// from scheduling (the replay machinery asserts this).
+    pub fn explore<F>(&self, model: F) -> ExplorationReport
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let model: Arc<dyn Fn() + Send + Sync> = Arc::new(model);
+        let mut search = Search {
+            options: self.clone(),
+            stack: Vec::new(),
+            forced: None,
+        };
+        search.run(&model)
+    }
+
+    /// Replays exactly one schedule (a witness's `choices`) and
+    /// returns that single execution's report — the reproduction
+    /// command for a recorded failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model diverges from the witness (a choice names
+    /// a thread that is not enabled), which means the model is not
+    /// deterministic.
+    pub fn replay<F>(&self, model: F, choices: &[usize]) -> ExplorationReport
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let model: Arc<dyn Fn() + Send + Sync> = Arc::new(model);
+        let mut search = Search {
+            options: self.clone(),
+            stack: Vec::new(),
+            forced: Some(choices.to_vec()),
+        };
+        search.run(&model)
+    }
+}
+
+struct Search {
+    options: Explorer,
+    stack: Vec<ChoicePoint>,
+    /// Replay mode: the forced schedule (single execution).
+    forced: Option<Vec<usize>>,
+}
+
+impl Search {
+    fn run(&mut self, model: &Arc<dyn Fn() + Send + Sync>) -> ExplorationReport {
+        let mut report = ExplorationReport {
+            executions: 0,
+            transitions: 0,
+            truncated: false,
+            finding: None,
+            profile: SyncProfile::new(),
+            max_depth: 0,
+        };
+        loop {
+            if report.executions >= self.options.max_executions {
+                report.truncated = true;
+                return report;
+            }
+            let (events, findings, choices) = self.run_once(model, &mut report.profile);
+            report.executions += 1;
+            report.transitions += events.len() as u64;
+            report.max_depth = report.max_depth.max(events.len());
+            if let Some(kind) = findings.into_iter().next() {
+                report.finding = Some(Finding {
+                    kind,
+                    witness: ScheduleWitness {
+                        choices,
+                        trace: events.iter().map(Event::to_string).collect(),
+                    },
+                });
+                return report;
+            }
+            if self.forced.is_some() {
+                return report;
+            }
+            if self.options.dpor {
+                self.add_dpor_backtracks(&events);
+            }
+            if !self.advance() {
+                return report;
+            }
+        }
+    }
+
+    /// One full execution under the current stack prefix; fresh
+    /// choice points are pushed past the prefix.
+    fn run_once(
+        &mut self,
+        model: &Arc<dyn Fn() + Send + Sync>,
+        profile: &mut SyncProfile,
+    ) -> (Vec<Event>, Vec<FindingKind>, Vec<usize>) {
+        let exec = Execution::new();
+        let thread_exec = Arc::clone(&exec);
+        let thread_model = Arc::clone(model);
+        let t0 = std::thread::spawn(move || {
+            let m = Arc::clone(&thread_model);
+            thread_exec.run_thread(0, move || m());
+        });
+        let mut step = 0usize;
+        let mut choices = Vec::new();
+        loop {
+            if exec.wait_quiescent() {
+                break;
+            }
+            let enabled = exec.enabled();
+            if enabled.is_empty() {
+                exec.fail_deadlock();
+                continue;
+            }
+            debug_assert_eq!(step, exec.steps(), "one choice per scheduling step");
+            let choice = if let Some(forced) = &self.forced {
+                let c = forced.get(step).copied().unwrap_or_else(|| {
+                    panic!("witness ended at step {step} but threads are still enabled")
+                });
+                assert!(
+                    enabled.contains(&c),
+                    "witness diverged at step {step}: t{c} not in enabled {enabled:?} \
+                     (the model is not deterministic)"
+                );
+                c
+            } else if step < self.stack.len() {
+                let cp = &self.stack[step];
+                assert_eq!(
+                    cp.enabled, enabled,
+                    "replayed prefix diverged at step {step}: the model is not deterministic"
+                );
+                cp.chosen
+            } else {
+                self.push_fresh_point(step, enabled)
+            };
+            choices.push(choice);
+            exec.grant(choice);
+            step += 1;
+        }
+        t0.join().expect("model wrapper never panics");
+        let outcome = exec.take_outcome();
+        profile.absorb_objects(&outcome.objects);
+        (outcome.events, outcome.findings, choices)
+    }
+
+    /// Pushes a fresh choice point at `step` and returns its chosen
+    /// thread.
+    fn push_fresh_point(&mut self, step: usize, enabled: Vec<usize>) -> usize {
+        let prev = step.checked_sub(1).map(|i| self.stack[i].chosen);
+        let prefix_preemptions = match step.checked_sub(1) {
+            Some(i) => {
+                let p = &self.stack[i];
+                p.prefix_preemptions + u32::from(p.is_preemption(p.chosen))
+            }
+            None => 0,
+        };
+        let mut point = ChoicePoint {
+            enabled,
+            chosen: 0,
+            done: BTreeSet::new(),
+            backtrack: BTreeSet::new(),
+            prev,
+            prefix_preemptions,
+        };
+        // Candidate order: the previous thread first (no preemption),
+        // then the rest rotated by the seed. Under a preemption
+        // budget that has run out, the previous thread is the only
+        // candidate while it remains enabled.
+        let mut candidates: Vec<usize> = Vec::with_capacity(point.enabled.len());
+        if let Some(p) = prev {
+            if point.enabled.contains(&p) {
+                candidates.push(p);
+            }
+        }
+        let mut rest: Vec<usize> = point
+            .enabled
+            .iter()
+            .copied()
+            .filter(|t| Some(*t) != prev)
+            .collect();
+        if !rest.is_empty() {
+            let r = (splitmix64(self.options.seed ^ step as u64) as usize) % rest.len();
+            rest.rotate_left(r);
+        }
+        let out_of_budget = self
+            .options
+            .preemption_bound
+            .is_some_and(|b| prefix_preemptions >= b)
+            && !candidates.is_empty();
+        if !out_of_budget {
+            candidates.extend(rest);
+        }
+        point.chosen = candidates[0];
+        if self.options.dpor {
+            point.backtrack.insert(point.chosen);
+        } else {
+            point.backtrack.extend(candidates.iter().copied());
+        }
+        let chosen = point.chosen;
+        self.stack.push(point);
+        chosen
+    }
+
+    /// Flanagan–Godefroid backtrack-set computation over the finished
+    /// execution's event trace: for each step, the most recent
+    /// concurrent conflicting step of another thread forces a branch
+    /// at the state before it.
+    fn add_dpor_backtracks(&mut self, events: &[Event]) {
+        debug_assert_eq!(events.len(), self.stack.len());
+        for i in 0..events.len() {
+            let p = events[i].thread;
+            let Some(j) = (0..i).rev().find(|&j| events[j].conflicts(&events[i])) else {
+                continue;
+            };
+            if events[j].happens_before(&events[i]) {
+                continue;
+            }
+            let over_budget = self.options.preemption_bound.is_some_and(|b| {
+                let cp = &self.stack[j];
+                cp.prefix_preemptions >= b && cp.is_preemption(p)
+            });
+            if over_budget {
+                continue;
+            }
+            let cp = &mut self.stack[j];
+            if cp.enabled.contains(&p) {
+                if !cp.done.contains(&p) {
+                    cp.backtrack.insert(p);
+                }
+            } else {
+                for q in cp.enabled.clone() {
+                    if !cp.done.contains(&q) {
+                        cp.backtrack.insert(q);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pops fully-explored choice points and switches the deepest one
+    /// with remaining backtrack work; `false` means the search space
+    /// is exhausted.
+    fn advance(&mut self) -> bool {
+        while let Some(cp) = self.stack.last_mut() {
+            let chosen = cp.chosen;
+            cp.done.insert(chosen);
+            if let Some(&next) = cp.backtrack.iter().find(|t| !cp.done.contains(*t)) {
+                cp.chosen = next;
+                return true;
+            }
+            self.stack.pop();
+        }
+        false
+    }
+}

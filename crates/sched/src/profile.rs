@@ -1,0 +1,127 @@
+//! Observed synchronization profiles: which objects an exploration
+//! touched, how (access kinds, orderings, threads), and whether any
+//! read/write pair was ever concurrent. The `OPD-R` lint family in
+//! `opd-analyze` consumes a plain-data conversion of this.
+
+use std::collections::BTreeSet;
+
+use crate::runtime::{AccessKind, MemOrder, ObjAudit};
+
+/// Everything observed about one shared object across an exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteProfile {
+    /// The object's label (shared objects are labeled at creation;
+    /// unlabeled ones get `objN` in creation order).
+    pub label: String,
+    /// Whether the object is an atomic (vs a plain cell).
+    pub atomic: bool,
+    /// Every `(kind, ordering)` pair observed reading the object.
+    pub reads: BTreeSet<(AccessKind, MemOrder)>,
+    /// Every `(kind, ordering)` pair observed writing the object.
+    pub writes: BTreeSet<(AccessKind, MemOrder)>,
+    /// Model threads that read the object.
+    pub reader_threads: BTreeSet<usize>,
+    /// Model threads that wrote the object.
+    pub writer_threads: BTreeSet<usize>,
+    /// Whether any explored schedule had a read and a write of this
+    /// object unordered by happens-before.
+    pub concurrent_rw: bool,
+    /// Total accesses across every explored schedule.
+    pub accesses: u64,
+}
+
+impl SiteProfile {
+    fn from_audit(o: &ObjAudit) -> Self {
+        SiteProfile {
+            label: o.label.clone(),
+            atomic: o.atomic,
+            reads: o.reads.clone(),
+            writes: o.writes.clone(),
+            reader_threads: o.reader_threads.clone(),
+            writer_threads: o.writer_threads.clone(),
+            concurrent_rw: o.concurrent_rw,
+            accesses: o.accesses,
+        }
+    }
+
+    fn absorb(&mut self, o: &ObjAudit) {
+        self.reads.extend(o.reads.iter().copied());
+        self.writes.extend(o.writes.iter().copied());
+        self.reader_threads.extend(o.reader_threads.iter().copied());
+        self.writer_threads.extend(o.writer_threads.iter().copied());
+        self.concurrent_rw |= o.concurrent_rw;
+        self.accesses += o.accesses;
+    }
+
+    /// Whether the object is written by a `Relaxed` read-modify-write.
+    #[must_use]
+    pub fn has_relaxed_rmw_write(&self) -> bool {
+        self.writes.contains(&(AccessKind::Rmw, MemOrder::Relaxed))
+    }
+
+    /// Whether the object is read with acquire (or stronger) ordering.
+    #[must_use]
+    pub fn has_acquire_read(&self) -> bool {
+        self.reads.contains(&(AccessKind::Load, MemOrder::Acquire))
+            || self.reads.contains(&(AccessKind::Load, MemOrder::SeqCst))
+    }
+
+    /// The shard-family part of the label: `ops[3]` -> `ops`. Labels
+    /// without an index are their own family.
+    #[must_use]
+    pub fn family(&self) -> &str {
+        self.label.split('[').next().unwrap_or(&self.label)
+    }
+}
+
+/// The merged site profiles of one exploration (or several — profiles
+/// merge by label).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SyncProfile {
+    /// One entry per distinct object label, sorted by label.
+    pub sites: Vec<SiteProfile>,
+}
+
+impl SyncProfile {
+    /// The empty profile.
+    #[must_use]
+    pub fn new() -> Self {
+        SyncProfile::default()
+    }
+
+    pub(crate) fn absorb_objects(&mut self, objects: &[ObjAudit]) {
+        for o in objects {
+            match self.sites.binary_search_by(|s| s.label.cmp(&o.label)) {
+                Ok(i) => self.sites[i].absorb(o),
+                Err(i) => self.sites.insert(i, SiteProfile::from_audit(o)),
+            }
+        }
+    }
+
+    /// Looks up a site by exact label.
+    #[must_use]
+    pub fn site(&self, label: &str) -> Option<&SiteProfile> {
+        self.sites
+            .binary_search_by(|s| s.label.as_str().cmp(label))
+            .ok()
+            .map(|i| &self.sites[i])
+    }
+
+    /// Merges another profile into this one.
+    pub fn merge(&mut self, other: &SyncProfile) {
+        for s in &other.sites {
+            match self.sites.binary_search_by(|x| x.label.cmp(&s.label)) {
+                Ok(i) => {
+                    let t = &mut self.sites[i];
+                    t.reads.extend(s.reads.iter().copied());
+                    t.writes.extend(s.writes.iter().copied());
+                    t.reader_threads.extend(s.reader_threads.iter().copied());
+                    t.writer_threads.extend(s.writer_threads.iter().copied());
+                    t.concurrent_rw |= s.concurrent_rw;
+                    t.accesses += s.accesses;
+                }
+                Err(i) => self.sites.insert(i, s.clone()),
+            }
+        }
+    }
+}

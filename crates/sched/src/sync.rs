@@ -1,0 +1,237 @@
+//! The instrumented sync layer model code is written against:
+//! [`SyncAtomicU64`], [`SyncCell`], [`thread::spawn`]/[`thread::JoinHandle`],
+//! and [`check`]. Inside an active exploration every operation is a
+//! schedule point routed through the controller; outside one, each
+//! call falls through to the plain `std` primitive with the requested
+//! ordering, so the same code runs unchanged (and unslowed) in
+//! production builds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use crate::runtime::{with_current, AtomicEffect, ObjSlot, OpRequest};
+
+/// An `AtomicU64` whose operations become schedule points under the
+/// explorer. Drop-in for the `load`/`store`/`fetch_add` subset of
+/// `std::sync::atomic::AtomicU64`.
+#[derive(Debug, Default)]
+pub struct SyncAtomicU64 {
+    storage: AtomicU64,
+    slot: ObjSlot,
+}
+
+impl SyncAtomicU64 {
+    /// A new atomic holding `v`.
+    #[must_use]
+    pub fn new(v: u64) -> Self {
+        SyncAtomicU64 {
+            storage: AtomicU64::new(v),
+            slot: ObjSlot::new(),
+        }
+    }
+
+    /// A new atomic with a label used in witnesses, profiles, and
+    /// lints (e.g. `"ops[3]"`, `"committed"`).
+    #[must_use]
+    pub fn labeled(v: u64, label: impl Into<String>) -> Self {
+        let a = SyncAtomicU64::new(v);
+        let _ = a.slot.label.set(label.into());
+        a
+    }
+
+    /// Labels the atomic after creation (the first label wins; later
+    /// calls are ignored). Useful when the atomic lives inside a
+    /// container built before labels are known.
+    pub fn set_label(&self, label: impl Into<String>) {
+        let _ = self.slot.label.set(label.into());
+    }
+
+    /// Atomic load.
+    pub fn load(&self, order: Ordering) -> u64 {
+        with_current(|exec, me| {
+            exec.scheduled_op(
+                me,
+                OpRequest::Atomic {
+                    slot: &self.slot,
+                    effect: AtomicEffect::Load(&self.storage),
+                    order,
+                },
+            )
+        })
+        .unwrap_or_else(|| self.storage.load(order))
+    }
+
+    /// Atomic store.
+    pub fn store(&self, v: u64, order: Ordering) {
+        with_current(|exec, me| {
+            exec.scheduled_op(
+                me,
+                OpRequest::Atomic {
+                    slot: &self.slot,
+                    effect: AtomicEffect::Store(&self.storage, v),
+                    order,
+                },
+            );
+        })
+        .unwrap_or_else(|| self.storage.store(v, order));
+    }
+
+    /// Atomic fetch-add, returning the previous value.
+    pub fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+        with_current(|exec, me| {
+            exec.scheduled_op(
+                me,
+                OpRequest::Atomic {
+                    slot: &self.slot,
+                    effect: AtomicEffect::FetchAdd(&self.storage, v),
+                    order,
+                },
+            )
+        })
+        .unwrap_or_else(|| self.storage.fetch_add(v, order))
+    }
+}
+
+/// A plain (non-atomic) shared cell. Under the explorer every access
+/// is a schedule point and the vector-clock auditor reports a
+/// [`crate::FindingKind::DataRace`] the moment two unordered accesses
+/// (one a write) touch it. Outside the explorer it is just a mutex'd
+/// value, so production code should not route hot paths through it —
+/// it exists to model *data* (payload bytes, result slots) whose
+/// safety the surrounding synchronization is supposed to guarantee.
+#[derive(Debug, Default)]
+pub struct SyncCell<T> {
+    value: Mutex<T>,
+    slot: ObjSlot,
+}
+
+impl<T: Copy + Into<u64>> SyncCell<T> {
+    /// A new cell holding `v`.
+    #[must_use]
+    pub fn new(v: T) -> Self {
+        SyncCell {
+            value: Mutex::new(v),
+            slot: ObjSlot::new(),
+        }
+    }
+
+    /// A new labeled cell (see [`SyncAtomicU64::labeled`]).
+    #[must_use]
+    pub fn labeled(v: T, label: impl Into<String>) -> Self {
+        let c = SyncCell::new(v);
+        let _ = c.slot.label.set(label.into());
+        c
+    }
+
+    /// Labels the cell after creation (the first label wins).
+    pub fn set_label(&self, label: impl Into<String>) {
+        let _ = self.slot.label.set(label.into());
+    }
+
+    /// Reads the cell (a plain, non-atomic access to the auditor).
+    ///
+    /// Under the explorer the value is sampled *after* the grant —
+    /// only the granted thread executes, so the read reflects exactly
+    /// the serialized schedule and replay stays deterministic.
+    pub fn read(&self) -> T {
+        with_current(|exec, me| {
+            exec.scheduled_op(
+                me,
+                OpRequest::Cell {
+                    slot: &self.slot,
+                    write: false,
+                    shown: None,
+                },
+            );
+        });
+        *self.value.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Writes the cell (a plain, non-atomic access to the auditor).
+    pub fn write(&self, v: T) {
+        with_current(|exec, me| {
+            exec.scheduled_op(
+                me,
+                OpRequest::Cell {
+                    slot: &self.slot,
+                    write: true,
+                    shown: Some(v.into()),
+                },
+            );
+        });
+        *self.value.lock().unwrap_or_else(PoisonError::into_inner) = v;
+    }
+}
+
+/// Asserts a model invariant. Inside an exploration a failure becomes
+/// a [`crate::FindingKind::CheckFailed`] finding with the full event
+/// trace as witness; outside one it panics like `assert!`.
+pub fn check(cond: bool, message: &str) {
+    if cond {
+        return;
+    }
+    // Inside a model, fail_check unwinds and this call never returns;
+    // reaching the panic below means we are on an ordinary thread.
+    with_current(|exec, me| {
+        exec.fail_check(me, message.to_owned());
+    });
+    panic!("check failed: {message}");
+}
+
+/// Spawn/join hooks mirroring `std::thread` for model code.
+pub mod thread {
+    use super::{with_current, OpRequest};
+    use std::sync::Arc;
+
+    /// A handle to a spawned model thread. Dropping without joining
+    /// detaches: the explorer still waits for the thread to finish
+    /// its schedule points, but no happens-before edge is created —
+    /// exactly the bug a dropped join introduces in real code.
+    #[derive(Debug)]
+    pub struct JoinHandle {
+        child: Option<usize>,
+        os: std::thread::JoinHandle<()>,
+    }
+
+    /// Spawns `f`. Inside an exploration this is a schedule point and
+    /// the child becomes a controlled model thread; outside one it is
+    /// `std::thread::spawn`.
+    pub fn spawn<F>(f: F) -> JoinHandle
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let mut job = Some(f);
+        let spawned = with_current(|exec, me| {
+            let child = exec.scheduled_op(me, OpRequest::Spawn) as usize;
+            let f = job.take().expect("spawn body runs at most once");
+            let child_exec = Arc::clone(exec);
+            let os = std::thread::spawn(move || child_exec.run_thread(child, f));
+            (child, os)
+        });
+        match spawned {
+            Some((child, os)) => JoinHandle {
+                child: Some(child),
+                os,
+            },
+            None => JoinHandle {
+                child: None,
+                os: std::thread::spawn(job.take().expect("model closure was not run")),
+            },
+        }
+    }
+
+    impl JoinHandle {
+        /// Joins the thread. Inside an exploration the join is a
+        /// schedule point enabled only once the child is terminal,
+        /// and it merges the child's final vector clock (the
+        /// happens-before edge real joins provide).
+        pub fn join(self) {
+            if let Some(child) = self.child {
+                with_current(|exec, me| {
+                    exec.scheduled_op(me, OpRequest::Join { target: child });
+                });
+            }
+            let _ = self.os.join();
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Vector clocks: the happens-before backbone of the auditor and the
+//! explorer's partial-order reduction.
+
+/// A grow-on-demand vector clock over model-thread indices.
+///
+/// Component `t` counts the scheduling steps of thread `t` that
+/// happen-before the clock's owner. Missing components are zero, so
+/// clocks over different thread counts compare soundly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    stamps: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The all-zero clock.
+    #[must_use]
+    pub fn new() -> Self {
+        VectorClock::default()
+    }
+
+    /// Component `t` (zero if never ticked or joined).
+    #[must_use]
+    pub fn get(&self, t: usize) -> u64 {
+        self.stamps.get(t).copied().unwrap_or(0)
+    }
+
+    /// Advances component `t` by one step.
+    pub fn tick(&mut self, t: usize) {
+        if self.stamps.len() <= t {
+            self.stamps.resize(t + 1, 0);
+        }
+        self.stamps[t] += 1;
+    }
+
+    /// Pointwise maximum: after `self.join(o)`, everything that
+    /// happened-before `o` also happens-before `self`.
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.stamps.len() < other.stamps.len() {
+            self.stamps.resize(other.stamps.len(), 0);
+        }
+        for (s, &o) in self.stamps.iter_mut().zip(&other.stamps) {
+            *s = (*s).max(o);
+        }
+    }
+
+    /// Whether every component of `self` is `<=` the matching
+    /// component of `other` (the happens-before partial order).
+    #[must_use]
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        self.stamps
+            .iter()
+            .enumerate()
+            .all(|(t, &s)| s <= other.get(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_join_and_compare() {
+        let mut a = VectorClock::new();
+        let mut b = VectorClock::new();
+        a.tick(0);
+        a.tick(0);
+        b.tick(1);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 0);
+        assert!(!a.leq(&b));
+        assert!(!b.leq(&a));
+        let mut j = a.clone();
+        j.join(&b);
+        assert!(a.leq(&j));
+        assert!(b.leq(&j));
+        assert_eq!(j.get(0), 2);
+        assert_eq!(j.get(1), 1);
+        assert!(VectorClock::new().leq(&a));
+    }
+}

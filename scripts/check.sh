@@ -3,10 +3,13 @@
 # whole workspace, formatting, a deny-warnings static lint of every
 # built-in workload, an `opd plan` smoke run on the default grid, the
 # fault-injection smoke pass (injector ledgers vs decoder reports), an
-# `opd trace` smoke run, a release-mode kernel-equivalence smoke, the
-# BENCH_kernel.json acceptance/freshness tests, and the feature-gate
-# guards keeping opd-core free of opd-obs when `obs` is off and
-# portable-simd out of default builds.
+# `opd trace` smoke run, an `opd audit` smoke run (DPOR exploration +
+# mutant suite + OPD-R lints), a release-mode kernel-equivalence
+# smoke, the BENCH_kernel.json acceptance/freshness tests, the
+# feature-gate guards keeping opd-core free of opd-obs when `obs` is
+# off, opd-obs free of opd-sched when `sched` is off, and
+# portable-simd out of default builds, plus an optional
+# ThreadSanitizer pass when a nightly toolchain is available.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +21,10 @@ cargo run --release -q --bin opd -- lint --deny-warnings
 cargo run --release -q --bin opd -- plan --json > /dev/null
 cargo run --release -q --bin opd -- faults --smoke > /dev/null
 cargo run --release -q --bin opd -- trace lexgen --limit 5 --fuel 20000 > /dev/null
+# Concurrency audit smoke: every modeled subsystem explores clean,
+# every seeded mutant is caught, and no OPD-R lint fires. (The
+# BENCH_sched.json freshness test runs in the workspace suite above.)
+cargo run --release -q --bin opd -- audit --deny-warnings > /dev/null
 # Kernel equivalence smoke: the SWAR and scalar kernels must agree
 # bit-for-bit under release codegen too (the workspace run above
 # exercises the same differential + proptest suite in debug; release
@@ -35,10 +42,32 @@ if (cd crates/core && cargo tree -e features) | grep -q "opd-obs"; then
     echo "check.sh: opd-core depends on opd-obs without the obs feature" >&2
     exit 1
 fi
+# Same discipline for the sched instrumentation: opd-obs without its
+# `sched` feature must not pull in opd-sched, so release binaries
+# carry plain std atomics and zero model-checking code.
+if (cd crates/obs && cargo tree -e features) | grep -q "opd-sched"; then
+    echo "check.sh: opd-obs depends on opd-sched without the sched feature" >&2
+    exit 1
+fi
 # The `portable-simd` feature is nightly-only scaffolding: the default
 # build must never enable it, and stable CI must not try to compile it.
 if (cd crates/core && cargo tree -e features -f '{f}') | tr ',' '\n' | grep -q "portable-simd"; then
     echo "check.sh: portable-simd must stay off in default builds (nightly-only)" >&2
     exit 1
+fi
+# Optional: cross-check the model-level audit with ThreadSanitizer on
+# the real std-atomics build. Needs a nightly toolchain with -Z
+# sanitizer support; skip gracefully when it (or the network) is
+# absent.
+if rustup toolchain list 2>/dev/null | grep -q nightly; then
+    if RUSTFLAGS="-Zsanitizer=thread" RUST_TEST_THREADS=1 \
+        cargo +nightly test -Zbuild-std --target "$(rustc -vV | sed -n 's/^host: //p')" \
+        -q -p opd-obs metrics 2>/dev/null; then
+        echo "check.sh: ThreadSanitizer pass ok"
+    else
+        echo "check.sh: ThreadSanitizer pass unavailable (offline or no -Zbuild-std); skipped" >&2
+    fi
+else
+    echo "check.sh: no nightly toolchain; ThreadSanitizer pass skipped" >&2
 fi
 echo "check.sh: all gates passed"

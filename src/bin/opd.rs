@@ -28,6 +28,12 @@
 //!   `--stats` runs the metered sweep and prints a per-bucket profile
 //!   plus the NullObserver overhead measurement; `--write` updates
 //!   `BENCH_obs.json`.
+//! * `opd audit [--json] [--deny-warnings] [--write]` — the
+//!   concurrency audit: exhaustive DPOR exploration of the modeled
+//!   concurrent subsystems (metrics, runner, checkpoint), the
+//!   seeded-bug mutant suite, and the `OPD-R` race lints over the
+//!   observed synchronization profiles; `--write` updates
+//!   `BENCH_sched.json`.
 //! * `opd trace TARGET [--config SPEC] [--json] [--limit N]
 //!   [--scale N] [--fuel N]` — stream one detector run's structured
 //!   event log (window slides, similarity scores, analyzer decisions,
@@ -57,6 +63,7 @@ usage: opd lint [--json] [--deny-warnings] [--scale N] [TARGET...]
        opd sweep [--scale N] [--fuel N] [--threads N]
                  [--checkpoint PATH] [--resume]
                  [--stats [--json] [--write]]
+       opd audit [--json] [--deny-warnings] [--write]
        opd trace TARGET [--config SPEC] [--json] [--limit N]
                  [--scale N] [--fuel N]
 
@@ -108,6 +115,10 @@ fn main() -> ExitCode {
         },
         Some("sweep") => match parse_sweep_args(&args[1..]) {
             Ok(opts) => sweep(&opts),
+            Err(message) => fail(&message),
+        },
+        Some("audit") => match parse_audit_args(&args[1..]) {
+            Ok(opts) => audit(&opts),
             Err(message) => fail(&message),
         },
         Some("trace") => match parse_trace_args(&args[1..]) {
@@ -240,6 +251,134 @@ fn render_target(name: &str, analysis: &Analysis) -> String {
         show(bounds.events(), bounds.overflowed()),
         show(bounds.call_depth(), false),
         show(bounds.nest_depth(), false),
+    );
+    out
+}
+
+struct AuditOpts {
+    json: bool,
+    deny_warnings: bool,
+    write: bool,
+}
+
+fn parse_audit_args(args: &[String]) -> Result<AuditOpts, String> {
+    let mut opts = AuditOpts {
+        json: false,
+        deny_warnings: false,
+        write: false,
+    };
+    for arg in args {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--write" => opts.write = true,
+            other => return Err(format!("unknown audit argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn audit(opts: &AuditOpts) -> ExitCode {
+    use opd_experiments::sched;
+
+    let audits = sched::audit_subsystems();
+    let mutants = sched::mutant_audits();
+    let lints = sched::audit_lints(&audits);
+
+    let reporter = Reporter::new(opts.json);
+    if opts.write {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_sched.json");
+        if let Err(e) = std::fs::write(path, sched::sched_json(&audits, &mutants, &lints)) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        reporter.human(format_args!("wrote {path}"));
+    }
+
+    if opts.json {
+        reporter.payload(sched::sched_json(&audits, &mutants, &lints).trim_end());
+    } else {
+        reporter.human(render_audit(&audits, &mutants, &lints, opts.deny_warnings).trim_end());
+    }
+
+    // Findings in a clean subsystem or an escaped mutant are always
+    // errors; `OPD-R` lints fail only under --deny-warnings.
+    let findings = audits.iter().filter(|a| a.finding.is_some()).count();
+    let escaped = mutants.iter().filter(|m| !m.caught).count();
+    if findings > 0 || escaped > 0 || (opts.deny_warnings && !lints.is_empty()) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Renders the concurrency audit for humans: per-subsystem
+/// exploration verdicts, mutant detection records, race lints, and a
+/// one-line summary.
+fn render_audit(
+    audits: &[opd_experiments::sched::SubsystemAudit],
+    mutants: &[opd_experiments::sched::MutantAudit],
+    lints: &[opd_analyze::Diagnostic],
+    deny_warnings: bool,
+) -> String {
+    let mut out = String::new();
+    for a in audits {
+        let _ = writeln!(
+            out,
+            "{}: {} — {} schedule(s) (naive {}, pruning {:.1}x), {} transition(s), max depth {}",
+            a.name,
+            a.verdict(),
+            a.executions,
+            a.naive_executions,
+            a.pruning_ratio(),
+            a.transitions,
+            a.max_depth,
+        );
+        if let Some(finding) = &a.finding {
+            for line in finding.lines() {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
+    }
+    for m in mutants {
+        if m.caught {
+            let schedule = m
+                .schedule
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = writeln!(
+                out,
+                "mutant {}: caught {} on `{}` after {} schedule(s); replay witness: [{schedule}]",
+                m.name, m.expected, m.object, m.executions,
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "mutant {}: ESCAPED — expected {} on `{}` was not reported",
+                m.name, m.expected, m.object,
+            );
+        }
+    }
+    for d in lints {
+        let _ = writeln!(out, "{}", d.render());
+    }
+    let findings = audits.iter().filter(|a| a.finding.is_some()).count();
+    let escaped = mutants.iter().filter(|m| !m.caught).count();
+    let verdict = if findings > 0 || escaped > 0 || (deny_warnings && !lints.is_empty()) {
+        "FAIL"
+    } else {
+        "ok"
+    };
+    let _ = writeln!(
+        out,
+        "audit: {} subsystem(s), {} finding(s), {}/{} mutant(s) caught, {} lint warning(s): {verdict}",
+        audits.len(),
+        findings,
+        mutants.len() - escaped,
+        mutants.len(),
+        lints.len(),
     );
     out
 }
