@@ -1,0 +1,71 @@
+//! Temporary review probes (not part of the PR).
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use opd_sched::{thread, Explorer, FindingKind, SyncAtomicU64, SyncCell};
+
+// A blind store that is fully happens-before-ordered (via join) after
+// another thread's write. Classically NOT a lost update.
+#[test]
+fn probe_ordered_blind_store() {
+    let report = Explorer::new().explore(|| {
+        let a = Arc::new(SyncAtomicU64::labeled(0, "a"));
+        let t = {
+            let a = Arc::clone(&a);
+            thread::spawn(move || {
+                a.store(1, Ordering::Relaxed);
+            })
+        };
+        t.join();
+        a.store(2, Ordering::Relaxed);
+    });
+    match &report.finding {
+        None => println!("PROBE1: clean (no false positive)"),
+        Some(f) => println!("PROBE1: finding = {}", f.kind),
+    }
+}
+
+// A relaxed store by a third thread overwrites a Release store; an
+// Acquire load reading the relaxed value gets no synchronization in
+// C11, so the cell read races the writer's cell write.
+#[test]
+fn probe_relaxed_overwrite_breaks_release() {
+    let report = Explorer::new().explore(|| {
+        let cell = Arc::new(SyncCell::labeled(0u64, "data"));
+        let flag = Arc::new(SyncAtomicU64::labeled(0, "flag"));
+        let t1 = {
+            let cell = Arc::clone(&cell);
+            let flag = Arc::clone(&flag);
+            thread::spawn(move || {
+                cell.write(1);
+                flag.store(1, Ordering::Release);
+            })
+        };
+        let t2 = {
+            let flag = Arc::clone(&flag);
+            thread::spawn(move || {
+                flag.store(2, Ordering::Relaxed);
+            })
+        };
+        let r = {
+            let cell = Arc::clone(&cell);
+            let flag = Arc::clone(&flag);
+            thread::spawn(move || {
+                if flag.load(Ordering::Acquire) == 2 {
+                    let _ = cell.read();
+                }
+            })
+        };
+        t1.join();
+        t2.join();
+        r.join();
+    });
+    match &report.finding {
+        None => println!("PROBE2: clean (race MISSED)"),
+        Some(f) => {
+            let is_race = matches!(&f.kind, FindingKind::DataRace { object, .. } if object == "data");
+            println!("PROBE2: finding = {} (is_data_race_on_data={is_race})", f.kind);
+        }
+    }
+}
