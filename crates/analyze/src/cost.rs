@@ -46,7 +46,7 @@ const WINDOW_OPS_PER_ELEMENT: u64 = 8;
 /// whose alphabet (distinct-site count) is at most `alphabet`,
 /// modeling the default (SWAR) kernel; degenerate zero bounds still
 /// cost the fixed judge overhead.
-fn per_step_ops(config: &DetectorConfig, alphabet: u64) -> u64 {
+pub(crate) fn per_step_ops(config: &DetectorConfig, alphabet: u64) -> u64 {
     let d = alphabet.max(1);
     if config.skip_factor() >= RANK_MODE_MIN_SKIP {
         // Rank mode (or the dense judging it dominates): three rank

@@ -70,11 +70,30 @@ pub enum Code {
     /// race one of its shard updates — the summed snapshot is torn
     /// across shards and must not be treated as a point-in-time value.
     TornSnapshot,
+    /// `OPD-A301`: the certified phase-transition upper bound is zero —
+    /// the detector provably never fires on this workload.
+    CertNeverFires,
+    /// `OPD-A302`: the skip factor is at least `cw + tw`, so the
+    /// detector warms on its very first step and the certificate's
+    /// judged-step bound collapses to the raw `cost.rs` bound — the
+    /// certificate adds no tightness.
+    CertNotTighter,
+    /// `OPD-A303`: the certified kernel-memory high-water mark exceeds
+    /// the admission budget — the session must be rejected.
+    CertBudgetExceeded,
+    /// `OPD-A304`: the interpreter fuel clamps the certificate — the
+    /// static element bound exceeds the fuel, so the certified
+    /// intervals describe the truncated run, not the full program.
+    CertTruncated,
+    /// `OPD-A305`: an abstract-interpretation bound saturated (cycle
+    /// widening or `u64` overflow) — the certificate's upper bounds
+    /// are vacuous and cannot support admission control.
+    CertVacuous,
 }
 
 impl Code {
     /// Every code, in numeric order.
-    pub const ALL: [Code; 16] = [
+    pub const ALL: [Code; 21] = [
         Code::UnreachableFunction,
         Code::UnguardedRecursion,
         Code::DegenerateDistribution,
@@ -91,6 +110,11 @@ impl Code {
         Code::UnexploredAtomic,
         Code::RelaxedReleaseFlag,
         Code::TornSnapshot,
+        Code::CertNeverFires,
+        Code::CertNotTighter,
+        Code::CertBudgetExceeded,
+        Code::CertTruncated,
+        Code::CertVacuous,
     ];
 
     /// The stable textual form, e.g. `OPD-E002`.
@@ -113,6 +137,11 @@ impl Code {
             Code::UnexploredAtomic => "OPD-R201",
             Code::RelaxedReleaseFlag => "OPD-R202",
             Code::TornSnapshot => "OPD-R203",
+            Code::CertNeverFires => "OPD-A301",
+            Code::CertNotTighter => "OPD-A302",
+            Code::CertBudgetExceeded => "OPD-A303",
+            Code::CertTruncated => "OPD-A304",
+            Code::CertVacuous => "OPD-A305",
         }
     }
 
@@ -133,11 +162,16 @@ impl Code {
             | Code::ShadowedRepresentative
             | Code::UnexploredAtomic
             | Code::RelaxedReleaseFlag
-            | Code::TornSnapshot => Severity::Warning,
+            | Code::TornSnapshot
+            | Code::CertNeverFires
+            | Code::CertNotTighter
+            | Code::CertTruncated
+            | Code::CertVacuous => Severity::Warning,
             Code::UnguardedRecursion
             | Code::BoundOverflow
             | Code::InvalidStructure
-            | Code::CostBoundOverflow => Severity::Error,
+            | Code::CostBoundOverflow
+            | Code::CertBudgetExceeded => Severity::Error,
         }
     }
 
@@ -161,6 +195,11 @@ impl Code {
             Code::UnexploredAtomic => "shared atomic never covered by schedule exploration",
             Code::RelaxedReleaseFlag => "relaxed RMW flag read with acquire ordering",
             Code::TornSnapshot => "snapshot torn across metric shards",
+            Code::CertNeverFires => "certified phase-count upper bound is zero",
+            Code::CertNotTighter => "skip swallows the warm-up; certificate adds no tightness",
+            Code::CertBudgetExceeded => "certified memory high-water mark exceeds the budget",
+            Code::CertTruncated => "certificate clamped by the interpreter fuel",
+            Code::CertVacuous => "certificate interval saturated and is vacuous",
         }
     }
 }
@@ -285,10 +324,10 @@ mod tests {
     fn severity_matches_code_letter() {
         for code in Code::ALL {
             let letter = code.as_str().as_bytes()[4];
-            // Plan-lint (`C`) and race-audit (`R`) codes use their own
-            // letter at either severity; program codes encode their
-            // severity in the letter.
-            if letter == b'C' || letter == b'R' {
+            // Plan-lint (`C`), race-audit (`R`), and certificate (`A`)
+            // codes use their own letter at either severity; program
+            // codes encode their severity in the letter.
+            if letter == b'C' || letter == b'R' || letter == b'A' {
                 continue;
             }
             match code.severity() {
@@ -328,6 +367,25 @@ mod tests {
             assert!((201..=203).contains(&n), "{code}");
             assert_eq!(code.severity(), Severity::Warning, "{code}");
         }
+    }
+
+    #[test]
+    fn cert_codes_use_the_a_prefix_and_300_range() {
+        let cert: Vec<Code> = Code::ALL
+            .iter()
+            .copied()
+            .filter(|c| c.as_str().as_bytes()[4] == b'A')
+            .collect();
+        assert_eq!(cert.len(), 5);
+        for code in cert {
+            let n: u32 = code.as_str()[5..].parse().unwrap();
+            assert!((301..=305).contains(&n), "{code}");
+        }
+        // Budget rejection is the one hard error in the family — the
+        // admission decision, not a quality note.
+        assert_eq!(Code::CertBudgetExceeded.severity(), Severity::Error);
+        assert_eq!(Code::CertNeverFires.severity(), Severity::Warning);
+        assert_eq!(Code::CertVacuous.severity(), Severity::Warning);
     }
 
     #[test]

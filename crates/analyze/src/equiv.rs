@@ -684,4 +684,131 @@ mod tests {
         ]);
         assert_eq!(classes.len(), 2, "anchor affects anchored_start");
     }
+
+    // ------------------------------------------------------------------
+    // Overflow hardening: the u128 cross-multiplications at the extreme
+    // ends of the supported ranges. `farey_bracket` compares
+    // `k·2^s` against `m·n` with `k, n ≤ MAX_SNAP_DENOM = 2^20`,
+    // `m < 2^53`, `s ≤ 100`; `snap_threshold_fixed` forms
+    // `m·denom + 2^s − 1` with `denom ≤ MAX_FIXED_DENOM = 2^40`,
+    // `s ≤ 80`. Worst cases (2^120 and ~2^93) must stay below 2^128,
+    // and the s-guards must reject exactly the inputs beyond that.
+    // ------------------------------------------------------------------
+
+    /// Exact rational comparison of `a/b` vs `c/d` without overflow
+    /// concerns — the reference the snap arithmetic must agree with.
+    fn frac_cmp(a: u64, b: u64, c: u64, d: u64) -> Ordering {
+        (u128::from(a) * u128::from(d)).cmp(&(u128::from(c) * u128::from(b)))
+    }
+
+    #[test]
+    fn farey_bracket_survives_the_extreme_denominator() {
+        // The smallest and largest achievable fractions at the maximum
+        // supported denominator: if any intermediate `k << s`
+        // overflowed u128, these brackets would come back wrong.
+        let d = MAX_SNAP_DENOM;
+        let tiny = 1.0 / d as f64;
+        let ((pl, pd), (nl, nd)) = farey_bracket(tiny, d).expect("supported");
+        assert_eq!((pl, pd), (0, 1));
+        assert_eq!((nl, nd), (1, d));
+
+        let near_one = (d - 1) as f64 / d as f64;
+        let ((pl, pd), (nl, nd)) = farey_bracket(near_one, d).expect("supported");
+        assert_eq!((nl, nd), (d - 1, d), "achievable values bracket themselves");
+        assert_eq!(frac_cmp(pl, pd, nl, nd), Ordering::Less);
+
+        // One past the cap is conservatively unsupported, never wrong.
+        assert_eq!(farey_bracket(0.5, d + 1), None);
+    }
+
+    #[test]
+    fn farey_bracket_invariants_hold_exhaustively_at_max_denominator() {
+        // Bounded-exhaustive: for every t = fl(k/n) with n ≤ 17, the
+        // bracket at denominator MAX_SNAP_DENOM must satisfy
+        // prev < t ≤ next (compared EXACTLY, via t's own dyadic form —
+        // fl(k/n) is rarely k/n itself) with nothing of denominator
+        // ≤ MAX_SNAP_DENOM strictly between. Any u128 slip in the
+        // `k·2^s` vs `m·n` comparison would misplace at least one.
+        let d = MAX_SNAP_DENOM;
+        for n in 1..=17u64 {
+            for k in 1..=n {
+                let t = k as f64 / n as f64;
+                let (m, e) = dyadic(t).expect("positive finite");
+                let s = u32::try_from(-e).expect("t ≤ 1");
+                // frac vs t, exactly: a·2^s vs m·b.
+                let vs_t =
+                    |a: u64, b: u64| (u128::from(a) << s).cmp(&(u128::from(m) * u128::from(b)));
+                let ((pl, pd), (nl, nd)) = farey_bracket(t, d).expect("supported");
+                assert!(nd <= d && pd <= d);
+                assert_eq!(vs_t(pl, pd), Ordering::Less, "k={k} n={n}: prev < t");
+                assert_ne!(vs_t(nl, nd), Ordering::Less, "k={k} n={n}: next ≥ t");
+                assert_eq!(frac_cmp(pl, pd, nl, nd), Ordering::Less, "k={k} n={n}");
+                // Farey neighbours: nothing with denominator ≤ d fits
+                // strictly between; mediant denominators certify it.
+                assert!(pd + nd > d, "k={k} n={n}: a fraction fits between");
+            }
+        }
+    }
+
+    #[test]
+    fn farey_s_guard_accepts_2_pow_minus_48_and_rejects_beyond() {
+        // s = 1075 − exp_field ≤ 100 ⟺ t ≥ 2^−48. At the boundary the
+        // shifted numerator is 2^20 · 2^100 = 2^120 < 2^128: supported.
+        let boundary = (2.0f64).powi(-48);
+        let ((_, _), (nl, nd)) = farey_bracket(boundary, MAX_SNAP_DENOM).expect("s = 100 fits");
+        // 2^−48 < 1/2^20, so the smallest achievable fraction is next.
+        assert_eq!((nl, nd), (1, MAX_SNAP_DENOM));
+
+        // One exponent further the guard must refuse (s = 101 would
+        // need k·2^101 at k up to 2^20: past 2^121, headroom gone at
+        // the next cap doubling — the guard is the documented line).
+        assert_eq!(farey_bracket((2.0f64).powi(-49), MAX_SNAP_DENOM), None);
+        // Subnormals sit far below the guard.
+        assert_eq!(farey_bracket(f64::MIN_POSITIVE / 2.0, MAX_SNAP_DENOM), None);
+    }
+
+    #[test]
+    fn snap_fixed_survives_the_extreme_denominator() {
+        let d = MAX_FIXED_DENOM;
+        // t = 1.0 at the maximum denominator: m·d ≈ 2^92·2 is the
+        // largest product the routine ever forms.
+        assert_eq!(snap_threshold_fixed(1.0, d), Some(1.0));
+        // The smallest supported threshold at the maximum denominator
+        // snaps to an exact 1/2^k fraction (d is a power of two), so
+        // the equality is exact, not approximate.
+        let boundary = (2.0f64).powi(-28);
+        assert_eq!(snap_threshold_fixed(boundary, d), Some(boundary));
+        // Guards: s = 81 and denominators past the cap refuse.
+        assert_eq!(snap_threshold_fixed((2.0f64).powi(-29), d), None);
+        assert_eq!(snap_threshold_fixed(0.5, d + 1), None);
+        assert_eq!(snap_threshold_fixed(0.5, 0), None);
+    }
+
+    #[test]
+    fn snap_fixed_matches_exact_rational_ceil_exhaustively() {
+        // Bounded-exhaustive at a denominator big enough that
+        // `m·denom` needs ~93 bits: every t on a lattice straddling
+        // the achievable grid must snap to ceil(t·denom)/denom
+        // computed by exact rational arithmetic.
+        let d = MAX_FIXED_DENOM;
+        for i in 1..=512u64 {
+            let t = i as f64 / 512.0;
+            let snapped = snap_threshold_fixed(t, d).expect("supported");
+            // 512 divides d, so every lattice point is achievable and
+            // must snap to itself.
+            assert_eq!(snapped, t, "t={t}");
+        }
+        for i in 0..256u64 {
+            // Off-lattice: an odd numerator over 2^41 falls exactly
+            // between adjacent multiples of 1/2^40; the snap must
+            // round up by half a grid cell. The 2^13 offset keeps the
+            // dyadic shift at the s = 80 guard boundary — these are
+            // the largest shifted products the routine ever forms.
+            let num = (1u64 << 13) + 2 * i + 1;
+            let t = num as f64 / (2.0f64).powi(41);
+            let snapped = snap_threshold_fixed(t, d).expect("supported at s = 80");
+            let expected = ((num >> 1) + 1) as f64 / d as f64;
+            assert_eq!(snapped, expected, "i={i}");
+        }
+    }
 }

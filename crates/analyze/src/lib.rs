@@ -27,6 +27,16 @@
 //! sweep engine's exact scan count ([`predicted_scans`]), and lints
 //! the grid with codes `OPD-C101` … `OPD-C106`.
 //!
+//! A third family certifies *resources*: [`AbsInt`] runs the IR
+//! through a stride-interval abstract domain (congruence-refined
+//! intervals propagated through the call graph), and
+//! [`ResourceCertificate`] composes the per-site visit intervals with
+//! one detector config's window semantics into sound two-sided bounds
+//! on phase transitions, window occupancy, interned sites, kernel
+//! memory, and compare-op cost — with [`ResourceCertificate::admits`]
+//! as the admission-control entry point and lint codes `OPD-A301` …
+//! `OPD-A305`.
+//!
 //! # Examples
 //!
 //! ```
@@ -41,8 +51,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod absint;
 mod bounds;
 mod callgraph;
+mod cert;
 mod cost;
 mod diag;
 mod equiv;
@@ -52,8 +64,10 @@ mod nesting;
 mod plan;
 mod sched;
 
+pub use absint::{AbsInt, SiteVisits, StrideInterval};
 pub use bounds::StaticBounds;
 pub use callgraph::{CallEdge, CallGraph, RecursionCycle};
+pub use cert::{CertInterval, ResourceCertificate};
 pub use cost::{predicted_scans, unit_cost, unit_cost_parts, ConfigCost};
 pub use diag::{Code, Diagnostic, Severity};
 pub use equiv::{

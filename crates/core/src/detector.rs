@@ -279,6 +279,16 @@ impl PhaseDetector {
         self.swar.ensure_sites(n_sites);
     }
 
+    /// Bytes of per-site kernel storage currently held — the memory
+    /// high-water mark the resource certificates bound (`ensure_sites`
+    /// only ever grows the columns). Counts the SWAR count/bit-lane
+    /// state; the scalar window deques are bounded by `cw + tw`
+    /// elements and are not per-site.
+    #[must_use]
+    pub fn kernel_footprint_bytes(&self) -> u64 {
+        self.swar.footprint_bytes()
+    }
+
     /// The detector's confidence in its current state, in `[0, 1]`:
     /// how decisively the most recent similarity value cleared (or
     /// missed) the analyzer's threshold. `None` until the windows have

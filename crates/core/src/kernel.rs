@@ -220,6 +220,31 @@ impl SwarKernelState {
             self.tw_bits.resize(lanes, 0);
         }
     }
+
+    /// Bytes of per-site storage currently held (the high-water mark:
+    /// `ensure_sites` never shrinks).
+    pub(crate) fn footprint_bytes(&self) -> u64 {
+        let counts = (self.cw_counts.len() + self.tw_counts.len() + self.anchor_counts.len())
+            as u64
+            * core::mem::size_of::<u32>() as u64;
+        let lanes =
+            (self.cw_bits.len() + self.tw_bits.len()) as u64 * core::mem::size_of::<u64>() as u64;
+        counts + lanes
+    }
+}
+
+/// Bytes of per-site storage the SWAR kernel allocates for a trace
+/// with `n_sites` distinct interned sites: three `u32` count columns
+/// (CW, TW, anchor rebuild) plus two `u64` membership bit-lane arrays
+/// of `ceil(n_sites / 64)` lanes each. This is the closed form of
+/// `SwarKernelState::ensure_sites`'s allocation, exported so the
+/// static certifier (`opd-analyze`) can bound detector memory without
+/// constructing a kernel.
+#[must_use]
+pub fn swar_footprint_bytes(n_sites: u64) -> u64 {
+    let lanes = n_sites.div_ceil(64);
+    3 * core::mem::size_of::<u32>() as u64 * n_sites
+        + 2 * core::mem::size_of::<u64>() as u64 * lanes
 }
 
 /// One SWAR-kernel run over a pre-interned trace: the three run

@@ -62,7 +62,7 @@ pub use boundary::{anchored_intervals, detected_intervals, DetectedPhase};
 pub use config::{ConfigError, ConfigShape, DetectorConfig, DetectorConfigBuilder};
 pub use detector::{DetectorError, NullSink, PhaseDetector, StateSink};
 pub use intern::InternedTrace;
-pub use kernel::{KernelKind, RANK_MODE_MIN_SKIP};
+pub use kernel::{swar_footprint_bytes, KernelKind, RANK_MODE_MIN_SKIP};
 pub use model::ModelPolicy;
 pub use predict::{PhasePredictor, Prediction};
 pub use recur::{PhaseId, PhaseRegistry, PhaseSignature, RecurringPhase, RecurringPhaseDetector};

@@ -337,8 +337,8 @@ impl<'a> SweepEngine<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `unit_index` is out of range; [`try_run_unit`]
-    /// (Self::try_run_unit) is the non-panicking form.
+    /// Panics if `unit_index` is out of range;
+    /// [`Self::try_run_unit`] is the non-panicking form.
     #[must_use]
     pub fn run_unit(
         &self,

@@ -74,16 +74,10 @@ pub fn parse_config_spec(spec: &str) -> Result<DetectorConfig, CliError> {
     for pair in spec.split(',').filter(|p| !p.trim().is_empty()) {
         let (key, value) = pair
             .split_once('=')
-            .ok_or_else(|| CliError(format!("config spec `{pair}` is not key=value")))?;
+            .ok_or_else(|| CliError::invalid(format!("config spec `{pair}`"), "not key=value"))?;
         let (key, value) = (key.trim(), value.trim());
-        let size = |v: &str, k: &str| {
-            v.parse::<usize>()
-                .map_err(|e| CliError(format!("bad {k}: {e}")))
-        };
-        let real = |v: &str, k: &str| {
-            v.parse::<f64>()
-                .map_err(|e| CliError(format!("bad {k}: {e}")))
-        };
+        let size = |v: &str, k: &str| v.parse::<usize>().map_err(|e| CliError::invalid(k, e));
+        let real = |v: &str, k: &str| v.parse::<f64>().map_err(|e| CliError::invalid(k, e));
         builder = match key {
             "cw" => builder.current_window(size(value, "cw")?),
             "tw" => builder.trailing_window(size(value, "tw")?),
@@ -91,34 +85,57 @@ pub fn parse_config_spec(spec: &str) -> Result<DetectorConfig, CliError> {
             "policy" => builder.tw_policy(match value {
                 "constant" => TwPolicy::Constant,
                 "adaptive" => TwPolicy::Adaptive,
-                other => return Err(CliError(format!("unknown policy `{other}`"))),
+                other => {
+                    return Err(CliError::invalid(
+                        "policy",
+                        format_args!("unknown `{other}`"),
+                    ))
+                }
             }),
             "anchor" => builder.anchor(match value {
                 "rn" => AnchorPolicy::RightmostNoisy,
                 "lnn" => AnchorPolicy::LeftmostNonNoisy,
-                other => return Err(CliError(format!("unknown anchor `{other}`"))),
+                other => {
+                    return Err(CliError::invalid(
+                        "anchor",
+                        format_args!("unknown `{other}`"),
+                    ))
+                }
             }),
             "resize" => builder.resize(match value {
                 "slide" => ResizePolicy::Slide,
                 "move" => ResizePolicy::Move,
-                other => return Err(CliError(format!("unknown resize `{other}`"))),
+                other => {
+                    return Err(CliError::invalid(
+                        "resize",
+                        format_args!("unknown `{other}`"),
+                    ))
+                }
             }),
             "model" => builder.model(match value {
                 "unweighted" => ModelPolicy::UnweightedSet,
                 "weighted" => ModelPolicy::WeightedSet,
                 "pearson" => ModelPolicy::Pearson,
-                other => return Err(CliError(format!("unknown model `{other}`"))),
+                other => {
+                    return Err(CliError::invalid(
+                        "model",
+                        format_args!("unknown `{other}`"),
+                    ))
+                }
             }),
             "threshold" => builder.analyzer(AnalyzerPolicy::Threshold(real(value, "threshold")?)),
             "delta" => builder.analyzer(AnalyzerPolicy::Average {
                 delta: real(value, "delta")?,
             }),
-            other => return Err(CliError(format!("unknown config key `{other}`"))),
+            other => {
+                return Err(CliError::invalid(
+                    "config spec",
+                    format_args!("unknown key `{other}`"),
+                ))
+            }
         };
     }
-    builder
-        .build()
-        .map_err(|e| CliError(format!("invalid config: {e}")))
+    builder.build().map_err(|e| CliError::invalid("config", e))
 }
 
 /// Options every experiment binary accepts.
@@ -140,12 +157,90 @@ impl Default for CliOpts {
 }
 
 /// Error produced for malformed command lines.
+///
+/// Every variant is a *usage* error: tools report it on stderr and
+/// exit with code 2, per the CLI contract (0 clean, 1 findings at the
+/// failing severity, 2 usage/input errors) locked by
+/// `tests/cli_errors.rs`.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CliError(String);
+pub enum CliError {
+    /// A subcommand the tool does not know.
+    UnknownSubcommand(String),
+    /// A `--flag` the (sub)command does not know.
+    UnknownFlag(String),
+    /// A flag that takes a value hit the end of the argument list.
+    MissingValue(String),
+    /// A value that failed to parse or was rejected; `what` names the
+    /// offending flag or spec, `reason` says why.
+    InvalidValue {
+        /// The flag or spec that carried the bad value.
+        what: String,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// Flags that cannot be combined, or one that requires another.
+    Conflict(String),
+    /// Any other malformed invocation (missing or extra positionals).
+    Usage(String),
+}
+
+impl CliError {
+    /// An [`UnknownSubcommand`](CliError::UnknownSubcommand) error.
+    #[must_use]
+    pub fn unknown_subcommand(name: impl Into<String>) -> Self {
+        CliError::UnknownSubcommand(name.into())
+    }
+
+    /// An [`UnknownFlag`](CliError::UnknownFlag) error.
+    #[must_use]
+    pub fn unknown_flag(flag: impl Into<String>) -> Self {
+        CliError::UnknownFlag(flag.into())
+    }
+
+    /// A [`MissingValue`](CliError::MissingValue) error.
+    #[must_use]
+    pub fn missing_value(flag: impl Into<String>) -> Self {
+        CliError::MissingValue(flag.into())
+    }
+
+    /// An [`InvalidValue`](CliError::InvalidValue) error.
+    #[must_use]
+    pub fn invalid(what: impl Into<String>, reason: impl fmt::Display) -> Self {
+        CliError::InvalidValue {
+            what: what.into(),
+            reason: reason.to_string(),
+        }
+    }
+
+    /// A [`Conflict`](CliError::Conflict) error.
+    #[must_use]
+    pub fn conflict(message: impl Into<String>) -> Self {
+        CliError::Conflict(message.into())
+    }
+
+    /// A [`Usage`](CliError::Usage) error.
+    #[must_use]
+    pub fn usage(message: impl Into<String>) -> Self {
+        CliError::Usage(message.into())
+    }
+
+    /// The process exit code for this error: always 2, the usage slot
+    /// of the contract (0 clean, 1 findings, 2 usage).
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        2
+    }
+}
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} (usage: --scale N --threads N)", self.0)
+        match self {
+            CliError::UnknownSubcommand(name) => write!(f, "unknown subcommand `{name}`"),
+            CliError::UnknownFlag(flag) => write!(f, "unknown flag `{flag}`"),
+            CliError::MissingValue(flag) => write!(f, "missing value for {flag}"),
+            CliError::InvalidValue { what, reason } => write!(f, "bad {what}: {reason}"),
+            CliError::Conflict(message) | CliError::Usage(message) => f.write_str(message),
+        }
     }
 }
 
@@ -171,22 +266,19 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOpts, Cl
     let mut opts = CliOpts::default();
     let mut iter = args.into_iter();
     while let Some(flag) = iter.next() {
-        let mut value_for = |name: &str| {
-            iter.next()
-                .ok_or_else(|| CliError(format!("missing value for {name}")))
-        };
+        let mut value_for = |name: &str| iter.next().ok_or_else(|| CliError::missing_value(name));
         match flag.as_str() {
             "--scale" => {
                 opts.scale = value_for("--scale")?
                     .parse()
-                    .map_err(|e| CliError(format!("bad --scale: {e}")))?;
+                    .map_err(|e| CliError::invalid("--scale", e))?;
             }
             "--threads" => {
                 opts.threads = value_for("--threads")?
                     .parse()
-                    .map_err(|e| CliError(format!("bad --threads: {e}")))?;
+                    .map_err(|e| CliError::invalid("--threads", e))?;
             }
-            other => return Err(CliError(format!("unknown flag `{other}`"))),
+            other => return Err(CliError::unknown_flag(other)),
         }
     }
     Ok(opts)
@@ -199,8 +291,8 @@ pub fn parse_env() -> CliOpts {
     match parse_args(std::env::args().skip(1)) {
         Ok(opts) => opts,
         Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(2);
+            eprintln!("{e} (usage: --scale N --threads N)");
+            std::process::exit(e.exit_code().into());
         }
     }
 }
@@ -233,11 +325,24 @@ mod tests {
     }
 
     #[test]
-    fn errors() {
-        assert!(parse(&["--scale"]).is_err());
-        assert!(parse(&["--scale", "x"]).is_err());
-        assert!(parse(&["--wat"]).is_err());
-        assert!(!parse(&["--wat"]).unwrap_err().to_string().is_empty());
+    fn errors_are_typed_and_map_to_exit_2() {
+        assert_eq!(parse(&["--scale"]), Err(CliError::missing_value("--scale")));
+        assert!(matches!(
+            parse(&["--scale", "x"]),
+            Err(CliError::InvalidValue { .. })
+        ));
+        assert_eq!(parse(&["--wat"]), Err(CliError::unknown_flag("--wat")));
+        let e = parse(&["--wat"]).unwrap_err();
+        assert_eq!(e.exit_code(), 2);
+        assert_eq!(e.to_string(), "unknown flag `--wat`");
+        assert_eq!(
+            CliError::invalid("--fuel", "not a number").to_string(),
+            "bad --fuel: not a number"
+        );
+        assert_eq!(
+            CliError::conflict("--resume requires --checkpoint PATH").exit_code(),
+            2
+        );
     }
 
     #[test]

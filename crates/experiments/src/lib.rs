@@ -12,6 +12,10 @@
 //!   (`BENCH_static_bounds.json`) regress-checking runtime pre-sizing;
 //! * [`kernel_bench`] — the two-kernel sweep benchmark behind
 //!   `BENCH_kernel.json` (SWAR vs the scalar reference);
+//! * [`cert`] — abstract-interpretation resource certificates for
+//!   every (config × workload) pair of the default grid, the `OPD-A`
+//!   lint sweep, and the `BENCH_cert.json` artifact behind
+//!   `opd certify`;
 //! * [`exp`] — one module per paper artifact: Table 1, Table 2, and
 //!   Figures 4–8, each with a `run` entry point and a printable
 //!   result.
@@ -32,6 +36,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod analysis;
+pub mod cert;
 pub mod checkpoint;
 pub mod cli;
 pub mod exp;

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use opd_analyze::Analysis;
+use opd_analyze::{AbsInt, Analysis, ResourceCertificate};
 use opd_baseline::{BaselineSolution, CallLoopForest};
 use opd_core::{
     anchored_intervals, detected_intervals, DetectedPhase, DetectorConfig, InternedTrace,
@@ -23,6 +23,8 @@ pub struct PreparedWorkload {
     total: u64,
     oracles: BTreeMap<u64, BaselineSolution>,
     analysis: Analysis,
+    absint: AbsInt,
+    fuel: u64,
     probe_density: f64,
 }
 
@@ -77,6 +79,7 @@ impl PreparedWorkload {
     pub fn prepare_with_fuel(workload: Workload, scale: u32, mpls: &[u64], fuel: u64) -> Self {
         let program = workload.program(scale);
         let analysis = Analysis::of(&program);
+        let absint = AbsInt::of(&program);
         let mut trace = opd_trace::ExecutionTrace::new();
         opd_microvm::Interpreter::new(&program, workload.default_seed())
             .with_fuel(fuel)
@@ -105,6 +108,8 @@ impl PreparedWorkload {
             total,
             oracles,
             analysis,
+            absint,
+            fuel,
             probe_density,
         }
     }
@@ -180,6 +185,38 @@ impl PreparedWorkload {
     pub fn probe_density(&self) -> f64 {
         self.probe_density
     }
+
+    /// The abstract interpretation of the workload's program — the
+    /// per-site visit intervals resource certificates are issued from.
+    #[must_use]
+    pub fn absint(&self) -> &AbsInt {
+        &self.absint
+    }
+
+    /// The fuel limit the trace was prepared under (`u64::MAX` =
+    /// complete run).
+    #[must_use]
+    pub fn fuel(&self) -> u64 {
+        self.fuel
+    }
+
+    /// Issues one [`ResourceCertificate`] per config for this
+    /// prepared workload (at the preparation fuel), or `None` if any
+    /// certificate is vacuous — callers then fall back to measured
+    /// calibration.
+    #[must_use]
+    pub fn certificates(&self, configs: &[DetectorConfig]) -> Option<Vec<ResourceCertificate>> {
+        let flow = self.analysis.flow();
+        let certs: Vec<ResourceCertificate> = configs
+            .iter()
+            .map(|c| ResourceCertificate::from_parts(&self.absint, flow, c, self.fuel))
+            .collect();
+        if certs.iter().any(ResourceCertificate::vacuous) {
+            None
+        } else {
+            Some(certs)
+        }
+    }
 }
 
 /// The calibrated LPT price of one sweep unit on one prepared
@@ -202,6 +239,42 @@ pub fn calibrated_unit_cost(
         u64::from(prepared.interned().distinct_count()),
     );
     let scaled = (compare as f64 * prepared.probe_density()).round() as u64;
+    window.saturating_add(scaled)
+}
+
+/// The certificate-priced LPT cost of one sweep unit: the static
+/// window-maintenance part at face value plus the static comparison
+/// part scaled by the unit's *certified* judged-step density — the
+/// midpoint of each member's judged-step interval over the midpoint
+/// of its step interval. Replaces the probe-measured density with a
+/// statically derived one when certificates are available (they are
+/// for every built-in workload), making LPT pricing independent of
+/// the calibration run.
+#[must_use]
+pub fn certified_unit_cost(
+    configs: &[DetectorConfig],
+    unit: &SweepUnit,
+    prepared: &PreparedWorkload,
+    certs: &[ResourceCertificate],
+) -> u64 {
+    let (window, compare) = opd_analyze::unit_cost_parts(
+        configs,
+        unit,
+        prepared.total_elements(),
+        u64::from(prepared.interned().distinct_count()),
+    );
+    let mut judged: u128 = 0;
+    let mut steps: u128 = 0;
+    for &i in unit.config_indices() {
+        judged += u128::from(certs[i].judged_steps().midpoint());
+        steps += u128::from(certs[i].steps().midpoint());
+    }
+    if steps == 0 {
+        return window.saturating_add(compare);
+    }
+    // judged <= steps per certificate, so the scaled part never
+    // exceeds the raw bound and the u128 product cannot overflow.
+    let scaled = (u128::from(compare) * judged / steps) as u64;
     window.saturating_add(scaled)
 }
 
@@ -330,16 +403,22 @@ pub fn sweep_many_with_kernel(
     kernel: KernelKind,
 ) -> Vec<Vec<ConfigRun>> {
     let engine = SweepEngine::with_kernel(configs, kernel);
-    // One work item per (workload, unit), priced by the calibrated
-    // cost model: static window-maintenance and comparison-op bounds
-    // from the unit's members and the trace length, with the
-    // comparison part scaled by the workload's measured judged-step
-    // density (the probe run at prepare time).
+    // One work item per (workload, unit), priced by the static
+    // window-maintenance and comparison-op bounds of the unit's
+    // members, with the comparison part scaled by a judged-step
+    // density: the certificate midpoints when every member certifies
+    // non-vacuously (the normal case), else the measured probe
+    // density from prepare time.
     let mut items: Vec<(usize, usize, u64)> =
         Vec::with_capacity(prepared.len() * engine.units().len());
     for (wi, p) in prepared.iter().enumerate() {
+        let certs = p.certificates(configs);
         for (ui, unit) in engine.units().iter().enumerate() {
-            items.push((wi, ui, calibrated_unit_cost(configs, unit, p)));
+            let cost = match &certs {
+                Some(certs) => certified_unit_cost(configs, unit, p, certs),
+                None => calibrated_unit_cost(configs, unit, p),
+            };
+            items.push((wi, ui, cost));
         }
     }
     let threads = threads.max(1).min(items.len().max(1));
@@ -665,6 +744,73 @@ mod tests {
         assert!(
             max <= ideal_max * 1.20,
             "calibrated plan max {max} vs measured-optimal max {ideal_max}"
+        );
+    }
+
+    #[test]
+    fn certificates_issue_for_every_workload_and_price_the_sweep() {
+        // Certificate-midpoint LPT pricing (the density the parallel
+        // sweep now schedules from) must track the measured load as
+        // well as the probe calibration does: plan from certified
+        // prices, re-weigh with metered costs, max bucket within 20%
+        // of the mean and of the measured-optimal plan.
+        let prepared = prepare_all(&Workload::ALL, 1, &[1_000], 60_000);
+        let configs = crate::grid::default_plan_grid();
+        let engine = SweepEngine::new(&configs);
+        let mut items = Vec::new();
+        let mut certified = Vec::new();
+        for (wi, p) in prepared.iter().enumerate() {
+            let certs = p
+                .certificates(&configs)
+                .expect("workload certificates are never vacuous");
+            assert_eq!(certs.len(), configs.len());
+            for cert in &certs {
+                assert!(!cert.truncated() || p.fuel() < u64::MAX);
+                assert!(cert.judged_steps().hi() <= cert.steps().hi());
+            }
+            for (ui, unit) in engine.units().iter().enumerate() {
+                items.push((wi, ui));
+                certified.push(certified_unit_cost(&configs, unit, p, &certs));
+            }
+        }
+        let measured: Vec<u64> = items
+            .iter()
+            .map(|&(wi, ui)| {
+                let p = &prepared[wi];
+                let mut scratch = SweepScratch::with_site_capacity(p.site_capacity());
+                let mut metrics = opd_obs::UnitMetrics::new();
+                let _ = engine.run_unit_metered(ui, p.interned(), &mut scratch, &mut metrics);
+                let (window, _) = opd_analyze::unit_cost_parts(
+                    &configs,
+                    &engine.units()[ui],
+                    p.total_elements(),
+                    u64::from(p.interned().distinct_count()),
+                );
+                window + metrics.compare_ops
+            })
+            .collect();
+        let threads = 4;
+        let plan = lpt_plan(&certified, threads);
+        let loads: Vec<u64> = plan
+            .iter()
+            .map(|bucket| bucket.iter().map(|&i| measured[i]).sum())
+            .collect();
+        let max = *loads.iter().max().unwrap() as f64;
+        let mean = loads.iter().sum::<u64>() as f64 / threads as f64;
+        assert!(
+            max <= mean * 1.20,
+            "certified LPT imbalance {:.1}% exceeds 20% (loads {loads:?})",
+            (max / mean - 1.0) * 100.0
+        );
+        let ideal = lpt_plan(&measured, threads);
+        let ideal_max = ideal
+            .iter()
+            .map(|bucket| bucket.iter().map(|&i| measured[i]).sum::<u64>())
+            .max()
+            .unwrap() as f64;
+        assert!(
+            max <= ideal_max * 1.20,
+            "certified plan max {max} vs measured-optimal max {ideal_max}"
         );
     }
 

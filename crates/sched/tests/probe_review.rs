@@ -64,8 +64,12 @@ fn probe_relaxed_overwrite_breaks_release() {
     match &report.finding {
         None => println!("PROBE2: clean (race MISSED)"),
         Some(f) => {
-            let is_race = matches!(&f.kind, FindingKind::DataRace { object, .. } if object == "data");
-            println!("PROBE2: finding = {} (is_data_race_on_data={is_race})", f.kind);
+            let is_race =
+                matches!(&f.kind, FindingKind::DataRace { object, .. } if object == "data");
+            println!(
+                "PROBE2: finding = {} (is_data_race_on_data={is_race})",
+                f.kind
+            );
         }
     }
 }

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # The full local gate: release build, every workspace test suite, warning-free clippy across the
-# whole workspace, formatting, a deny-warnings static lint of every
-# built-in workload, an `opd plan` smoke run on the default grid, the
-# fault-injection smoke pass (injector ledgers vs decoder reports), an
-# `opd trace` smoke run, an `opd audit` smoke run (DPOR exploration +
-# mutant suite + OPD-R lints), a release-mode kernel-equivalence
+# whole workspace, formatting, warning-free rustdoc, a deny-warnings
+# static lint of every built-in workload, an `opd plan` smoke run on
+# the default grid, the fault-injection smoke pass (injector ledgers
+# vs decoder reports), an `opd trace` smoke run, an `opd audit` smoke
+# run (DPOR exploration + mutant suite + OPD-R lints), an
+# `opd certify` smoke run (resource certificates + OPD-A30x lints +
+# BENCH_cert.json freshness), a release-mode kernel-equivalence
 # smoke, the BENCH_kernel.json acceptance/freshness tests, the
 # feature-gate guards keeping opd-core free of opd-obs when `obs` is
 # off, opd-obs free of opd-sched when `sched` is off, and
@@ -17,6 +19,9 @@ cargo build --release
 RUST_BACKTRACE=1 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
+# Rustdoc is part of the API surface: broken intra-doc links and bad
+# code fences fail the gate, not just clutter the docs.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 cargo run --release -q --bin opd -- lint --deny-warnings
 cargo run --release -q --bin opd -- plan --json > /dev/null
 cargo run --release -q --bin opd -- faults --smoke > /dev/null
@@ -25,6 +30,12 @@ cargo run --release -q --bin opd -- trace lexgen --limit 5 --fuel 20000 > /dev/n
 # every seeded mutant is caught, and no OPD-R lint fires. (The
 # BENCH_sched.json freshness test runs in the workspace suite above.)
 cargo run --release -q --bin opd -- audit --deny-warnings > /dev/null
+# Certificate smoke: every (config × workload) pair of the default
+# grid certifies without a single OPD-A30x finding at the full static
+# bound. (The BENCH_cert.json byte-for-byte freshness test and the
+# 224-pair differential soundness suite run in the workspace tests.)
+cargo run --release -q --bin opd -- certify --deny-warnings > /dev/null
+RUST_BACKTRACE=1 cargo test -q -p opd --test cert_artifact
 # Kernel equivalence smoke: the SWAR and scalar kernels must agree
 # bit-for-bit under release codegen too (the workspace run above
 # exercises the same differential + proptest suite in debug; release

@@ -34,6 +34,14 @@
 //!   seeded-bug mutant suite, and the `OPD-R` race lints over the
 //!   observed synchronization profiles; `--write` updates
 //!   `BENCH_sched.json`.
+//! * `opd certify [--json] [--deny-warnings] [--budget BYTES]
+//!   [--scale N] [--fuel N] [--write]` — abstract-interpretation
+//!   resource certificates for every (config × workload) pair of the
+//!   default grid: intervals for phase transitions, window occupancy,
+//!   detector memory high-water mark, and judged-step/compare-op
+//!   cost, plus the `OPD-A301..A305` lints; `--budget` rejects pairs
+//!   whose certified memory exceeds BYTES (`OPD-A303`); `--write`
+//!   updates `BENCH_cert.json`.
 //! * `opd trace TARGET [--config SPEC] [--json] [--limit N]
 //!   [--scale N] [--fuel N]` — stream one detector run's structured
 //!   event log (window slides, similarity scores, analyzer decisions,
@@ -44,14 +52,16 @@
 //! [`opd_experiments::cli::Reporter`]).
 //!
 //! Exit codes: 0 clean, 1 lint findings at the failing severity,
-//! 2 usage/input errors.
+//! 2 usage/input errors. Malformed command lines are the typed
+//! [`opd_experiments::cli::CliError`]; its variants all map to exit
+//! code 2, a contract locked by `tests/cli_errors.rs`.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
-use opd_analyze::{Analysis, PlanAnalysis};
+use opd_analyze::{Analysis, PlanAnalysis, Severity};
 use opd_core::SweepEngine;
-use opd_experiments::cli::Reporter;
+use opd_experiments::cli::{CliError, Reporter};
 use opd_microvm::workloads::Workload;
 use opd_microvm::{parse_program, Program};
 
@@ -64,6 +74,8 @@ usage: opd lint [--json] [--deny-warnings] [--scale N] [TARGET...]
                  [--checkpoint PATH] [--resume]
                  [--stats [--json] [--write]]
        opd audit [--json] [--deny-warnings] [--write]
+       opd certify [--json] [--deny-warnings] [--budget BYTES]
+                 [--scale N] [--fuel N] [--write]
        opd trace TARGET [--config SPEC] [--json] [--limit N]
                  [--scale N] [--fuel N]
 
@@ -84,7 +96,7 @@ struct LintOpts {
     targets: Vec<String>,
 }
 
-fn fail(message: &str) -> ExitCode {
+fn fail(message: impl std::fmt::Display) -> ExitCode {
     eprintln!("error: {message}\n{USAGE}");
     ExitCode::from(2)
 }
@@ -94,7 +106,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => match parse_lint_args(&args[1..]) {
             Ok(opts) => lint(&opts),
-            Err(message) => fail(&message),
+            Err(e) => fail(e),
         },
         Some("bounds") => match args[1..] {
             [] => {
@@ -103,37 +115,41 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }
             [ref flag] if flag == "--write" => write_bounds_artifact(),
-            _ => fail("bounds accepts only --write"),
+            _ => fail(CliError::usage("bounds accepts only --write")),
         },
         Some("plan") => match parse_plan_args(&args[1..]) {
             Ok(opts) => plan(&opts),
-            Err(message) => fail(&message),
+            Err(e) => fail(e),
         },
         Some("faults") => match parse_faults_args(&args[1..]) {
             Ok(opts) => faults(&opts),
-            Err(message) => fail(&message),
+            Err(e) => fail(e),
         },
         Some("sweep") => match parse_sweep_args(&args[1..]) {
             Ok(opts) => sweep(&opts),
-            Err(message) => fail(&message),
+            Err(e) => fail(e),
         },
         Some("audit") => match parse_audit_args(&args[1..]) {
             Ok(opts) => audit(&opts),
-            Err(message) => fail(&message),
+            Err(e) => fail(e),
+        },
+        Some("certify") => match parse_certify_args(&args[1..]) {
+            Ok(opts) => certify(&opts),
+            Err(e) => fail(e),
         },
         Some("trace") => match parse_trace_args(&args[1..]) {
             Ok(opts) => trace(&opts),
-            Err(message) => fail(&message),
+            Err(e) => fail(e),
         },
         Some("help" | "--help" | "-h") | None => {
             println!("{USAGE}");
             ExitCode::SUCCESS
         }
-        Some(other) => fail(&format!("unknown subcommand `{other}`")),
+        Some(other) => fail(CliError::unknown_subcommand(other)),
     }
 }
 
-fn parse_lint_args(args: &[String]) -> Result<LintOpts, String> {
+fn parse_lint_args(args: &[String]) -> Result<LintOpts, CliError> {
     let mut opts = LintOpts {
         json: false,
         deny_warnings: false,
@@ -146,12 +162,12 @@ fn parse_lint_args(args: &[String]) -> Result<LintOpts, String> {
             "--json" => opts.json = true,
             "--deny-warnings" => opts.deny_warnings = true,
             "--scale" => {
-                let value = iter.next().ok_or("missing value for --scale")?;
+                let value = iter.next().ok_or(CliError::missing_value("--scale"))?;
                 opts.scale = value
                     .parse()
-                    .map_err(|e| format!("bad --scale `{value}`: {e}"))?;
+                    .map_err(|e| CliError::invalid(format!("--scale `{value}`"), e))?;
             }
-            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            flag if flag.starts_with("--") => return Err(CliError::unknown_flag(flag)),
             target => opts.targets.push(target.to_owned()),
         }
     }
@@ -261,7 +277,7 @@ struct AuditOpts {
     write: bool,
 }
 
-fn parse_audit_args(args: &[String]) -> Result<AuditOpts, String> {
+fn parse_audit_args(args: &[String]) -> Result<AuditOpts, CliError> {
     let mut opts = AuditOpts {
         json: false,
         deny_warnings: false,
@@ -272,7 +288,12 @@ fn parse_audit_args(args: &[String]) -> Result<AuditOpts, String> {
             "--json" => opts.json = true,
             "--deny-warnings" => opts.deny_warnings = true,
             "--write" => opts.write = true,
-            other => return Err(format!("unknown audit argument `{other}`")),
+            flag if flag.starts_with("--") => return Err(CliError::unknown_flag(flag)),
+            other => {
+                return Err(CliError::usage(format!(
+                    "unexpected audit argument `{other}`"
+                )))
+            }
         }
     }
     Ok(opts)
@@ -383,6 +404,174 @@ fn render_audit(
     out
 }
 
+struct CertifyOpts {
+    json: bool,
+    deny_warnings: bool,
+    write: bool,
+    budget: Option<u64>,
+    scale: u32,
+    fuel: u64,
+}
+
+fn parse_certify_args(args: &[String]) -> Result<CertifyOpts, CliError> {
+    let mut opts = CertifyOpts {
+        json: false,
+        deny_warnings: false,
+        write: false,
+        budget: None,
+        scale: 1,
+        // Certificates default to the untruncated programs; a finite
+        // --fuel reproduces a capped run (and its OPD-A304 lints).
+        fuel: u64::MAX,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--write" => opts.write = true,
+            "--budget" => {
+                let value = iter.next().ok_or(CliError::missing_value("--budget"))?;
+                opts.budget = Some(
+                    value
+                        .parse()
+                        .map_err(|e| CliError::invalid(format!("--budget `{value}`"), e))?,
+                );
+            }
+            "--scale" => {
+                let value = iter.next().ok_or(CliError::missing_value("--scale"))?;
+                opts.scale = value
+                    .parse()
+                    .map_err(|e| CliError::invalid(format!("--scale `{value}`"), e))?;
+            }
+            "--fuel" => {
+                let value = iter.next().ok_or(CliError::missing_value("--fuel"))?;
+                opts.fuel = value
+                    .parse()
+                    .map_err(|e| CliError::invalid(format!("--fuel `{value}`"), e))?;
+            }
+            flag if flag.starts_with("--") => return Err(CliError::unknown_flag(flag)),
+            other => {
+                return Err(CliError::usage(format!(
+                    "unexpected certify argument `{other}`"
+                )))
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn certify(opts: &CertifyOpts) -> ExitCode {
+    use opd_experiments::cert;
+
+    let (configs, per_workload) = cert::grid_certificates(opts.scale, opts.fuel);
+    let lints = cert::cert_lints(&per_workload, opts.budget);
+
+    let reporter = Reporter::new(opts.json);
+    if opts.write {
+        // The committed artifact is always the pinned (scale 1,
+        // CERT_FUEL) form the differential suite certifies, whatever
+        // this invocation printed.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_cert.json");
+        if let Err(e) = std::fs::write(path, cert::cert_json(1, cert::CERT_FUEL)) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        reporter.human(format_args!("wrote {path}"));
+    }
+
+    if opts.json {
+        reporter.payload(cert::cert_json(opts.scale, opts.fuel).trim_end());
+    } else {
+        reporter.human(render_certify(&configs, &per_workload, &lints, opts).trim_end());
+    }
+
+    let errors = lints
+        .iter()
+        .filter(|d| d.severity() == Severity::Error)
+        .count();
+    let warnings = lints.len() - errors;
+    if errors > 0 || (opts.deny_warnings && warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Renders the certificate sweep for humans: one line per workload
+/// (the window-shape intervals every grid member shares plus the
+/// worst-case compare bound across members), the `OPD-A` lints, and a
+/// one-line summary.
+fn render_certify(
+    configs: &[opd_core::DetectorConfig],
+    per_workload: &[opd_experiments::cert::WorkloadCertificates],
+    lints: &[opd_analyze::Diagnostic],
+    opts: &CertifyOpts,
+) -> String {
+    let mut out = String::new();
+    for wc in per_workload {
+        let shared = &wc.certs[0];
+        let compare_hi = wc
+            .certs
+            .iter()
+            .map(|c| c.compare_ops().hi())
+            .max()
+            .unwrap_or(0);
+        let cost_hi = wc
+            .certs
+            .iter()
+            .filter_map(opd_analyze::ResourceCertificate::cost_compare_bound)
+            .max()
+            .unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "{:<10} elements [{},{}]  judged [{},{}]  phases [{},{}]  occupancy <= {}  \
+             sites [{},{}]  memory <= {} B  compare <= {} (cost bound {}, tighter {}/{})",
+            wc.workload,
+            shared.elements().lo(),
+            shared.elements().hi(),
+            shared.judged_steps().lo(),
+            shared.judged_steps().hi(),
+            wc.certs.iter().map(|c| c.phases().lo()).min().unwrap_or(0),
+            wc.certs.iter().map(|c| c.phases().hi()).max().unwrap_or(0),
+            shared.occupancy().hi(),
+            shared.sites().lo(),
+            shared.sites().hi(),
+            shared.memory_bytes().hi(),
+            compare_hi,
+            cost_hi,
+            wc.tighter_count(),
+            wc.certs.len(),
+        );
+    }
+    for d in lints {
+        let _ = writeln!(out, "{}", d.render());
+    }
+    let errors = lints
+        .iter()
+        .filter(|d| d.severity() == Severity::Error)
+        .count();
+    let warnings = lints.len() - errors;
+    let verdict = if errors > 0 || (opts.deny_warnings && warnings > 0) {
+        "FAIL"
+    } else {
+        "ok"
+    };
+    let pairs: usize = per_workload.iter().map(|wc| wc.certs.len()).sum();
+    let tighter: usize = per_workload
+        .iter()
+        .map(opd_experiments::cert::WorkloadCertificates::tighter_count)
+        .sum();
+    let _ = writeln!(
+        out,
+        "certify: {} workload(s) x {} config(s), {pairs} certificate(s), {tighter} tighter \
+         than the cost bound, {errors} error(s), {warnings} warning(s): {verdict}",
+        per_workload.len(),
+        configs.len(),
+    );
+    out
+}
+
 struct PlanOpts {
     json: bool,
     prune: bool,
@@ -390,7 +579,7 @@ struct PlanOpts {
     scale: u32,
 }
 
-fn parse_plan_args(args: &[String]) -> Result<PlanOpts, String> {
+fn parse_plan_args(args: &[String]) -> Result<PlanOpts, CliError> {
     let mut opts = PlanOpts {
         json: false,
         prune: false,
@@ -404,12 +593,17 @@ fn parse_plan_args(args: &[String]) -> Result<PlanOpts, String> {
             "--prune" => opts.prune = true,
             "--write" => opts.write = true,
             "--scale" => {
-                let value = iter.next().ok_or("missing value for --scale")?;
+                let value = iter.next().ok_or(CliError::missing_value("--scale"))?;
                 opts.scale = value
                     .parse()
-                    .map_err(|e| format!("bad --scale `{value}`: {e}"))?;
+                    .map_err(|e| CliError::invalid(format!("--scale `{value}`"), e))?;
             }
-            other => return Err(format!("unknown plan argument `{other}`")),
+            flag if flag.starts_with("--") => return Err(CliError::unknown_flag(flag)),
+            other => {
+                return Err(CliError::usage(format!(
+                    "unexpected plan argument `{other}`"
+                )))
+            }
         }
     }
     Ok(opts)
@@ -533,7 +727,7 @@ struct FaultsOpts {
     scale: u32,
 }
 
-fn parse_faults_args(args: &[String]) -> Result<FaultsOpts, String> {
+fn parse_faults_args(args: &[String]) -> Result<FaultsOpts, CliError> {
     let mut opts = FaultsOpts {
         smoke: false,
         write: false,
@@ -545,12 +739,17 @@ fn parse_faults_args(args: &[String]) -> Result<FaultsOpts, String> {
             "--smoke" => opts.smoke = true,
             "--write" => opts.write = true,
             "--scale" => {
-                let value = iter.next().ok_or("missing value for --scale")?;
+                let value = iter.next().ok_or(CliError::missing_value("--scale"))?;
                 opts.scale = value
                     .parse()
-                    .map_err(|e| format!("bad --scale `{value}`: {e}"))?;
+                    .map_err(|e| CliError::invalid(format!("--scale `{value}`"), e))?;
             }
-            other => return Err(format!("unknown faults argument `{other}`")),
+            flag if flag.starts_with("--") => return Err(CliError::unknown_flag(flag)),
+            other => {
+                return Err(CliError::usage(format!(
+                    "unexpected faults argument `{other}`"
+                )))
+            }
         }
     }
     Ok(opts)
@@ -590,7 +789,7 @@ struct SweepOpts {
     write: bool,
 }
 
-fn parse_sweep_args(args: &[String]) -> Result<SweepOpts, String> {
+fn parse_sweep_args(args: &[String]) -> Result<SweepOpts, CliError> {
     let mut opts = SweepOpts {
         scale: 1,
         fuel: opd_experiments::faults::STUDY_FUEL,
@@ -609,38 +808,45 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepOpts, String> {
             "--json" => opts.json = true,
             "--write" => opts.write = true,
             "--scale" => {
-                let value = iter.next().ok_or("missing value for --scale")?;
+                let value = iter.next().ok_or(CliError::missing_value("--scale"))?;
                 opts.scale = value
                     .parse()
-                    .map_err(|e| format!("bad --scale `{value}`: {e}"))?;
+                    .map_err(|e| CliError::invalid(format!("--scale `{value}`"), e))?;
             }
             "--fuel" => {
-                let value = iter.next().ok_or("missing value for --fuel")?;
+                let value = iter.next().ok_or(CliError::missing_value("--fuel"))?;
                 opts.fuel = value
                     .parse()
-                    .map_err(|e| format!("bad --fuel `{value}`: {e}"))?;
+                    .map_err(|e| CliError::invalid(format!("--fuel `{value}`"), e))?;
             }
             "--threads" => {
-                let value = iter.next().ok_or("missing value for --threads")?;
+                let value = iter.next().ok_or(CliError::missing_value("--threads"))?;
                 opts.threads = value
                     .parse()
-                    .map_err(|e| format!("bad --threads `{value}`: {e}"))?;
+                    .map_err(|e| CliError::invalid(format!("--threads `{value}`"), e))?;
             }
             "--checkpoint" => {
-                let value = iter.next().ok_or("missing value for --checkpoint")?;
+                let value = iter.next().ok_or(CliError::missing_value("--checkpoint"))?;
                 opts.checkpoint = Some(value.clone());
             }
-            other => return Err(format!("unknown sweep argument `{other}`")),
+            flag if flag.starts_with("--") => return Err(CliError::unknown_flag(flag)),
+            other => {
+                return Err(CliError::usage(format!(
+                    "unexpected sweep argument `{other}`"
+                )))
+            }
         }
     }
     if opts.resume && opts.checkpoint.is_none() {
-        return Err("--resume requires --checkpoint PATH".to_owned());
+        return Err(CliError::conflict("--resume requires --checkpoint PATH"));
     }
     if opts.stats && opts.checkpoint.is_some() {
-        return Err("--stats cannot be combined with --checkpoint".to_owned());
+        return Err(CliError::conflict(
+            "--stats cannot be combined with --checkpoint",
+        ));
     }
     if (opts.json || opts.write) && !opts.stats {
-        return Err("sweep --json/--write require --stats".to_owned());
+        return Err(CliError::conflict("sweep --json/--write require --stats"));
     }
     Ok(opts)
 }
@@ -778,7 +984,7 @@ struct TraceOpts {
     fuel: u64,
 }
 
-fn parse_trace_args(args: &[String]) -> Result<TraceOpts, String> {
+fn parse_trace_args(args: &[String]) -> Result<TraceOpts, CliError> {
     let mut opts = TraceOpts {
         target: String::new(),
         config: String::new(),
@@ -792,7 +998,7 @@ fn parse_trace_args(args: &[String]) -> Result<TraceOpts, String> {
         let mut value_for = |name: &str| {
             iter.next()
                 .map(String::as_str)
-                .ok_or_else(|| format!("missing value for {name}"))
+                .ok_or_else(|| CliError::missing_value(name))
         };
         match arg.as_str() {
             "--json" => opts.json = true,
@@ -802,28 +1008,32 @@ fn parse_trace_args(args: &[String]) -> Result<TraceOpts, String> {
                 opts.limit = Some(
                     value
                         .parse()
-                        .map_err(|e| format!("bad --limit `{value}`: {e}"))?,
+                        .map_err(|e| CliError::invalid(format!("--limit `{value}`"), e))?,
                 );
             }
             "--scale" => {
                 let value = value_for("--scale")?;
                 opts.scale = value
                     .parse()
-                    .map_err(|e| format!("bad --scale `{value}`: {e}"))?;
+                    .map_err(|e| CliError::invalid(format!("--scale `{value}`"), e))?;
             }
             "--fuel" => {
                 let value = value_for("--fuel")?;
                 opts.fuel = value
                     .parse()
-                    .map_err(|e| format!("bad --fuel `{value}`: {e}"))?;
+                    .map_err(|e| CliError::invalid(format!("--fuel `{value}`"), e))?;
             }
-            flag if flag.starts_with("--") => return Err(format!("unknown trace flag `{flag}`")),
+            flag if flag.starts_with("--") => return Err(CliError::unknown_flag(flag)),
             target if opts.target.is_empty() => opts.target = target.to_owned(),
-            extra => return Err(format!("unexpected trace argument `{extra}`")),
+            extra => {
+                return Err(CliError::usage(format!(
+                    "unexpected trace argument `{extra}`"
+                )))
+            }
         }
     }
     if opts.target.is_empty() {
-        return Err("trace requires a TARGET".to_owned());
+        return Err(CliError::usage("trace requires a TARGET"));
     }
     Ok(opts)
 }
@@ -834,7 +1044,7 @@ fn trace(opts: &TraceOpts) -> ExitCode {
 
     let config = match opd_experiments::cli::parse_config_spec(&opts.config) {
         Ok(config) => config,
-        Err(e) => return fail(&e.to_string()),
+        Err(e) => return fail(e),
     };
     let (name, program) = match resolve(&opts.target, opts.scale) {
         Ok(resolved) => resolved,

@@ -1,0 +1,71 @@
+//! The committed `BENCH_cert.json` artifact: structural validity and
+//! freshness. Certificates are pure functions of the IR — no trace is
+//! executed and no clock is read — so freshness is byte-for-byte: the
+//! regenerated document must equal the committed one exactly.
+
+mod common;
+
+use common::{parse_json, Json};
+
+use opd_experiments::cert::{cert_json, CERT_FUEL};
+
+fn committed_text() -> String {
+    std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_cert.json"))
+        .expect("BENCH_cert.json is committed at the repository root")
+}
+
+fn committed() -> Json {
+    parse_json(&committed_text()).expect("BENCH_cert.json parses as one JSON document")
+}
+
+#[test]
+fn committed_artifact_is_byte_identical_to_a_fresh_certification() {
+    assert_eq!(
+        committed_text(),
+        cert_json(1, CERT_FUEL),
+        "stale BENCH_cert.json; regenerate with `cargo run --bin opd -- certify --write`"
+    );
+}
+
+#[test]
+fn committed_artifact_is_structurally_valid() {
+    let doc = committed();
+    assert_eq!(doc.get("schema").str(), "opd-bench-cert-v1");
+    assert_eq!(doc.get("scale").as_u64(), 1);
+    assert_eq!(doc.get("fuel").as_u64(), CERT_FUEL);
+    assert_eq!(doc.get("grid_configs").as_u64(), 28);
+    assert_eq!(doc.get("workloads").as_u64(), 8);
+    assert_eq!(doc.get("pairs").as_u64(), 224);
+
+    // The headline acceptance numbers: the certified compare-op bound
+    // beats the flat cost bound on every pair of the default grid.
+    assert_eq!(doc.get("tighter_pairs").as_u64(), 224);
+    assert!(doc.get("tighter_fraction").num() >= 0.5);
+    let lints = doc.get("lints");
+    assert_eq!(lints.get("a303").as_u64(), 0, "nothing over budget");
+    assert_eq!(lints.get("a305").as_u64(), 0, "nothing vacuous");
+
+    let per_workload = doc.get("per_workload").arr();
+    assert_eq!(per_workload.len(), 8);
+    for w in per_workload {
+        let name = w.get("workload").str();
+        let elements = w.get("elements").arr();
+        assert!(elements[0].as_u64() <= elements[1].as_u64(), "{name}");
+        assert!(elements[1].as_u64() <= CERT_FUEL, "{name}: fuel cap");
+        let memory = w.get("memory_bytes").arr();
+        assert!(memory[0].as_u64() >= 1, "{name}: a detector is never free");
+        assert!(memory[0].as_u64() <= memory[1].as_u64(), "{name}");
+        let configs = w.get("configs").arr();
+        assert_eq!(configs.len(), 28, "{name}");
+        for c in configs {
+            let compare = c.get("compare_ops").arr();
+            let bound = c.get("cost_bound").as_u64();
+            assert!(
+                compare[1].as_u64() <= bound,
+                "{name} config {}: certified bound exceeds the cost model",
+                c.get("config").as_u64(),
+            );
+            assert!(c.get("tighter").boolean(), "{name}: tighter on every pair");
+        }
+    }
+}
