@@ -40,7 +40,7 @@ fn main() -> std::process::ExitCode {
 
     if let Err(e) = fs::create_dir_all(&out_dir) {
         eprintln!("cannot create {}: {e}", out_dir.display());
-        return std::process::ExitCode::FAILURE;
+        return std::process::ExitCode::from(2);
     }
 
     let mut summary = String::new();
@@ -54,7 +54,7 @@ fn main() -> std::process::ExitCode {
             let path = out_dir.join(concat!($name, ".txt"));
             if let Err(e) = fs::write(&path, format!("{text}\n")) {
                 eprintln!("cannot write {}: {e}", path.display());
-                return std::process::ExitCode::FAILURE;
+                return std::process::ExitCode::from(2);
             }
             let elapsed = started.elapsed();
             eprintln!("{elapsed:.1?} -> {}", path.display());
@@ -89,7 +89,7 @@ fn main() -> std::process::ExitCode {
         }
         Err(e) => {
             eprintln!("cannot write {}: {e}", path.display());
-            std::process::ExitCode::FAILURE
+            std::process::ExitCode::from(2)
         }
     }
 }

@@ -49,7 +49,10 @@ fn main() {
             "scalar and SWAR kernels diverged on the full grid"
         );
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernel.json");
-        std::fs::write(path, report.to_json()).expect("write BENCH_kernel.json");
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
         eprintln!(
             "swar sweep {:.1}s ({:.1}x vs baseline), scalar sweep {:.1}s ({:.1}x vs scalar); \
              results identical; wrote BENCH_kernel.json",

@@ -126,13 +126,16 @@ fn run() -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    // Every `run` error is a malformed command line, an unreadable
+    // input, or an undecodable container — all exit 2 under the CLI
+    // contract (1 is reserved for findings at a failing severity).
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             if !msg.is_empty() {
                 eprintln!("error: {msg}");
             }
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }

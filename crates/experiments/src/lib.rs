@@ -16,6 +16,10 @@
 //!   every (config × workload) pair of the default grid, the `OPD-A`
 //!   lint sweep, and the `BENCH_cert.json` artifact behind
 //!   `opd certify`;
+//! * [`serve`] — the multi-tenant streaming study behind `opd serve`
+//!   and `opd loadgen`: the ~10k-client fault-injected soak, the
+//!   shed-curve sweep, the certificate-admission sweep, and the
+//!   `BENCH_serve.json` artifact;
 //! * [`exp`] — one module per paper artifact: Table 1, Table 2, and
 //!   Figures 4–8, each with a `run` entry point and a printable
 //!   result.
@@ -47,3 +51,4 @@ pub mod obs;
 pub mod report;
 pub mod runner;
 pub mod sched;
+pub mod serve;

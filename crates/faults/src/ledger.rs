@@ -33,6 +33,9 @@ pub struct FaultLedger {
     pub duplicated_branches: u64,
     /// Call-loop events removed from the stream.
     pub dropped_events: u64,
+    /// Branch elements delivered at a different position than they
+    /// were produced (bounded out-of-order delivery).
+    pub reordered_branches: u64,
 }
 
 impl FaultLedger {
@@ -60,6 +63,7 @@ impl FaultLedger {
             + self.dropped_branches
             + self.duplicated_branches
             + self.dropped_events
+            + self.reordered_branches
     }
 
     /// Folds another ledger into this one, category by category.
@@ -73,6 +77,7 @@ impl FaultLedger {
         self.dropped_branches += other.dropped_branches;
         self.duplicated_branches += other.duplicated_branches;
         self.dropped_events += other.dropped_events;
+        self.reordered_branches += other.reordered_branches;
     }
 }
 
@@ -85,7 +90,8 @@ impl fmt::Display for FaultLedger {
             f,
             "{} fault(s): {} detectable flip(s), {} silent flip(s), {} order-breaking \
              swap(s), {} benign swap(s), {} truncated byte(s), {} burst record(s), \
-             {} dropped branch(es), {} duplicate(s), {} dropped event(s)",
+             {} dropped branch(es), {} duplicate(s), {} dropped event(s), \
+             {} reordered branch(es)",
             self.total(),
             self.detectable_element_flips,
             self.silent_element_flips,
@@ -96,6 +102,7 @@ impl fmt::Display for FaultLedger {
             self.dropped_branches,
             self.duplicated_branches,
             self.dropped_events,
+            self.reordered_branches,
         )
     }
 }

@@ -58,6 +58,9 @@ pub use rng::FaultRng;
 /// Burst length (in records) used by [`FaultKind::Burst`].
 pub const DEFAULT_BURST_LEN: usize = 32;
 
+/// Maximum displacement (in elements) used by [`FaultKind::Reorder`].
+pub const DEFAULT_REORDER_DELAY: usize = 8;
+
 /// One family of injected faults, at the granularity the degradation
 /// study sweeps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -77,6 +80,10 @@ pub enum FaultKind {
     DuplicateBranch,
     /// Independent loss of call-loop events (stream level).
     DropEvent,
+    /// Bounded out-of-order delivery of branch elements (stream
+    /// level): delayed elements re-enter the stream up to
+    /// [`DEFAULT_REORDER_DELAY`] positions late.
+    Reorder,
 }
 
 /// What a fault application produced: the degraded trace, the exact
@@ -95,7 +102,7 @@ pub struct FaultOutcome {
 
 impl FaultKind {
     /// Every fault kind, in sweep order.
-    pub const ALL: [FaultKind; 7] = [
+    pub const ALL: [FaultKind; 8] = [
         FaultKind::BitFlip,
         FaultKind::EventSwap,
         FaultKind::Truncate,
@@ -103,6 +110,7 @@ impl FaultKind {
         FaultKind::DropBranch,
         FaultKind::DuplicateBranch,
         FaultKind::DropEvent,
+        FaultKind::Reorder,
     ];
 
     /// Stable lowercase name, as used by the `opd faults` CLI and the
@@ -117,6 +125,7 @@ impl FaultKind {
             FaultKind::DropBranch => "dropbranch",
             FaultKind::DuplicateBranch => "dupbranch",
             FaultKind::DropEvent => "dropevent",
+            FaultKind::Reorder => "reorder",
         }
     }
 
@@ -158,6 +167,9 @@ impl FaultKind {
                 FaultKind::DropBranch => stream::drop_branches(clean, rate, seed),
                 FaultKind::DuplicateBranch => stream::duplicate_branches(clean, rate, seed),
                 FaultKind::DropEvent => stream::drop_events(clean, rate, seed),
+                FaultKind::Reorder => {
+                    stream::reorder_branches(clean, rate, seed, DEFAULT_REORDER_DELAY)
+                }
                 _ => unreachable!("is_byte_level covered all byte kinds"),
             };
             FaultOutcome {

@@ -102,6 +102,57 @@ pub fn burst_drop_branches(
     (rebuild(trace, &copies), ledger)
 }
 
+/// Delivers branch elements out of order, with bounded displacement:
+/// each element is independently *delayed* with probability `rate`,
+/// and a delayed element re-enters the stream up to `max_delay`
+/// positions later than it was produced. Order among undelayed
+/// elements (and among equally-delayed ones) is preserved — the model
+/// of a lossy transport that retransmits late, not one that shuffles.
+///
+/// Events are untouched: the stream keeps its length, so every event
+/// offset remains valid. The ledger counts exactly the elements whose
+/// delivered position differs from their produced position (a delayed
+/// element that happens to land back in place is not a fault).
+///
+/// Two draws are consumed per element (the delay decision and the
+/// delay distance) regardless of `rate`, preserving the nesting
+/// discipline: the delayed set at a low rate is a subset of the set
+/// at any higher rate under the same seed.
+pub fn reorder_branches(
+    trace: &ExecutionTrace,
+    rate: f64,
+    seed: u64,
+    max_delay: usize,
+) -> (ExecutionTrace, FaultLedger) {
+    let max_delay = max_delay.max(1) as u64;
+    let elements = trace.branches().as_slice();
+    let n = elements.len();
+    let mut rng = FaultRng::new(seed);
+    // Delivery key: produced position, pushed forward by the drawn
+    // delay. A stable sort on (key, produced position) yields bounded
+    // out-of-order delivery.
+    let mut keys: Vec<u64> = Vec::with_capacity(n);
+    for i in 0..n {
+        let delayed = rng.next_unit() < rate;
+        let distance = (rng.next_unit() * max_delay as f64).floor() as u64 % max_delay + 1;
+        keys.push(i as u64 + if delayed { distance } else { 0 });
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (keys[i], i as u64));
+
+    let mut branches = BranchTrace::with_capacity(n);
+    let mut ledger = FaultLedger::new();
+    for (pos, &i) in order.iter().enumerate() {
+        if i != pos {
+            ledger.reordered_branches += 1;
+        }
+        branches.push(elements[i]);
+    }
+    let out = ExecutionTrace::try_from_parts(branches, trace.events().clone())
+        .expect("the stream keeps its length, so event offsets stay valid");
+    (out, ledger)
+}
+
 /// Drops each call-loop event independently with probability `rate`.
 /// The branch stream is untouched.
 pub fn drop_events(trace: &ExecutionTrace, rate: f64, seed: u64) -> (ExecutionTrace, FaultLedger) {
@@ -218,5 +269,68 @@ mod tests {
         assert_eq!(duplicate_branches(&t, 0.0, 1).0, t);
         assert_eq!(burst_drop_branches(&t, 0.0, 1, 16).0, t);
         assert_eq!(drop_events(&t, 0.0, 1).0, t);
+        assert_eq!(reorder_branches(&t, 0.0, 1, 8).0, t);
+    }
+
+    #[test]
+    fn reorder_preserves_multiset_and_counts_displacements() {
+        let t = sample(500);
+        for seed in 0..6 {
+            let (out, ledger) = reorder_branches(&t, 0.3, seed, 8);
+            assert_eq!(out.branches().len(), t.branches().len());
+            assert_eq!(out.events(), t.events());
+            assert!(ledger.reordered_branches > 0);
+
+            // The delivered stream is a permutation of the produced one.
+            let mut produced = t.branches().as_slice().to_vec();
+            let mut delivered = out.branches().as_slice().to_vec();
+            produced.sort_unstable_by_key(|e| e.raw());
+            delivered.sort_unstable_by_key(|e| e.raw());
+            assert_eq!(produced, delivered);
+
+            // The ledger counts exactly the displaced positions.
+            let displaced = out
+                .branches()
+                .as_slice()
+                .iter()
+                .zip(t.branches().as_slice())
+                .filter(|(a, b)| a != b)
+                .count() as u64;
+            // Distinct elements at the same position are displaced;
+            // equal elements may or may not be (the ledger tracks
+            // positions, not values), so it can only count more.
+            assert!(ledger.reordered_branches >= displaced);
+        }
+    }
+
+    #[test]
+    fn reorder_displacement_is_bounded_by_max_delay() {
+        // Distinct payloads so positions are recoverable from values.
+        let mut t = ExecutionTrace::new();
+        for i in 0..400u32 {
+            t.record_branch(ProfileElement::new(MethodId::new(i), 0, true));
+        }
+        for max_delay in [1usize, 4, 16] {
+            let (out, _) = reorder_branches(&t, 0.5, 9, max_delay);
+            for (pos, e) in out.branches().as_slice().iter().enumerate() {
+                let original = e.site().method().index() as usize;
+                assert!(
+                    pos.abs_diff(original) <= max_delay,
+                    "element produced at {original} delivered at {pos} \
+                     with max_delay {max_delay}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reorder_is_deterministic_in_seed() {
+        let t = sample(300);
+        let (a, la) = reorder_branches(&t, 0.4, 21, 6);
+        let (b, lb) = reorder_branches(&t, 0.4, 21, 6);
+        assert_eq!(a, b);
+        assert_eq!(la, lb);
+        let (c, _) = reorder_branches(&t, 0.4, 22, 6);
+        assert_ne!(a, c, "different seeds should reorder differently");
     }
 }

@@ -1,0 +1,118 @@
+//! The exact record of what overload handling did to a session's
+//! ingest stream.
+
+use core::fmt;
+
+/// Per-category counts of every frame the serving layer deferred,
+/// dropped, or quarantined — the service-side sibling of
+/// `opd_faults::FaultLedger`.
+///
+/// Each category is filled by exactly one mechanism; ledgers compose
+/// with [`ShedLedger::merge`]. Seeded soaks assert conservation
+/// against these counts: every generated frame is either processed,
+/// or accounted for in exactly one category here.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ShedLedger {
+    /// Frames evicted from the queue *front* to admit a newer one
+    /// ([`BackpressureMode::ShedOldest`](crate::BackpressureMode)).
+    pub shed_oldest_frames: u64,
+    /// Frames refused at the queue *tail*
+    /// ([`BackpressureMode::Reject`](crate::BackpressureMode)).
+    pub rejected_frames: u64,
+    /// Ticks the producer spent stalled on a full queue
+    /// ([`BackpressureMode::Block`](crate::BackpressureMode)) — a
+    /// latency cost, never a loss.
+    pub blocked_ticks: u64,
+    /// Poison-pill frames quarantined after exhausting the retry
+    /// budget.
+    pub quarantined_frames: u64,
+    /// Frames never delivered because their session was quarantined
+    /// first (both queued and still-upstream frames).
+    pub undelivered_frames: u64,
+}
+
+impl ShedLedger {
+    /// A ledger with nothing shed.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` if the session's whole stream went through
+    /// untouched and unstalled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Frames *lost* to overload handling (blocked ticks defer, they
+    /// do not lose).
+    #[must_use]
+    pub fn lost_frames(&self) -> u64 {
+        self.shed_oldest_frames
+            + self.rejected_frames
+            + self.quarantined_frames
+            + self.undelivered_frames
+    }
+
+    /// Total ledger entries, over all categories.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.lost_frames() + self.blocked_ticks
+    }
+
+    /// Folds another ledger into this one, category by category.
+    pub fn merge(&mut self, other: &ShedLedger) {
+        self.shed_oldest_frames += other.shed_oldest_frames;
+        self.rejected_frames += other.rejected_frames;
+        self.blocked_ticks += other.blocked_ticks;
+        self.quarantined_frames += other.quarantined_frames;
+        self.undelivered_frames += other.undelivered_frames;
+    }
+}
+
+impl fmt::Display for ShedLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("nothing shed");
+        }
+        write!(
+            f,
+            "{} entr(ies): {} shed-oldest, {} rejected, {} blocked tick(s), \
+             {} quarantined, {} undelivered",
+            self.total(),
+            self.shed_oldest_frames,
+            self.rejected_frames,
+            self.blocked_ticks,
+            self.quarantined_frames,
+            self.undelivered_frames,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_per_category() {
+        let mut a = ShedLedger {
+            shed_oldest_frames: 2,
+            blocked_ticks: 7,
+            ..ShedLedger::default()
+        };
+        let b = ShedLedger {
+            rejected_frames: 3,
+            quarantined_frames: 1,
+            undelivered_frames: 4,
+            ..ShedLedger::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.total(), 17);
+        assert_eq!(a.lost_frames(), 10);
+        assert!(!a.is_empty());
+        assert!(a.to_string().contains("17 entr(ies)"));
+        assert_eq!(ShedLedger::new().to_string(), "nothing shed");
+    }
+}

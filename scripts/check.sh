@@ -5,6 +5,8 @@
 # the default grid, the fault-injection smoke pass (injector ledgers
 # vs decoder reports), an `opd trace` smoke run, an `opd audit` smoke
 # run (DPOR exploration + mutant suite + OPD-R lints), an
+# `opd serve` smoke run (supervised multi-tenant streaming under
+# aggressive hazards), an
 # `opd certify` smoke run (resource certificates + OPD-A30x lints +
 # BENCH_cert.json freshness), a release-mode kernel-equivalence
 # smoke, the BENCH_kernel.json acceptance/freshness tests, the
@@ -26,6 +28,12 @@ cargo run --release -q --bin opd -- lint --deny-warnings
 cargo run --release -q --bin opd -- plan --json > /dev/null
 cargo run --release -q --bin opd -- faults --smoke > /dev/null
 cargo run --release -q --bin opd -- trace lexgen --limit 5 --fuel 20000 > /dev/null
+# Serve smoke: the multi-tenant streaming layer under aggressive
+# hazards — restarts, timeouts, poison quarantine, and shedding all
+# fire, frames are conserved, and every completed session's phase
+# stream is bit-identical to the offline detector. (The
+# BENCH_serve.json freshness test runs in the workspace suite above.)
+cargo run --release -q --bin opd -- serve --smoke > /dev/null
 # Concurrency audit smoke: every modeled subsystem explores clean,
 # every seeded mutant is caught, and no OPD-R lint fires. (The
 # BENCH_sched.json freshness test runs in the workspace suite above.)

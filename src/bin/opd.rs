@@ -42,6 +42,20 @@
 //!   cost, plus the `OPD-A301..A305` lints; `--budget` rejects pairs
 //!   whose certified memory exceeds BYTES (`OPD-A303`); `--write`
 //!   updates `BENCH_cert.json`.
+//! * `opd serve [--smoke] [--clients N] [--mode MODE] [--capacity N]
+//!   [--threads N] [--scale N] [--checkpoint PATH] [--resume]
+//!   [--json]` — the fault-tolerant multi-tenant streaming layer: a
+//!   deterministic fault-injected soak of simulated clients over the
+//!   eight workloads, with supervised restarts, backpressure
+//!   (`block`, `shed-oldest`, `reject`), poison-pill quarantine, and
+//!   bit-identity verification against the offline detector; with
+//!   `--checkpoint`, completed virtual shards stream to a crash-safe
+//!   OPDK file and `--resume` restores them after a hard kill;
+//!   `--smoke` runs the aggressive CI invariant pass.
+//! * `opd loadgen [--scale N] [--json] [--write]` — the serve load
+//!   study: the committed soak, shed curves over queue capacity ×
+//!   backpressure mode, and the certificate-admission sweep;
+//!   `--write` updates `BENCH_serve.json`.
 //! * `opd trace TARGET [--config SPEC] [--json] [--limit N]
 //!   [--scale N] [--fuel N]` — stream one detector run's structured
 //!   event log (window slides, similarity scores, analyzer decisions,
@@ -76,6 +90,10 @@ usage: opd lint [--json] [--deny-warnings] [--scale N] [TARGET...]
        opd audit [--json] [--deny-warnings] [--write]
        opd certify [--json] [--deny-warnings] [--budget BYTES]
                  [--scale N] [--fuel N] [--write]
+       opd serve [--smoke] [--clients N] [--mode MODE] [--capacity N]
+                 [--threads N] [--scale N] [--checkpoint PATH]
+                 [--resume] [--json]
+       opd loadgen [--scale N] [--json] [--write]
        opd trace TARGET [--config SPEC] [--json] [--limit N]
                  [--scale N] [--fuel N]
 
@@ -135,6 +153,14 @@ fn main() -> ExitCode {
         },
         Some("certify") => match parse_certify_args(&args[1..]) {
             Ok(opts) => certify(&opts),
+            Err(e) => fail(e),
+        },
+        Some("serve") => match parse_serve_args(&args[1..]) {
+            Ok(opts) => serve(&opts),
+            Err(e) => fail(e),
+        },
+        Some("loadgen") => match parse_loadgen_args(&args[1..]) {
+            Ok(opts) => loadgen(&opts),
             Err(e) => fail(e),
         },
         Some("trace") => match parse_trace_args(&args[1..]) {
@@ -971,6 +997,258 @@ fn sweep(opts: &SweepOpts) -> ExitCode {
         if opts.json {
             reporter.payload(json.trim_end());
         }
+    }
+    ExitCode::SUCCESS
+}
+
+struct ServeOpts {
+    smoke: bool,
+    clients: u32,
+    mode: opd_serve::BackpressureMode,
+    capacity: usize,
+    threads: usize,
+    scale: u32,
+    checkpoint: Option<String>,
+    resume: bool,
+    json: bool,
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeOpts, CliError> {
+    let defaults = opd_experiments::serve::soak_config();
+    let mut opts = ServeOpts {
+        smoke: false,
+        clients: opd_experiments::serve::SOAK_CLIENTS,
+        mode: defaults.ingest.mode,
+        capacity: defaults.ingest.queue_capacity,
+        threads: 0,
+        scale: 1,
+        checkpoint: None,
+        resume: false,
+        json: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_for = |name: &str| {
+            iter.next()
+                .map(String::as_str)
+                .ok_or_else(|| CliError::missing_value(name))
+        };
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--resume" => opts.resume = true,
+            "--json" => opts.json = true,
+            "--clients" => {
+                let value = value_for("--clients")?;
+                opts.clients = value
+                    .parse()
+                    .map_err(|e| CliError::invalid(format!("--clients `{value}`"), e))?;
+            }
+            "--mode" => {
+                let value = value_for("--mode")?;
+                opts.mode = value
+                    .parse()
+                    .map_err(|e| CliError::invalid(format!("--mode `{value}`"), e))?;
+            }
+            "--capacity" => {
+                let value = value_for("--capacity")?;
+                opts.capacity = value
+                    .parse()
+                    .map_err(|e| CliError::invalid(format!("--capacity `{value}`"), e))?;
+            }
+            "--threads" => {
+                let value = value_for("--threads")?;
+                opts.threads = value
+                    .parse()
+                    .map_err(|e| CliError::invalid(format!("--threads `{value}`"), e))?;
+            }
+            "--scale" => {
+                let value = value_for("--scale")?;
+                opts.scale = value
+                    .parse()
+                    .map_err(|e| CliError::invalid(format!("--scale `{value}`"), e))?;
+            }
+            "--checkpoint" => opts.checkpoint = Some(value_for("--checkpoint")?.to_owned()),
+            flag if flag.starts_with("--") => return Err(CliError::unknown_flag(flag)),
+            other => {
+                return Err(CliError::usage(format!(
+                    "unexpected serve argument `{other}`"
+                )))
+            }
+        }
+    }
+    if opts.resume && opts.checkpoint.is_none() {
+        return Err(CliError::conflict("--resume requires --checkpoint PATH"));
+    }
+    if opts.smoke && (opts.checkpoint.is_some() || opts.json) {
+        return Err(CliError::conflict(
+            "--smoke cannot be combined with --checkpoint or --json",
+        ));
+    }
+    Ok(opts)
+}
+
+fn serve(opts: &ServeOpts) -> ExitCode {
+    use opd_experiments::serve as study;
+
+    let reporter = Reporter::new(opts.json);
+    if opts.smoke {
+        // The smoke pass asserts the robustness invariants internally
+        // (restarts, timeouts, quarantine, shedding, bit-identity).
+        reporter.human(study::smoke(opts.scale));
+        reporter.human("serve --smoke: ok");
+        return ExitCode::SUCCESS;
+    }
+
+    let source = study::soak_source(opts.scale, opts.clients);
+    let mut config = study::soak_config();
+    config.ingest.mode = opts.mode;
+    config.ingest.queue_capacity = opts.capacity;
+    let options = opd_serve::ServiceOptions {
+        threads: opts.threads,
+        checkpoint: opts.checkpoint.as_ref().map(std::path::PathBuf::from),
+        resume: opts.resume,
+    };
+    let report = match opd_serve::run_service(&config, &source, &options) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let shed = report.shed();
+    if opts.json {
+        let mut doc = String::new();
+        let _ = writeln!(doc, "{{");
+        let _ = writeln!(
+            doc,
+            "  \"clients\": {}, \"mode\": \"{}\", \"capacity\": {},",
+            opts.clients, opts.mode, opts.capacity,
+        );
+        let _ = writeln!(
+            doc,
+            "  \"completed\": {}, \"quarantined\": {}, \"rejected\": {},",
+            report.completed(),
+            report.quarantined(),
+            report.rejected(),
+        );
+        let _ = writeln!(
+            doc,
+            "  \"restarts\": {}, \"timeouts\": {}, \"crashes\": {},",
+            report.restarts(),
+            report.timeouts(),
+            report.crashes(),
+        );
+        let _ = writeln!(
+            doc,
+            "  \"frames_processed\": {}, \"shed_oldest\": {}, \"rejected_frames\": {}, \
+             \"blocked_ticks\": {},",
+            report.frames_processed(),
+            shed.shed_oldest_frames,
+            shed.rejected_frames,
+            shed.blocked_ticks,
+        );
+        let _ = writeln!(
+            doc,
+            "  \"phases\": {}, \"verify_failures\": {}, \"restored_vshards\": {},",
+            report.phases(),
+            report.verify_failures(),
+            report.restored_vshards,
+        );
+        let _ = writeln!(doc, "  \"digest\": \"{:#018x}\"", report.aggregate_digest());
+        let _ = write!(doc, "}}");
+        reporter.payload(doc);
+    } else {
+        reporter.human(format_args!(
+            "serve: {} session(s) over {} vshard(s) ({} restored): {} completed, \
+             {} quarantined, {} rejected",
+            report.sessions.len(),
+            report.vshards,
+            report.restored_vshards,
+            report.completed(),
+            report.quarantined(),
+            report.rejected(),
+        ));
+        reporter.human(format_args!(
+            "serve: {} restart(s), {} timeout(s), {} crash(es); shed {}; \
+             {} corrupt frame(s), {} record(s) lost",
+            report.restarts(),
+            report.timeouts(),
+            report.crashes(),
+            shed,
+            report.corrupt_frames(),
+            report.corrupt_records_lost(),
+        ));
+        reporter.human(format_args!(
+            "serve: {} phase(s), {} verify failure(s), digest {:#018x}",
+            report.phases(),
+            report.verify_failures(),
+            report.aggregate_digest(),
+        ));
+    }
+    if report.verify_failures() > 0 || !report.conservation_holds() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+struct LoadgenOpts {
+    scale: u32,
+    json: bool,
+    write: bool,
+}
+
+fn parse_loadgen_args(args: &[String]) -> Result<LoadgenOpts, CliError> {
+    let mut opts = LoadgenOpts {
+        scale: 1,
+        json: false,
+        write: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--write" => opts.write = true,
+            "--scale" => {
+                let value = iter.next().ok_or(CliError::missing_value("--scale"))?;
+                opts.scale = value
+                    .parse()
+                    .map_err(|e| CliError::invalid(format!("--scale `{value}`"), e))?;
+            }
+            flag if flag.starts_with("--") => return Err(CliError::unknown_flag(flag)),
+            other => {
+                return Err(CliError::usage(format!(
+                    "unexpected loadgen argument `{other}`"
+                )))
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn loadgen(opts: &LoadgenOpts) -> ExitCode {
+    let reporter = Reporter::new(opts.json);
+    let json = opd_experiments::serve::serve_json(opts.scale);
+    if opts.write {
+        // The committed artifact is always the pinned scale-1 form the
+        // freshness test regenerates, whatever this invocation prints.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_serve.json");
+        let pinned = if opts.scale == 1 {
+            json.clone()
+        } else {
+            opd_experiments::serve::serve_json(1)
+        };
+        if let Err(e) = std::fs::write(path, pinned) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        reporter.human(format_args!("wrote {path}"));
+    }
+    // The study is the payload either way; a human `--write` run gets
+    // only the "wrote …" confirmation above.
+    if opts.json || !opts.write {
+        reporter.payload(json.trim_end());
     }
     ExitCode::SUCCESS
 }

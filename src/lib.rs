@@ -23,6 +23,9 @@
 //!   future work)
 //! * [`faults`] — seeded fault injectors over trace byte and event
 //!   streams, with exact injected-fault ledgers
+//! * [`serve`] — the fault-tolerant multi-tenant streaming session
+//!   layer: bounded ingest queues with backpressure, supervised
+//!   restarts from checkpointed state, and poison-pill quarantine
 //! * [`experiments`] — configuration grids, the parallel sweep runner,
 //!   and per-table/figure experiment generators
 //!
@@ -63,4 +66,5 @@ pub use opd_experiments as experiments;
 pub use opd_faults as faults;
 pub use opd_microvm as microvm;
 pub use opd_scoring as scoring;
+pub use opd_serve as serve;
 pub use opd_trace as trace;

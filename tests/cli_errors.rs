@@ -34,7 +34,7 @@ fn unknown_subcommand_exits_2_with_usage() {
 #[test]
 fn unknown_flags_exit_2_on_every_subcommand() {
     for sub in [
-        "lint", "plan", "faults", "sweep", "audit", "certify", "trace",
+        "lint", "plan", "faults", "sweep", "audit", "certify", "trace", "serve", "loadgen",
     ] {
         let out = opd(&[sub, "--frobnicate"]);
         assert_eq!(out.status.code(), Some(2), "{sub}");
@@ -55,6 +55,9 @@ fn missing_values_exit_2() {
         &["sweep", "--checkpoint"],
         &["certify", "--budget"],
         &["trace", "lexgen", "--limit"],
+        &["serve", "--clients"],
+        &["serve", "--capacity"],
+        &["loadgen", "--scale"],
     ] {
         let out = opd(args);
         assert_eq!(out.status.code(), Some(2), "{args:?}");
@@ -180,4 +183,59 @@ fn certify_json_stdout_is_one_document() {
     assert!(stdout.starts_with('{'), "{stdout}");
     assert!(stdout.trim_end().ends_with('}'), "{stdout}");
     assert!(stdout.contains("\"schema\": \"opd-bench-cert-v1\""));
+}
+
+#[test]
+fn unreadable_and_unparsable_inputs_exit_2() {
+    // `src` exists but is a directory: the read itself fails. Input
+    // errors are exit 2, same as a malformed command line — 1 is
+    // reserved for findings at a failing severity.
+    let out = opd(&["lint", "src"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr_of(&out).contains("cannot read `src`"),
+        "{}",
+        stderr_of(&out)
+    );
+
+    // A readable file that is not a program parses to a typed error.
+    let path = std::env::temp_dir().join(format!("opd_cli_errors_{}.opd", std::process::id()));
+    std::fs::write(&path, "definitely not a program {{{").expect("write temp file");
+    let target = path.to_str().expect("utf-8 temp path");
+    let out = opd(&["trace", target]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr_of(&out).contains("cannot parse"),
+        "{}",
+        stderr_of(&out)
+    );
+    let _ = std::fs::remove_file(&path);
+
+    // Neither a built-in workload nor an existing file.
+    let out = opd(&["trace", "no_such_workload"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr_of(&out).contains("neither a built-in workload nor an existing file"),
+        "{}",
+        stderr_of(&out)
+    );
+}
+
+#[test]
+fn serve_checkpoint_io_errors_exit_2() {
+    // Checkpoint creation happens before any shard work, so an
+    // unwritable path fails fast with the typed serve error.
+    let out = opd(&[
+        "serve",
+        "--clients",
+        "4",
+        "--checkpoint",
+        "/nonexistent/dir/serve.opdk",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr_of(&out).contains("error: serve:"),
+        "{}",
+        stderr_of(&out)
+    );
 }

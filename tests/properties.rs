@@ -346,3 +346,100 @@ proptest! {
         let _ = opd::microvm::parse_program(&text);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn corruption_is_confined_to_the_corrupted_session(
+        streams in prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(arb_element(), 10..80), 2..4),
+            2..5,
+        ),
+        victim_seed in proptest::prelude::any::<u32>(),
+        corruptions in prop::collection::vec(
+            (proptest::prelude::any::<u16>(), proptest::prelude::any::<u16>(), 1u8..=255),
+            1..16,
+        ),
+    ) {
+        use opd::serve::{run_service, MemorySource, SeededHazards, ServeConfig, ServiceOptions};
+
+        // Two identical multi-tenant sources, except one client's
+        // frames are arbitrarily corrupted in the second. Corruption
+        // must degrade only that session: every other session's
+        // terminal report (including its phase-stream digest) must be
+        // bit-identical — even with supervised crash/restart hazards
+        // firing across the fleet.
+        let config = DetectorConfig::builder()
+            .current_window(16)
+            .trailing_window(16)
+            .skip_factor(4)
+            .build()
+            .expect("static test config is valid");
+        let victim = victim_seed as usize % streams.len();
+        let mut clean = MemorySource::new();
+        let mut dirty = MemorySource::new();
+        for (c, frame_elements) in streams.iter().enumerate() {
+            let frames: Vec<Vec<u8>> = frame_elements
+                .iter()
+                .map(|elements| {
+                    let mut t = ExecutionTrace::new();
+                    for e in elements {
+                        t.record_branch(*e);
+                    }
+                    encode_trace(&t).to_vec()
+                })
+                .collect();
+            clean.push_client(config, frames.clone());
+            let frames = if c == victim {
+                let count = frames.len();
+                frames
+                    .into_iter()
+                    .enumerate()
+                    .map(|(f, mut buf)| {
+                        for &(frame_sel, pos, mask) in &corruptions {
+                            if frame_sel as usize % count == f && !buf.is_empty() {
+                                let i = pos as usize % buf.len();
+                                buf[i] ^= mask;
+                            }
+                        }
+                        buf
+                    })
+                    .collect()
+            } else {
+                frames
+            };
+            dirty.push_client(config, frames);
+        }
+
+        let serve_config = ServeConfig {
+            vshards: 2,
+            hazards: SeededHazards {
+                seed: 0xBAD_F00D,
+                kill_rate: 0.05,
+                wedge_rate: 0.02,
+                poison_rate: 0.0,
+            },
+            ..ServeConfig::default()
+        };
+        let options = ServiceOptions::default();
+        let clean_report = run_service(&serve_config, &clean, &options)
+            .expect("clean fleet runs");
+        let dirty_report = run_service(&serve_config, &dirty, &options)
+            .expect("corrupted fleet runs");
+        prop_assert_eq!(clean_report.sessions.len(), dirty_report.sessions.len());
+        for (a, b) in clean_report.sessions.iter().zip(&dirty_report.sessions) {
+            prop_assert_eq!(a.client, b.client);
+            if a.client as usize != victim {
+                prop_assert_eq!(
+                    a, b,
+                    "client {}'s session changed when client {} was corrupted",
+                    a.client, victim
+                );
+            }
+        }
+        // And the corrupted fleet still upholds the global invariants.
+        prop_assert_eq!(dirty_report.verify_failures(), 0);
+        prop_assert!(dirty_report.conservation_holds());
+    }
+}

@@ -1,0 +1,123 @@
+//! Freshness and acceptance tests for the committed
+//! `BENCH_serve.json` artifact and the `opd serve` / `opd loadgen`
+//! CLI surface.
+//!
+//! The serve study is a deterministic virtual-time simulation — no
+//! wall-clock, no host data — so freshness is byte-for-byte equality,
+//! like `BENCH_faults.json` and `BENCH_cert.json`.
+
+use std::process::Command;
+
+use opd_experiments::serve::{shed_study, soak, SHED_CAPACITIES, SOAK_CLIENTS};
+use opd_serve::BackpressureMode;
+
+fn opd(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_opd"))
+        .args(args)
+        .output()
+        .expect("spawn opd")
+}
+
+#[test]
+fn committed_serve_artifact_is_current() {
+    let committed =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_serve.json"))
+            .expect("BENCH_serve.json is committed at the repository root");
+    let regenerated = opd_experiments::serve::serve_json(1);
+    assert_eq!(
+        committed, regenerated,
+        "BENCH_serve.json is stale; regenerate with `opd loadgen --write`"
+    );
+}
+
+#[test]
+fn soak_acceptance_holds_at_full_scale() {
+    // The tentpole acceptance line: the full client count, with
+    // faults and hazards firing, no panic, exact frame conservation,
+    // and every surviving session's phase stream bit-identical to the
+    // offline detector on the same post-fault input.
+    let report = soak(1, SOAK_CLIENTS, 0).expect("soak runs");
+    assert_eq!(report.sessions.len() as u64, u64::from(SOAK_CLIENTS));
+    assert!(report.restarts() > 0, "hazards must actually fire");
+    assert!(report.corrupt_frames() > 0, "faults must actually corrupt");
+    assert_eq!(report.verify_failures(), 0, "bit-identity is the gate");
+    assert!(report.conservation_holds(), "frames must be conserved");
+}
+
+#[test]
+fn soak_is_thread_count_invariant() {
+    // A smaller soak, twice: the vshard simulation must make the
+    // outcome a pure function of configuration, not parallelism.
+    let one = soak(1, 600, 1).expect("soak runs");
+    let many = soak(1, 600, 8).expect("soak runs");
+    assert_eq!(one, many, "thread count must not change any outcome");
+}
+
+#[test]
+fn shed_curves_are_monotone_in_capacity() {
+    let cells = shed_study(1, 0).expect("study runs");
+    assert_eq!(
+        cells.len(),
+        BackpressureMode::ALL.len() * SHED_CAPACITIES.len()
+    );
+    for mode in BackpressureMode::ALL {
+        let pressure: Vec<u64> = cells
+            .iter()
+            .filter(|c| c.mode == mode)
+            .map(|c| c.shed_oldest + c.rejected + c.blocked_ticks)
+            .collect();
+        assert!(pressure[0] > 0, "{mode}: smallest queue must overload");
+        for w in pressure.windows(2) {
+            assert!(w[1] <= w[0], "{mode}: not monotone: {pressure:?}");
+        }
+    }
+}
+
+#[test]
+fn serve_cli_smoke_passes() {
+    let out = opd(&["serve", "--smoke"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("serve --smoke: ok"), "{stdout}");
+}
+
+#[test]
+fn serve_cli_json_reports_the_digest() {
+    let out = opd(&["serve", "--clients", "64", "--json"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"digest\": \"0x"), "{stdout}");
+    assert!(stdout.contains("\"verify_failures\": 0"), "{stdout}");
+
+    // The digest is a run invariant: a second invocation prints the
+    // same one.
+    let again = opd(&["serve", "--clients", "64", "--json"]);
+    assert_eq!(out.stdout, again.stdout, "serve must be reproducible");
+}
+
+#[test]
+fn serve_cli_rejects_bad_flags() {
+    for args in [
+        &["serve", "--mode", "frob"][..],
+        &["serve", "--resume"][..],
+        &["serve", "--clients"][..],
+        &["serve", "--smoke", "--json"][..],
+        &["loadgen", "--frob"][..],
+    ] {
+        let out = opd(args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Service-level crash recovery: SIGKILL `opd serve` mid-soak, resume
+//! from its OPDK checkpoint, and require the aggregate phase-stream
+//! digest to be bit-identical to an uninterrupted run.
+//!
+//! This is the end-to-end form of the serve crate's checkpoint tests:
+//! the kill lands at an arbitrary byte boundary (possibly mid-record),
+//! so it also exercises the longest-valid-prefix recovery path.
+
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const CLIENTS: &str = "2000";
+
+fn opd(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_opd"))
+        .args(args)
+        .output()
+        .expect("spawn opd")
+}
+
+/// Pulls the `"digest": "0x…"` line out of a serve `--json` document.
+fn digest_line(stdout: &[u8]) -> String {
+    String::from_utf8_lossy(stdout)
+        .lines()
+        .find(|l| l.contains("\"digest\""))
+        .expect("serve --json prints a digest")
+        .trim()
+        .trim_end_matches(',')
+        .to_owned()
+}
+
+fn restored_vshards(stdout: &[u8]) -> u64 {
+    let text = String::from_utf8_lossy(stdout);
+    let line = text
+        .lines()
+        .find(|l| l.contains("\"restored_vshards\""))
+        .expect("serve --json prints restored_vshards");
+    let tail = line
+        .split("\"restored_vshards\":")
+        .nth(1)
+        .expect("field has a value");
+    tail.trim()
+        .trim_end_matches(',')
+        .split(|c: char| !c.is_ascii_digit())
+        .next()
+        .unwrap_or("")
+        .parse()
+        .expect("restored_vshards is a number")
+}
+
+#[test]
+fn sigkill_mid_soak_resumes_bit_identically() {
+    let dir = std::env::temp_dir().join(format!("opd_serve_resume_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let ckpt = dir.join("serve.opdk");
+    let ckpt_str = ckpt.to_str().expect("utf-8 temp path");
+
+    // The reference: the same soak, uninterrupted, no checkpoint.
+    let reference = opd(&["serve", "--clients", CLIENTS, "--json"]);
+    assert!(
+        reference.status.success(),
+        "{}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+    let expected = digest_line(&reference.stdout);
+
+    // Start the checkpointed soak and SIGKILL it as soon as at least
+    // one vshard record has landed (the header is 14 bytes).
+    let mut child = Command::new(env!("CARGO_BIN_EXE_opd"))
+        .args([
+            "serve",
+            "--clients",
+            CLIENTS,
+            "--checkpoint",
+            ckpt_str,
+            "--json",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn opd serve");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut finished_first = false;
+    loop {
+        if std::fs::metadata(&ckpt).is_ok_and(|md| md.len() > 14) {
+            break;
+        }
+        if child.try_wait().expect("poll child").is_some() {
+            finished_first = true;
+            break;
+        }
+        assert!(Instant::now() < deadline, "soak never wrote a record");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+
+    // Resume: recompute only the missing vshards, same digest.
+    let resumed = opd(&[
+        "serve",
+        "--clients",
+        CLIENTS,
+        "--checkpoint",
+        ckpt_str,
+        "--resume",
+        "--json",
+    ]);
+    assert!(
+        resumed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        digest_line(&resumed.stdout),
+        expected,
+        "a resumed soak must reproduce the uninterrupted phase streams"
+    );
+    if !finished_first {
+        assert!(
+            restored_vshards(&resumed.stdout) > 0,
+            "the kill landed after a record, so resume must restore something"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
