@@ -89,11 +89,24 @@ pub enum Code {
     /// widening or `u64` overflow) — the certificate's upper bounds
     /// are vacuous and cannot support admission control.
     CertVacuous,
+    /// `OPD-O401`: a service window's p99 frame latency (in virtual
+    /// ticks) burned through the latency SLO.
+    SloLatencyBurn,
+    /// `OPD-O402`: a service window shed more of its offered frames
+    /// than the shed SLO allows.
+    SloShedBudget,
+    /// `OPD-O403`: a service window quarantined more of its sessions
+    /// than the quarantine SLO allows.
+    SloQuarantineBudget,
+    /// `OPD-O404`: the service's completion floor was breached —
+    /// too few sessions reached a clean terminal state, or a
+    /// completed session failed bit-identity verification.
+    SloCompletionFloor,
 }
 
 impl Code {
     /// Every code, in numeric order.
-    pub const ALL: [Code; 21] = [
+    pub const ALL: [Code; 25] = [
         Code::UnreachableFunction,
         Code::UnguardedRecursion,
         Code::DegenerateDistribution,
@@ -115,6 +128,10 @@ impl Code {
         Code::CertBudgetExceeded,
         Code::CertTruncated,
         Code::CertVacuous,
+        Code::SloLatencyBurn,
+        Code::SloShedBudget,
+        Code::SloQuarantineBudget,
+        Code::SloCompletionFloor,
     ];
 
     /// The stable textual form, e.g. `OPD-E002`.
@@ -142,12 +159,18 @@ impl Code {
             Code::CertBudgetExceeded => "OPD-A303",
             Code::CertTruncated => "OPD-A304",
             Code::CertVacuous => "OPD-A305",
+            Code::SloLatencyBurn => "OPD-O401",
+            Code::SloShedBudget => "OPD-O402",
+            Code::SloQuarantineBudget => "OPD-O403",
+            Code::SloCompletionFloor => "OPD-O404",
         }
     }
 
-    /// The severity this code is reported at. (`OPD-C*` plan codes
-    /// and `OPD-R*` race-audit codes carry their own letter at either
-    /// severity; program codes use `W`/`E` matching their severity.)
+    /// The severity this code is reported at. (`OPD-C*` plan codes,
+    /// `OPD-R*` race-audit codes, `OPD-A*` certificate codes, and
+    /// `OPD-O*` observability/SLO codes carry their own letter at
+    /// either severity; program codes use `W`/`E` matching their
+    /// severity.)
     #[must_use]
     pub fn severity(self) -> Severity {
         match self {
@@ -171,7 +194,11 @@ impl Code {
             | Code::BoundOverflow
             | Code::InvalidStructure
             | Code::CostBoundOverflow
-            | Code::CertBudgetExceeded => Severity::Error,
+            | Code::CertBudgetExceeded
+            | Code::SloLatencyBurn
+            | Code::SloShedBudget
+            | Code::SloQuarantineBudget
+            | Code::SloCompletionFloor => Severity::Error,
         }
     }
 
@@ -200,6 +227,10 @@ impl Code {
             Code::CertBudgetExceeded => "certified memory high-water mark exceeds the budget",
             Code::CertTruncated => "certificate clamped by the interpreter fuel",
             Code::CertVacuous => "certificate interval saturated and is vacuous",
+            Code::SloLatencyBurn => "window p99 frame latency burned the latency SLO",
+            Code::SloShedBudget => "window shed more frames than the shed SLO allows",
+            Code::SloQuarantineBudget => "window quarantined more sessions than the SLO allows",
+            Code::SloCompletionFloor => "service completion floor breached",
         }
     }
 }
@@ -324,10 +355,11 @@ mod tests {
     fn severity_matches_code_letter() {
         for code in Code::ALL {
             let letter = code.as_str().as_bytes()[4];
-            // Plan-lint (`C`), race-audit (`R`), and certificate (`A`)
-            // codes use their own letter at either severity; program
-            // codes encode their severity in the letter.
-            if letter == b'C' || letter == b'R' || letter == b'A' {
+            // Plan-lint (`C`), race-audit (`R`), certificate (`A`),
+            // and SLO (`O`) codes use their own letter at either
+            // severity; program codes encode their severity in the
+            // letter.
+            if letter == b'C' || letter == b'R' || letter == b'A' || letter == b'O' {
                 continue;
             }
             match code.severity() {
@@ -386,6 +418,24 @@ mod tests {
         assert_eq!(Code::CertBudgetExceeded.severity(), Severity::Error);
         assert_eq!(Code::CertNeverFires.severity(), Severity::Warning);
         assert_eq!(Code::CertVacuous.severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn slo_codes_use_the_o_prefix_and_400_range() {
+        let slo: Vec<Code> = Code::ALL
+            .iter()
+            .copied()
+            .filter(|c| c.as_str().as_bytes()[4] == b'O')
+            .collect();
+        assert_eq!(slo.len(), 4);
+        for code in slo {
+            let n: u32 = code.as_str()[5..].parse().unwrap();
+            assert!((401..=404).contains(&n), "{code}");
+            // An SLO burn is a service-level defect: `opd top` must
+            // exit non-zero, so every member of the family is an
+            // error.
+            assert_eq!(code.severity(), Severity::Error, "{code}");
+        }
     }
 
     #[test]

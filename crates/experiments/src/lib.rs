@@ -43,6 +43,7 @@ pub mod analysis;
 pub mod cert;
 pub mod checkpoint;
 pub mod cli;
+pub mod dash;
 pub mod exp;
 pub mod faults;
 pub mod grid;

@@ -21,7 +21,11 @@
 //! similarity scores, analyzer decisions, phase transitions);
 //! [`MetricsRegistry`] is the sharded counter/histogram registry the
 //! sweep paths record into; [`UnitMetrics`] is the plain per-unit
-//! accumulator cross-checked against the static cost model.
+//! accumulator cross-checked against the static cost model. [`Span`]
+//! and [`SpanRecorder`] extend the same discipline to *causal*
+//! tracing — virtual-time spans with parent ids, recorded through the
+//! identical `const ACTIVE` guard — and [`FlightRing`] is the
+//! fixed-capacity recent-span buffer behind per-session post-mortems.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
@@ -31,6 +35,7 @@ mod metrics;
 mod observer;
 #[cfg(feature = "sched")]
 pub mod sched_model;
+mod span;
 
 pub use event::{DetectorEvent, ResizeKind};
 pub use metrics::{
@@ -39,4 +44,8 @@ pub use metrics::{
 };
 pub use observer::{
     DetectorObserver, FnObserver, MeterObserver, NullObserver, RecordedPhase, RecordingObserver,
+};
+pub use span::{
+    parse_span_log, render_span_log, FlightRing, NullSpanRecorder, Span, SpanKind, SpanLog,
+    SpanRecorder, SPAN_LOG_HEADER,
 };

@@ -258,6 +258,26 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// An all-zero snapshot, for accumulating observations outside a
+    /// registry (per-window views, parsed artifacts).
+    #[must_use]
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// Adds one observation of `value`, using the same log2 bucket
+    /// rule as [`MetricsRegistry::record`].
+    pub fn record(&mut self, value: u64) {
+        let bucket = if value == 0 {
+            0
+        } else {
+            1 + value.ilog2() as usize
+        };
+        self.buckets[bucket] += 1;
+    }
+
     /// Total observations recorded.
     #[must_use]
     pub fn count(&self) -> u64 {
@@ -280,6 +300,54 @@ impl HistogramSnapshot {
     #[must_use]
     pub fn max_bucket(&self) -> Option<usize> {
         self.buckets.iter().rposition(|&c| c > 0)
+    }
+
+    /// Inclusive upper bound of the values in bucket `i` (0 for the
+    /// zero bucket, otherwise `2^i - 1`, saturating at `u64::MAX`).
+    #[must_use]
+    pub fn bucket_ceiling(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            64.. => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`, clamped) of the recorded
+    /// observations, interpolated within log2 buckets.
+    ///
+    /// The rank is the standard fractional rank `q * (count - 1)`
+    /// over the sorted observations; the bucket holding that rank
+    /// contributes linearly between its floor and its ceiling. Exact
+    /// bucket boundaries are exact: a rank landing on the first
+    /// observation of a bucket yields precisely
+    /// [`bucket_floor`](HistogramSnapshot::bucket_floor). Returns
+    /// `None` when nothing was recorded.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let rank = q.clamp(0.0, 1.0) * ((n - 1) as f64);
+        let mut below = 0u64;
+        for (i, &cnt) in self.buckets.iter().enumerate() {
+            if cnt == 0 {
+                continue;
+            }
+            #[allow(clippy::cast_precision_loss)]
+            let (lo, hi) = (below as f64, (below + cnt) as f64);
+            if rank < hi || below + cnt == n {
+                let floor = Self::bucket_floor(i);
+                let ceiling = Self::bucket_ceiling(i);
+                let frac = ((rank - lo) / (hi - lo)).clamp(0.0, 1.0);
+                #[allow(clippy::cast_precision_loss)]
+                return Some(floor as f64 + frac * (ceiling - floor) as f64);
+            }
+            below += cnt;
+        }
+        None
     }
 }
 
@@ -309,6 +377,44 @@ impl MetricsSnapshot {
             .iter()
             .find(|(n, _)| *n == name)
             .map(|(_, h)| h)
+    }
+
+    /// Renders the snapshot as a Prometheus-style text exposition:
+    /// counters verbatim, histograms as cumulative `_bucket{le="…"}`
+    /// series over the log2 bucket ceilings (up to the highest
+    /// non-empty bucket) plus `_count`. Metric names are sanitized to
+    /// `[a-zA-Z0-9_]` and prefixed `opd_`.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 4);
+            out.push_str("opd_");
+            for c in name.chars() {
+                out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+            }
+            out
+        }
+        let mut out = String::new();
+        for &(name, total) in &self.counters {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {total}\n"));
+        }
+        for (name, hist) in &self.histograms {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let top = hist.max_bucket().unwrap_or(0);
+            let mut cumulative = 0u64;
+            for (i, &cnt) in hist.buckets.iter().enumerate().take(top + 1) {
+                cumulative += cnt;
+                let le = HistogramSnapshot::bucket_ceiling(i);
+                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"+Inf\"}} {count}\n{name}_count {count}\n",
+                count = hist.count()
+            ));
+        }
+        out
     }
 }
 
@@ -487,6 +593,68 @@ mod tests {
                 elements: 2_000,
             }
         );
+    }
+
+    #[test]
+    fn percentile_is_exact_on_bucket_boundaries() {
+        // Rank landing on the first observation of a bucket yields
+        // exactly the bucket floor — the documented boundary contract.
+        let mut h = HistogramSnapshot::empty();
+        assert_eq!(h.percentile(0.5), None);
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1, floor 1
+        h.record(4); // bucket 3, floor 4
+        h.record(5); // bucket 3
+        assert_eq!(h.percentile(0.0), Some(0.0));
+        // rank 1.0 is the first (only) observation of bucket 1.
+        assert_eq!(h.percentile(1.0 / 3.0), Some(1.0));
+        // rank 2.0 is the first observation of bucket 3: exactly 4.
+        assert_eq!(h.percentile(2.0 / 3.0), Some(4.0));
+        // rank 3.0 is halfway through bucket 3 [4, 7]: 4 + 0.5 * 3.
+        assert_eq!(h.percentile(1.0), Some(5.5));
+        // Out-of-range quantiles clamp.
+        assert_eq!(h.percentile(-1.0), h.percentile(0.0));
+        assert_eq!(h.percentile(9.0), h.percentile(1.0));
+    }
+
+    #[test]
+    fn percentile_interpolates_within_a_bucket() {
+        let mut h = HistogramSnapshot::empty();
+        for _ in 0..5 {
+            h.record(100); // bucket 7: [64, 127]
+        }
+        // All mass in one bucket: p0 is the floor, p100 walks toward
+        // (but stays below) the ceiling.
+        assert_eq!(h.percentile(0.0), Some(64.0));
+        let p100 = h.percentile(1.0).unwrap();
+        assert!(p100 > 64.0 && p100 < 127.0, "{p100}");
+        // A single observation reports its bucket floor at every q.
+        let mut one = HistogramSnapshot::empty();
+        one.record(1024);
+        assert_eq!(one.percentile(0.5), Some(1024.0));
+        assert_eq!(HistogramSnapshot::bucket_ceiling(0), 0);
+        assert_eq!(HistogramSnapshot::bucket_ceiling(11), 2047);
+        assert_eq!(HistogramSnapshot::bucket_ceiling(64), u64::MAX);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_cumulative_and_sanitized() {
+        let mut r = MetricsRegistry::new(1);
+        let c = r.counter("serve.frames_processed");
+        let h = r.histogram("serve.latency_ticks");
+        r.add(c, 7);
+        r.record(h, 0);
+        r.record(h, 3);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE opd_serve_frames_processed counter\n"));
+        assert!(text.contains("opd_serve_frames_processed 7\n"));
+        assert!(text.contains("# TYPE opd_serve_latency_ticks histogram\n"));
+        assert!(text.contains("opd_serve_latency_ticks_bucket{le=\"0\"} 1\n"));
+        // Bucket 2 holds value 3; the series is cumulative.
+        assert!(text.contains("opd_serve_latency_ticks_bucket{le=\"3\"} 2\n"));
+        assert!(text.contains("opd_serve_latency_ticks_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("opd_serve_latency_ticks_count 2\n"));
+        assert!(!text.contains("serve."), "names must be sanitized");
     }
 
     #[test]

@@ -56,15 +56,18 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod checkpoint;
+pub mod flight;
 mod ledger;
 pub mod service;
 pub mod session;
 mod supervisor;
 
+pub use flight::{Postmortem, PostmortemReason, SessionTracer, TraceConfig, POSTMORTEM_HEADER};
 pub use ledger::ShedLedger;
 pub use service::{
-    run_service, run_service_with, FrameSource, MemorySource, NullSubscriber, ServeConfig,
-    ServeError, ServiceMetrics, ServiceOptions, ServiceReport, Subscriber,
+    run_service, run_service_traced, run_service_with, FrameSource, MemorySource, NullSubscriber,
+    ServeConfig, ServeError, ServiceMetrics, ServiceOptions, ServiceReport, ServiceTrace,
+    Subscriber,
 };
 pub use session::{BackpressureMode, IngestPolicy, SessionReport, SessionStats, SessionStatus};
 pub use supervisor::{keyed_hash, HazardPolicy, NoHazards, SeededHazards, SupervisionPolicy};

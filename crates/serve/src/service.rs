@@ -21,10 +21,13 @@ use std::time::Instant;
 
 use opd_analyze::ResourceCertificate;
 use opd_core::DetectorConfig;
-use opd_obs::{CounterId, DetectorEvent, HistogramId, MetricsRegistry};
+use opd_obs::{
+    render_span_log, CounterId, DetectorEvent, HistogramId, MetricsRegistry, Span, SpanRecorder,
+};
 use opd_trace::{encode_trace, ExecutionTrace, MethodId, ProfileElement, TraceSink};
 
 use crate::checkpoint::{CheckpointError, ServeCheckpointWriter};
+use crate::flight::{Postmortem, SessionTracer, TraceConfig};
 use crate::ledger::ShedLedger;
 use crate::session::{Session, SessionReport, SessionStatus};
 use crate::supervisor::{keyed_hash, SeededHazards};
@@ -212,6 +215,7 @@ pub struct ServiceMetrics {
     quarantined: CounterId,
     step_ns: HistogramId,
     session_phases: HistogramId,
+    frame_latency: HistogramId,
 }
 
 impl ServiceMetrics {
@@ -228,6 +232,7 @@ impl ServiceMetrics {
             quarantined: registry.counter("serve.sessions_quarantined"),
             step_ns: registry.histogram("serve.step_ns"),
             session_phases: registry.histogram("serve.session_phases"),
+            frame_latency: registry.histogram("serve.frame_latency_ticks"),
         }
     }
 
@@ -506,15 +511,19 @@ pub fn run_service_with(
 
 /// A generous upper bound on the virtual ticks a vshard can need:
 /// exceeded only by a livelocked state machine, never by a legal run.
-fn tick_budget(sessions: &[Session], config: &ServeConfig) -> u64 {
+fn tick_budget_for(max_frames: u64, config: &ServeConfig) -> u64 {
     let worst_frame = u64::from(config.supervision.retry_budget)
         * (config.supervision.deadline_ticks + config.supervision.backoff_cap_ticks + 4);
+    1_000 + 4 * (max_frames + 1) * (worst_frame + 2)
+}
+
+fn tick_budget(sessions: &[Session], config: &ServeConfig) -> u64 {
     let max_frames = sessions
         .iter()
         .map(|s| s.stats().frames_total)
         .max()
         .unwrap_or(0);
-    1_000 + 4 * (max_frames + 1) * (worst_frame + 2)
+    tick_budget_for(max_frames, config)
 }
 
 fn run_vshard(
@@ -566,7 +575,7 @@ fn run_vshard(
             if !s.is_live() {
                 continue;
             }
-            s.deliver(source);
+            s.deliver(source, tick);
             let before = s.stats().frames_processed;
             let t0 = metrics.map(|_| Instant::now());
             s.step(tick, &config.hazards, subscriber);
@@ -577,6 +586,9 @@ fn run_vshard(
                         u64::from(vshard),
                         u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
                     );
+                }
+                if let Some(latency) = s.take_last_latency() {
+                    registry.record_tagged(m.frame_latency, u64::from(vshard), latency);
                 }
             }
             if !s.is_live() {
@@ -594,6 +606,256 @@ fn run_vshard(
     }
     reports.sort_by_key(|r| r.client);
     Ok(reports)
+}
+
+/// Everything a traced run observed beyond the report: the full span
+/// log (ascending by client, per-session emission order within a
+/// client — deterministic and thread-count invariant) and every
+/// post-mortem dumped along the way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceTrace {
+    /// All recorded spans, sorted by client then emission order.
+    pub spans: Vec<Span>,
+    /// All post-mortems, sorted by `(client, tick)`.
+    pub postmortems: Vec<Postmortem>,
+}
+
+impl ServiceTrace {
+    /// The canonical span-log document (`# opd-spans-v1`) — the
+    /// byte-identical-across-threads artifact.
+    #[must_use]
+    pub fn span_log(&self) -> String {
+        render_span_log(&self.spans)
+    }
+
+    /// Span counts per kind, in [`opd_obs::SpanKind::ALL`] order.
+    #[must_use]
+    pub fn counts_by_kind(&self) -> Vec<(opd_obs::SpanKind, u64)> {
+        opd_obs::SpanKind::ALL
+            .into_iter()
+            .map(|k| (k, self.spans.iter().filter(|s| s.kind == k).count() as u64))
+            .collect()
+    }
+}
+
+/// [`run_service_with`], with causal-span tracing: every session runs
+/// the `*_traced` twin paths under a [`SessionTracer`] whose recorder
+/// type `R` decides the cost — [`opd_obs::SpanLog`] collects the full
+/// trace, [`opd_obs::NullSpanRecorder`] monomorphizes the traced
+/// paths back to the plain machine code (the overhead-gate arm).
+///
+/// Checkpointing is not supported under tracing (a resumed run would
+/// have no spans for restored vshards).
+///
+/// # Errors
+///
+/// Returns [`ServeError`] on an unusable configuration, a checkpoint
+/// option, or a stalled shard.
+pub fn run_service_traced<R: SpanRecorder + Default>(
+    config: &ServeConfig,
+    source: &dyn FrameSource,
+    options: &ServiceOptions,
+    subscriber: &dyn Subscriber,
+    metrics: Option<(&MetricsRegistry, &ServiceMetrics)>,
+    trace: &TraceConfig,
+) -> Result<(ServiceReport, ServiceTrace), ServeError> {
+    if config.vshards == 0 {
+        return Err(ServeError::Config("vshards must be at least 1".into()));
+    }
+    if config.ingest.queue_capacity == 0 {
+        return Err(ServeError::Config(
+            "queue capacity must be at least 1".into(),
+        ));
+    }
+    if config.ingest.arrivals_per_tick == 0 {
+        return Err(ServeError::Config(
+            "arrivals per tick must be at least 1".into(),
+        ));
+    }
+    if config.supervision.retry_budget == 0 {
+        return Err(ServeError::Config("retry budget must be at least 1".into()));
+    }
+    if options.checkpoint.is_some() {
+        return Err(ServeError::Config(
+            "tracing does not support checkpoints".into(),
+        ));
+    }
+
+    let fingerprint = config.fingerprint(source);
+    let pending: Vec<u32> = (0..config.vshards).collect();
+    let threads = if options.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        options.threads
+    }
+    .min(pending.len().max(1));
+
+    let done: Mutex<BTreeMap<u32, VshardTrace>> = Mutex::new(BTreeMap::new());
+    let next = AtomicUsize::new(0);
+    let failure: Mutex<Option<ServeError>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                if failure.lock().expect("no panics in workers").is_some() {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&vshard) = pending.get(i) else { break };
+                match run_vshard_traced::<R>(vshard, config, source, subscriber, metrics, trace) {
+                    Ok(result) => {
+                        done.lock()
+                            .expect("no panics in workers")
+                            .insert(vshard, result);
+                    }
+                    Err(e) => {
+                        *failure.lock().expect("no panics in workers") = Some(e);
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = failure.into_inner().expect("no panics in workers") {
+        return Err(e);
+    }
+    let map = done.into_inner().expect("no panics in workers");
+    let mut sessions = Vec::new();
+    let mut client_spans: Vec<(u32, Vec<Span>)> = Vec::new();
+    let mut postmortems = Vec::new();
+    for (_, (reports, spans, pms)) in map {
+        sessions.extend(reports);
+        client_spans.extend(spans);
+        postmortems.extend(pms);
+    }
+    sessions.sort_by_key(|r| r.client);
+    client_spans.sort_by_key(|&(client, _)| client);
+    postmortems.sort_by_key(|p| (p.client, p.tick));
+    let spans = client_spans.into_iter().flat_map(|(_, s)| s).collect();
+    Ok((
+        ServiceReport {
+            vshards: config.vshards,
+            fingerprint,
+            restored_vshards: 0,
+            sessions,
+        },
+        ServiceTrace { spans, postmortems },
+    ))
+}
+
+/// One traced vshard's output: session reports, per-client span
+/// logs, and post-mortems.
+type VshardTrace = (Vec<SessionReport>, Vec<(u32, Vec<Span>)>, Vec<Postmortem>);
+
+/// [`run_vshard`], traced: a line-for-line mirror driving the
+/// `*_traced` session paths with one [`SessionTracer`] per session.
+fn run_vshard_traced<R: SpanRecorder + Default>(
+    vshard: u32,
+    config: &ServeConfig,
+    source: &dyn FrameSource,
+    subscriber: &dyn Subscriber,
+    metrics: Option<(&MetricsRegistry, &ServiceMetrics)>,
+    trace: &TraceConfig,
+) -> Result<VshardTrace, ServeError> {
+    let mut reports = Vec::new();
+    // Sessions and their tracers live in parallel vectors: with
+    // tracing compiled out the tracer vector stays empty and a single
+    // inert tracer serves every session, so the disabled path's
+    // allocations match the plain engine's element-for-element
+    // (pinned by tests/span_alloc.rs).
+    let mut sessions: Vec<Session> = Vec::new();
+    let mut tracers: Vec<SessionTracer<R>> = Vec::new();
+    let mut inert_tracer = SessionTracer::new(0, vshard, trace, R::default());
+    let mut client = vshard;
+    while client < source.clients() {
+        let frames = source.frames(client);
+        let admitted = match (config.admission_budget_bytes, source.certificate(client)) {
+            (Some(budget), Some(cert)) => cert.admits(budget),
+            _ => true,
+        };
+        if admitted {
+            if R::ACTIVE {
+                tracers.push(SessionTracer::new(client, vshard, trace, R::default()));
+            }
+            sessions.push(Session::new(
+                client,
+                source.detector_config(client),
+                frames,
+                config.ingest,
+                config.supervision,
+                config.verify,
+            ));
+        } else {
+            reports.push(SessionReport::rejected(client, frames));
+        }
+        match client.checked_add(config.vshards) {
+            Some(next_client) => client = next_client,
+            None => break,
+        }
+    }
+
+    let budget = tick_budget(&sessions, config);
+    let mut live = sessions.len();
+    let mut tick = 0u64;
+    while live > 0 {
+        tick += 1;
+        if tick > budget {
+            return Err(ServeError::Stalled {
+                vshard,
+                ticks: tick,
+            });
+        }
+        for (i, s) in sessions.iter_mut().enumerate() {
+            if !s.is_live() {
+                continue;
+            }
+            let tracer = if R::ACTIVE {
+                &mut tracers[i]
+            } else {
+                &mut inert_tracer
+            };
+            s.deliver(source, tick);
+            let before = s.stats().frames_processed;
+            let t0 = metrics.map(|_| Instant::now());
+            s.step_traced(tick, &config.hazards, subscriber, tracer);
+            if let (Some((registry, m)), Some(t0)) = (metrics, t0) {
+                if s.stats().frames_processed > before {
+                    registry.record_tagged(
+                        m.step_ns,
+                        u64::from(vshard),
+                        u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    );
+                }
+                if let Some(latency) = s.take_last_latency() {
+                    registry.record_tagged(m.frame_latency, u64::from(vshard), latency);
+                }
+            }
+            if !s.is_live() {
+                live -= 1;
+            }
+        }
+    }
+
+    let mut spans = Vec::new();
+    let mut postmortems = Vec::new();
+    for (i, s) in sessions.into_iter().enumerate() {
+        let report = s.into_report();
+        if let Some((registry, m)) = metrics {
+            m.observe_session(registry, vshard, &report);
+        }
+        // With tracing compiled out nothing was recorded; skipping the
+        // pushes keeps the disabled path free of span allocations
+        // (pinned by tests/span_alloc.rs).
+        if R::ACTIVE {
+            let tracer = &mut tracers[i];
+            spans.push((report.client, tracer.recorder.drain()));
+            postmortems.append(&mut tracer.postmortems);
+        }
+        reports.push(report);
+    }
+    reports.sort_by_key(|r| r.client);
+    Ok((reports, spans, postmortems))
 }
 
 /// An in-memory [`FrameSource`] — the unit-test and property-test
@@ -836,6 +1098,185 @@ mod tests {
             .histogram("serve.step_ns")
             .expect("step latency histogram registered");
         assert_eq!(h.count(), report.frames_processed());
+    }
+
+    #[test]
+    fn traced_runs_match_plain_runs_bit_for_bit() {
+        use opd_obs::{NullSpanRecorder, SpanLog};
+        // The traced-twins equivalence gate: the same faulted soak
+        // through the plain path, the disabled-tracer path, and the
+        // recording path must produce identical reports.
+        let source = MemorySource::synthetic(24, 8, 32);
+        let config = ServeConfig {
+            vshards: 6,
+            hazards: SeededHazards {
+                seed: 99,
+                kill_rate: 0.06,
+                wedge_rate: 0.02,
+                poison_rate: 0.01,
+            },
+            ..ServeConfig::default()
+        };
+        let plain = run_service(&config, &source, &ServiceOptions::default()).expect("plain");
+        let (null_traced, null_trace) = run_service_traced::<NullSpanRecorder>(
+            &config,
+            &source,
+            &ServiceOptions::default(),
+            &NullSubscriber,
+            None,
+            &TraceConfig::default(),
+        )
+        .expect("null-traced");
+        let (recorded, trace) = run_service_traced::<SpanLog>(
+            &config,
+            &source,
+            &ServiceOptions::default(),
+            &NullSubscriber,
+            None,
+            &TraceConfig::default(),
+        )
+        .expect("recorded");
+        assert_eq!(
+            plain, null_traced,
+            "disabled tracer must not change outcomes"
+        );
+        assert_eq!(plain, recorded, "recording must not change outcomes");
+        assert!(null_trace.spans.is_empty(), "null recorder keeps nothing");
+        assert!(null_trace.postmortems.is_empty());
+        assert!(!trace.spans.is_empty());
+        assert!(plain.restarts() > 0, "hazards must fire for a real test");
+        assert!(
+            !trace.postmortems.is_empty(),
+            "hazard kills must dump post-mortems"
+        );
+    }
+
+    #[test]
+    fn span_logs_are_thread_invariant_and_causally_closed() {
+        use opd_obs::{SpanKind, SpanLog};
+        let source = MemorySource::synthetic(18, 7, 30);
+        let config = ServeConfig {
+            vshards: 5,
+            hazards: SeededHazards {
+                seed: 41,
+                kill_rate: 0.08,
+                wedge_rate: 0.03,
+                poison_rate: 0.01,
+            },
+            ..ServeConfig::default()
+        };
+        let run = |threads: usize| {
+            run_service_traced::<SpanLog>(
+                &config,
+                &source,
+                &ServiceOptions {
+                    threads,
+                    ..ServiceOptions::default()
+                },
+                &NullSubscriber,
+                None,
+                &TraceConfig::default(),
+            )
+            .expect("traced run")
+        };
+        let (_, one) = run(1);
+        let (_, many) = run(8);
+        assert_eq!(
+            one.span_log(),
+            many.span_log(),
+            "span logs must be byte-identical across thread counts"
+        );
+        assert_eq!(one.postmortems, many.postmortems);
+
+        // Causal closure: every non-root parent id names a span of the
+        // same session, and children never precede their parent's
+        // start tick.
+        use std::collections::{BTreeMap, BTreeSet};
+        let mut ids: BTreeMap<u32, BTreeSet<u64>> = BTreeMap::new();
+        for s in &one.spans {
+            ids.entry(s.client).or_default().insert(s.id);
+        }
+        for s in &one.spans {
+            assert!(s.end >= s.start, "{s}");
+            if s.parent != 0 {
+                assert!(ids[&s.client].contains(&s.parent), "dangling parent: {s}");
+            }
+        }
+        // The causal chain exists: frames have decode and detect
+        // children, and ingest roots are present.
+        let count = |k: SpanKind| one.spans.iter().filter(|s| s.kind == k).count();
+        assert!(count(SpanKind::FrameIngest) > 0);
+        assert_eq!(count(SpanKind::FrameIngest), count(SpanKind::Decode));
+        assert!(count(SpanKind::Backoff) > 0, "hazards must cause backoffs");
+        assert_eq!(count(SpanKind::Backoff), count(SpanKind::Retry));
+    }
+
+    #[test]
+    fn postmortems_capture_quarantine_with_recent_spans() {
+        use crate::flight::PostmortemReason;
+        use opd_obs::SpanLog;
+        // Poison every frame of a small stream with no poison
+        // allowance: the session must quarantine and dump a
+        // self-contained post-mortem whose ring ends in the
+        // quarantine span.
+        let source = MemorySource::synthetic(2, 4, 24);
+        let config = ServeConfig {
+            vshards: 1,
+            supervision: SupervisionPolicy {
+                max_poison_frames: 0,
+                ..SupervisionPolicy::default()
+            },
+            hazards: SeededHazards {
+                seed: 7,
+                kill_rate: 0.0,
+                wedge_rate: 0.0,
+                poison_rate: 1.0,
+            },
+            ..ServeConfig::default()
+        };
+        let (report, trace) = run_service_traced::<SpanLog>(
+            &config,
+            &source,
+            &ServiceOptions::default(),
+            &NullSubscriber,
+            None,
+            &TraceConfig::default(),
+        )
+        .expect("run");
+        assert_eq!(report.quarantined(), 2);
+        let quarantines: Vec<_> = trace
+            .postmortems
+            .iter()
+            .filter(|p| p.reason == PostmortemReason::Quarantined)
+            .collect();
+        assert_eq!(quarantines.len(), 2);
+        for pm in quarantines {
+            assert!(!pm.recent.is_empty());
+            assert_eq!(
+                pm.recent.last().unwrap().kind,
+                opd_obs::SpanKind::Quarantine
+            );
+            let parsed = Postmortem::parse(&pm.render()).expect("roundtrip");
+            assert_eq!(&parsed, pm);
+        }
+    }
+
+    #[test]
+    fn traced_runs_refuse_checkpoints() {
+        use opd_obs::SpanLog;
+        let source = MemorySource::synthetic(1, 1, 10);
+        let err = run_service_traced::<SpanLog>(
+            &ServeConfig::default(),
+            &source,
+            &ServiceOptions {
+                checkpoint: Some(std::path::PathBuf::from("/tmp/never.opdk")),
+                ..ServiceOptions::default()
+            },
+            &NullSubscriber,
+            None,
+            &TraceConfig::default(),
+        );
+        assert!(matches!(err, Err(ServeError::Config(_))));
     }
 
     #[test]

@@ -29,9 +29,10 @@
 use std::collections::VecDeque;
 
 use opd_core::{DetectedPhase, DetectorConfig, PhaseDetector};
-use opd_obs::DetectorEvent;
+use opd_obs::{DetectorEvent, SpanKind, SpanRecorder};
 use opd_trace::{decode_trace_resync, BranchTrace, ProfileElement};
 
+use crate::flight::{PostmortemReason, SessionTracer};
 use crate::ledger::ShedLedger;
 use crate::service::{FrameSource, Subscriber};
 use crate::supervisor::{keyed_hash, HazardPolicy, SupervisionPolicy};
@@ -295,11 +296,12 @@ pub struct Session {
     supervision: SupervisionPolicy,
     verify: bool,
     detector: PhaseDetector,
-    /// Bounded ingest queue of `(frame index, encoded bytes)`.
-    queue: VecDeque<(u32, Vec<u8>)>,
+    /// Bounded ingest queue of `(frame index, enqueue tick, encoded
+    /// bytes)` — the enqueue tick is the frame-latency baseline.
+    queue: VecDeque<(u32, u64, Vec<u8>)>,
     /// The frame currently being processed (held by the "worker", not
     /// the queue — eviction never touches it, retries re-use it).
-    inflight: Option<(u32, Vec<u8>)>,
+    inflight: Option<(u32, u64, Vec<u8>)>,
     /// Append-only log of every accepted element: the recovery source.
     accepted: Vec<ProfileElement>,
     /// Elements already fed to the detector (a multiple of
@@ -312,6 +314,9 @@ pub struct Session {
     poison_frames: u32,
     notified_starts: usize,
     notified_ends: usize,
+    /// Queue-to-processed latency of the most recently processed
+    /// frame, in ticks (taken by the engine's metrics path).
+    last_latency: Option<u64>,
     stats: SessionStats,
 }
 
@@ -344,6 +349,7 @@ impl Session {
             poison_frames: 0,
             notified_starts: 0,
             notified_ends: 0,
+            last_latency: None,
             stats: SessionStats {
                 frames_total: u64::from(frames_total),
                 ..SessionStats::default()
@@ -384,9 +390,17 @@ impl Session {
         )
     }
 
+    /// Queue-to-processed latency (in ticks) of the frame processed
+    /// by the most recent [`step`](Session::step), if any — consumed
+    /// by the engine's metrics path.
+    pub fn take_last_latency(&mut self) -> Option<u64> {
+        self.last_latency.take()
+    }
+
     /// The producer side of one tick: offer up to `arrivals_per_tick`
     /// frames, applying the backpressure mode at the bounded queue.
-    pub fn deliver(&mut self, source: &dyn FrameSource) {
+    /// `tick` stamps each admitted frame's enqueue time.
+    pub fn deliver(&mut self, source: &dyn FrameSource, tick: u64) {
         if !self.is_live() {
             return;
         }
@@ -416,7 +430,7 @@ impl Session {
                 }
             }
             let bytes = source.frame(self.client, self.next_frame);
-            self.queue.push_back((self.next_frame, bytes));
+            self.queue.push_back((self.next_frame, tick, bytes));
             self.stats.frames_delivered += 1;
             self.next_frame += 1;
             sent += 1;
@@ -443,7 +457,7 @@ impl Session {
                 if self.inflight.is_none() {
                     self.inflight = self.queue.pop_front();
                 }
-                if let Some(&(frame, _)) = self.inflight.as_ref() {
+                if let Some(&(frame, _, _)) = self.inflight.as_ref() {
                     if hazards.poison(self.client, frame)
                         || hazards.crash(self.client, frame, attempt)
                     {
@@ -454,12 +468,115 @@ impl Session {
                             until: tick + self.supervision.deadline_ticks.max(1),
                             attempt,
                         };
-                    } else if let Some((_, bytes)) = self.inflight.take() {
-                        self.ingest_frame(&bytes, subscriber);
+                    } else if let Some((_, enqueued, bytes)) = self.inflight.take() {
+                        self.ingest_frame(enqueued, &bytes, tick, subscriber);
                         self.lifecycle = Lifecycle::Running { attempt: 0 };
                     }
                 } else if self.next_frame >= self.frames_total {
                     self.finish(tick, subscriber);
+                }
+            }
+            Lifecycle::Completed | Lifecycle::Quarantined => {}
+        }
+    }
+
+    /// [`step`](Session::step) with causal-span tracing: a
+    /// line-for-line mirror of the plain path (the repository's
+    /// traced-twins idiom) whose every span construction is guarded by
+    /// `R::ACTIVE`, so a `NullSpanRecorder` tracer monomorphizes this
+    /// back to the plain machine code. Equivalence is pinned by the
+    /// serve test suite: traced and plain runs produce bit-identical
+    /// reports.
+    pub fn step_traced<R: SpanRecorder>(
+        &mut self,
+        tick: u64,
+        hazards: &dyn HazardPolicy,
+        subscriber: &dyn Subscriber,
+        tracer: &mut SessionTracer<R>,
+    ) {
+        match self.lifecycle {
+            Lifecycle::BackingOff { until, attempt } => {
+                if tick >= until {
+                    self.stats.restarts += 1;
+                    let replayed_before = self.stats.replayed_elements;
+                    self.replay();
+                    if R::ACTIVE {
+                        let backoff = tracer.emit(
+                            0,
+                            SpanKind::Backoff,
+                            tracer.backoff_since,
+                            tick,
+                            u64::from(attempt),
+                        );
+                        tracer.emit(
+                            backoff,
+                            SpanKind::Retry,
+                            tick,
+                            tick,
+                            self.stats.replayed_elements - replayed_before,
+                        );
+                    }
+                    self.lifecycle = Lifecycle::Running { attempt };
+                }
+            }
+            Lifecycle::Wedged { until, attempt } => {
+                if tick >= until {
+                    self.stats.timeouts += 1;
+                    if R::ACTIVE {
+                        tracer.emit(
+                            0,
+                            SpanKind::DeadlineKill,
+                            tracer.wedge_since,
+                            tick,
+                            u64::from(attempt),
+                        );
+                        tracer.dump(
+                            PostmortemReason::DeadlineKill,
+                            tick,
+                            attempt + 1,
+                            &self.stats,
+                            self.queue.len() as u64,
+                            self.poison_frames,
+                        );
+                    }
+                    self.fail_traced(tick, attempt + 1, tracer);
+                }
+            }
+            Lifecycle::Running { attempt } => {
+                if self.inflight.is_none() {
+                    self.inflight = self.queue.pop_front();
+                }
+                if let Some(&(frame, _, _)) = self.inflight.as_ref() {
+                    if hazards.poison(self.client, frame)
+                        || hazards.crash(self.client, frame, attempt)
+                    {
+                        self.stats.crashes += 1;
+                        if R::ACTIVE {
+                            tracer.emit(0, SpanKind::HazardKill, tick, tick, u64::from(attempt));
+                            tracer.dump(
+                                PostmortemReason::HazardKill,
+                                tick,
+                                attempt + 1,
+                                &self.stats,
+                                self.queue.len() as u64,
+                                self.poison_frames,
+                            );
+                        }
+                        self.fail_traced(tick, attempt + 1, tracer);
+                    } else if hazards.wedge(self.client, frame, attempt) {
+                        if R::ACTIVE {
+                            tracer.wedge_since = tick;
+                        }
+                        self.lifecycle = Lifecycle::Wedged {
+                            until: tick + self.supervision.deadline_ticks.max(1),
+                            attempt,
+                        };
+                    } else if let Some((frame, enqueued, bytes)) = self.inflight.take() {
+                        self.ingest_frame_traced(frame, enqueued, &bytes, tick, subscriber, tracer);
+                        self.lifecycle = Lifecycle::Running { attempt: 0 };
+                    }
+                } else if self.next_frame >= self.frames_total {
+                    self.finish_traced(tick, subscriber, tracer);
                 }
             }
             Lifecycle::Completed | Lifecycle::Quarantined => {}
@@ -484,7 +601,13 @@ impl Session {
 
     /// Decodes one frame through the resync path and feeds every full
     /// `skip_factor` step to the detector.
-    fn ingest_frame(&mut self, bytes: &[u8], subscriber: &dyn Subscriber) {
+    fn ingest_frame(
+        &mut self,
+        enqueued: u64,
+        bytes: &[u8],
+        tick: u64,
+        subscriber: &dyn Subscriber,
+    ) {
         let (trace, report) = decode_trace_resync(bytes);
         if !report.is_clean() {
             self.stats.corrupt_frames += 1;
@@ -500,7 +623,73 @@ impl Session {
             self.processed_upto += skip;
         }
         self.stats.frames_processed += 1;
+        self.last_latency = Some(tick.saturating_sub(enqueued));
         self.notify(subscriber);
+    }
+
+    /// [`ingest_frame`](Session::ingest_frame), traced: emits the
+    /// causal chain `frame_ingest → decode → detect → phase_event`.
+    /// The ingest span's id is allocated up front so its children can
+    /// name it as parent; the span itself is recorded last, once its
+    /// end tick is known.
+    fn ingest_frame_traced<R: SpanRecorder>(
+        &mut self,
+        frame: u32,
+        enqueued: u64,
+        bytes: &[u8],
+        tick: u64,
+        subscriber: &dyn Subscriber,
+        tracer: &mut SessionTracer<R>,
+    ) {
+        let ingest_id = if R::ACTIVE { tracer.alloc_id() } else { 0 };
+        let (trace, report) = decode_trace_resync(bytes);
+        if !report.is_clean() {
+            self.stats.corrupt_frames += 1;
+            self.stats.corrupt_records_lost += report.records_lost();
+        }
+        if R::ACTIVE {
+            tracer.emit(
+                ingest_id,
+                SpanKind::Decode,
+                tick,
+                tick,
+                report.records_lost(),
+            );
+        }
+        self.accepted.extend_from_slice(trace.branches().as_slice());
+        self.stats.elements_accepted = self.accepted.len() as u64;
+        let steps_before = self.stats.steps;
+        let skip = self.config.skip_factor();
+        while self.accepted.len() - self.processed_upto >= skip {
+            let chunk = &self.accepted[self.processed_upto..self.processed_upto + skip];
+            self.detector.process(chunk);
+            self.stats.steps += 1;
+            self.processed_upto += skip;
+        }
+        let detect_id = if R::ACTIVE {
+            tracer.emit(
+                ingest_id,
+                SpanKind::Detect,
+                tick,
+                tick,
+                self.stats.steps - steps_before,
+            )
+        } else {
+            0
+        };
+        self.stats.frames_processed += 1;
+        self.last_latency = Some(tick.saturating_sub(enqueued));
+        self.notify_traced(subscriber, detect_id, tick, tracer);
+        if R::ACTIVE {
+            tracer.emit_with_id(
+                ingest_id,
+                0,
+                SpanKind::FrameIngest,
+                enqueued,
+                tick,
+                u64::from(frame),
+            );
+        }
     }
 
     /// Crash handling: back off for a bounded exponential delay, or —
@@ -530,6 +719,43 @@ impl Session {
         }
     }
 
+    /// [`fail`](Session::fail), traced: the mirror additionally marks
+    /// the backoff's start tick (the later restart closes the span).
+    fn fail_traced<R: SpanRecorder>(
+        &mut self,
+        tick: u64,
+        next_attempt: u32,
+        tracer: &mut SessionTracer<R>,
+    ) {
+        let backoff = self.supervision.backoff_ticks(next_attempt);
+        if next_attempt >= self.supervision.retry_budget {
+            if self.inflight.take().is_some() {
+                self.stats.shed.quarantined_frames += 1;
+                self.poison_frames += 1;
+            }
+            if self.poison_frames > self.supervision.max_poison_frames {
+                self.quarantine_traced(tick, tracer);
+                return;
+            }
+            // The poison pill is gone; restart fresh on the next frame.
+            if R::ACTIVE {
+                tracer.backoff_since = tick;
+            }
+            self.lifecycle = Lifecycle::BackingOff {
+                until: tick + backoff,
+                attempt: 0,
+            };
+        } else {
+            if R::ACTIVE {
+                tracer.backoff_since = tick;
+            }
+            self.lifecycle = Lifecycle::BackingOff {
+                until: tick + backoff,
+                attempt: next_attempt,
+            };
+        }
+    }
+
     /// Terminal quarantine: the rest of the stream will never be
     /// delivered.
     fn quarantine(&mut self, tick: u64) {
@@ -550,6 +776,43 @@ impl Session {
         self.stats.ticks = tick;
     }
 
+    /// [`quarantine`](Session::quarantine), traced: emits the
+    /// terminal `quarantine` span and dumps the session's post-mortem.
+    fn quarantine_traced<R: SpanRecorder>(&mut self, tick: u64, tracer: &mut SessionTracer<R>) {
+        debug_assert!(
+            self.inflight.is_none(),
+            "quarantine with an in-flight frame"
+        );
+        let upstream = u64::from(self.frames_total - self.next_frame);
+        self.stats.shed.undelivered_frames += self.queue.len() as u64 + upstream;
+        self.queue.clear();
+        // Restore the detector to the accepted prefix so the terminal
+        // phase stream is well-defined (the crash that led here lost
+        // live state).
+        self.replay();
+        self.seal_phases();
+        self.stats.verified = true;
+        self.lifecycle = Lifecycle::Quarantined;
+        self.stats.ticks = tick;
+        if R::ACTIVE {
+            tracer.emit(
+                0,
+                SpanKind::Quarantine,
+                tick,
+                tick,
+                u64::from(self.poison_frames),
+            );
+            tracer.dump(
+                PostmortemReason::Quarantined,
+                tick,
+                0,
+                &self.stats,
+                0,
+                self.poison_frames,
+            );
+        }
+    }
+
     /// Clean completion: judge the residual partial step, close the
     /// open phase, and (optionally) verify against an offline run.
     fn finish(&mut self, tick: u64, subscriber: &dyn Subscriber) {
@@ -561,6 +824,36 @@ impl Session {
         }
         self.detector.close_open_phase();
         self.notify(subscriber);
+        self.stats.verified = !self.verify || self.offline_matches();
+        self.seal_phases();
+        self.lifecycle = Lifecycle::Completed;
+        self.stats.ticks = tick;
+    }
+
+    /// [`finish`](Session::finish), traced: the residual partial step
+    /// gets its own `detect` span, and the closing phase boundaries
+    /// are emitted under it.
+    fn finish_traced<R: SpanRecorder>(
+        &mut self,
+        tick: u64,
+        subscriber: &dyn Subscriber,
+        tracer: &mut SessionTracer<R>,
+    ) {
+        let mut residual_steps = 0u64;
+        if self.processed_upto < self.accepted.len() {
+            let chunk = &self.accepted[self.processed_upto..];
+            self.detector.process(chunk);
+            self.stats.steps += 1;
+            self.processed_upto = self.accepted.len();
+            residual_steps = 1;
+        }
+        self.detector.close_open_phase();
+        let detect_id = if R::ACTIVE {
+            tracer.emit(0, SpanKind::Detect, tick, tick, residual_steps)
+        } else {
+            0
+        };
+        self.notify_traced(subscriber, detect_id, tick, tracer);
         self.stats.verified = !self.verify || self.offline_matches();
         self.seal_phases();
         self.lifecycle = Lifecycle::Completed;
@@ -607,6 +900,60 @@ impl Session {
         self.notified_ends = closed;
     }
 
+    /// [`notify`](Session::notify), traced: every boundary pushed to
+    /// the subscriber also emits a `phase_event` span under `parent`
+    /// (the frame's `detect` span), `detail` packing
+    /// `(ordinal << 1) | is_end`.
+    fn notify_traced<R: SpanRecorder>(
+        &mut self,
+        subscriber: &dyn Subscriber,
+        parent: u64,
+        tick: u64,
+        tracer: &mut SessionTracer<R>,
+    ) {
+        let phases = self.detector.detected_phases();
+        let step = self.stats.steps;
+        for (i, p) in phases.iter().enumerate().skip(self.notified_starts) {
+            subscriber.on_event(
+                self.client,
+                DetectorEvent::PhaseStart {
+                    step,
+                    start: p.start,
+                    anchored_start: p.anchored_start,
+                },
+            );
+            if R::ACTIVE {
+                tracer.emit(parent, SpanKind::PhaseEvent, tick, tick, (i as u64) << 1);
+            }
+        }
+        let closed = phases.iter().take_while(|p| p.end.is_some()).count();
+        for (i, p) in phases
+            .iter()
+            .enumerate()
+            .take(closed)
+            .skip(self.notified_ends)
+        {
+            subscriber.on_event(
+                self.client,
+                DetectorEvent::PhaseEnd {
+                    step,
+                    end: p.end.unwrap_or(0),
+                },
+            );
+            if R::ACTIVE {
+                tracer.emit(
+                    parent,
+                    SpanKind::PhaseEvent,
+                    tick,
+                    tick,
+                    ((i as u64) << 1) | 1,
+                );
+            }
+        }
+        self.notified_starts = phases.len();
+        self.notified_ends = closed;
+    }
+
     /// Records the terminal phase stream's count and digest.
     fn seal_phases(&mut self) {
         let phases = self.detector.detected_phases();
@@ -639,7 +986,7 @@ mod tests {
         while session.is_live() {
             tick += 1;
             assert!(tick < 1_000_000, "session stalled");
-            session.deliver(source);
+            session.deliver(source, tick);
             session.step(tick, hazards, &NullSubscriber);
         }
         tick

@@ -6,7 +6,8 @@
 # vs decoder reports), an `opd trace` smoke run, an `opd audit` smoke
 # run (DPOR exploration + mutant suite + OPD-R lints), an
 # `opd serve` smoke run (supervised multi-tenant streaming under
-# aggressive hazards), an
+# aggressive hazards), an observability smoke pass (`opd top`,
+# `opd metrics-dump`, and the traced-serve → `opd flight` loop), an
 # `opd certify` smoke run (resource certificates + OPD-A30x lints +
 # BENCH_cert.json freshness), a release-mode kernel-equivalence
 # smoke, the BENCH_kernel.json acceptance/freshness tests, the
@@ -34,6 +35,18 @@ cargo run --release -q --bin opd -- trace lexgen --limit 5 --fuel 20000 > /dev/n
 # stream is bit-identical to the offline detector. (The
 # BENCH_serve.json freshness test runs in the workspace suite above.)
 cargo run --release -q --bin opd -- serve --smoke > /dev/null
+# Observability smoke: the dashboard renders one service view with
+# every SLO met (exit 0), the Prometheus exposition emits, and a
+# traced smoke soak dumps post-mortems that `opd flight` replays.
+# (BENCH_dash.json freshness, the null-span allocation gate, and the
+# span-log thread-invariance tests run in the workspace suite above.)
+cargo run --release -q --bin opd -- top --once --json > /dev/null
+cargo run --release -q --bin opd -- metrics-dump --clients 48 > /dev/null
+flight_dir="$(mktemp -d)"
+cargo run --release -q --bin opd -- serve --smoke --postmortem-dir "$flight_dir" > /dev/null
+first_pm="$(find "$flight_dir" -name '*.pm' | sort | head -n 1)"
+cargo run --release -q --bin opd -- flight "$first_pm" > /dev/null
+rm -rf "$flight_dir"
 # Concurrency audit smoke: every modeled subsystem explores clean,
 # every seeded mutant is caught, and no OPD-R lint fires. (The
 # BENCH_sched.json freshness test runs in the workspace suite above.)

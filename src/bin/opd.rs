@@ -44,22 +44,48 @@
 //!   updates `BENCH_cert.json`.
 //! * `opd serve [--smoke] [--clients N] [--mode MODE] [--capacity N]
 //!   [--threads N] [--scale N] [--checkpoint PATH] [--resume]
-//!   [--json]` — the fault-tolerant multi-tenant streaming layer: a
-//!   deterministic fault-injected soak of simulated clients over the
-//!   eight workloads, with supervised restarts, backpressure
-//!   (`block`, `shed-oldest`, `reject`), poison-pill quarantine, and
+//!   [--postmortem-dir DIR] [--spans-out FILE] [--json]` — the
+//!   fault-tolerant multi-tenant streaming layer: a deterministic
+//!   fault-injected soak of simulated clients over the eight
+//!   workloads, with supervised restarts, backpressure (`block`,
+//!   `shed-oldest`, `reject`), poison-pill quarantine, and
 //!   bit-identity verification against the offline detector; with
 //!   `--checkpoint`, completed virtual shards stream to a crash-safe
 //!   OPDK file and `--resume` restores them after a hard kill;
-//!   `--smoke` runs the aggressive CI invariant pass.
+//!   `--smoke` runs the aggressive CI invariant pass. With
+//!   `--postmortem-dir` or `--spans-out` the soak runs through the
+//!   traced engine: every quarantine, deadline kill, and hazard kill
+//!   dumps the session's flight-recorder ring as a self-contained
+//!   post-mortem file, and the full causal-span log (byte-identical
+//!   across thread counts) streams to the named file.
 //! * `opd loadgen [--scale N] [--json] [--write]` — the serve load
 //!   study: the committed soak, shed curves over queue capacity ×
 //!   backpressure mode, and the certificate-admission sweep;
 //!   `--write` updates `BENCH_serve.json`.
-//! * `opd trace TARGET [--config SPEC] [--json] [--limit N]
-//!   [--scale N] [--fuel N]` — stream one detector run's structured
-//!   event log (window slides, similarity scores, analyzer decisions,
-//!   phase transitions) for a workload or program listing.
+//! * `opd trace TARGET [--config SPEC] [--kind LIST] [--session N]
+//!   [--json] [--limit N] [--scale N] [--fuel N]` — stream one
+//!   detector run's structured event log (window slides, similarity
+//!   scores, analyzer decisions, phase transitions) for a workload or
+//!   program listing, or replay a span-log file written by
+//!   `opd serve --spans-out` (detected by its `# opd-spans-v1`
+//!   header); `--kind` keeps only the named comma-separated event or
+//!   span kinds, `--session` (span logs only) one client's spans.
+//! * `opd top [--once] [--json] [--write] [--clients N] [--scale N]
+//!   [--threads N] [--slo-p99 T] [--slo-shed F] [--slo-quarantine F]
+//!   [--slo-completion F]` — the live service dashboard: runs the
+//!   dashboard soak through the traced engine (refreshing a monitor
+//!   line on stderr from the shared metrics registry), then renders
+//!   per-window session states, shed/quarantine rates, frame-latency
+//!   percentiles in virtual ticks, span accounting, and the SLO
+//!   verdict; any `OPD-O401..O404` burn exits 1; `--once` (or
+//!   `--json`) skips the refresh loop, `--write` updates
+//!   `BENCH_dash.json`.
+//! * `opd flight FILE [--json]` — pretty-print a post-mortem dumped
+//!   by `opd serve --postmortem-dir`: who died, why, the counters at
+//!   death, and the flight recorder's retained spans.
+//! * `opd metrics-dump [--clients N] [--scale N] [--json]` — run a
+//!   small metered soak and print the Prometheus-style text
+//!   exposition of every service counter and histogram.
 //!
 //! In `--json` modes stdout carries exactly one JSON document; all
 //! human-readable output moves to stderr (see
@@ -92,10 +118,16 @@ usage: opd lint [--json] [--deny-warnings] [--scale N] [TARGET...]
                  [--scale N] [--fuel N] [--write]
        opd serve [--smoke] [--clients N] [--mode MODE] [--capacity N]
                  [--threads N] [--scale N] [--checkpoint PATH]
-                 [--resume] [--json]
+                 [--resume] [--postmortem-dir DIR] [--spans-out FILE]
+                 [--json]
        opd loadgen [--scale N] [--json] [--write]
-       opd trace TARGET [--config SPEC] [--json] [--limit N]
-                 [--scale N] [--fuel N]
+       opd trace TARGET [--config SPEC] [--kind LIST] [--session N]
+                 [--json] [--limit N] [--scale N] [--fuel N]
+       opd top [--once] [--json] [--write] [--clients N] [--scale N]
+                 [--threads N] [--slo-p99 T] [--slo-shed F]
+                 [--slo-quarantine F] [--slo-completion F]
+       opd flight FILE [--json]
+       opd metrics-dump [--clients N] [--scale N] [--json]
 
 TARGET is a built-in workload name (blockcomp, ruleng, tracer,
 querydb, srccomp, audiodec, parsegen, lexgen) or a path to a program
@@ -165,6 +197,18 @@ fn main() -> ExitCode {
         },
         Some("trace") => match parse_trace_args(&args[1..]) {
             Ok(opts) => trace(&opts),
+            Err(e) => fail(e),
+        },
+        Some("top") => match parse_top_args(&args[1..]) {
+            Ok(opts) => top(&opts),
+            Err(e) => fail(e),
+        },
+        Some("flight") => match parse_flight_args(&args[1..]) {
+            Ok(opts) => flight(&opts),
+            Err(e) => fail(e),
+        },
+        Some("metrics-dump") => match parse_metrics_dump_args(&args[1..]) {
+            Ok(opts) => metrics_dump(&opts),
             Err(e) => fail(e),
         },
         Some("help" | "--help" | "-h") | None => {
@@ -1010,6 +1054,8 @@ struct ServeOpts {
     scale: u32,
     checkpoint: Option<String>,
     resume: bool,
+    postmortem_dir: Option<String>,
+    spans_out: Option<String>,
     json: bool,
 }
 
@@ -1024,6 +1070,8 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOpts, CliError> {
         scale: 1,
         checkpoint: None,
         resume: false,
+        postmortem_dir: None,
+        spans_out: None,
         json: false,
     };
     let mut iter = args.iter();
@@ -1068,6 +1116,10 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOpts, CliError> {
                     .map_err(|e| CliError::invalid(format!("--scale `{value}`"), e))?;
             }
             "--checkpoint" => opts.checkpoint = Some(value_for("--checkpoint")?.to_owned()),
+            "--postmortem-dir" => {
+                opts.postmortem_dir = Some(value_for("--postmortem-dir")?.to_owned());
+            }
+            "--spans-out" => opts.spans_out = Some(value_for("--spans-out")?.to_owned()),
             flag if flag.starts_with("--") => return Err(CliError::unknown_flag(flag)),
             other => {
                 return Err(CliError::usage(format!(
@@ -1084,17 +1136,77 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOpts, CliError> {
             "--smoke cannot be combined with --checkpoint or --json",
         ));
     }
+    // The traced engine refuses checkpoints (restored shards have no
+    // span history), so the tracing flags conflict with --checkpoint.
+    if (opts.postmortem_dir.is_some() || opts.spans_out.is_some()) && opts.checkpoint.is_some() {
+        return Err(CliError::conflict(
+            "--postmortem-dir/--spans-out cannot be combined with --checkpoint",
+        ));
+    }
     Ok(opts)
+}
+
+/// Writes a traced serve run's `--postmortem-dir` and `--spans-out`
+/// outputs; confirmations go through the reporter so `--json` stdout
+/// stays one document.
+fn write_trace_outputs(
+    trace: &opd_serve::ServiceTrace,
+    postmortem_dir: Option<&str>,
+    spans_out: Option<&str>,
+    reporter: &Reporter,
+) -> Result<(), ExitCode> {
+    if let Some(dir) = postmortem_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {dir}: {e}");
+            return Err(ExitCode::from(2));
+        }
+        for pm in &trace.postmortems {
+            let path = format!("{dir}/{}.pm", pm.file_stem());
+            if let Err(e) = std::fs::write(&path, pm.render()) {
+                eprintln!("error: cannot write {path}: {e}");
+                return Err(ExitCode::from(2));
+            }
+        }
+        reporter.human(format_args!(
+            "wrote {} post-mortem(s) to {dir}",
+            trace.postmortems.len()
+        ));
+    }
+    if let Some(path) = spans_out {
+        if let Err(e) = std::fs::write(path, trace.span_log()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return Err(ExitCode::from(2));
+        }
+        reporter.human(format_args!(
+            "wrote {} span(s) to {path}",
+            trace.spans.len()
+        ));
+    }
+    Ok(())
 }
 
 fn serve(opts: &ServeOpts) -> ExitCode {
     use opd_experiments::serve as study;
 
     let reporter = Reporter::new(opts.json);
+    let traced = opts.postmortem_dir.is_some() || opts.spans_out.is_some();
     if opts.smoke {
         // The smoke pass asserts the robustness invariants internally
         // (restarts, timeouts, quarantine, shedding, bit-identity).
-        reporter.human(study::smoke(opts.scale));
+        if traced {
+            let (summary, trace) = study::smoke_with_trace(opts.scale);
+            if let Err(code) = write_trace_outputs(
+                &trace,
+                opts.postmortem_dir.as_deref(),
+                opts.spans_out.as_deref(),
+                &reporter,
+            ) {
+                return code;
+            }
+            reporter.human(summary);
+        } else {
+            reporter.human(study::smoke(opts.scale));
+        }
         reporter.human("serve --smoke: ok");
         return ExitCode::SUCCESS;
     }
@@ -1108,11 +1220,38 @@ fn serve(opts: &ServeOpts) -> ExitCode {
         checkpoint: opts.checkpoint.as_ref().map(std::path::PathBuf::from),
         resume: opts.resume,
     };
-    let report = match opd_serve::run_service(&config, &source, &options) {
-        Ok(report) => report,
-        Err(e) => {
-            eprintln!("error: serve: {e}");
-            return ExitCode::from(2);
+    let report = if traced {
+        match opd_serve::run_service_traced::<opd_obs::SpanLog>(
+            &config,
+            &source,
+            &options,
+            &opd_serve::NullSubscriber,
+            None,
+            &opd_serve::TraceConfig::default(),
+        ) {
+            Ok((report, trace)) => {
+                if let Err(code) = write_trace_outputs(
+                    &trace,
+                    opts.postmortem_dir.as_deref(),
+                    opts.spans_out.as_deref(),
+                    &reporter,
+                ) {
+                    return code;
+                }
+                report
+            }
+            Err(e) => {
+                eprintln!("error: serve: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match opd_serve::run_service(&config, &source, &options) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("error: serve: {e}");
+                return ExitCode::from(2);
+            }
         }
     };
 
@@ -1256,16 +1395,33 @@ fn loadgen(opts: &LoadgenOpts) -> ExitCode {
 struct TraceOpts {
     target: String,
     config: String,
+    kinds: Vec<String>,
+    session: Option<u32>,
     json: bool,
     limit: Option<usize>,
     scale: u32,
     fuel: u64,
 }
 
+/// Detector-event kind tags accepted by `--kind` (see
+/// [`opd_obs::DetectorEvent::kind`]); span kinds are accepted too and
+/// validated through [`opd_obs::SpanKind::from_name`].
+const EVENT_KINDS: [&str; 7] = [
+    "step",
+    "similarity",
+    "decision",
+    "phase_start",
+    "phase_end",
+    "window_resize",
+    "window_flush",
+];
+
 fn parse_trace_args(args: &[String]) -> Result<TraceOpts, CliError> {
     let mut opts = TraceOpts {
         target: String::new(),
         config: String::new(),
+        kinds: Vec::new(),
+        session: None,
         json: false,
         limit: None,
         scale: 1,
@@ -1281,6 +1437,24 @@ fn parse_trace_args(args: &[String]) -> Result<TraceOpts, CliError> {
         match arg.as_str() {
             "--json" => opts.json = true,
             "--config" => opts.config = value_for("--config")?.to_owned(),
+            "--kind" => {
+                let value = value_for("--kind")?.to_owned();
+                opts.kinds.extend(
+                    value
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|k| !k.is_empty())
+                        .map(str::to_owned),
+                );
+            }
+            "--session" => {
+                let value = value_for("--session")?;
+                opts.session = Some(
+                    value
+                        .parse()
+                        .map_err(|e| CliError::invalid(format!("--session `{value}`"), e))?,
+                );
+            }
             "--limit" => {
                 let value = value_for("--limit")?;
                 opts.limit = Some(
@@ -1313,12 +1487,38 @@ fn parse_trace_args(args: &[String]) -> Result<TraceOpts, CliError> {
     if opts.target.is_empty() {
         return Err(CliError::usage("trace requires a TARGET"));
     }
+    for k in &opts.kinds {
+        if !EVENT_KINDS.contains(&k.as_str()) && opd_obs::SpanKind::from_name(k).is_none() {
+            return Err(CliError::usage(format!(
+                "unknown kind `{k}`; valid kinds are detector events ({}) and spans ({})",
+                EVENT_KINDS.join(", "),
+                opd_obs::SpanKind::ALL
+                    .map(opd_obs::SpanKind::name)
+                    .join(", "),
+            )));
+        }
+    }
     Ok(opts)
 }
 
 fn trace(opts: &TraceOpts) -> ExitCode {
     use opd_core::{InternedTrace, NullSink, PhaseDetector};
     use opd_obs::{DetectorEvent, FnObserver};
+
+    // A file target that opens with the span-log header is a
+    // `--spans-out` document: replay it instead of running a detector.
+    if std::path::Path::new(&opts.target).is_file() {
+        if let Ok(text) = std::fs::read_to_string(&opts.target) {
+            if text.starts_with(opd_obs::SPAN_LOG_HEADER) {
+                return trace_spans(opts, &text);
+            }
+        }
+    }
+    if opts.session.is_some() {
+        return fail(CliError::conflict(
+            "--session applies only to span-log targets (files starting with `# opd-spans-v1`)",
+        ));
+    }
 
     let config = match opd_experiments::cli::parse_config_spec(&opts.config) {
         Ok(config) => config,
@@ -1350,6 +1550,9 @@ fn trace(opts: &TraceOpts) -> ExitCode {
     let mut detector = PhaseDetector::new(config);
     {
         let mut observer = FnObserver(|event: &DetectorEvent| {
+            if !opts.kinds.is_empty() && !opts.kinds.iter().any(|k| k.as_str() == event.kind()) {
+                return;
+            }
             total += 1;
             if emitted < limit {
                 emitted += 1;
@@ -1394,6 +1597,430 @@ fn trace(opts: &TraceOpts) -> ExitCode {
             "trace: {name}: {} element(s), {total} event(s), {phases} phase(s)",
             interned.len(),
         ));
+    }
+    ExitCode::SUCCESS
+}
+
+/// The span-log replay arm of `opd trace`: filter a `--spans-out`
+/// document by kind and session, emit up to `--limit` spans.
+fn trace_spans(opts: &TraceOpts, text: &str) -> ExitCode {
+    let spans = match opd_obs::parse_span_log(text) {
+        Ok(spans) => spans,
+        Err(e) => return fail(format_args!("cannot parse `{}`: {e}", opts.target)),
+    };
+    let matched: Vec<&opd_obs::Span> = spans
+        .iter()
+        .filter(|s| opts.kinds.is_empty() || opts.kinds.iter().any(|k| k.as_str() == s.kind.name()))
+        .filter(|s| opts.session.map_or(true, |client| s.client == client))
+        .collect();
+    let shown = matched.len().min(opts.limit.unwrap_or(usize::MAX));
+
+    let reporter = Reporter::new(opts.json);
+    if opts.json {
+        let lines: Vec<String> = matched[..shown]
+            .iter()
+            .map(|s| format!("    {}", s.to_json()))
+            .collect();
+        let mut doc = String::new();
+        let _ = writeln!(doc, "{{");
+        let _ = writeln!(doc, "  \"target\": \"{}\",", opts.target);
+        let _ = writeln!(doc, "  \"spans\": [");
+        let _ = writeln!(doc, "{}", lines.join(",\n"));
+        let _ = writeln!(doc, "  ],");
+        let _ = writeln!(
+            doc,
+            "  \"summary\": {{\"spans\": {}, \"matched\": {}, \"shown\": {shown}}}",
+            spans.len(),
+            matched.len(),
+        );
+        let _ = write!(doc, "}}");
+        reporter.payload(doc);
+    } else {
+        for s in &matched[..shown] {
+            reporter.human(s);
+        }
+        if matched.len() > shown {
+            reporter.human(format_args!("... {} more span(s)", matched.len() - shown));
+        }
+        reporter.human(format_args!(
+            "trace: {}: {} span(s), {} matched, {shown} shown",
+            opts.target,
+            spans.len(),
+            matched.len(),
+        ));
+    }
+    ExitCode::SUCCESS
+}
+
+struct TopOpts {
+    once: bool,
+    json: bool,
+    write: bool,
+    clients: u32,
+    scale: u32,
+    threads: usize,
+    slo_p99: Option<f64>,
+    slo_shed: Option<f64>,
+    slo_quarantine: Option<f64>,
+    slo_completion: Option<f64>,
+}
+
+fn parse_top_args(args: &[String]) -> Result<TopOpts, CliError> {
+    let mut opts = TopOpts {
+        once: false,
+        json: false,
+        write: false,
+        clients: opd_experiments::dash::DASH_CLIENTS,
+        scale: 1,
+        threads: 0,
+        slo_p99: None,
+        slo_shed: None,
+        slo_quarantine: None,
+        slo_completion: None,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_for = |name: &str| {
+            iter.next()
+                .map(String::as_str)
+                .ok_or_else(|| CliError::missing_value(name))
+        };
+        let parse_u32 = |name: &str, value: &str| {
+            value
+                .parse::<u32>()
+                .map_err(|e| CliError::invalid(format!("{name} `{value}`"), e))
+        };
+        let parse_f64 = |name: &str, value: &str| {
+            value
+                .parse::<f64>()
+                .map_err(|e| CliError::invalid(format!("{name} `{value}`"), e))
+        };
+        match arg.as_str() {
+            "--once" => opts.once = true,
+            "--json" => opts.json = true,
+            "--write" => opts.write = true,
+            "--clients" => opts.clients = parse_u32("--clients", value_for("--clients")?)?,
+            "--scale" => opts.scale = parse_u32("--scale", value_for("--scale")?)?,
+            "--threads" => {
+                let value = value_for("--threads")?;
+                opts.threads = value
+                    .parse()
+                    .map_err(|e| CliError::invalid(format!("--threads `{value}`"), e))?;
+            }
+            "--slo-p99" => opts.slo_p99 = Some(parse_f64("--slo-p99", value_for("--slo-p99")?)?),
+            "--slo-shed" => {
+                opts.slo_shed = Some(parse_f64("--slo-shed", value_for("--slo-shed")?)?);
+            }
+            "--slo-quarantine" => {
+                opts.slo_quarantine = Some(parse_f64(
+                    "--slo-quarantine",
+                    value_for("--slo-quarantine")?,
+                )?);
+            }
+            "--slo-completion" => {
+                opts.slo_completion = Some(parse_f64(
+                    "--slo-completion",
+                    value_for("--slo-completion")?,
+                )?);
+            }
+            flag if flag.starts_with("--") => return Err(CliError::unknown_flag(flag)),
+            other => {
+                return Err(CliError::usage(format!(
+                    "unexpected top argument `{other}`"
+                )))
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn top(opts: &TopOpts) -> ExitCode {
+    use opd_experiments::dash;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let reporter = Reporter::new(opts.json);
+    let mut registry = opd_obs::MetricsRegistry::for_host();
+    let metrics = opd_serve::ServiceMetrics::register(&mut registry);
+    let registry = &registry;
+
+    // Live mode: while the soak runs on a worker thread, repaint a
+    // one-line service view on stderr from the shared registry.
+    // `--once` (and `--json`, whose stderr is already the human
+    // channel) skip the refresh loop.
+    let live = !opts.once && !opts.json;
+    let done = AtomicBool::new(false);
+    let study = std::thread::scope(|s| {
+        let worker = s.spawn(|| {
+            let study = dash::dash_study_observed(
+                opts.scale,
+                opts.clients,
+                opts.threads,
+                registry,
+                &metrics,
+            );
+            done.store(true, Ordering::Release);
+            study
+        });
+        while live && !done.load(Ordering::Acquire) {
+            std::thread::sleep(std::time::Duration::from_millis(60));
+            let snap = registry.snapshot();
+            eprint!(
+                "\rtop: {} frame(s), {} restart(s), {} shed, {} completed, {} quarantined ",
+                snap.counter("serve.frames_processed").unwrap_or(0),
+                snap.counter("serve.restarts").unwrap_or(0),
+                snap.counter("serve.shed_frames").unwrap_or(0),
+                snap.counter("serve.sessions_completed").unwrap_or(0),
+                snap.counter("serve.sessions_quarantined").unwrap_or(0),
+            );
+        }
+        if live {
+            eprintln!();
+        }
+        worker.join().expect("dashboard soak thread panicked")
+    });
+    let study = match study {
+        Ok(study) => study,
+        Err(e) => {
+            eprintln!("error: top: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut policy = dash::SloPolicy::default();
+    if let Some(v) = opts.slo_p99 {
+        policy.max_p99_latency_ticks = v;
+    }
+    if let Some(v) = opts.slo_shed {
+        policy.max_shed_fraction = v;
+    }
+    if let Some(v) = opts.slo_quarantine {
+        policy.max_quarantine_fraction = v;
+    }
+    if let Some(v) = opts.slo_completion {
+        policy.min_completion_fraction = v;
+    }
+
+    if opts.write {
+        // The committed artifact is always the pinned (scale 1,
+        // committed client count) form the freshness test
+        // regenerates, whatever this invocation printed.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_dash.json");
+        let overhead = dash::null_span_overhead(1, dash::DASH_SAMPLES);
+        let rendered = if opts.scale == 1 && opts.clients == dash::DASH_CLIENTS {
+            dash::render_dash_json(
+                &study,
+                overhead.samples,
+                overhead.plain_nanos,
+                overhead.instrumented_nanos,
+            )
+        } else {
+            match dash::dash_study(1, opts.threads) {
+                Ok(pinned) => dash::render_dash_json(
+                    &pinned,
+                    overhead.samples,
+                    overhead.plain_nanos,
+                    overhead.instrumented_nanos,
+                ),
+                Err(e) => {
+                    eprintln!("error: top: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        };
+        if let Err(e) = std::fs::write(path, rendered) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        reporter.human(format_args!("wrote {path}"));
+    }
+
+    let burns = policy.check(&study);
+    if opts.json {
+        reporter.payload(dash::top_json(&study, &policy).trim_end());
+    } else {
+        reporter.human(dash::top_view(&study, &policy).trim_end());
+    }
+    if burns.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+struct FlightOpts {
+    file: String,
+    json: bool,
+}
+
+fn parse_flight_args(args: &[String]) -> Result<FlightOpts, CliError> {
+    let mut opts = FlightOpts {
+        file: String::new(),
+        json: false,
+    };
+    for arg in args {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            flag if flag.starts_with("--") => return Err(CliError::unknown_flag(flag)),
+            file if opts.file.is_empty() => opts.file = file.to_owned(),
+            extra => {
+                return Err(CliError::usage(format!(
+                    "unexpected flight argument `{extra}`"
+                )))
+            }
+        }
+    }
+    if opts.file.is_empty() {
+        return Err(CliError::usage("flight requires a post-mortem FILE"));
+    }
+    Ok(opts)
+}
+
+fn flight(opts: &FlightOpts) -> ExitCode {
+    let text = match std::fs::read_to_string(&opts.file) {
+        Ok(text) => text,
+        Err(e) => return fail(format_args!("cannot read `{}`: {e}", opts.file)),
+    };
+    let pm = match opd_serve::Postmortem::parse(&text) {
+        Ok(pm) => pm,
+        Err(e) => return fail(format_args!("cannot parse `{}`: {e}", opts.file)),
+    };
+    let reporter = Reporter::new(opts.json);
+    if opts.json {
+        reporter.payload(pm.to_json().trim_end());
+    } else {
+        reporter.human(render_flight(&pm).trim_end());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Renders one post-mortem for humans: the kill line, the session's
+/// counters at death, and the flight recorder's retained spans.
+fn render_flight(pm: &opd_serve::Postmortem) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "post-mortem: client {} (vshard {}) — {} at tick {} (attempt {})",
+        pm.client, pm.vshard, pm.reason, pm.tick, pm.attempt,
+    );
+    let _ = writeln!(
+        out,
+        "  frames:      {}/{} processed, {} element(s) accepted, queue depth {}",
+        pm.frames_processed, pm.frames_total, pm.elements_accepted, pm.queue_depth,
+    );
+    let _ = writeln!(
+        out,
+        "  supervision: {} crash(es), {} timeout(s), {} restart(s); {} corrupt, {} poison frame(s)",
+        pm.crashes, pm.timeouts, pm.restarts, pm.corrupt_frames, pm.poison_frames,
+    );
+    let _ = writeln!(
+        out,
+        "  flight ring: {} span(s) ever recorded, last {} retained:",
+        pm.spans_recorded,
+        pm.recent.len(),
+    );
+    for s in &pm.recent {
+        let _ = writeln!(
+            out,
+            "    [{:>6}..{:>6}] {:<12} id={} parent={} detail={}",
+            s.start,
+            s.end,
+            s.kind.name(),
+            s.id,
+            s.parent,
+            s.detail,
+        );
+    }
+    out
+}
+
+struct MetricsDumpOpts {
+    clients: u32,
+    scale: u32,
+    json: bool,
+}
+
+fn parse_metrics_dump_args(args: &[String]) -> Result<MetricsDumpOpts, CliError> {
+    let mut opts = MetricsDumpOpts {
+        clients: 128,
+        scale: 1,
+        json: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_for = |name: &str| {
+            iter.next()
+                .map(String::as_str)
+                .ok_or_else(|| CliError::missing_value(name))
+        };
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--clients" => {
+                let value = value_for("--clients")?;
+                opts.clients = value
+                    .parse()
+                    .map_err(|e| CliError::invalid(format!("--clients `{value}`"), e))?;
+            }
+            "--scale" => {
+                let value = value_for("--scale")?;
+                opts.scale = value
+                    .parse()
+                    .map_err(|e| CliError::invalid(format!("--scale `{value}`"), e))?;
+            }
+            flag if flag.starts_with("--") => return Err(CliError::unknown_flag(flag)),
+            other => {
+                return Err(CliError::usage(format!(
+                    "unexpected metrics-dump argument `{other}`"
+                )))
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn metrics_dump(opts: &MetricsDumpOpts) -> ExitCode {
+    let snapshot = match opd_experiments::dash::metrics_exposition(opts.scale, opts.clients) {
+        Ok(snapshot) => snapshot,
+        Err(e) => {
+            eprintln!("error: metrics-dump: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let reporter = Reporter::new(opts.json);
+    if opts.json {
+        let counters: Vec<String> = snapshot
+            .counters
+            .iter()
+            .map(|(name, value)| format!("  \"{name}\": {value}"))
+            .collect();
+        let histograms: Vec<String> = snapshot
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                format!(
+                    "  \"{name}\": {{\"count\": {}, \"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}}}",
+                    h.count(),
+                    h.percentile(0.50).unwrap_or(0.0),
+                    h.percentile(0.90).unwrap_or(0.0),
+                    h.percentile(0.99).unwrap_or(0.0),
+                )
+            })
+            .collect();
+        let mut doc = String::new();
+        let _ = writeln!(doc, "{{");
+        let _ = writeln!(doc, " \"schema\": \"opd-metrics-v1\",");
+        let _ = writeln!(doc, " \"counters\": {{");
+        let _ = writeln!(doc, "{}", counters.join(",\n"));
+        let _ = writeln!(doc, " }},");
+        let _ = writeln!(doc, " \"histograms\": {{");
+        let _ = writeln!(doc, "{}", histograms.join(",\n"));
+        let _ = writeln!(doc, " }}");
+        let _ = write!(doc, "}}");
+        reporter.payload(doc);
+    } else {
+        // The exposition text is the payload, not commentary: it goes
+        // to stdout so `opd metrics-dump | promtool` style pipelines
+        // work.
+        reporter.payload(snapshot.to_prometheus().trim_end());
     }
     ExitCode::SUCCESS
 }

@@ -34,7 +34,18 @@ fn unknown_subcommand_exits_2_with_usage() {
 #[test]
 fn unknown_flags_exit_2_on_every_subcommand() {
     for sub in [
-        "lint", "plan", "faults", "sweep", "audit", "certify", "trace", "serve", "loadgen",
+        "lint",
+        "plan",
+        "faults",
+        "sweep",
+        "audit",
+        "certify",
+        "trace",
+        "serve",
+        "loadgen",
+        "top",
+        "flight",
+        "metrics-dump",
     ] {
         let out = opd(&[sub, "--frobnicate"]);
         assert_eq!(out.status.code(), Some(2), "{sub}");
@@ -57,7 +68,14 @@ fn missing_values_exit_2() {
         &["trace", "lexgen", "--limit"],
         &["serve", "--clients"],
         &["serve", "--capacity"],
+        &["serve", "--postmortem-dir"],
+        &["serve", "--spans-out"],
         &["loadgen", "--scale"],
+        &["trace", "lexgen", "--kind"],
+        &["trace", "lexgen", "--session"],
+        &["top", "--clients"],
+        &["top", "--slo-p99"],
+        &["metrics-dump", "--scale"],
     ] {
         let out = opd(args);
         assert_eq!(out.status.code(), Some(2), "{args:?}");
@@ -86,6 +104,27 @@ fn invalid_values_exit_2_and_name_the_flag() {
         "{}",
         stderr_of(&out)
     );
+
+    let out = opd(&["top", "--slo-shed", "lots"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr_of(&out).contains("bad --slo-shed `lots`"),
+        "{}",
+        stderr_of(&out)
+    );
+}
+
+#[test]
+fn trace_rejects_unknown_kinds_at_parse_time() {
+    // `--kind` is validated against the union of event and span kinds
+    // before any work runs, so a typo fails the same way on workload
+    // and span-log targets alike.
+    let out = opd(&["trace", "lexgen", "--kind", "bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert!(err.contains("unknown kind `bogus`"), "{err}");
+    assert!(err.contains("phase_start"), "{err}");
+    assert!(err.contains("quarantine"), "{err}");
 }
 
 #[test]
@@ -102,6 +141,31 @@ fn flag_conflicts_exit_2() {
     assert_eq!(out.status.code(), Some(2));
     assert!(
         stderr_of(&out).contains("sweep --json/--write require --stats"),
+        "{}",
+        stderr_of(&out)
+    );
+
+    // The traced engine has no checkpoint support: trace outputs and
+    // --checkpoint are mutually exclusive.
+    let out = opd(&[
+        "serve",
+        "--postmortem-dir",
+        "/tmp/x",
+        "--checkpoint",
+        "/tmp/y",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr_of(&out).contains("cannot be combined with --checkpoint"),
+        "{}",
+        stderr_of(&out)
+    );
+
+    // --session only filters span-log replays, not live workloads.
+    let out = opd(&["trace", "lexgen", "--session", "2"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr_of(&out).contains("--session applies only to span-log targets"),
         "{}",
         stderr_of(&out)
     );
@@ -134,6 +198,22 @@ fn bad_positionals_exit_2() {
     );
 
     assert_eq!(opd(&["bounds", "--write", "extra"]).status.code(), Some(2));
+
+    let out = opd(&["flight"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr_of(&out).contains("flight requires a post-mortem FILE"),
+        "{}",
+        stderr_of(&out)
+    );
+
+    let out = opd(&["flight", "/nonexistent/dir/pm-000001.pm"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr_of(&out).contains("cannot read"),
+        "{}",
+        stderr_of(&out)
+    );
 }
 
 #[test]

@@ -6,7 +6,7 @@
 
 mod common;
 
-use common::{opd, parse_json, stdout_json, Json};
+use common::{opd, parse_json, stdout_json, stdout_json_any, Json};
 
 #[test]
 fn lint_json_stdout_is_one_json_document() {
@@ -92,6 +92,77 @@ fn trace_json_respects_config_spec() {
     // (step, similarity, decision, and one transition pair) plus the
     // end-of-trace phase_end.
     assert!(doc.get("summary").get("events").as_u64() <= 6_000 / 4 * 5 + 1);
+}
+
+#[test]
+fn trace_kind_filter_keeps_only_the_named_event_kinds() {
+    let out = opd(&[
+        "trace",
+        "lexgen",
+        "--json",
+        "--fuel",
+        "6000",
+        "--kind",
+        "phase_start,phase_end",
+    ]);
+    let doc = stdout_json(&out);
+    assert!(doc.get("summary").get("events").as_u64() > 0);
+    for event in doc.get("events").arr() {
+        let tag = event.get("type").str();
+        assert!(
+            tag == "phase_start" || tag == "phase_end",
+            "unfiltered event {tag}"
+        );
+    }
+}
+
+#[test]
+fn top_json_stdout_is_one_json_document() {
+    let out = opd(&["top", "--once", "--json"]);
+    let doc = stdout_json(&out);
+    assert_eq!(doc.get("schema").str(), "opd-top-v1");
+    assert_eq!(doc.get("verify_failures").as_u64(), 0);
+    assert!(doc.get("latency_ticks").get("p99").num() > 0.0);
+    assert!(doc.get("span_digest").str().starts_with("0x"));
+    // The committed SLO policy holds on the committed soak.
+    assert!(doc.get("slo_burns").arr().is_empty());
+}
+
+#[test]
+fn top_json_slo_burns_exit_1_with_the_burn_code() {
+    let out = opd(&["top", "--once", "--json", "--slo-p99", "0"]);
+    assert_eq!(out.status.code(), Some(1), "an SLO burn is a failure");
+    let doc = stdout_json_any(&out);
+    let burns = doc.get("slo_burns").arr();
+    assert!(!burns.is_empty());
+    assert_eq!(burns[0].get("code").str(), "OPD-O401");
+    assert!(burns[0].get("location").str().starts_with("window "));
+}
+
+#[test]
+fn metrics_dump_json_stdout_is_one_json_document() {
+    let out = opd(&["metrics-dump", "--clients", "48", "--json"]);
+    let doc = stdout_json(&out);
+    assert_eq!(doc.get("schema").str(), "opd-metrics-v1");
+    assert!(doc.get("counters").get("serve.frames_processed").as_u64() > 0);
+    let latency = doc.get("histograms").get("serve.frame_latency_ticks");
+    assert!(latency.get("count").as_u64() > 0);
+    assert!(latency.get("p99").num() >= latency.get("p50").num());
+}
+
+#[test]
+fn metrics_dump_text_is_a_prometheus_exposition() {
+    let out = opd(&["metrics-dump", "--clients", "48"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("# TYPE opd_serve_frames_processed counter"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("opd_serve_frame_latency_ticks_count"),
+        "{stdout}"
+    );
 }
 
 #[test]

@@ -18,13 +18,20 @@ pub fn opd(args: &[&str]) -> Output {
 /// Asserts the invocation succeeded and parses its stdout as exactly
 /// one JSON document.
 pub fn stdout_json(output: &Output) -> Json {
-    let stdout = String::from_utf8(output.stdout.clone()).expect("stdout is UTF-8");
     assert!(
         output.status.success(),
         "opd failed (status {:?}); stderr:\n{}",
         output.status.code(),
         String::from_utf8_lossy(&output.stderr),
     );
+    stdout_json_any(output)
+}
+
+/// Parses stdout as exactly one JSON document without asserting the
+/// exit status — the `--json` contract also holds for runs that exit
+/// 1 on findings (lint errors, SLO burns).
+pub fn stdout_json_any(output: &Output) -> Json {
+    let stdout = String::from_utf8(output.stdout.clone()).expect("stdout is UTF-8");
     parse_json(&stdout).unwrap_or_else(|e| panic!("stdout is not one JSON document: {e}\n{stdout}"))
 }
 
